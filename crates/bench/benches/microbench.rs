@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks over the core primitives: Harmony block
+//! execution vs Aria, B+Tree access paths, and the crypto substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harmony_core::executor::ExecBlock;
+use harmony_core::{HarmonyConfig, SnapshotStore};
+use harmony_dcc_baselines::{Aria, AriaConfig, DccEngine, HarmonyEngine};
+use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_workloads::{Workload, Ycsb, YcsbConfig};
+use std::sync::Arc;
+
+fn bench_block_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_execution");
+    group.sample_size(20);
+    for (name, harmony) in [("harmony", true), ("aria", false)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let engine =
+                        Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+                    let mut w = Ycsb::new(YcsbConfig {
+                        keys: 2_000,
+                        theta: 0.6,
+                        ..YcsbConfig::default()
+                    });
+                    w.setup(&engine).unwrap();
+                    let store = Arc::new(SnapshotStore::new(engine));
+                    let dcc: Arc<dyn DccEngine> = if harmony {
+                        Arc::new(HarmonyEngine::new(
+                            Arc::clone(&store),
+                            HarmonyConfig {
+                                workers: 4,
+                                ..HarmonyConfig::default()
+                            },
+                        ))
+                    } else {
+                        Arc::new(Aria::new(
+                            Arc::clone(&store),
+                            AriaConfig {
+                                workers: 4,
+                                reordering: true,
+                            },
+                        ))
+                    };
+                    let mut rng = harmony_common::DetRng::new(7);
+                    let txns = w.next_block(&mut rng, 50);
+                    (dcc, txns)
+                },
+                |(dcc, txns)| {
+                    let block = ExecBlock::new(harmony_common::BlockId(1), txns);
+                    dcc.execute_block(&block).unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    use harmony_storage::btree::BTree;
+    use harmony_storage::{BufferPool, StorageCost};
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("get_hot", |b| {
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(harmony_storage::MemDisk::new()),
+            1024,
+            StorageCost::free(),
+        ));
+        let mut tree = BTree::create(pool, StorageCost::free()).unwrap();
+        for i in 0..10_000u64 {
+            tree.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % 10_000;
+            tree.get(&i.to_be_bytes()).unwrap()
+        });
+    });
+    group.bench_function("insert", |b| {
+        b.iter_batched(
+            || {
+                let pool = Arc::new(BufferPool::new(
+                    Arc::new(harmony_storage::MemDisk::new()),
+                    1024,
+                    StorageCost::free(),
+                ));
+                BTree::create(pool, StorageCost::free()).unwrap()
+            },
+            |mut tree| {
+                for i in 0..1_000u64 {
+                    tree.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+                }
+                tree
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data = vec![0xABu8; 4096];
+    group.bench_function("sha256_4k", |b| {
+        b.iter(|| harmony_crypto::sha256(&data));
+    });
+    let leaves: Vec<Vec<u8>> = (0..100).map(|i| format!("txn-{i}").into_bytes()).collect();
+    group.bench_function("merkle_100", |b| {
+        b.iter(|| harmony_crypto::MerkleTree::build(&leaves).root());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_execution, bench_btree, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Run every table/figure harness in sequence (writes
+//! `EXPERIMENTS-results/*.csv`). Equivalent to running each `figXX_*`
+//! binary individually.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig01_gap",
+        "table03_hitrate",
+        "fig07_overall_smallbank",
+        "fig08_overall_ycsb",
+        "fig09_blocksize_smallbank",
+        "fig10_blocksize_ycsb",
+        "fig11_contention_smallbank",
+        "fig12_contention_ycsb",
+        "fig13_false_aborts",
+        "fig14_hotspot",
+        "fig15_replicas_smallbank",
+        "fig16_replicas_ycsb",
+        "fig17_bft_smallbank",
+        "fig18_bft_ycsb",
+        "fig19_tpcc",
+        "fig20_ablation",
+        "fig21_storage_media",
+    ];
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        eprintln!("▶ {bin}");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    eprintln!("all experiments complete; CSVs in EXPERIMENTS-results/");
+}

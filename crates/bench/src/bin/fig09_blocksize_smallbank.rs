@@ -1,0 +1,19 @@
+//! Figure 9: impact of block size (Smallbank). Block size is also the degree
+//! of concurrency for the concurrent systems (one worker per transaction).
+
+use harmony_bench::{all_systems, default_run, f2, measure, Table, WorkloadKind, BLOCK_SIZES};
+
+fn main() {
+    let mut t = Table::new(
+        "fig09_blocksize_smallbank",
+        &["system", "block_size", "throughput_tps", "latency_ms"],
+    );
+    for kind in all_systems() {
+        for size in BLOCK_SIZES {
+            let workload = WorkloadKind::Smallbank { theta: 0.6 };
+            let m = measure(kind, &workload, &default_run(size)).unwrap();
+            t.row(vec![m.system.into(), size.to_string(), f2(m.throughput_tps), f2(m.latency_ms)]);
+        }
+    }
+    t.emit();
+}

@@ -1,0 +1,18 @@
+//! Figure 12: impact of contention (Ycsb), sweeping the Zipfian skew.
+
+use harmony_bench::{all_systems, default_run, f2, measure, Table, WorkloadKind};
+
+fn main() {
+    let mut t = Table::new(
+        "fig12_contention_ycsb",
+        &["system", "skew", "throughput_tps", "abort_rate"],
+    );
+    for kind in all_systems() {
+        for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
+            let workload = WorkloadKind::Ycsb { theta };
+            let m = measure(kind, &workload, &default_run(25)).unwrap();
+            t.row(vec![m.system.into(), theta.to_string(), f2(m.throughput_tps), f2(m.abort_rate)]);
+        }
+    }
+    t.emit();
+}

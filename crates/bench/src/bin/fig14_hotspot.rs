@@ -1,0 +1,18 @@
+//! Figure 14: hotspot resiliency — 1% hot records, merged RMW UPDATE
+//! statements, sweeping the per-statement hot probability.
+
+use harmony_bench::{default_run, f2, measure, relational_systems, Table, WorkloadKind};
+
+fn main() {
+    let mut t = Table::new(
+        "fig14_hotspot",
+        &["system", "hot_prob", "throughput_tps", "abort_rate"],
+    );
+    for kind in relational_systems() {
+        for hot in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let m = measure(kind, &WorkloadKind::YcsbHotspot { hot_prob: hot }, &default_run(25)).unwrap();
+            t.row(vec![m.system.into(), hot.to_string(), f2(m.throughput_tps), f2(m.abort_rate)]);
+        }
+    }
+    t.emit();
+}

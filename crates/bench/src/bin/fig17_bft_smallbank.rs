@@ -1,0 +1,38 @@
+//! BFT (HotStuff) vs Kafka consensus (Smallbank). Nodes beyond 20 are
+//! geo-distributed over four continents, as in the paper's cloud cluster.
+
+use harmony_bench::{f2, measure_tuned, Table, WorkloadKind, BLOCK_SIZES};
+use harmony_consensus::net::LatencyModel;
+use harmony_core::HarmonyConfig;
+use harmony_dcc_baselines::Architecture;
+use harmony_sim::{ClusterModel, EngineKind};
+
+fn main() {
+    let mut t = Table::new(
+        "fig17_bft_smallbank",
+        &["consensus", "nodes", "throughput_tps", "latency_ms"],
+    );
+    let workload = WorkloadKind::Smallbank { theta: 0.6 };
+    let (size, db) = measure_tuned(
+        EngineKind::Harmony(HarmonyConfig::default()),
+        &workload,
+        &BLOCK_SIZES,
+    )
+    .unwrap();
+    for nodes in [4usize, 20, 40, 60, 80] {
+        // ≤ 20 nodes: one region; beyond: the 4-continent WAN.
+        let latency = if nodes <= 20 {
+            LatencyModel::lan_5g()
+        } else {
+            LatencyModel::wan_4_continents()
+        };
+        for (label, model) in [
+            ("HarmonyBC(BFT)", ClusterModel::HotStuff { latency: latency.clone() }),
+            ("HarmonyBC(Kafka)", ClusterModel::Kafka { latency: latency.clone() }),
+        ] {
+            let m = model.compose(&db, Architecture::Oe, nodes, size as u64);
+            t.row(vec![label.into(), nodes.to_string(), f2(m.throughput_tps), f2(m.latency_ms)]);
+        }
+    }
+    t.emit();
+}

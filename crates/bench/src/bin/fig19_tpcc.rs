@@ -1,0 +1,24 @@
+//! Figure 19: TPC-C, sweeping the warehouse count (contention ↘, database
+//! size ↗). Fabric/FastFabric# excluded (not relational), as in the paper.
+
+use harmony_bench::{default_run, f2, measure, relational_systems, Table, WorkloadKind};
+
+fn main() {
+    let mut t = Table::new(
+        "fig19_tpcc",
+        &["system", "warehouses", "throughput_tps", "latency_ms", "abort_rate"],
+    );
+    for kind in relational_systems() {
+        for warehouses in [1u64, 20, 40, 60, 80] {
+            let m = measure(kind, &WorkloadKind::Tpcc { warehouses }, &default_run(25)).unwrap();
+            t.row(vec![
+                m.system.into(),
+                warehouses.to_string(),
+                f2(m.throughput_tps),
+                f2(m.latency_ms),
+                f2(m.abort_rate),
+            ]);
+        }
+    }
+    t.emit();
+}

@@ -1,0 +1,41 @@
+//! Figure 20: ablation — raw-HarmonyBC, +update-reorder, +update-coalesce,
+//! +inter-block, under low and high contention on all three workloads.
+
+use harmony_bench::{default_run, f2, measure, Table, WorkloadKind};
+use harmony_core::HarmonyConfig;
+use harmony_sim::EngineKind;
+
+fn main() {
+    let mut t = Table::new(
+        "fig20_ablation",
+        &["workload", "contention", "config", "throughput_tps", "abort_rate", "cpu_util"],
+    );
+    let tiers: [(&str, HarmonyConfig); 4] = [
+        ("raw", HarmonyConfig::raw()),
+        ("+reorder", HarmonyConfig::with_reordering()),
+        ("+coalesce", HarmonyConfig::with_coalescence()),
+        ("+inter-block", HarmonyConfig::default()),
+    ];
+    let cases: Vec<(&str, &str, WorkloadKind)> = vec![
+        ("YCSB", "low", WorkloadKind::Ycsb { theta: 0.0 }),
+        ("YCSB", "high", WorkloadKind::Ycsb { theta: 0.99 }),
+        ("Smallbank", "low", WorkloadKind::Smallbank { theta: 0.0 }),
+        ("Smallbank", "high", WorkloadKind::Smallbank { theta: 0.99 }),
+        ("TPC-C", "low", WorkloadKind::Tpcc { warehouses: 40 }),
+        ("TPC-C", "high", WorkloadKind::Tpcc { warehouses: 1 }),
+    ];
+    for (wl, contention, workload) in &cases {
+        for (label, config) in tiers {
+            let m = measure(EngineKind::Harmony(config), workload, &default_run(25)).unwrap();
+            t.row(vec![
+                (*wl).into(),
+                (*contention).into(),
+                label.into(),
+                f2(m.throughput_tps),
+                f2(m.abort_rate),
+                f2(m.cpu_utilization),
+            ]);
+        }
+    }
+    t.emit();
+}

@@ -1,0 +1,36 @@
+//! Table 3: hit rate of the backward dangerous structure per workload.
+
+use harmony_bench::{pct, run_with_inspector, Table, WorkloadKind};
+use harmony_core::HarmonyConfig;
+use harmony_sim::EngineKind;
+
+fn hit_rate(workload: &WorkloadKind) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    run_with_inspector(
+        EngineKind::Harmony(HarmonyConfig::default()),
+        workload,
+        20,
+        25,
+        |res| {
+            hits += res.stats.aborted_rule1 + res.stats.aborted_interblock;
+            total += res.stats.txns - res.stats.user_aborted;
+        },
+    )
+    .unwrap();
+    hits as f64 / total.max(1) as f64
+}
+
+fn main() {
+    let mut t = Table::new("table03_hitrate", &["workload", "param", "hit_rate"]);
+    for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
+        t.row(vec!["YCSB".into(), format!("skew={theta}"), pct(hit_rate(&WorkloadKind::Ycsb { theta }))]);
+    }
+    for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
+        t.row(vec!["Smallbank".into(), format!("skew={theta}"), pct(hit_rate(&WorkloadKind::Smallbank { theta }))]);
+    }
+    for w in [1u64, 20, 40] {
+        t.row(vec!["TPC-C".into(), format!("warehouses={w}"), pct(hit_rate(&WorkloadKind::Tpcc { warehouses: w }))]);
+    }
+    t.emit();
+}

@@ -1,0 +1,449 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§5). Each `src/bin/figXX_*` binary prints the same
+//! rows/series the paper reports and appends CSV files under
+//! `EXPERIMENTS-results/`.
+//!
+//! Absolute numbers come from the virtual-time model (see DESIGN.md); the
+//! *shapes* — who wins, by what factor, where crossovers fall — are the
+//! reproduction targets recorded in EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use harmony_common::{BlockId, DetRng, Result};
+use harmony_core::executor::{ExecBlock, TxnOutcome};
+use harmony_core::HarmonyConfig;
+use harmony_dcc_baselines::ProtocolBlockResult;
+use harmony_sim::{run_experiment, EngineKind, RunConfig, RunMetrics};
+use harmony_storage::{DiskProfile, StorageConfig, StorageEngine};
+use harmony_txn::Key;
+use harmony_workloads::{
+    Smallbank, SmallbankConfig, Tpcc, TpccConfig, Workload, Ycsb, YcsbConfig,
+};
+
+/// The five systems of the evaluation, in the paper's plotting order.
+#[must_use]
+pub fn all_systems() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Fabric,
+        EngineKind::FastFabric,
+        EngineKind::Rbc,
+        EngineKind::Aria,
+        EngineKind::Harmony(HarmonyConfig::default()),
+    ]
+}
+
+/// The OE/relational subset used for TPC-C and the hotspot study.
+#[must_use]
+pub fn relational_systems() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Rbc,
+        EngineKind::Aria,
+        EngineKind::Harmony(HarmonyConfig::default()),
+    ]
+}
+
+/// Workload factories at paper scale.
+pub enum WorkloadKind {
+    /// YCSB with the given skew.
+    Ycsb {
+        /// Zipfian theta.
+        theta: f64,
+    },
+    /// YCSB hotspot variant (Figure 14).
+    YcsbHotspot {
+        /// Per-statement hot probability.
+        hot_prob: f64,
+    },
+    /// Smallbank with the given skew.
+    Smallbank {
+        /// Zipfian theta.
+        theta: f64,
+    },
+    /// TPC-C with the given warehouse count.
+    Tpcc {
+        /// Warehouses.
+        warehouses: u64,
+    },
+}
+
+impl WorkloadKind {
+    /// Instantiate the workload.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Ycsb { theta } => Box::new(Ycsb::new(YcsbConfig {
+                theta: *theta,
+                ..YcsbConfig::default()
+            })),
+            WorkloadKind::YcsbHotspot { hot_prob } => {
+                Box::new(Ycsb::new(YcsbConfig::hotspot(*hot_prob)))
+            }
+            WorkloadKind::Smallbank { theta } => Box::new(Smallbank::new(SmallbankConfig {
+                theta: *theta,
+                ..SmallbankConfig::default()
+            })),
+            WorkloadKind::Tpcc { warehouses } => Box::new(Tpcc::new(TpccConfig {
+                warehouses: *warehouses,
+                scale: 0.02,
+                ..TpccConfig::default()
+            })),
+        }
+    }
+}
+
+/// Default experiment scale: enough blocks for stable rates, small enough
+/// for laptop runs.
+#[must_use]
+pub fn default_run(block_size: usize) -> RunConfig {
+    RunConfig {
+        blocks: 30,
+        block_size,
+        workers: 8,
+        storage: StorageConfig::default(),
+        seed: 0x5EED,
+        retry_aborts: true,
+    }
+}
+
+/// Run one (system × workload) point.
+pub fn measure(kind: EngineKind, workload: &WorkloadKind, config: &RunConfig) -> Result<RunMetrics> {
+    let mut w = workload.build();
+    run_experiment(kind, w.as_mut(), config)
+}
+
+/// Run a block-size sweep and return `(best_block_size, best_metrics)` by
+/// throughput — the paper's "block size tuned to optimal per system".
+pub fn measure_tuned(
+    kind: EngineKind,
+    workload: &WorkloadKind,
+    sizes: &[usize],
+) -> Result<(usize, RunMetrics)> {
+    let mut best: Option<(usize, RunMetrics)> = None;
+    for &size in sizes {
+        let m = measure(kind, workload, &default_run(size))?;
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| m.throughput_tps > b.throughput_tps)
+        {
+            best = Some((size, m));
+        }
+    }
+    Ok(best.expect("non-empty sizes"))
+}
+
+/// Standard block-size candidates (Figure 9/10 x-axis).
+pub const BLOCK_SIZES: [usize; 5] = [5, 25, 50, 75, 100];
+
+// ── Per-block inspection (false-abort accounting, Figure 13) ────────────
+
+/// Drive an engine block-by-block, calling `inspect` with every result.
+/// No retries (each attempt counted once), as Figure 13 requires.
+pub fn run_with_inspector(
+    kind: EngineKind,
+    workload: &WorkloadKind,
+    blocks: usize,
+    block_size: usize,
+    mut inspect: impl FnMut(&ProtocolBlockResult),
+) -> Result<()> {
+    let mut w = workload.build();
+    let engine = std::sync::Arc::new(StorageEngine::open(&StorageConfig::default())?);
+    w.setup(&engine)?;
+    let store = std::sync::Arc::new(harmony_core::SnapshotStore::new(engine));
+    let dcc = kind.build(std::sync::Arc::clone(&store), 8);
+    let mut rng = DetRng::new(0xF16);
+    for b in 0..blocks {
+        let block = ExecBlock::new(BlockId(b as u64 + 1), w.next_block(&mut rng, block_size));
+        let result = dcc.execute_block(&block)?;
+        inspect(&result);
+    }
+    Ok(())
+}
+
+/// Count false aborts in one block result: an abort is *false* if adding
+/// the transaction to the block's committed set keeps the dependency
+/// graph acyclic (i.e. the protocol could have committed it).
+#[must_use]
+pub fn false_aborts_in(result: &ProtocolBlockResult) -> (u64, u64) {
+    use std::collections::HashMap;
+    let committed: Vec<usize> = result
+        .outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_committed())
+        .map(|(i, _)| i)
+        .collect();
+    let mut aborts = 0u64;
+    let mut false_aborts = 0u64;
+    for (j, outcome) in result.outcomes.iter().enumerate() {
+        let TxnOutcome::Aborted(reason) = outcome else { continue };
+        if *reason == harmony_common::error::AbortReason::UserAbort {
+            continue;
+        }
+        aborts += 1;
+        if result.rwsets[j].is_none() {
+            continue;
+        }
+        // Build the dependency graph over committed ∪ {j}.
+        let mut members = committed.clone();
+        members.push(j);
+        let mut writers: HashMap<&Key, Vec<usize>> = HashMap::new();
+        for &m in &members {
+            if let Some(rw) = &result.rwsets[m] {
+                for k in rw.write_keys() {
+                    writers.entry(k).or_default().push(m);
+                }
+            }
+        }
+        // Edges: reader → writer (rw, reader first), smaller-tid writer →
+        // larger (ww). All reads are snapshot reads, so wr edges cannot
+        // occur inside a block.
+        let mut succ: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &m in &members {
+            let Some(rw) = &result.rwsets[m] else { continue };
+            for k in rw.read_keys() {
+                for &w in writers.get(k).into_iter().flatten() {
+                    if w != m {
+                        succ.entry(m).or_default().push(w);
+                    }
+                }
+            }
+            for k in rw.write_keys() {
+                for &w in writers.get(k).into_iter().flatten() {
+                    if w > m {
+                        succ.entry(m).or_default().push(w);
+                    }
+                }
+            }
+        }
+        if !has_cycle(&succ, &members) {
+            false_aborts += 1;
+        }
+    }
+    (false_aborts, aborts)
+}
+
+fn has_cycle(succ: &std::collections::HashMap<usize, Vec<usize>>, nodes: &[usize]) -> bool {
+    // Iterative three-color DFS.
+    use std::collections::HashMap;
+    let mut color: HashMap<usize, u8> = HashMap::new();
+    for &start in nodes {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color.insert(start, 1);
+        while let Some(&(node, idx)) = stack.last() {
+            let next = succ.get(&node).and_then(|s| s.get(idx)).copied();
+            match next {
+                Some(n) => {
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    match color.get(&n).copied().unwrap_or(0) {
+                        0 => {
+                            color.insert(n, 1);
+                            stack.push((n, 0));
+                        }
+                        1 => return true,
+                        _ => {}
+                    }
+                }
+                None => {
+                    color.insert(node, 2);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    false
+}
+
+// ── Output helpers ───────────────────────────────────────────────────────
+
+/// Results directory (created on demand).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("EXPERIMENTS-results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// A printable/CSV-able result table.
+pub struct Table {
+    /// Table name (file stem).
+    pub name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a header row.
+    #[must_use]
+    pub fn new(name: &str, header: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Render aligned for the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout and write `EXPERIMENTS-results/<name>.csv`.
+    pub fn emit(&self) {
+        println!("\n== {} ==", self.name);
+        print!("{}", self.render());
+        let mut csv = self.header.join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        let path = results_dir().join(format!("{}.csv", self.name));
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Format helper: two decimal places.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format helper: percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Storage configuration for a disk profile (Figure 21 axis).
+#[must_use]
+pub fn storage_with_profile(profile: DiskProfile) -> StorageConfig {
+    StorageConfig {
+        disk_profile: profile,
+        log_sync_ns: profile.sync_ns,
+        ..StorageConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let mut t = Table::new("demo", &["sys", "tps"]);
+        t.row(vec!["HarmonyBC".into(), "123.45".into()]);
+        let s = t.render();
+        assert!(s.contains("HarmonyBC"));
+        assert!(s.contains("tps"));
+    }
+
+    #[test]
+    fn false_abort_detection_on_synthetic_result() {
+        // One committed writer of x, one aborted txn that only read y:
+        // clearly a false abort.
+        use harmony_common::error::AbortReason;
+        use harmony_txn::{RwSet, UpdateCommand};
+        let t = harmony_common::ids::TableId(0);
+        let mut rw0 = RwSet::default();
+        rw0.record_update(Key::from_u64(t, 0), UpdateCommand::Delete);
+        let mut rw1 = RwSet::default();
+        rw1.record_read(Key::from_u64(t, 1), None);
+        let result = ProtocolBlockResult {
+            block: BlockId(1),
+            outcomes: vec![
+                TxnOutcome::Committed,
+                TxnOutcome::Aborted(AbortReason::WwConflict),
+            ],
+            rwsets: vec![Some(rw0), Some(rw1)],
+            stats: harmony_core::BlockStats::default(),
+            sim_ns: vec![0, 0],
+            commit_ns: vec![0, 0],
+            orderer_ns: 0,
+            summary: None,
+        };
+        assert_eq!(false_aborts_in(&result), (1, 1));
+    }
+
+    #[test]
+    fn true_abort_detected_as_cycle() {
+        // Write-skew pair: aborted txn genuinely completes a cycle.
+        use harmony_common::error::AbortReason;
+        use harmony_txn::{RwSet, UpdateCommand};
+        let t = harmony_common::ids::TableId(0);
+        let mut rw0 = RwSet::default();
+        rw0.record_read(Key::from_u64(t, 1), None);
+        rw0.record_update(Key::from_u64(t, 0), UpdateCommand::Delete);
+        let mut rw1 = RwSet::default();
+        rw1.record_read(Key::from_u64(t, 0), None);
+        rw1.record_update(Key::from_u64(t, 1), UpdateCommand::Delete);
+        let result = ProtocolBlockResult {
+            block: BlockId(1),
+            outcomes: vec![
+                TxnOutcome::Committed,
+                TxnOutcome::Aborted(AbortReason::BackwardDangerousStructure),
+            ],
+            rwsets: vec![Some(rw0), Some(rw1)],
+            stats: harmony_core::BlockStats::default(),
+            sim_ns: vec![0, 0],
+            commit_ns: vec![0, 0],
+            orderer_ns: 0,
+            summary: None,
+        };
+        assert_eq!(false_aborts_in(&result), (0, 1));
+    }
+
+    #[test]
+    fn quick_measure_smoke() {
+        let config = RunConfig {
+            blocks: 4,
+            block_size: 10,
+            ..default_run(10)
+        };
+        let m = measure(
+            EngineKind::Harmony(HarmonyConfig::default()),
+            &WorkloadKind::Smallbank { theta: 0.4 },
+            &config,
+        )
+        .unwrap();
+        assert!(m.stats.committed > 0);
+    }
+}

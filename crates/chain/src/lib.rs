@@ -1,0 +1,24 @@
+//! HarmonyBC — the private blockchain assembled from the substrates (§4 of
+//! the paper).
+//!
+//! * [`block`] — hash-chained blocks: headers with previous-hash and a
+//!   Merkle root over transaction payloads, sealed/signed by the ordering
+//!   service, verified by replicas (tamper evidence).
+//! * [`oe`] — [`OeChain`]: the Order-Execute chain. Blocks are logically
+//!   logged *before* execution, executed by any [`DccEngine`] (Harmony by
+//!   default — that is HarmonyBC; Aria gives AriaBC, etc.), checkpointed
+//!   every `p` blocks, and recoverable by deterministic replay.
+//! * [`sov`] — [`SovChain`]: the Simulate-Order-Validate chain (Fabric
+//!   family) with *physical* write-set logging and value replay on
+//!   recovery.
+//!
+//! Replica consistency is checked with [`oe::state_root`]: equal inputs ⇒
+//! equal roots on every replica, whatever the thread counts.
+
+pub mod block;
+pub mod oe;
+pub mod sov;
+
+pub use block::{BlockHeader, ChainBlock};
+pub use oe::{state_root, ChainConfig, OeChain};
+pub use sov::SovChain;

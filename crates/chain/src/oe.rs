@@ -1,0 +1,457 @@
+//! The Order-Execute chain — HarmonyBC when driven by the Harmony engine.
+//!
+//! Flow per block (§4 of the paper):
+//!
+//! 1. Seal the block (hash-chain + Merkle root + orderer MAC).
+//! 2. **Logical logging**: persist the sealed input block *before*
+//!    execution — determinism makes replay sufficient for recovery.
+//! 3. Execute through the plugged [`DccEngine`].
+//! 4. Every `p` blocks: checkpoint (flush dirty pages, write the manifest,
+//!    and persist the *recovery sidecar*: the last block's undo images and
+//!    Rule-3 summary, so replay under inter-block parallelism reproduces
+//!    the original snapshots and aborts bit-for-bit).
+//!
+//! Recovery loads the newest checkpoint, verifies the hash chain of the
+//! persisted blocks, and re-executes everything after the checkpoint.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use harmony_common::codec::{Reader, Writer};
+use harmony_common::{BlockId, Error, Result};
+use harmony_core::executor::{BlockSummary, ExecBlock, WriterInfo};
+use harmony_core::{HarmonyConfig, SnapshotStore};
+use harmony_crypto::{CryptoCost, Digest, KeyPair, Sha256, Verifier};
+use harmony_dcc_baselines::{DccEngine, HarmonyEngine, ProtocolBlockResult};
+use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_txn::{Contract, ContractCodec, Key, RangePredicate, Value};
+
+use crate::block::ChainBlock;
+
+/// Chain configuration.
+#[derive(Clone, Debug)]
+pub struct ChainConfig {
+    /// Storage engine configuration.
+    pub storage: StorageConfig,
+    /// Harmony DCC configuration.
+    pub harmony: HarmonyConfig,
+    /// Checkpoint period `p` in blocks (paper example: 10).
+    pub checkpoint_every: u64,
+    /// Cluster provisioning secret (node authentication).
+    pub provision: Vec<u8>,
+    /// This orderer's identity.
+    pub orderer_id: u64,
+    /// Crypto cost model.
+    pub crypto: CryptoCost,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            storage: StorageConfig::default(),
+            harmony: HarmonyConfig::default(),
+            checkpoint_every: 10,
+            provision: b"harmonybc-cluster".to_vec(),
+            orderer_id: 0,
+            crypto: CryptoCost::default(),
+        }
+    }
+}
+
+impl ChainConfig {
+    /// All-in-memory, zero-latency configuration for tests/examples.
+    #[must_use]
+    pub fn in_memory() -> ChainConfig {
+        ChainConfig {
+            storage: StorageConfig::memory(),
+            crypto: CryptoCost::free(),
+            ..ChainConfig::default()
+        }
+    }
+}
+
+/// Hash of the full database state — replicas fed the same blocks must
+/// produce identical roots (replica consistency).
+pub fn state_root(engine: &StorageEngine) -> Result<Digest> {
+    let mut h = Sha256::new();
+    for (name, id) in engine.list_tables() {
+        h.update(name.as_bytes());
+        engine.scan(id, b"", None, |k, v| {
+            h.update(&(k.len() as u32).to_le_bytes());
+            h.update(k);
+            h.update(&(v.len() as u32).to_le_bytes());
+            h.update(v);
+            true
+        })?;
+    }
+    Ok(h.finalize())
+}
+
+/// An Order-Execute private blockchain node.
+pub struct OeChain {
+    config: ChainConfig,
+    engine: Arc<StorageEngine>,
+    snapshots: Arc<SnapshotStore>,
+    dcc: Arc<dyn DccEngine>,
+    keypair: KeyPair,
+    verifier: Verifier,
+    height: BlockId,
+    last_hash: Digest,
+    last_summary: Option<BlockSummary>,
+}
+
+impl OeChain {
+    /// Fresh in-memory HarmonyBC node (Harmony DCC).
+    pub fn in_memory(config: ChainConfig) -> Result<OeChain> {
+        OeChain::open(config)
+    }
+
+    /// Open a node, recovering from the latest checkpoint if one exists.
+    /// For recovery with re-execution use [`OeChain::recover`].
+    pub fn open(config: ChainConfig) -> Result<OeChain> {
+        let engine = Arc::new(StorageEngine::open(&config.storage)?);
+        let snapshots = Arc::new(SnapshotStore::new(Arc::clone(&engine)));
+        let dcc: Arc<dyn DccEngine> = Arc::new(HarmonyEngine::new(
+            Arc::clone(&snapshots),
+            config.harmony,
+        ));
+        let keypair = KeyPair::derive(&config.provision, config.orderer_id, config.crypto);
+        let verifier = Verifier::new(&config.provision, config.crypto);
+        Ok(OeChain {
+            config,
+            engine,
+            snapshots,
+            dcc,
+            keypair,
+            verifier,
+            height: BlockId(0),
+            last_hash: Digest::ZERO,
+            last_summary: None,
+        })
+    }
+
+    /// Replace the DCC engine (build AriaBC / RBC on the same chain
+    /// framework, as the paper does). Must be called before any block.
+    pub fn with_dcc(mut self, dcc: Arc<dyn DccEngine>) -> OeChain {
+        assert_eq!(self.height, BlockId(0), "cannot swap DCC mid-chain");
+        self.dcc = dcc;
+        self
+    }
+
+    /// The storage engine (for workload setup / inspection).
+    #[must_use]
+    pub fn engine(&self) -> &Arc<StorageEngine> {
+        &self.engine
+    }
+
+    /// The snapshot store.
+    #[must_use]
+    pub fn snapshots(&self) -> &Arc<SnapshotStore> {
+        &self.snapshots
+    }
+
+    /// Current chain height.
+    #[must_use]
+    pub fn height(&self) -> BlockId {
+        self.height
+    }
+
+    /// Hash of the latest block.
+    #[must_use]
+    pub fn last_hash(&self) -> Digest {
+        self.last_hash
+    }
+
+    /// Submit the next block of transactions: seal, log, execute.
+    pub fn submit_block(
+        &mut self,
+        txns: Vec<Arc<dyn Contract>>,
+        codec: &dyn ContractCodec,
+    ) -> Result<(ChainBlock, ProtocolBlockResult)> {
+        let id = self.height.next();
+        let encoded: Vec<Vec<u8>> = txns.iter().map(|t| codec.encode(t.as_ref())).collect();
+        let sealed = ChainBlock::seal(id, self.last_hash, encoded, &self.keypair);
+        // Logical logging: persist the input block before execution.
+        self.engine.block_log().append(&sealed.encode())?;
+        self.engine.block_log().sync()?;
+
+        let result = self.dcc.execute_block(&ExecBlock { id, txns })?;
+        self.height = id;
+        self.last_hash = sealed.header.hash();
+        self.last_summary = result.summary.clone();
+
+        if id.0.is_multiple_of(self.config.checkpoint_every) {
+            self.checkpoint()?;
+        }
+        Ok((sealed, result))
+    }
+
+    /// Force a checkpoint now.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.engine.checkpoint(self.height)?;
+        // Recovery sidecar: last block's undo images + Rule-3 summary.
+        let undo = self.snapshots.export_undo_for(self.height);
+        let sidecar = encode_sidecar(self.height, &undo, self.last_summary.as_ref());
+        self.engine.wal().append(&sidecar)?;
+        self.engine.wal().sync()?;
+        Ok(())
+    }
+
+    /// Hash of the full database state.
+    pub fn state_root(&self) -> Result<Digest> {
+        state_root(&self.engine)
+    }
+
+    /// Verify the persisted chain: decode every logged block and walk the
+    /// hash chain, checking Merkle roots and orderer signatures.
+    pub fn verify_chain(&self) -> Result<Vec<ChainBlock>> {
+        let records = self.engine.block_log().read_all()?;
+        let mut prev = Digest::ZERO;
+        let mut blocks = Vec::with_capacity(records.len());
+        for rec in &records {
+            let block = ChainBlock::decode(rec)?;
+            block.verify(&prev, &self.verifier)?;
+            prev = block.header.hash();
+            blocks.push(block);
+        }
+        Ok(blocks)
+    }
+
+    /// Crash this node (drop caches and unsynced state) and recover:
+    /// reload the checkpoint, then deterministically re-execute every
+    /// logged block after it.
+    pub fn crash_and_recover(&mut self, codec: &dyn ContractCodec) -> Result<()> {
+        self.engine.crash_and_recover()?;
+        let checkpoint = self.engine.last_checkpoint().unwrap_or(BlockId(0));
+
+        // Rebuild the snapshot overlay and Rule-3 state from the sidecar.
+        self.snapshots = Arc::new(SnapshotStore::new(Arc::clone(&self.engine)));
+        self.last_summary = None;
+        if checkpoint.0 > 0 {
+            let sidecars = self.engine.wal().read_all()?;
+            let latest = sidecars
+                .iter()
+                .rev()
+                .find_map(|s| decode_sidecar(s).ok().filter(|(b, _, _)| *b == checkpoint));
+            if let Some((block, undo, summary)) = latest {
+                let tid = harmony_common::TxnId::new(block, 0).0;
+                self.snapshots.import_undo_for(block, &undo, tid);
+                self.last_summary = summary;
+            }
+        }
+
+        // Re-create the DCC engine positioned after the checkpoint.
+        self.dcc = Arc::new(HarmonyEngine::starting_at(
+            Arc::clone(&self.snapshots),
+            self.config.harmony,
+            checkpoint.next(),
+            self.last_summary.clone(),
+        ));
+
+        // Verify and replay the logged blocks after the checkpoint.
+        let blocks = self.verify_chain()?;
+        self.height = checkpoint;
+        self.last_hash = blocks
+            .iter().rfind(|b| b.header.id <= checkpoint)
+            .map_or(Digest::ZERO, |b| b.header.hash());
+        for block in &blocks {
+            if block.header.id <= checkpoint {
+                continue;
+            }
+            let txns: Result<Vec<Arc<dyn Contract>>> =
+                block.txns.iter().map(|b| codec.decode(b)).collect();
+            let result = self.dcc.execute_block(&ExecBlock {
+                id: block.header.id,
+                txns: txns?,
+            })?;
+            self.height = block.header.id;
+            self.last_hash = block.header.hash();
+            self.last_summary = result.summary.clone();
+        }
+        Ok(())
+    }
+}
+
+// ── Recovery sidecar codec ───────────────────────────────────────────────
+
+fn put_key(w: &mut Writer, key: &Key) {
+    w.put_u16(key.table.0);
+    w.put_bytes(&key.row);
+}
+
+fn get_key(r: &mut Reader<'_>) -> Result<Key> {
+    let table = harmony_common::ids::TableId(r.get_u16()?);
+    let row = r.get_bytes()?;
+    Ok(Key::new(table, row))
+}
+
+fn encode_sidecar(
+    block: BlockId,
+    undo: &[(Key, Option<Value>)],
+    summary: Option<&BlockSummary>,
+) -> Vec<u8> {
+    let mut w = Writer::with_capacity(256);
+    w.put_u64(block.0);
+    w.put_u32(u32::try_from(undo.len()).expect("undo count"));
+    for (key, before) in undo {
+        put_key(&mut w, key);
+        match before {
+            Some(v) => {
+                w.put_u8(1);
+                w.put_bytes(v);
+            }
+            None => w.put_u8(0),
+        }
+    }
+    match summary {
+        None => w.put_u8(0),
+        Some(s) => {
+            w.put_u8(1);
+            w.put_u64(s.block.0);
+            w.put_u32(u32::try_from(s.committed_writes.len()).expect("writes"));
+            let mut writes: Vec<_> = s.committed_writes.iter().collect();
+            writes.sort_by(|a, b| a.0.cmp(b.0));
+            for (key, info) in writes {
+                put_key(&mut w, key);
+                w.put_u64(info.min_tid);
+                w.put_u8(u8::from(info.backward_out));
+            }
+            w.put_u32(u32::try_from(s.committed_reads.len()).expect("reads"));
+            let mut reads: Vec<_> = s.committed_reads.iter().collect();
+            reads.sort_by(|a, b| a.0.cmp(b.0));
+            for (key, tid) in reads {
+                put_key(&mut w, key);
+                w.put_u64(*tid);
+            }
+            w.put_u32(u32::try_from(s.committed_read_preds.len()).expect("preds"));
+            for (tid, pred) in &s.committed_read_preds {
+                w.put_u64(*tid);
+                w.put_u16(pred.table.0);
+                w.put_bytes(&pred.start);
+                match &pred.end {
+                    Some(e) => {
+                        w.put_u8(1);
+                        w.put_bytes(e);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+        }
+    }
+    w.finish().to_vec()
+}
+
+type Sidecar = (BlockId, Vec<(Key, Option<Value>)>, Option<BlockSummary>);
+
+fn decode_sidecar(bytes: &[u8]) -> Result<Sidecar> {
+    let mut r = Reader::new(bytes);
+    let block = BlockId(r.get_u64()?);
+    let n = r.get_u32()? as usize;
+    let mut undo = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = get_key(&mut r)?;
+        let before = match r.get_u8()? {
+            0 => None,
+            1 => Some(Value::from(r.get_bytes()?)),
+            t => return Err(Error::Corruption(format!("bad undo tag {t}"))),
+        };
+        undo.push((key, before));
+    }
+    let summary = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let sblock = BlockId(r.get_u64()?);
+            let mut committed_writes = HashMap::new();
+            for _ in 0..r.get_u32()? {
+                let key = get_key(&mut r)?;
+                let min_tid = r.get_u64()?;
+                let backward_out = r.get_u8()? == 1;
+                committed_writes.insert(
+                    key,
+                    WriterInfo {
+                        min_tid,
+                        backward_out,
+                    },
+                );
+            }
+            let mut committed_reads = HashMap::new();
+            for _ in 0..r.get_u32()? {
+                let key = get_key(&mut r)?;
+                committed_reads.insert(key, r.get_u64()?);
+            }
+            let mut committed_read_preds = Vec::new();
+            for _ in 0..r.get_u32()? {
+                let tid = r.get_u64()?;
+                let table = harmony_common::ids::TableId(r.get_u16()?);
+                let start = bytes::Bytes::from(r.get_bytes()?);
+                let end = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(bytes::Bytes::from(r.get_bytes()?)),
+                    t => return Err(Error::Corruption(format!("bad pred tag {t}"))),
+                };
+                committed_read_preds.push((tid, RangePredicate { table, start, end }));
+            }
+            Some(BlockSummary {
+                block: sblock,
+                committed_writes,
+                committed_reads,
+                committed_read_preds,
+            })
+        }
+        t => return Err(Error::Corruption(format!("bad summary tag {t}"))),
+    };
+    Ok((block, undo, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecar_roundtrip() {
+        let key = Key::from_u64(harmony_common::ids::TableId(2), 9);
+        let undo = vec![
+            (key.clone(), Some(Value::from_static(b"before"))),
+            (Key::from_u64(harmony_common::ids::TableId(2), 10), None),
+        ];
+        let mut summary = BlockSummary {
+            block: BlockId(7),
+            ..BlockSummary::default()
+        };
+        summary.committed_writes.insert(
+            key.clone(),
+            WriterInfo {
+                min_tid: 123,
+                backward_out: true,
+            },
+        );
+        summary.committed_reads.insert(key, 456);
+        summary.committed_read_preds.push((
+            789,
+            RangePredicate {
+                table: harmony_common::ids::TableId(3),
+                start: bytes::Bytes::from_static(b"a"),
+                end: Some(bytes::Bytes::from_static(b"z")),
+            },
+        ));
+        let enc = encode_sidecar(BlockId(7), &undo, Some(&summary));
+        let (block, undo2, summary2) = decode_sidecar(&enc).unwrap();
+        assert_eq!(block, BlockId(7));
+        assert_eq!(undo2, undo);
+        let s2 = summary2.unwrap();
+        assert_eq!(s2.block, BlockId(7));
+        assert_eq!(s2.committed_writes.len(), 1);
+        assert_eq!(s2.committed_reads.len(), 1);
+        assert_eq!(s2.committed_read_preds.len(), 1);
+        assert!(s2.committed_writes.values().next().unwrap().backward_out);
+    }
+
+    #[test]
+    fn sidecar_without_summary() {
+        let enc = encode_sidecar(BlockId(3), &[], None);
+        let (block, undo, summary) = decode_sidecar(&enc).unwrap();
+        assert_eq!(block, BlockId(3));
+        assert!(undo.is_empty());
+        assert!(summary.is_none());
+    }
+}

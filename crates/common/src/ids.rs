@@ -1,0 +1,144 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper assumes a *total order* over transaction IDs that is consistent
+//! with block order: every TID in block `i` is smaller than every TID in
+//! block `i + 1`. We realise that with `TxnId = block * TXNS_PER_BLOCK_MAX +
+//! index`, which lets Rule 1/2/3 compare TIDs across blocks with plain
+//! integer comparison.
+
+use std::fmt;
+
+/// Upper bound on the number of transactions in one block.
+///
+/// `TxnId`s are `block * TXNS_PER_BLOCK_MAX + index`, so this constant fixes
+/// the stride of the global TID space. 2^20 transactions per block is far
+/// above any block size used in the paper (≤ 100).
+pub const TXNS_PER_BLOCK_MAX: u64 = 1 << 20;
+
+/// Identifier of a block in the chain. Blocks are numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(pub u64);
+
+impl BlockId {
+    /// The block that precedes this one, or `None` for the genesis block.
+    #[must_use]
+    pub fn prev(self) -> Option<BlockId> {
+        self.0.checked_sub(1).map(BlockId)
+    }
+
+    /// The block that follows this one.
+    #[must_use]
+    pub fn next(self) -> BlockId {
+        BlockId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Globally ordered transaction identifier (the paper's "TID").
+///
+/// The ordering is total and consistent with block order, which is what
+/// Harmony's validation (Rule 1), reordering (Rule 2) and inter-block
+/// validation (Rule 3) compare on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Build a TID from a block id and the transaction's index within it.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds [`TXNS_PER_BLOCK_MAX`].
+    #[must_use]
+    pub fn new(block: BlockId, index: u32) -> TxnId {
+        assert!(
+            u64::from(index) < TXNS_PER_BLOCK_MAX,
+            "txn index {index} out of range"
+        );
+        TxnId(block.0 * TXNS_PER_BLOCK_MAX + u64::from(index))
+    }
+
+    /// The block this transaction belongs to.
+    #[must_use]
+    pub fn block(self) -> BlockId {
+        BlockId(self.0 / TXNS_PER_BLOCK_MAX)
+    }
+
+    /// Index of the transaction within its block.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        // The modulus is < 2^20 so the cast is lossless.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (self.0 % TXNS_PER_BLOCK_MAX) as u32
+        }
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}.{}", self.block().0, self.index())
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a table in the relational catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TableId(pub u16);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_roundtrip() {
+        let tid = TxnId::new(BlockId(7), 42);
+        assert_eq!(tid.block(), BlockId(7));
+        assert_eq!(tid.index(), 42);
+    }
+
+    #[test]
+    fn tid_order_consistent_with_block_order() {
+        let last_of_3 = TxnId::new(BlockId(3), (TXNS_PER_BLOCK_MAX - 1) as u32);
+        let first_of_4 = TxnId::new(BlockId(4), 0);
+        assert!(last_of_3 < first_of_4);
+    }
+
+    #[test]
+    fn tid_order_within_block() {
+        assert!(TxnId::new(BlockId(2), 5) < TxnId::new(BlockId(2), 6));
+    }
+
+    #[test]
+    fn block_prev_next() {
+        assert_eq!(BlockId(0).prev(), None);
+        assert_eq!(BlockId(5).prev(), Some(BlockId(4)));
+        assert_eq!(BlockId(5).next(), BlockId(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tid_index_overflow_panics() {
+        let _ = TxnId::new(BlockId(0), TXNS_PER_BLOCK_MAX as u32);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", TxnId::new(BlockId(3), 9)), "T3.9");
+        assert_eq!(format!("{:?}", BlockId(3)), "B3");
+    }
+}

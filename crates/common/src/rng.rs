@@ -1,0 +1,211 @@
+//! Deterministic random number generation.
+//!
+//! Workload generation and the discrete-event simulator must be bit-for-bit
+//! reproducible across runs and platforms, so we implement xoshiro256**
+//! seeded through splitmix64 rather than relying on an external generator
+//! whose stream may change between versions.
+
+/// Deterministic RNG (xoshiro256**, splitmix64 seeding).
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Seed the generator. Equal seeds produce equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> DetRng {
+        let mut sm = seed;
+        DetRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derive an independent child stream; used to give each replica /
+    /// worker / block its own generator without correlation.
+    #[must_use]
+    pub fn fork(&mut self, tag: u64) -> DetRng {
+        DetRng::new(self.next_u64() ^ tag.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift method.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Widening multiply keeps the distribution unbiased enough for
+        // workload generation (bias < 2^-64 * bound).
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(xs.len() as u64) as usize])
+        }
+    }
+
+    /// Sample an index according to the given non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.gen_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = DetRng::new(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(13);
+            assert!(v < 13);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_residues() {
+        let mut r = DetRng::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[r.gen_range(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = DetRng::new(9);
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_roughly_matches() {
+        let mut r = DetRng::new(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = DetRng::new(5);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(13);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = DetRng::new(17);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted_index(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = f64::from(counts[2]) / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = DetRng::new(1);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+    }
+}

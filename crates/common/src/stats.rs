@@ -1,0 +1,195 @@
+//! Small statistics helpers for throughput / latency reporting.
+
+/// Online accumulator of a stream of samples with percentile support.
+///
+/// Stores the raw samples; the experiment scales here (≤ millions of
+/// transactions) make that the simplest correct choice.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Empty summary.
+    #[must_use]
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Maximum sample, or 0 if empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Percentile in `[0, 100]` using nearest-rank; 0 if empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+/// A ratio counter for abort-rate style metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ratio {
+    /// Numerator (e.g. aborted transactions).
+    pub hits: u64,
+    /// Denominator (e.g. all transactions).
+    pub total: u64,
+}
+
+impl Ratio {
+    /// Record one observation.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Add counts in bulk.
+    pub fn add(&mut self, hits: u64, total: u64) {
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// The ratio as a float, 0 when the denominator is 0.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// Format a transactions-per-second figure the way the paper's plots label
+/// axes (e.g. `12.3 K txns/s`).
+#[must_use]
+pub fn fmt_tps(tps: f64) -> String {
+    if tps >= 1_000_000.0 {
+        format!("{:.2} M txns/s", tps / 1_000_000.0)
+    } else if tps >= 1_000.0 {
+        format!("{:.2} K txns/s", tps / 1_000.0)
+    } else {
+        format!("{tps:.1} txns/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_max() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            s.add(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 22.0).abs() < 1e-9);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = Summary::new();
+        for v in 0..100 {
+            s.add(f64::from(v));
+        }
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.percentile(100.0), 99.0);
+        let p95 = s.percentile(95.0);
+        assert!((94.0..=95.0).contains(&p95));
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Summary::new();
+        a.add(1.0);
+        let mut b = Summary::new();
+        b.add(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_basics() {
+        let mut r = Ratio::default();
+        r.record(true);
+        r.record(false);
+        r.record(false);
+        r.add(1, 1);
+        assert!((r.value() - 0.5).abs() < 1e-9);
+        assert_eq!(Ratio::default().value(), 0.0);
+    }
+
+    #[test]
+    fn tps_formatting() {
+        assert_eq!(fmt_tps(12.0), "12.0 txns/s");
+        assert_eq!(fmt_tps(12_300.0), "12.30 K txns/s");
+        assert_eq!(fmt_tps(2_500_000.0), "2.50 M txns/s");
+    }
+}

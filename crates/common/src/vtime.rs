@@ -1,0 +1,105 @@
+//! Thread-local virtual-time cost accounting.
+//!
+//! The benchmark harness measures *virtual* elapsed time: protocols execute
+//! for real (real read/write sets, real aborts, real buffer-pool state), and
+//! every costed operation — a B+Tree descent, a buffer miss, a disk write, a
+//! signature verification — reports its cost here. The scheduler in
+//! `harmony-sim` then charges each task with the virtual nanoseconds it
+//! accumulated and computes block makespans with the protocol's real
+//! precedence structure.
+//!
+//! The accumulator is thread-local so concurrent workers never contend on a
+//! shared counter, and scoping is explicit: the measuring code brackets a
+//! task with [`take`] (or [`scope`]).
+
+use std::cell::Cell;
+
+thread_local! {
+    static VCOST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Charge `ns` virtual nanoseconds to the current thread's accumulator.
+#[inline]
+pub fn charge(ns: u64) {
+    VCOST.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
+/// Read the accumulator without resetting it.
+#[inline]
+#[must_use]
+pub fn read() -> u64 {
+    VCOST.with(Cell::get)
+}
+
+/// Reset the accumulator to zero, returning the previous value.
+#[inline]
+pub fn take() -> u64 {
+    VCOST.with(|c| c.replace(0))
+}
+
+/// Run `f` and return `(result, virtual-ns charged by f)`. Any cost already
+/// accumulated on this thread is preserved around the scope.
+pub fn scope<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let saved = take();
+    let out = f();
+    let cost = take();
+    charge(saved);
+    (out, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_take() {
+        take();
+        charge(100);
+        charge(23);
+        assert_eq!(read(), 123);
+        assert_eq!(take(), 123);
+        assert_eq!(read(), 0);
+    }
+
+    #[test]
+    fn scope_isolates_and_restores() {
+        take();
+        charge(7);
+        let ((), inner) = scope(|| charge(50));
+        assert_eq!(inner, 50);
+        assert_eq!(take(), 7);
+    }
+
+    #[test]
+    fn nested_scopes() {
+        take();
+        let ((), outer) = scope(|| {
+            charge(10);
+            let ((), inner) = scope(|| charge(5));
+            assert_eq!(inner, 5);
+            charge(1);
+        });
+        assert_eq!(outer, 11);
+    }
+
+    #[test]
+    fn threads_do_not_share() {
+        take();
+        charge(99);
+        let handle = std::thread::spawn(|| {
+            assert_eq!(read(), 0);
+            charge(1);
+            take()
+        });
+        assert_eq!(handle.join().unwrap(), 1);
+        assert_eq!(take(), 99);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflow() {
+        take();
+        charge(u64::MAX - 1);
+        charge(100);
+        assert_eq!(take(), u64::MAX);
+    }
+}

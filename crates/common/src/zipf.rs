@@ -1,0 +1,215 @@
+//! Zipfian distribution sampler (Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases", SIGMOD 1994) — the standard YCSB
+//! skew generator.
+//!
+//! `theta = 0` degenerates to the uniform distribution; `theta → 1` makes a
+//! handful of keys absorb most of the probability mass, matching the
+//! "skewness" axis of Figures 11–13 in the paper.
+
+use crate::rng::DetRng;
+
+/// Zipfian sampler over `[0, n)` with skew parameter `theta ∈ [0, 1)`.
+///
+/// The constructor is O(n) (computes the generalized harmonic number); each
+/// sample is O(1).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Build a sampler over `n` items with skew `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `theta < 0`, or `theta >= 1`.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "zipfian needs at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a sample in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(self.n);
+        }
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta.mul_add(u, 1.0 - self.eta)).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Probability that a single sample hits rank 0 (the hottest item).
+    /// Used by tests and by the hotspot analyses.
+    #[must_use]
+    pub fn p_hottest(&self) -> f64 {
+        1.0 / self.zetan
+    }
+
+    /// Kept for diagnostics: the two-item zeta value used in `eta`.
+    #[must_use]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// A scrambled-Zipfian view: spreads the hot ranks across the key space with
+/// a multiplicative hash so "hot" keys are not physically adjacent (YCSB's
+/// `scrambled_zipfian`), which matters for page-locality effects in the
+/// buffer pool.
+#[derive(Clone, Debug)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Build a scrambled sampler over `n` items with skew `theta`.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> ScrambledZipfian {
+        ScrambledZipfian {
+            inner: Zipfian::new(n, theta),
+        }
+    }
+
+    /// Draw a sample in `[0, n)`.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let rank = self.inner.sample(rng);
+        // Fibonacci hashing to scatter ranks over the key space.
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.inner.n
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.inner.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipfian::new(100, 0.0);
+        let mut rng = DetRng::new(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "max {max} min {min}");
+    }
+
+    #[test]
+    fn high_theta_concentrates_mass() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = DetRng::new(2);
+        let hot = (0..100_000)
+            .filter(|_| z.sample(&mut rng) < 100)
+            .count() as f64
+            / 100_000.0;
+        // With theta=0.99 over 10k keys, the top 1% of ranks absorb the
+        // majority of accesses.
+        assert!(hot > 0.5, "hot fraction {hot}");
+    }
+
+    #[test]
+    fn skew_ordering_monotone() {
+        // Higher theta => more mass on rank 0.
+        let mut prev = 0.0;
+        for &theta in &[0.0, 0.4, 0.8, 0.99] {
+            let z = Zipfian::new(1000, theta);
+            let mut rng = DetRng::new(3);
+            let hits = (0..50_000).filter(|_| z.sample(&mut rng) == 0).count() as f64;
+            assert!(hits >= prev, "theta {theta} hits {hits} prev {prev}");
+            prev = hits;
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        for &theta in &[0.0, 0.5, 0.9] {
+            let z = Zipfian::new(37, theta);
+            let mut rng = DetRng::new(4);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut rng) < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn p_hottest_matches_empirical() {
+        let z = Zipfian::new(1000, 0.9);
+        let mut rng = DetRng::new(5);
+        let hits = (0..200_000).filter(|_| z.sample(&mut rng) == 0).count() as f64 / 200_000.0;
+        let predicted = z.p_hottest();
+        assert!(
+            (hits - predicted).abs() / predicted < 0.25,
+            "empirical {hits} predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn scrambled_stays_in_range_and_skewed() {
+        let z = ScrambledZipfian::new(500, 0.9);
+        let mut rng = DetRng::new(6);
+        let mut counts = vec![0u32; 500];
+        for _ in 0..100_000 {
+            let v = z.sample(&mut rng) as usize;
+            counts[v] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 2_000, "scrambling should preserve skew, max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_one_rejected() {
+        let _ = Zipfian::new(10, 1.0);
+    }
+}

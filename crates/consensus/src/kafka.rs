@@ -1,0 +1,266 @@
+//! Kafka-style crash-fault-tolerant ordering service — HarmonyBC's default
+//! consensus layer (§4), mirroring Fabric's Kafka orderer.
+//!
+//! A leader broker batches transactions, replicates each batch to its
+//! followers, commits on majority ack, and delivers the sealed block to
+//! every chain replica. Pipelined with a bounded in-flight window.
+
+use std::collections::HashMap;
+
+use crate::net::{ConsensusReport, EventLoop, LatencyModel, NetCtx, SimNode};
+
+/// Kafka orderer configuration.
+#[derive(Clone, Debug)]
+pub struct KafkaConfig {
+    /// Replication factor (leader + followers).
+    pub brokers: usize,
+    /// Chain replicas receiving sealed blocks.
+    pub replicas: usize,
+    /// Transactions per block.
+    pub block_txns: u64,
+    /// Serialized transaction size in bytes.
+    pub txn_bytes: u64,
+    /// Per-byte NIC serialization cost charged to the sender (ns/B).
+    pub tx_ns_per_byte: u64,
+    /// Max batches in flight (pipelining window).
+    pub window: usize,
+    /// Network model.
+    pub latency: LatencyModel,
+}
+
+impl Default for KafkaConfig {
+    fn default() -> Self {
+        KafkaConfig {
+            brokers: 3,
+            replicas: 4,
+            block_txns: 250,
+            txn_bytes: 128,
+            tx_ns_per_byte: 1,
+            window: 4,
+            latency: LatencyModel::lan_1g(),
+        }
+    }
+}
+
+impl KafkaConfig {
+    fn block_bytes(&self) -> u64 {
+        self.block_txns * self.txn_bytes + 128
+    }
+    fn majority(&self) -> usize {
+        self.brokers / 2 + 1
+    }
+}
+
+/// Messages in the ordering cluster.
+#[derive(Clone, Debug)]
+pub enum KMsg {
+    /// Leader → follower: replicate batch `seq`.
+    Replicate {
+        /// Batch sequence number.
+        seq: u64,
+        /// Batch creation time.
+        born_at: u64,
+    },
+    /// Follower → leader ack.
+    Ack {
+        /// Batch sequence number.
+        seq: u64,
+        /// Batch creation time.
+        born_at: u64,
+    },
+    /// Leader → chain replica: sealed block.
+    Deliver {
+        /// Batch sequence number.
+        seq: u64,
+    },
+}
+
+/// Broker / replica node. Node 0 is the leader; nodes `1..brokers` are
+/// follower brokers; the rest are chain replicas.
+pub struct KNode {
+    id: usize,
+    config: KafkaConfig,
+    acks: HashMap<u64, usize>,
+    next_seq: u64,
+    in_flight: usize,
+    /// Committed batches at the leader: (seq, latency ns).
+    pub committed: Vec<(u64, u64)>,
+    /// Blocks received by this chain replica.
+    pub delivered: u64,
+}
+
+impl KNode {
+    fn new(id: usize, config: KafkaConfig) -> KNode {
+        KNode {
+            id,
+            config,
+            acks: HashMap::new(),
+            next_seq: 0,
+            in_flight: 0,
+            committed: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    fn launch_batch(&mut self, ctx: &mut NetCtx<'_, KMsg>) {
+        let bytes = self.config.block_bytes();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.in_flight += 1;
+        self.acks.insert(seq, 1); // the leader's own log append
+        for follower in 1..self.config.brokers {
+            ctx.charge_cpu(bytes * self.config.tx_ns_per_byte);
+            ctx.send(follower, KMsg::Replicate { seq, born_at: ctx.now() }, bytes);
+        }
+    }
+}
+
+impl SimNode<KMsg> for KNode {
+    fn on_message(&mut self, from: usize, msg: KMsg, ctx: &mut NetCtx<'_, KMsg>) {
+        let _ = from;
+        match msg {
+            KMsg::Replicate { seq, born_at } => {
+                // Follower appends to its log (disk write cost folded into
+                // CPU) and acks.
+                ctx.charge_cpu(50_000);
+                ctx.send(0, KMsg::Ack { seq, born_at }, 64);
+            }
+            KMsg::Ack { seq, born_at } => {
+                let acks = self.acks.entry(seq).or_insert(0);
+                *acks += 1;
+                if *acks == self.config.majority() {
+                    self.committed.push((seq, ctx.now().saturating_sub(born_at)));
+                    // Deliver the sealed block to every chain replica.
+                    let bytes = self.config.block_bytes();
+                    for r in 0..self.config.replicas {
+                        let node = self.config.brokers + r;
+                        ctx.charge_cpu(bytes * self.config.tx_ns_per_byte);
+                        ctx.send(node, KMsg::Deliver { seq }, bytes);
+                    }
+                    self.in_flight -= 1;
+                    while self.in_flight < self.config.window {
+                        self.launch_batch(ctx);
+                    }
+                }
+            }
+            KMsg::Deliver { .. } => {
+                self.delivered += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: u64, ctx: &mut NetCtx<'_, KMsg>) {
+        if self.id == 0 && self.next_seq == 0 {
+            while self.in_flight < self.config.window {
+                self.launch_batch(ctx);
+            }
+        }
+    }
+}
+
+/// Harness running a saturated Kafka ordering cluster.
+pub struct KafkaSim {
+    config: KafkaConfig,
+}
+
+impl KafkaSim {
+    /// Build the harness.
+    #[must_use]
+    pub fn new(config: KafkaConfig) -> KafkaSim {
+        KafkaSim { config }
+    }
+
+    /// Run for `duration_ns` of simulated time.
+    #[must_use]
+    pub fn run(&self, duration_ns: u64) -> ConsensusReport {
+        let total = self.config.brokers + self.config.replicas;
+        let nodes: Vec<KNode> = (0..total).map(|i| KNode::new(i, self.config.clone())).collect();
+        let mut el = EventLoop::new(nodes, self.config.latency.clone(), 0xCAFE);
+        el.seed_timer(0, 0, 0);
+        el.run_until(duration_ns);
+        let committed = &el.node(0).committed;
+        let blocks = committed.len() as u64;
+        let mean_latency_ns = if committed.is_empty() {
+            0.0
+        } else {
+            committed.iter().map(|(_, l)| *l as f64).sum::<f64>() / committed.len() as f64
+        };
+        ConsensusReport {
+            throughput_tps: blocks as f64 * self.config.block_txns as f64
+                / (duration_ns as f64 / 1e9),
+            latency_ms: mean_latency_ns / 1e6,
+            committed_blocks: blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(replicas: usize, latency: LatencyModel) -> ConsensusReport {
+        KafkaSim::new(KafkaConfig {
+            replicas,
+            latency,
+            ..KafkaConfig::default()
+        })
+        .run(3_000_000_000)
+    }
+
+    #[test]
+    fn makes_progress_and_saturates() {
+        let report = run(4, LatencyModel::lan_1g());
+        assert!(report.committed_blocks > 500, "{report:?}");
+        assert!(report.throughput_tps > 50_000.0, "{report:?}");
+    }
+
+    #[test]
+    fn kafka_latency_below_hotstuff() {
+        use crate::hotstuff::{HotStuffConfig, HotStuffSim};
+        let kafka = run(4, LatencyModel::lan_1g());
+        let hs = HotStuffSim::new(HotStuffConfig {
+            nodes: 4,
+            ..HotStuffConfig::default()
+        })
+        .run(3_000_000_000);
+        assert!(
+            kafka.latency_ms < hs.latency_ms,
+            "CFT ordering needs fewer round trips: kafka={kafka:?} hs={hs:?}"
+        );
+    }
+
+    #[test]
+    fn fanout_to_more_replicas_reduces_throughput() {
+        let small = run(4, LatencyModel::lan_1g());
+        let big = run(80, LatencyModel::lan_1g());
+        assert!(
+            big.throughput_tps < small.throughput_tps,
+            "delivery fan-out costs leader bandwidth: small={small:?} big={big:?}"
+        );
+        // But it stays far above the disk DB layer (~3–12 K tps).
+        assert!(big.throughput_tps > 20_000.0, "{big:?}");
+    }
+
+    #[test]
+    fn replicas_receive_blocks() {
+        let config = KafkaConfig {
+            replicas: 3,
+            ..KafkaConfig::default()
+        };
+        let total = config.brokers + config.replicas;
+        let nodes: Vec<KNode> = (0..total).map(|i| KNode::new(i, config.clone())).collect();
+        let mut el = EventLoop::new(nodes, LatencyModel::lan_1g(), 1);
+        el.seed_timer(0, 0, 0);
+        el.run_until(1_000_000_000);
+        for r in 0..3 {
+            assert!(el.node(config.brokers + r).delivered > 100);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(8, LatencyModel::lan_5g());
+        let b = run(8, LatencyModel::lan_5g());
+        assert_eq!(a.committed_blocks, b.committed_blocks);
+    }
+}

@@ -1,0 +1,402 @@
+//! Deterministic discrete-event network simulation.
+//!
+//! Nodes exchange messages through a latency model (base one-way latency +
+//! serialization time per byte + deterministic jitter); each node is a
+//! single-core state machine whose handlers report CPU cost, so crypto
+//! work throttles throughput exactly like the paper's observation that
+//! HotStuff's crypto overhead caps its rate.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use harmony_common::DetRng;
+
+/// Placement region of a node (the paper's 4-continent WAN).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// us-east-2.
+    Ohio,
+    /// ap-south-1.
+    Mumbai,
+    /// ap-southeast-2.
+    Sydney,
+    /// eu-north-1.
+    Stockholm,
+}
+
+/// Approximate one-way latencies between regions, in nanoseconds.
+fn region_latency_ns(a: Region, b: Region) -> u64 {
+    use Region::*;
+    let ms = |x: u64| x * 1_000_000;
+    match (a, b) {
+        (x, y) if x == y => ms(1),
+        (Ohio, Mumbai) | (Mumbai, Ohio) => ms(100),
+        (Ohio, Sydney) | (Sydney, Ohio) => ms(90),
+        (Ohio, Stockholm) | (Stockholm, Ohio) => ms(50),
+        (Mumbai, Sydney) | (Sydney, Mumbai) => ms(110),
+        (Mumbai, Stockholm) | (Stockholm, Mumbai) => ms(70),
+        _ => ms(140), // Sydney ↔ Stockholm
+    }
+}
+
+/// A link latency model.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Uniform LAN: fixed one-way latency + bandwidth term.
+    Lan {
+        /// One-way latency in ns.
+        latency_ns: u64,
+        /// Serialization cost per byte in ns (1 Gbps ≈ 8 ns/B).
+        ns_per_byte: u64,
+    },
+    /// Geo-distributed: nodes assigned round-robin to the given regions.
+    Wan {
+        /// Region assignment per node index (cycled).
+        regions: Vec<Region>,
+        /// Serialization cost per byte in ns.
+        ns_per_byte: u64,
+    },
+}
+
+impl LatencyModel {
+    /// The paper's default-cluster LAN (1 Gbps Ethernet, ~0.25 ms).
+    #[must_use]
+    pub fn lan_1g() -> LatencyModel {
+        LatencyModel::Lan {
+            latency_ns: 250_000,
+            ns_per_byte: 8,
+        }
+    }
+
+    /// The cloud cluster LAN (5 Gbps, ~0.1 ms).
+    #[must_use]
+    pub fn lan_5g() -> LatencyModel {
+        LatencyModel::Lan {
+            latency_ns: 100_000,
+            ns_per_byte: 2,
+        }
+    }
+
+    /// The paper's 4-continent WAN.
+    #[must_use]
+    pub fn wan_4_continents() -> LatencyModel {
+        LatencyModel::Wan {
+            regions: vec![
+                Region::Ohio,
+                Region::Mumbai,
+                Region::Sydney,
+                Region::Stockholm,
+            ],
+            ns_per_byte: 2,
+        }
+    }
+
+    /// One-way delay for a `bytes`-sized message from node `a` to `b`.
+    #[must_use]
+    pub fn delay_ns(&self, a: usize, b: usize, bytes: u64) -> u64 {
+        match self {
+            LatencyModel::Lan {
+                latency_ns,
+                ns_per_byte,
+            } => latency_ns + bytes * ns_per_byte,
+            LatencyModel::Wan {
+                regions,
+                ns_per_byte,
+            } => {
+                let ra = regions[a % regions.len()];
+                let rb = regions[b % regions.len()];
+                region_latency_ns(ra, rb) + bytes * ns_per_byte
+            }
+        }
+    }
+}
+
+/// An event scheduled for a node.
+#[derive(Debug)]
+struct Pending<M> {
+    at: u64,
+    seq: u64, // tie-breaker for determinism
+    to: usize,
+    kind: EventKind<M>,
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Message { from: usize, msg: M },
+    Timer { id: u64 },
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Handle the event loop hands to node logic for sending/scheduling.
+pub struct NetCtx<'a, M> {
+    now: u64,
+    node: usize,
+    latency: &'a LatencyModel,
+    out: Vec<(u64, usize, EventKind<M>)>,
+    jitter: &'a mut DetRng,
+    /// CPU nanoseconds the handler consumed (extends the node's busy time).
+    pub cpu_ns: u64,
+}
+
+impl<M> NetCtx<'_, M> {
+    /// Current simulated time (ns).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This node's index.
+    #[must_use]
+    pub fn me(&self) -> usize {
+        self.node
+    }
+
+    /// Send `msg` of `bytes` size to node `to`.
+    pub fn send(&mut self, to: usize, msg: M, bytes: u64) {
+        let jitter = self.jitter.gen_range(50_000); // ≤50 µs deterministic jitter
+        let at = self.now + self.latency.delay_ns(self.node, to, bytes) + jitter;
+        self.out.push((at, to, EventKind::Message { from: self.node, msg }));
+    }
+
+    /// Schedule a timer on this node after `delay_ns`.
+    pub fn set_timer(&mut self, delay_ns: u64, id: u64) {
+        self.out
+            .push((self.now + delay_ns, self.node, EventKind::Timer { id }));
+    }
+
+    /// Charge CPU time to this node (serializes its event processing).
+    pub fn charge_cpu(&mut self, ns: u64) {
+        self.cpu_ns += ns;
+    }
+}
+
+/// Node behaviour in the simulation.
+pub trait SimNode<M> {
+    /// Handle a message.
+    fn on_message(&mut self, from: usize, msg: M, ctx: &mut NetCtx<'_, M>);
+    /// Handle a timer.
+    fn on_timer(&mut self, id: u64, ctx: &mut NetCtx<'_, M>);
+}
+
+/// The event loop.
+pub struct EventLoop<M, N: SimNode<M>> {
+    nodes: Vec<N>,
+    busy_until: Vec<u64>,
+    queue: BinaryHeap<Reverse<Pending<M>>>,
+    latency: LatencyModel,
+    now: u64,
+    seq: u64,
+    jitter: DetRng,
+}
+
+impl<M, N: SimNode<M>> EventLoop<M, N> {
+    /// Build an event loop over `nodes`.
+    #[must_use]
+    pub fn new(nodes: Vec<N>, latency: LatencyModel, seed: u64) -> EventLoop<M, N> {
+        let n = nodes.len();
+        EventLoop {
+            nodes,
+            busy_until: vec![0; n],
+            queue: BinaryHeap::new(),
+            latency,
+            now: 0,
+            seq: 0,
+            jitter: DetRng::new(seed),
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Immutable access to a node.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &N {
+        &self.nodes[i]
+    }
+
+    /// Inject an initial timer for node `to` at absolute time `at`.
+    pub fn seed_timer(&mut self, to: usize, at: u64, id: u64) {
+        self.seq += 1;
+        self.queue.push(Reverse(Pending {
+            at,
+            seq: self.seq,
+            to,
+            kind: EventKind::Timer { id },
+        }));
+    }
+
+    /// Run until simulated time `until` (or queue exhaustion). Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, until: u64) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            // A node processes events no earlier than its busy horizon.
+            let start = ev.at.max(self.busy_until[ev.to]);
+            self.now = self.now.max(start);
+            let mut ctx = NetCtx {
+                now: start,
+                node: ev.to,
+                latency: &self.latency,
+                out: Vec::new(),
+                jitter: &mut self.jitter,
+                cpu_ns: 0,
+            };
+            match ev.kind {
+                EventKind::Message { from, msg } => {
+                    self.nodes[ev.to].on_message(from, msg, &mut ctx);
+                }
+                EventKind::Timer { id } => self.nodes[ev.to].on_timer(id, &mut ctx),
+            }
+            self.busy_until[ev.to] = start + ctx.cpu_ns;
+            let out = std::mem::take(&mut ctx.out);
+            for (at, to, kind) in out {
+                self.seq += 1;
+                self.queue.push(Reverse(Pending {
+                    at,
+                    seq: self.seq,
+                    to,
+                    kind,
+                }));
+            }
+            processed += 1;
+        }
+        self.now = self.now.max(until);
+        processed
+    }
+}
+
+/// Throughput / latency measurements of a consensus run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConsensusReport {
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+    /// Mean commit latency in milliseconds.
+    pub latency_ms: f64,
+    /// Blocks committed during the run.
+    pub committed_blocks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        received: Vec<(usize, u32)>,
+    }
+
+    impl SimNode<u32> for Echo {
+        fn on_message(&mut self, from: usize, msg: u32, ctx: &mut NetCtx<'_, u32>) {
+            self.received.push((from, msg));
+            ctx.charge_cpu(1_000);
+            if msg < 3 {
+                ctx.send(from, msg + 1, 64);
+            }
+        }
+        fn on_timer(&mut self, _id: u64, ctx: &mut NetCtx<'_, u32>) {
+            ctx.send(1, 0, 64);
+        }
+    }
+
+    fn two_node_loop() -> EventLoop<u32, Echo> {
+        let nodes = vec![Echo { received: vec![] }, Echo { received: vec![] }];
+        EventLoop::new(nodes, LatencyModel::lan_1g(), 42)
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut el = two_node_loop();
+        el.seed_timer(0, 0, 1);
+        el.run_until(1_000_000_000);
+        // 0 →(0)→ 1 →(1)→ 0 →(2)→ 1 →(3)→ 0: node1 got msgs 0, 2.
+        assert_eq!(el.node(1).received.iter().map(|r| r.1).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(el.node(0).received.iter().map(|r| r.1).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut el = two_node_loop();
+            el.seed_timer(0, 0, 1);
+            el.run_until(500_000_000);
+            (el.now(), el.node(0).received.clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let lan = LatencyModel::lan_5g();
+        let wan = LatencyModel::wan_4_continents();
+        // Node 0 (Ohio) to node 1 (Mumbai) in WAN vs any LAN pair.
+        assert!(wan.delay_ns(0, 1, 100) > 50 * lan.delay_ns(0, 1, 100));
+        // Same-region WAN nodes are fast.
+        assert!(wan.delay_ns(0, 4, 100) < 2_200_000);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let m = LatencyModel::lan_1g();
+        assert!(m.delay_ns(0, 1, 1_000_000) > m.delay_ns(0, 1, 100) + 7_000_000);
+    }
+
+    #[test]
+    fn cpu_cost_serializes_node() {
+        // Two messages arriving at t=x are processed back-to-back, the
+        // second delayed by the first's CPU cost.
+        struct Busy {
+            starts: Vec<u64>,
+        }
+        impl SimNode<()> for Busy {
+            fn on_message(&mut self, _f: usize, _m: (), ctx: &mut NetCtx<'_, ()>) {
+                self.starts.push(ctx.now());
+                ctx.charge_cpu(5_000_000);
+            }
+            fn on_timer(&mut self, _id: u64, ctx: &mut NetCtx<'_, ()>) {
+                ctx.send(1, (), 10);
+                ctx.send(1, (), 10);
+            }
+        }
+        let mut el = EventLoop::new(
+            vec![
+                Busy { starts: vec![] },
+                Busy { starts: vec![] },
+            ],
+            LatencyModel::Lan {
+                latency_ns: 1_000,
+                ns_per_byte: 0,
+            },
+            7,
+        );
+        el.seed_timer(0, 0, 0);
+        el.run_until(100_000_000);
+        let starts = &el.node(1).starts;
+        assert_eq!(starts.len(), 2);
+        assert!(
+            starts[1] >= starts[0] + 5_000_000,
+            "second event must wait out the CPU busy time: {starts:?}"
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! The Harmony block executor: simulation step + commit step.
+//!
+//! `simulate` runs every transaction of a block in parallel against the
+//! deterministic block snapshot, capturing read-write sets and firing the
+//! rw-dependency events of Algorithm 1. `commit` folds in inter-block
+//! dependencies (Rule 3), validates (Rule 1), and applies the surviving
+//! update commands with Rule-2 reordering and coalescence.
+//!
+//! Determinism: validation depends only on `min_out`/`max_in` (commutative
+//! accumulators), apply order is `(min_out, tid)`-sorted, and each key has
+//! a deterministic owner — so the committed state is a pure function of
+//! (snapshot, block contents, config), independent of thread count and
+//! interleaving.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use harmony_common::error::AbortReason;
+use harmony_common::{vtime, BlockId, Result, TxnId};
+use harmony_txn::{Contract, Key, RangePredicate, RwSet, TxnCtx};
+
+use crate::config::HarmonyConfig;
+use crate::meta::TxnMeta;
+use crate::par::run_indexed;
+use crate::reorder::{apply_key_plan, build_apply_plans};
+use crate::reservation::ReservationTable;
+use crate::snapshot::SnapshotStore;
+use crate::stats::BlockStats;
+
+/// A block of transactions ready for execution.
+pub struct ExecBlock {
+    /// Block id (must be ≥ 1; `BlockId(0)` is the genesis state).
+    pub id: BlockId,
+    /// The transactions in consensus order.
+    pub txns: Vec<Arc<dyn Contract>>,
+}
+
+impl ExecBlock {
+    /// Build a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is the genesis block.
+    #[must_use]
+    pub fn new(id: BlockId, txns: Vec<Arc<dyn Contract>>) -> ExecBlock {
+        assert!(id.0 >= 1, "block 0 is the genesis state");
+        ExecBlock { id, txns }
+    }
+}
+
+/// Outcome of one transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Committed; its effects are in the post-block state.
+    Committed,
+    /// Aborted for the given reason.
+    Aborted(AbortReason),
+}
+
+impl TxnOutcome {
+    /// Whether the transaction committed.
+    #[must_use]
+    pub fn is_committed(self) -> bool {
+        self == TxnOutcome::Committed
+    }
+}
+
+/// Per-transaction result.
+#[derive(Clone, Debug)]
+pub struct TxnResult {
+    /// Global transaction id.
+    pub tid: TxnId,
+    /// Commit/abort outcome.
+    pub outcome: TxnOutcome,
+    /// Virtual nanoseconds of simulation work.
+    pub sim_ns: u64,
+    /// Virtual nanoseconds of commit work attributed to this transaction.
+    pub commit_ns: u64,
+}
+
+/// Information the *next* block needs about a committed writer
+/// (Rule 3 bookkeeping).
+#[derive(Clone, Copy, Debug)]
+pub struct WriterInfo {
+    /// Smallest committed writer TID of the key in the block.
+    pub min_tid: u64,
+    /// Whether any committed writer of the key has an outgoing backward
+    /// edge (`min_out < tid`) — arms Rule 3(ii) for later readers.
+    pub backward_out: bool,
+}
+
+/// Digest of a committed block consumed by the next block's commit step.
+#[derive(Clone, Debug, Default)]
+pub struct BlockSummary {
+    /// The committed block.
+    pub block: BlockId,
+    /// Keys written by committed transactions.
+    pub committed_writes: HashMap<Key, WriterInfo>,
+    /// Max committed reader TID per point-read key.
+    pub committed_reads: HashMap<Key, u64>,
+    /// Range predicates of committed transactions (reader TID, predicate).
+    pub committed_read_preds: Vec<(u64, RangePredicate)>,
+}
+
+/// Result of executing one block.
+#[derive(Debug)]
+pub struct BlockResult {
+    /// The block id.
+    pub block: BlockId,
+    /// Per-transaction results (block order).
+    pub results: Vec<TxnResult>,
+    /// Captured read-write sets (`None` for user-aborted transactions).
+    pub rwsets: Vec<Option<RwSet>>,
+    /// Counters.
+    pub stats: BlockStats,
+    /// Digest for the next block's inter-block validation.
+    pub summary: BlockSummary,
+}
+
+/// Output of the simulation step, consumed by `commit`.
+pub struct SimOutput {
+    snapshot: BlockId,
+    rwsets: Vec<Option<RwSet>>,
+    metas: Vec<TxnMeta>,
+    table: ReservationTable,
+    sim_ns: Vec<u64>,
+}
+
+impl SimOutput {
+    /// The snapshot the block simulated against.
+    #[must_use]
+    pub fn snapshot(&self) -> BlockId {
+        self.snapshot
+    }
+}
+
+/// Executes blocks with the Harmony DCC against a [`SnapshotStore`].
+pub struct BlockExecutor {
+    store: Arc<SnapshotStore>,
+    config: HarmonyConfig,
+}
+
+impl BlockExecutor {
+    /// Build an executor.
+    #[must_use]
+    pub fn new(store: Arc<SnapshotStore>, config: HarmonyConfig) -> BlockExecutor {
+        BlockExecutor { store, config }
+    }
+
+    /// The snapshot store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> HarmonyConfig {
+        self.config
+    }
+
+    /// Snapshot block a given block simulates against: `i − 1`, or `i − 2`
+    /// under inter-block parallelism (§3.4).
+    #[must_use]
+    pub fn snapshot_for(&self, block: BlockId) -> BlockId {
+        let depth = if self.config.inter_block_parallelism {
+            2
+        } else {
+            1
+        };
+        BlockId(block.0.saturating_sub(depth))
+    }
+
+    /// Simulation step: execute every transaction against the block
+    /// snapshot in parallel, capture read-write sets, and fire the
+    /// rw-dependency events.
+    pub fn simulate(&self, block: &ExecBlock) -> SimOutput {
+        let snapshot = self.snapshot_for(block.id);
+        let n = block.txns.len();
+        let metas: Vec<TxnMeta> = (0..n)
+            .map(|i| TxnMeta::new(TxnId::new(block.id, i as u32).0))
+            .collect();
+        let table = ReservationTable::new();
+
+        let sims = run_indexed(n, self.config.workers, |i| {
+            let view = self.store.view_at(snapshot);
+            let (outcome, sim_ns) = vtime::scope(|| {
+                vtime::charge(block.txns[i].think_time_ns());
+                let mut ctx = TxnCtx::new(&view);
+                match block.txns[i].execute(&mut ctx) {
+                    Ok(()) => Ok(ctx.into_rwset()),
+                    Err(user) => Err(user),
+                }
+            });
+            if let Ok(rwset) = &outcome {
+                table.register(i as u32, rwset);
+            }
+            (outcome, sim_ns)
+        });
+
+        let mut rwsets = Vec::with_capacity(n);
+        let mut sim_ns = Vec::with_capacity(n);
+        for (outcome, ns) in sims {
+            sim_ns.push(ns);
+            rwsets.push(outcome.ok());
+        }
+        table.fire_rw_events(&metas);
+        SimOutput {
+            snapshot,
+            rwsets,
+            metas,
+            table,
+            sim_ns,
+        }
+    }
+
+    /// Commit step. `prev` is the summary of the immediately preceding
+    /// block when it was *concurrent* with this block's simulation
+    /// (inter-block parallelism); `None` otherwise.
+    pub fn commit(
+        &self,
+        block: &ExecBlock,
+        sim: SimOutput,
+        prev: Option<&BlockSummary>,
+    ) -> Result<BlockResult> {
+        let n = block.txns.len();
+        let SimOutput {
+            rwsets,
+            metas,
+            table,
+            sim_ns,
+            ..
+        } = sim;
+
+        // ── Inter-block dependency events (Rule 3) ─────────────────────
+        let mut inter_flag = vec![false; n];
+        if let Some(prev) = prev {
+            debug_assert_eq!(prev.block.next(), block.id, "pipeline order");
+            for (i, rwset) in rwsets.iter().enumerate() {
+                let Some(rwset) = rwset else { continue };
+                // Outgoing inter edges: this txn read the before-image of a
+                // committed writer in the previous block.
+                for r in &rwset.reads {
+                    if let Some(w) = prev.committed_writes.get(&r.key) {
+                        metas[i].note_out_edge(w.min_tid);
+                        if w.backward_out {
+                            inter_flag[i] = true; // Rule 3(ii): abort T_k.
+                        }
+                    }
+                }
+                for pred in &rwset.scans {
+                    for (key, w) in &prev.committed_writes {
+                        if pred.covers(key) {
+                            metas[i].note_out_edge(w.min_tid);
+                            if w.backward_out {
+                                inter_flag[i] = true;
+                            }
+                        }
+                    }
+                }
+                // Incoming inter edges: a committed earlier-block reader
+                // saw the before-image of this txn's write. Documented
+                // deviation: such structures abort *this* (later) txn via
+                // the ordinary Rule-1 condition, deterministically.
+                for (key, _) in &rwset.updates {
+                    if let Some(&reader) = prev.committed_reads.get(key) {
+                        metas[i].note_in_edge(reader);
+                    }
+                    for (reader, pred) in &prev.committed_read_preds {
+                        if pred.covers(key) {
+                            metas[i].note_in_edge(*reader);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ── Validation (Rule 1 / Rule 3, plus ww-aborts in raw mode) ───
+        let min_writers = if self.config.update_reordering {
+            HashMap::new()
+        } else {
+            table.min_writer_tids(&metas)
+        };
+        let mut outcomes: Vec<TxnOutcome> = Vec::with_capacity(n);
+        for i in 0..n {
+            let outcome = if rwsets[i].is_none() {
+                TxnOutcome::Aborted(AbortReason::UserAbort)
+            } else if metas[i].in_backward_dangerous_structure() {
+                TxnOutcome::Aborted(AbortReason::BackwardDangerousStructure)
+            } else if inter_flag[i] {
+                TxnOutcome::Aborted(AbortReason::InterBlockDangerousStructure)
+            } else if !self.config.update_reordering
+                && rwsets[i].as_ref().is_some_and(|rw| {
+                    rw.write_keys()
+                        .any(|k| min_writers.get(k).copied().unwrap_or(u64::MAX) < metas[i].tid)
+                })
+            {
+                TxnOutcome::Aborted(AbortReason::WwConflict)
+            } else {
+                TxnOutcome::Committed
+            };
+            outcomes.push(outcome);
+        }
+        let committed: Vec<bool> = outcomes.iter().map(|o| o.is_committed()).collect();
+
+        // ── Apply (Rule 2 reordering + coalescence) ────────────────────
+        let plans = build_apply_plans(
+            &table,
+            &metas,
+            &rwsets,
+            &committed,
+            self.config.update_reordering,
+        );
+        let mut plans_by_owner: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (pi, plan) in plans.iter().enumerate() {
+            plans_by_owner[plan.owner as usize].push(pi);
+        }
+        let coalesce = self.config.update_coalescence;
+        let store = &self.store;
+        let apply_out = run_indexed(n, self.config.workers, |i| {
+            vtime::scope(|| {
+                let mut noops = 0u64;
+                for &pi in &plans_by_owner[i] {
+                    noops += apply_key_plan(store, block.id, &plans[pi], coalesce)?;
+                }
+                Ok::<u64, harmony_common::Error>(noops)
+            })
+        });
+
+        let mut commit_ns = vec![0u64; n];
+        let mut noop_total = 0u64;
+        for (i, (res, ns)) in apply_out.into_iter().enumerate() {
+            commit_ns[i] = ns;
+            noop_total += res?;
+        }
+
+        // ── Summary for the next block (Rule 3 bookkeeping) ────────────
+        let mut summary = BlockSummary {
+            block: block.id,
+            ..BlockSummary::default()
+        };
+        for plan in &plans {
+            let min_tid = plan.cmds.iter().map(|(tid, _, _)| *tid).min().expect("plan non-empty");
+            let backward_out = plan
+                .cmds
+                .iter()
+                .any(|(_, idx, _)| metas[*idx as usize].has_backward_out());
+            summary
+                .committed_writes
+                .insert(plan.key.clone(), WriterInfo { min_tid, backward_out });
+        }
+        for (i, rwset) in rwsets.iter().enumerate() {
+            if !committed[i] {
+                continue;
+            }
+            let Some(rwset) = rwset else { continue };
+            let tid = metas[i].tid;
+            for r in &rwset.reads {
+                summary
+                    .committed_reads
+                    .entry(r.key.clone())
+                    .and_modify(|t| *t = (*t).max(tid))
+                    .or_insert(tid);
+            }
+            for pred in &rwset.scans {
+                summary.committed_read_preds.push((tid, pred.clone()));
+            }
+        }
+
+        // ── Stats & results ────────────────────────────────────────────
+        let mut stats = BlockStats {
+            txns: n,
+            apply_noop_commands: noop_total,
+            sim_ns_total: sim_ns.iter().sum(),
+            commit_ns_total: commit_ns.iter().sum(),
+            ..BlockStats::default()
+        };
+        let mut results = Vec::with_capacity(n);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                TxnOutcome::Committed => stats.committed += 1,
+                TxnOutcome::Aborted(AbortReason::BackwardDangerousStructure) => {
+                    stats.aborted_rule1 += 1;
+                }
+                TxnOutcome::Aborted(AbortReason::InterBlockDangerousStructure) => {
+                    stats.aborted_interblock += 1;
+                }
+                TxnOutcome::Aborted(AbortReason::WwConflict) => stats.aborted_ww += 1,
+                TxnOutcome::Aborted(AbortReason::UserAbort) => stats.user_aborted += 1,
+                TxnOutcome::Aborted(_) => {}
+            }
+            results.push(TxnResult {
+                tid: TxnId::new(block.id, i as u32),
+                outcome: *outcome,
+                sim_ns: sim_ns[i],
+                commit_ns: commit_ns[i],
+            });
+        }
+        Ok(BlockResult {
+            block: block.id,
+            results,
+            rwsets,
+            stats,
+            summary,
+        })
+    }
+
+    /// Convenience: simulate + commit in one call (no pipeline overlap).
+    pub fn execute(
+        &self,
+        block: &ExecBlock,
+        prev: Option<&BlockSummary>,
+    ) -> Result<BlockResult> {
+        let sim = self.simulate(block);
+        self.commit(block, sim, prev)
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-transaction validation state — Algorithm 1 of the paper.
+//!
+//! Each transaction `T_j` carries two scalars maintained by rw-dependency
+//! events:
+//!
+//! * `min_out = min{ i | T_i ←rw T_j, i < j }` (default `j + 1`): the
+//!   smallest TID among *earlier* transactions whose before-image `T_j`
+//!   read;
+//! * `max_in = max{ k | T_j ←rw T_k }` (default −∞): the largest TID among
+//!   transactions that read `T_j`'s before-images.
+//!
+//! Rule 1 then aborts `T_j` iff `min_out < j && min_out <= max_in`. Both
+//! accumulators are commutative (`min`/`max`), so the outcome is
+//! independent of event ordering — the root of Harmony's determinism under
+//! real parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `max_in`'s "−∞". Real TIDs are `block * 2^20 + idx` with `block >= 1`
+/// for executable blocks, so 0 is never a valid reader TID.
+pub const NEG_INF: u64 = 0;
+
+/// Validation state for one transaction.
+#[derive(Debug)]
+pub struct TxnMeta {
+    /// Raw global TID.
+    pub tid: u64,
+    min_out: AtomicU64,
+    max_in: AtomicU64,
+}
+
+impl TxnMeta {
+    /// Fresh state: `min_out = tid + 1`, `max_in = −∞`.
+    #[must_use]
+    pub fn new(tid: u64) -> TxnMeta {
+        TxnMeta {
+            tid,
+            min_out: AtomicU64::new(tid + 1),
+            max_in: AtomicU64::new(NEG_INF),
+        }
+    }
+
+    /// Event: this transaction read the before-image of `writer_tid`'s
+    /// write (edge `T_writer ←rw T_self`). Only earlier writers update
+    /// `min_out`, per the paper's definition.
+    pub fn note_out_edge(&self, writer_tid: u64) {
+        if writer_tid < self.tid {
+            self.min_out.fetch_min(writer_tid, Ordering::AcqRel);
+        }
+    }
+
+    /// Event: `reader_tid` read the before-image of this transaction's
+    /// write (edge `T_self ←rw T_reader`).
+    pub fn note_in_edge(&self, reader_tid: u64) {
+        if reader_tid != self.tid {
+            self.max_in.fetch_max(reader_tid, Ordering::AcqRel);
+        }
+    }
+
+    /// Current `min_out`.
+    #[must_use]
+    pub fn min_out(&self) -> u64 {
+        self.min_out.load(Ordering::Acquire)
+    }
+
+    /// Current `max_in` (`NEG_INF` when no incoming edge).
+    #[must_use]
+    pub fn max_in(&self) -> u64 {
+        self.max_in.load(Ordering::Acquire)
+    }
+
+    /// Rule 1 (line #12 of Algorithm 1): abort iff
+    /// `min_out < tid && min_out <= max_in`.
+    #[must_use]
+    pub fn in_backward_dangerous_structure(&self) -> bool {
+        let min_out = self.min_out();
+        min_out < self.tid && min_out <= self.max_in()
+    }
+
+    /// Whether this transaction has an outgoing backward edge
+    /// (`min_out < tid`). Committed transactions with this flag arm Rule
+    /// 3(ii) for readers in later blocks.
+    #[must_use]
+    pub fn has_backward_out(&self) -> bool {
+        self.min_out() < self.tid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let m = TxnMeta::new(100);
+        assert_eq!(m.min_out(), 101);
+        assert_eq!(m.max_in(), NEG_INF);
+        assert!(!m.in_backward_dangerous_structure());
+        assert!(!m.has_backward_out());
+    }
+
+    #[test]
+    fn two_txn_cycle_matches_figure_3a() {
+        // T1 ←rw T2 ←rw T1 (i = k = 1, j = 2): abort T2.
+        let t2 = TxnMeta::new(2);
+        t2.note_out_edge(1); // T1 ←rw T2
+        t2.note_in_edge(1); // T2 ←rw T1
+        assert!(t2.in_backward_dangerous_structure());
+    }
+
+    #[test]
+    fn single_out_edge_does_not_abort() {
+        // Fabric would abort on a single stale read; Rule 1 does not.
+        let t2 = TxnMeta::new(2);
+        t2.note_out_edge(1);
+        assert!(t2.has_backward_out());
+        assert!(!t2.in_backward_dangerous_structure());
+    }
+
+    #[test]
+    fn single_in_edge_does_not_abort() {
+        let t1 = TxnMeta::new(1);
+        t1.note_in_edge(2);
+        assert!(!t1.in_backward_dangerous_structure());
+    }
+
+    #[test]
+    fn figure_3b_structure() {
+        // T1 ←rw T3 ←rw T4 (i=1 < j=3, k=4 ≥ 1): abort T3.
+        let t3 = TxnMeta::new(3);
+        t3.note_out_edge(1);
+        t3.note_in_edge(4);
+        assert!(t3.in_backward_dangerous_structure());
+    }
+
+    #[test]
+    fn incoming_smaller_than_min_out_is_safe() {
+        // T2 ←rw T3 with T3.min_out pointing at T2's *successor*: no abort.
+        // Structure T_i ← T_j ← T_k needs i <= k.
+        let t3 = TxnMeta::new(30);
+        t3.note_out_edge(20); // min_out = 20
+        t3.note_in_edge(10); // max_in = 10 < 20 => condition fails
+        assert!(!t3.in_backward_dangerous_structure());
+    }
+
+    #[test]
+    fn out_edge_to_larger_tid_ignored_for_min_out() {
+        // Out-edges to later transactions don't count toward min_out (the
+        // paper defines min_out over i < j only).
+        let t2 = TxnMeta::new(2);
+        t2.note_out_edge(5);
+        assert_eq!(t2.min_out(), 3, "unchanged default");
+        assert!(!t2.has_backward_out());
+    }
+
+    #[test]
+    fn min_max_accumulate() {
+        let m = TxnMeta::new(10);
+        m.note_out_edge(7);
+        m.note_out_edge(3);
+        m.note_out_edge(9);
+        assert_eq!(m.min_out(), 3);
+        m.note_in_edge(4);
+        m.note_in_edge(12);
+        m.note_in_edge(6);
+        assert_eq!(m.max_in(), 12);
+        assert!(m.in_backward_dangerous_structure());
+    }
+
+    #[test]
+    fn event_order_does_not_matter() {
+        use harmony_common::DetRng;
+        let mut rng = DetRng::new(3);
+        let edges_out = [7u64, 3, 9, 1, 8];
+        let edges_in = [4u64, 12, 6, 2];
+        for _ in 0..20 {
+            let m = TxnMeta::new(10);
+            let mut ops: Vec<(bool, u64)> = edges_out
+                .iter()
+                .map(|&e| (true, e))
+                .chain(edges_in.iter().map(|&e| (false, e)))
+                .collect();
+            rng.shuffle(&mut ops);
+            for (is_out, tid) in ops {
+                if is_out {
+                    m.note_out_edge(tid);
+                } else {
+                    m.note_in_edge(tid);
+                }
+            }
+            assert_eq!(m.min_out(), 1);
+            assert_eq!(m.max_in(), 12);
+        }
+    }
+
+    #[test]
+    fn self_in_edge_ignored() {
+        let m = TxnMeta::new(5);
+        m.note_in_edge(5);
+        assert_eq!(m.max_in(), NEG_INF);
+    }
+
+    #[test]
+    fn concurrent_event_firing() {
+        use std::sync::Arc;
+        let m = Arc::new(TxnMeta::new(1000));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    m.note_out_edge(t * 100 + (i % 50));
+                    m.note_in_edge(2000 + t * 10 + (i % 7));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.min_out(), 0);
+        assert_eq!(m.max_in(), 2076);
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal fork-join helper.
+//!
+//! Spawns `workers` scoped threads that pull task indices from a shared
+//! counter and run `f(index)`. Results are written into a pre-sized slot
+//! vector, so output order is by task index regardless of scheduling —
+//! one ingredient of Harmony's determinism under real parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f` for every index in `0..n` on up to `workers` threads, returning
+/// results in index order.
+pub fn run_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if workers == 1 || n == 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(n) {
+                let next = &next;
+                let f = &f;
+                let slots_ptr = &slots_ptr;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    // SAFETY: each index is claimed by exactly one worker
+                    // (fetch_add), slots outlives the scope, and distinct
+                    // indices touch distinct slots.
+                    unsafe {
+                        *slots_ptr.0.add(i) = Some(out);
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index filled"))
+        .collect()
+}
+
+struct SlotsPtr<T>(*mut Option<T>);
+// SAFETY: distinct indices are written by distinct threads; see run_indexed.
+unsafe impl<T: Send> Sync for SlotsPtr<T> {}
+unsafe impl<T: Send> Send for SlotsPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_in_index_order() {
+        let out = run_indexed(100, 4, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let seq = run_indexed(50, 1, |i| i * i);
+        let par = run_indexed(50, 8, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let out: Vec<u32> = run_indexed(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = run_indexed(3, 16, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn each_task_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counters: Vec<AtomicU32> = (0..200).map(|_| AtomicU32::new(0)).collect();
+        run_indexed(200, 8, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+}

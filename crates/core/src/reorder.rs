@@ -1,0 +1,342 @@
+//! Update reordering (Rule 2) and update coalescence — Algorithm 2.
+//!
+//! After validation, the update commands of *committed* transactions are
+//! grouped per key, sorted by ascending `(min_out, tid)` (Rule 2 — provably
+//! a topological order of the rw-subgraph once Rule 1 eliminated all
+//! backward dangerous structures, Theorem 2), and folded into one
+//! *coalesced* read-modify-write per key. Exactly one transaction — the
+//! plan's deterministic owner — applies each key's plan; the paper uses
+//! first-comer claiming under a critical section, we assign the owner
+//! deterministically (the first committed writer in apply order), which
+//! has the same parallelism and makes cost attribution reproducible.
+
+use harmony_common::{BlockId, Error, Result};
+use harmony_txn::{CommandSeq, Key, RwSet};
+
+use crate::meta::TxnMeta;
+use crate::reservation::ReservationTable;
+use crate::snapshot::SnapshotStore;
+
+/// The apply plan for one key: every committed writer's command sequence in
+/// serialization order, plus the owner that executes the plan.
+#[derive(Debug, Clone)]
+pub struct KeyPlan {
+    /// The record all commands target.
+    pub key: Key,
+    /// `(tid, block-index, commands)` in apply order.
+    pub cmds: Vec<(u64, u32, CommandSeq)>,
+    /// Block index of the transaction that applies this plan.
+    pub owner: u32,
+}
+
+/// Build apply plans for a block.
+///
+/// * `committed[idx]` — validation outcome per transaction.
+/// * `reordering = true` — sort each key's updaters by `(min_out, tid)`
+///   (Rule 2); `false` — sort by TID (only meaningful when ww-aborts
+///   already guaranteed one committed writer per key).
+pub fn build_apply_plans(
+    table: &ReservationTable,
+    metas: &[TxnMeta],
+    rwsets: &[Option<RwSet>],
+    committed: &[bool],
+    reordering: bool,
+) -> Vec<KeyPlan> {
+    let mut plans = Vec::new();
+    table.for_each_written_key(|key, writers| {
+        let mut cmds: Vec<(u64, u64, u32, CommandSeq)> = writers
+            .iter()
+            .filter(|&&w| committed[w as usize])
+            .filter_map(|&w| {
+                let meta = &metas[w as usize];
+                let seq = rwsets[w as usize]
+                    .as_ref()
+                    .and_then(|rw| rw.pending_for(key))
+                    .cloned()?;
+                Some((meta.min_out(), meta.tid, w, seq))
+            })
+            .collect();
+        if cmds.is_empty() {
+            return;
+        }
+        if reordering {
+            // Rule 2: ascending min_out, ties broken by TID.
+            cmds.sort_by_key(|a| (a.0, a.1));
+        } else {
+            cmds.sort_by_key(|c| c.1);
+        }
+        let owner = cmds[0].2;
+        plans.push(KeyPlan {
+            key: key.clone(),
+            cmds: cmds
+                .into_iter()
+                .map(|(_, tid, idx, seq)| (tid, idx, seq))
+                .collect(),
+            owner,
+        });
+    });
+    // Deterministic plan order (parallel apply iterates per owner anyway).
+    plans.sort_by(|a, b| a.key.cmp(&b.key));
+    plans
+}
+
+/// Apply one key's plan to the store.
+///
+/// With `coalesce = true` the whole plan costs one read and one write
+/// (Figure 5b); with `coalesce = false` every writer's commands pay their
+/// own lookup and page write (Figure 5a).
+///
+/// Read-modify-write commands hitting a missing record are *no-ops* (SQL
+/// `UPDATE` matching zero rows); the number of skipped commands is
+/// returned.
+pub fn apply_key_plan(
+    store: &SnapshotStore,
+    block: BlockId,
+    plan: &KeyPlan,
+    coalesce: bool,
+) -> Result<u64> {
+    let mut noops = 0u64;
+    let last_tid = plan.cmds.last().expect("plan never empty").0;
+    if coalesce {
+        // One read: current value (state after the previous block).
+        let mut cur = store
+            .engine()
+            .get(plan.key.table, &plan.key.row)?
+            .map(harmony_txn::Value::from);
+        for (_, _, seq) in &plan.cmds {
+            for cmd in seq.commands() {
+                match cmd.apply(cur.as_ref()) {
+                    Ok(v) => cur = v,
+                    Err(Error::InvalidArgument(_)) => noops += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        // One write (plus the undo record for snapshot readers).
+        store.apply_write(block, last_tid, &plan.key, cur.as_ref())?;
+    } else {
+        // Each writer pays its own round trip, in plan order.
+        let mut first = true;
+        for (tid, _, seq) in &plan.cmds {
+            let mut cur = store
+                .engine()
+                .get(plan.key.table, &plan.key.row)?
+                .map(harmony_txn::Value::from);
+            for cmd in seq.commands() {
+                match cmd.apply(cur.as_ref()) {
+                    Ok(v) => cur = v,
+                    Err(Error::InvalidArgument(_)) => noops += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+            if first {
+                store.apply_write(block, *tid, &plan.key, cur.as_ref())?;
+                first = false;
+            } else {
+                store.overwrite_in_block(*tid, &plan.key, cur.as_ref())?;
+            }
+        }
+    }
+    Ok(noops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use harmony_common::ids::TableId;
+    use harmony_common::TxnId;
+    use harmony_storage::{StorageConfig, StorageEngine};
+    use harmony_txn::UpdateCommand;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<SnapshotStore>, TableId) {
+        let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+        let t = engine.create_table("t").unwrap();
+        (Arc::new(SnapshotStore::new(engine)), t)
+    }
+
+    fn f64v(x: f64) -> Bytes {
+        Bytes::from(x.to_le_bytes().to_vec())
+    }
+
+    fn as_f64(v: &[u8]) -> f64 {
+        f64::from_le_bytes(v.try_into().unwrap())
+    }
+
+    fn tid(block: u64, idx: u32) -> u64 {
+        TxnId::new(BlockId(block), idx).0
+    }
+
+    /// Reproduce the paper's §3.3.1 example: T1 = add(x,10), T2 = mul(x,3),
+    /// rw-subgraph says T2 must precede T1 (T1 ←rw T2 ... realised by
+    /// min_out(T2) < min_out(T1)). Expected result: mul first, add second
+    /// ⇒ x = 10*3 + 10 = 40.
+    #[test]
+    fn paper_example_reorders_mul_before_add() {
+        let (store, t) = setup();
+        store.engine().put(t, b"x", &10f64.to_le_bytes()).unwrap();
+        let key = Key::new(t, &b"x"[..]);
+
+        let table = ReservationTable::new();
+        let t1 = tid(1, 0);
+        let t2 = tid(1, 1);
+        let metas = vec![TxnMeta::new(t1), TxnMeta::new(t2)];
+        // T1 ←rw T2 (T2 read x's before-image of T1's write).
+        metas[1].note_out_edge(t1);
+
+        let mut rw1 = RwSet::default();
+        rw1.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 10.0 });
+        let mut rw2 = RwSet::default();
+        rw2.record_read(key.clone(), None);
+        rw2.record_update(key.clone(), UpdateCommand::MulF64 { offset: 0, factor: 3.0 });
+        table.register(0, &rw1);
+        table.register(1, &rw2);
+
+        let rwsets = vec![Some(rw1), Some(rw2)];
+        let plans = build_apply_plans(&table, &metas, &rwsets, &[true, true], true);
+        assert_eq!(plans.len(), 1);
+        // min_out(T2) = t1 < min_out(T1) = t1+1 ⇒ T2 first.
+        assert_eq!(plans[0].cmds[0].0, t2);
+        assert_eq!(plans[0].cmds[1].0, t1);
+
+        apply_key_plan(&store, BlockId(1), &plans[0], true).unwrap();
+        let v = store.engine().get(t, b"x").unwrap().unwrap();
+        assert_eq!(as_f64(&v), 40.0);
+    }
+
+    #[test]
+    fn without_reordering_tid_order_applies() {
+        let (store, t) = setup();
+        store.engine().put(t, b"x", &10f64.to_le_bytes()).unwrap();
+        let key = Key::new(t, &b"x"[..]);
+        let table = ReservationTable::new();
+        let metas = vec![TxnMeta::new(tid(1, 0)), TxnMeta::new(tid(1, 1))];
+        metas[1].note_out_edge(tid(1, 0));
+        let mut rw1 = RwSet::default();
+        rw1.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 10.0 });
+        let mut rw2 = RwSet::default();
+        rw2.record_update(key.clone(), UpdateCommand::MulF64 { offset: 0, factor: 3.0 });
+        table.register(0, &rw1);
+        table.register(1, &rw2);
+        let rwsets = vec![Some(rw1), Some(rw2)];
+        let plans = build_apply_plans(&table, &metas, &rwsets, &[true, true], false);
+        // TID order: add first, mul second ⇒ (10+10)*3 = 60.
+        apply_key_plan(&store, BlockId(1), &plans[0], true).unwrap();
+        let v = store.engine().get(t, b"x").unwrap().unwrap();
+        assert_eq!(as_f64(&v), 60.0);
+    }
+
+    #[test]
+    fn aborted_writers_filtered_out() {
+        let (store, t) = setup();
+        store.engine().put(t, b"x", &f64v(1.0)).unwrap();
+        let key = Key::new(t, &b"x"[..]);
+        let table = ReservationTable::new();
+        let metas = vec![TxnMeta::new(tid(1, 0)), TxnMeta::new(tid(1, 1))];
+        let mut rw1 = RwSet::default();
+        rw1.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 100.0 });
+        let mut rw2 = RwSet::default();
+        rw2.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 1.0 });
+        table.register(0, &rw1);
+        table.register(1, &rw2);
+        let rwsets = vec![Some(rw1), Some(rw2)];
+        // T1 aborted.
+        let plans = build_apply_plans(&table, &metas, &rwsets, &[false, true], true);
+        assert_eq!(plans[0].cmds.len(), 1);
+        apply_key_plan(&store, BlockId(1), &plans[0], true).unwrap();
+        let v = store.engine().get(t, b"x").unwrap().unwrap();
+        assert_eq!(as_f64(&v), 2.0, "only T2's +1 applied");
+    }
+
+    #[test]
+    fn all_writers_aborted_no_plan() {
+        let (_store, t) = setup();
+        let key = Key::new(t, &b"x"[..]);
+        let table = ReservationTable::new();
+        let metas = vec![TxnMeta::new(tid(1, 0))];
+        let mut rw = RwSet::default();
+        rw.record_update(key, UpdateCommand::Delete);
+        table.register(0, &rw);
+        let plans = build_apply_plans(&table, &metas, &[Some(rw)], &[false], true);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn coalesced_and_uncoalesced_same_result_different_io() {
+        for coalesce in [true, false] {
+            let (store, t) = setup();
+            store.engine().put(t, b"hot", &f64v(5.0)).unwrap();
+            let key = Key::new(t, &b"hot"[..]);
+            let table = ReservationTable::new();
+            let n = 8u32;
+            let metas: Vec<TxnMeta> = (0..n).map(|i| TxnMeta::new(tid(1, i))).collect();
+            let mut rwsets = Vec::new();
+            for i in 0..n {
+                let mut rw = RwSet::default();
+                rw.record_update(
+                    key.clone(),
+                    UpdateCommand::AddF64 { offset: 0, delta: 1.0 },
+                );
+                table.register(i, &rw);
+                rwsets.push(Some(rw));
+            }
+            let committed = vec![true; n as usize];
+            let plans = build_apply_plans(&table, &metas, &rwsets, &committed, true);
+            let io_before = store.engine().io_snapshot();
+            apply_key_plan(&store, BlockId(1), &plans[0], coalesce).unwrap();
+            let io_after = store.engine().io_snapshot().delta_since(&io_before);
+            let v = store.engine().get(t, b"hot").unwrap().unwrap();
+            assert_eq!(as_f64(&v), 13.0, "coalesce={coalesce}");
+            if coalesce {
+                assert!(
+                    io_after.pool.hits <= 6,
+                    "coalesced plan should touch few pages, saw {}",
+                    io_after.pool.hits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rmw_on_missing_record_is_noop() {
+        let (store, t) = setup();
+        let key = Key::new(t, &b"ghost"[..]);
+        let table = ReservationTable::new();
+        let metas = vec![TxnMeta::new(tid(1, 0))];
+        let mut rw = RwSet::default();
+        rw.record_update(key.clone(), UpdateCommand::AddI64 { offset: 0, delta: 5 });
+        table.register(0, &rw);
+        let plans = build_apply_plans(&table, &metas, &[Some(rw)], &[true], true);
+        let noops = apply_key_plan(&store, BlockId(1), &plans[0], true).unwrap();
+        assert_eq!(noops, 1);
+        assert_eq!(store.engine().get(t, b"ghost").unwrap(), None);
+    }
+
+    #[test]
+    fn delete_then_rmw_in_plan_order() {
+        // T1 deletes x, T2 adds to x; in TID order the add becomes a no-op
+        // (zero-row UPDATE), matching serial execution T1; T2.
+        let (store, t) = setup();
+        store.engine().put(t, b"x", &f64v(9.0)).unwrap();
+        let key = Key::new(t, &b"x"[..]);
+        let table = ReservationTable::new();
+        let metas = vec![TxnMeta::new(tid(1, 0)), TxnMeta::new(tid(1, 1))];
+        let mut rw1 = RwSet::default();
+        rw1.record_update(key.clone(), UpdateCommand::Delete);
+        let mut rw2 = RwSet::default();
+        rw2.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 1.0 });
+        table.register(0, &rw1);
+        table.register(1, &rw2);
+        let plans = build_apply_plans(
+            &table,
+            &metas,
+            &[Some(rw1), Some(rw2)],
+            &[true, true],
+            true,
+        );
+        let noops = apply_key_plan(&store, BlockId(1), &plans[0], true).unwrap();
+        assert_eq!(noops, 1);
+        assert_eq!(store.engine().get(t, b"x").unwrap(), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-block reservation tables.
+//!
+//! During the simulation step every transaction registers its read-write
+//! set here (the paper's `update_reservation` hash table, Algorithm 2,
+//! generalized with reader tracking and range predicates). After the block
+//! barrier, [`ReservationTable::fire_rw_events`] walks each key entry and
+//! fires the `on_seeing_rw_dependency` events of Algorithm 1 into the
+//! [`TxnMeta`](crate::meta::TxnMeta) accumulators.
+//!
+//! Because every transaction in a block reads the same snapshot, *every*
+//! (reader, writer) pair on one key is an rw-dependency: the reader saw the
+//! before-image of the writer's write.
+
+use std::collections::HashMap;
+
+use harmony_txn::{Key, RangePredicate, RwSet};
+use parking_lot::Mutex;
+
+use crate::meta::TxnMeta;
+
+const SHARDS: usize = 32;
+
+#[derive(Default)]
+struct KeyEntry {
+    readers: Vec<u32>,
+    writers: Vec<u32>,
+}
+
+/// Reservation table for one block.
+pub struct ReservationTable {
+    shards: Vec<Mutex<HashMap<Key, KeyEntry>>>,
+    preds: Mutex<Vec<(u32, RangePredicate)>>,
+}
+
+impl Default for ReservationTable {
+    fn default() -> Self {
+        ReservationTable::new()
+    }
+}
+
+impl ReservationTable {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> ReservationTable {
+        ReservationTable {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            preds: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn shard_for(&self, key: &Key) -> &Mutex<HashMap<Key, KeyEntry>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Register the read-write set of the transaction at block index
+    /// `idx`. Thread-safe; called concurrently as simulations finish.
+    pub fn register(&self, idx: u32, rwset: &RwSet) {
+        for r in &rwset.reads {
+            self.shard_for(&r.key)
+                .lock()
+                .entry(r.key.clone())
+                .or_default()
+                .readers
+                .push(idx);
+        }
+        for (key, _) in &rwset.updates {
+            self.shard_for(key)
+                .lock()
+                .entry(key.clone())
+                .or_default()
+                .writers
+                .push(idx);
+        }
+        if !rwset.scans.is_empty() {
+            let mut preds = self.preds.lock();
+            for s in &rwset.scans {
+                preds.push((idx, s.clone()));
+            }
+        }
+    }
+
+    /// Fire every intra-block rw-dependency event into the metas:
+    /// for each key, each (reader `T_j`, writer `T_i`) pair yields
+    /// `T_i ←rw T_j` — `T_j.note_out_edge(i)`, `T_i.note_in_edge(j)`.
+    /// Predicate readers are treated as readers of every written key their
+    /// range covers (phantom protection).
+    pub fn fire_rw_events(&self, metas: &[TxnMeta]) {
+        let preds = self.preds.lock();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (key, entry) in shard.iter() {
+                for &w in &entry.writers {
+                    let w_tid = metas[w as usize].tid;
+                    for &r in &entry.readers {
+                        if r == w {
+                            continue;
+                        }
+                        let r_tid = metas[r as usize].tid;
+                        metas[r as usize].note_out_edge(w_tid);
+                        metas[w as usize].note_in_edge(r_tid);
+                    }
+                    for (r, pred) in preds.iter() {
+                        if *r == w || !pred.covers(key) {
+                            continue;
+                        }
+                        let r_tid = metas[*r as usize].tid;
+                        metas[*r as usize].note_out_edge(w_tid);
+                        metas[w as usize].note_in_edge(r_tid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Smallest writer TID per key (Aria-style ww validation used when
+    /// update reordering is disabled): `T_j` has a ww-dependency iff some
+    /// key it writes has `min_writer_tid < j`.
+    #[must_use]
+    pub fn min_writer_tids(&self, metas: &[TxnMeta]) -> HashMap<Key, u64> {
+        let mut out = HashMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (key, entry) in shard.iter() {
+                if let Some(min) = entry
+                    .writers
+                    .iter()
+                    .map(|&w| metas[w as usize].tid)
+                    .min()
+                {
+                    out.insert(key.clone(), min);
+                }
+            }
+        }
+        out
+    }
+
+    /// Visit every written key and its writer indices.
+    pub fn for_each_written_key(&self, mut f: impl FnMut(&Key, &[u32])) {
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (key, entry) in shard.iter() {
+                if !entry.writers.is_empty() {
+                    f(key, &entry.writers);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use harmony_common::ids::TableId;
+    use harmony_txn::UpdateCommand;
+
+    fn key(s: &str) -> Key {
+        Key::new(TableId(0), s.as_bytes().to_vec())
+    }
+
+    fn rw(reads: &[&str], writes: &[&str]) -> RwSet {
+        let mut set = RwSet::default();
+        for r in reads {
+            set.record_read(key(r), None);
+        }
+        for w in writes {
+            set.record_update(key(w), UpdateCommand::Put(Bytes::from_static(b"v")));
+        }
+        set
+    }
+
+    fn metas(tids: &[u64]) -> Vec<TxnMeta> {
+        tids.iter().map(|&t| TxnMeta::new(t)).collect()
+    }
+
+    #[test]
+    fn reader_writer_pair_fires_both_edges() {
+        let table = ReservationTable::new();
+        // T1 writes x; T2 reads x.
+        table.register(0, &rw(&[], &["x"]));
+        table.register(1, &rw(&["x"], &[]));
+        let m = metas(&[1, 2]);
+        table.fire_rw_events(&m);
+        // Edge T1 ←rw T2: T2.min_out = 1, T1.max_in = 2.
+        assert_eq!(m[1].min_out(), 1);
+        assert_eq!(m[0].max_in(), 2);
+    }
+
+    #[test]
+    fn figure_3a_two_txn_cycle_detected() {
+        // T1 reads y writes x; T2 reads x writes y.
+        let table = ReservationTable::new();
+        table.register(0, &rw(&["y"], &["x"]));
+        table.register(1, &rw(&["x"], &["y"]));
+        let m = metas(&[1, 2]);
+        table.fire_rw_events(&m);
+        assert!(
+            m[1].in_backward_dangerous_structure(),
+            "T2 must be aborted (write-skew)"
+        );
+        assert!(
+            !m[0].in_backward_dangerous_structure(),
+            "T1 commits: min_out unchanged (its out-edge targets T2 > T1)"
+        );
+    }
+
+    #[test]
+    fn ww_only_conflict_fires_no_rw_events() {
+        let table = ReservationTable::new();
+        table.register(0, &rw(&[], &["x"]));
+        table.register(1, &rw(&[], &["x"]));
+        let m = metas(&[1, 2]);
+        table.fire_rw_events(&m);
+        assert!(!m[0].in_backward_dangerous_structure());
+        assert!(!m[1].in_backward_dangerous_structure());
+        // But ww map sees the conflict.
+        let min_writers = table.min_writer_tids(&m);
+        assert_eq!(min_writers[&key("x")], 1);
+    }
+
+    #[test]
+    fn self_read_write_not_an_edge() {
+        let table = ReservationTable::new();
+        table.register(0, &rw(&["x"], &["x"]));
+        let m = metas(&[1]);
+        table.fire_rw_events(&m);
+        assert_eq!(m[0].min_out(), 2, "no self-edge");
+        assert_eq!(m[0].max_in(), crate::meta::NEG_INF);
+    }
+
+    #[test]
+    fn predicate_read_covers_insert() {
+        // T2 scans [a, m); T1 inserts "g" — a phantom. Edge T1 ←rw T2.
+        let table = ReservationTable::new();
+        table.register(0, &rw(&[], &["g"]));
+        let mut scanner = RwSet::default();
+        scanner.record_scan(RangePredicate {
+            table: TableId(0),
+            start: Bytes::from_static(b"a"),
+            end: Some(Bytes::from_static(b"m")),
+        });
+        table.register(1, &scanner);
+        let m = metas(&[1, 2]);
+        table.fire_rw_events(&m);
+        assert_eq!(m[1].min_out(), 1, "phantom registered as out-edge");
+        assert_eq!(m[0].max_in(), 2);
+    }
+
+    #[test]
+    fn predicate_outside_range_no_edge() {
+        let table = ReservationTable::new();
+        table.register(0, &rw(&[], &["z"]));
+        let mut scanner = RwSet::default();
+        scanner.record_scan(RangePredicate {
+            table: TableId(0),
+            start: Bytes::from_static(b"a"),
+            end: Some(Bytes::from_static(b"m")),
+        });
+        table.register(1, &scanner);
+        let m = metas(&[1, 2]);
+        table.fire_rw_events(&m);
+        assert_eq!(m[1].min_out(), 3, "no edge for out-of-range write");
+    }
+
+    #[test]
+    fn multi_writer_multi_reader_hotspot() {
+        // Writers T1..T3 and readers T4, T5 on one hot key.
+        let table = ReservationTable::new();
+        for i in 0..3 {
+            table.register(i, &rw(&[], &["hot"]));
+        }
+        table.register(3, &rw(&["hot"], &[]));
+        table.register(4, &rw(&["hot"], &[]));
+        let m = metas(&[1, 2, 3, 4, 5]);
+        table.fire_rw_events(&m);
+        // Readers' min_out = smallest writer (1).
+        assert_eq!(m[3].min_out(), 1);
+        assert_eq!(m[4].min_out(), 1);
+        // Writers' max_in = largest reader (5).
+        for meta in m.iter().take(3) {
+            assert_eq!(meta.max_in(), 5);
+        }
+        // No reader writes, so nobody is in a dangerous structure.
+        for meta in &m {
+            assert!(!meta.in_backward_dangerous_structure());
+        }
+    }
+
+    #[test]
+    fn for_each_written_key_visits_all() {
+        let table = ReservationTable::new();
+        table.register(0, &rw(&[], &["a", "b"]));
+        table.register(1, &rw(&[], &["b"]));
+        let mut seen: Vec<(String, usize)> = Vec::new();
+        table.for_each_written_key(|k, ws| {
+            seen.push((String::from_utf8_lossy(&k.row).into_owned(), ws.len()));
+        });
+        seen.sort();
+        assert_eq!(seen, vec![("a".into(), 1), ("b".into(), 2)]);
+    }
+}

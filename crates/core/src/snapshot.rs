@@ -1,0 +1,448 @@
+//! Block-snapshot MVCC over the storage engine.
+//!
+//! Snapshot-based ODCCs (Aria, RBC, Harmony — Table 2c of the paper) need a
+//! *deterministic block snapshot*: the state after a specific block, used
+//! as the single source of truth by every replica. [`SnapshotStore`] layers
+//! an undo-based multi-version overlay on the storage engine:
+//!
+//! * commits write the engine *in place* (paying the realistic buffer-pool
+//!   / disk costs) while recording per-key before-images tagged with the
+//!   writer block;
+//! * `read_at(s, key)` reconstructs the state after block `s` by returning
+//!   the before-image of the oldest writer newer than `s`;
+//! * once no in-flight block can request a snapshot older than `s`,
+//!   [`SnapshotStore::gc`] drops the stale undo entries (pipeline depth is
+//!   2, so the undo chain per key stays ≤ 2 entries).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use harmony_common::ids::TableId;
+use harmony_common::{BlockId, Result};
+use harmony_txn::{Key, SnapshotView, Value};
+use parking_lot::RwLock;
+use harmony_storage::StorageEngine;
+
+const SHARDS: usize = 64;
+
+#[derive(Clone, Debug)]
+struct UndoEntry {
+    writer_block: BlockId,
+    before: Option<Value>,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Undo chains ordered oldest→newest per key.
+    undo: HashMap<Key, Vec<UndoEntry>>,
+    /// Writer history per key, oldest→newest `(block, tid)` — versions for
+    /// SOV-style stale-read validation at any retained snapshot.
+    versions: HashMap<Key, Vec<(BlockId, u64)>>,
+}
+
+/// Multi-version snapshot overlay over a [`StorageEngine`].
+pub struct SnapshotStore {
+    engine: Arc<StorageEngine>,
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl SnapshotStore {
+    /// Wrap an engine. The engine's current contents are defined to be the
+    /// state after `BlockId(0)` (genesis / initial load).
+    #[must_use]
+    pub fn new(engine: Arc<StorageEngine>) -> SnapshotStore {
+        SnapshotStore {
+            engine,
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+        }
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<StorageEngine> {
+        &self.engine
+    }
+
+    fn shard_for(&self, key: &Key) -> &RwLock<Shard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Apply one committed write on behalf of block `block` / writer `tid`.
+    /// Must be called at most once per (key, block) — Harmony's coalescence
+    /// guarantees that. Records the before-image for snapshot readers.
+    pub fn apply_write(
+        &self,
+        block: BlockId,
+        tid: u64,
+        key: &Key,
+        value: Option<&Value>,
+    ) -> Result<()> {
+        let before = self.engine.get(key.table, &key.row)?.map(Value::from);
+        {
+            let mut shard = self.shard_for(key).write();
+            let chain = shard.undo.entry(key.clone()).or_default();
+            debug_assert!(
+                chain.last().is_none_or(|e| e.writer_block < block),
+                "apply_write called twice for one (key, block)"
+            );
+            chain.push(UndoEntry {
+                writer_block: block,
+                before,
+            });
+            shard.versions.entry(key.clone()).or_default().push((block, tid));
+        }
+        match value {
+            Some(v) => self.engine.put(key.table, &key.row, v)?,
+            None => {
+                let _ = self.engine.delete(key.table, &key.row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite `key` again *within the block that already recorded its
+    /// undo entry* (uncoalesced apply path: later writers of the same key
+    /// re-write the record without adding undo entries).
+    pub fn overwrite_in_block(&self, tid: u64, key: &Key, value: Option<&Value>) -> Result<()> {
+        {
+            let mut shard = self.shard_for(key).write();
+            if let Some(last) = shard
+                .versions
+                .get_mut(key)
+                .and_then(|chain| chain.last_mut())
+            {
+                last.1 = tid;
+            }
+        }
+        match value {
+            Some(v) => self.engine.put(key.table, &key.row, v)?,
+            None => {
+                let _ = self.engine.delete(key.table, &key.row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read `key` as of the state after block `snapshot`.
+    pub fn read_at(&self, snapshot: BlockId, key: &Key) -> Result<Option<Value>> {
+        {
+            let shard = self.shard_for(key).read();
+            if let Some(chain) = shard.undo.get(key) {
+                // Oldest writer newer than the snapshot holds the visible
+                // before-image.
+                if let Some(e) = chain.iter().find(|e| e.writer_block > snapshot) {
+                    return Ok(e.before.clone());
+                }
+            }
+        }
+        Ok(self.engine.get(key.table, &key.row)?.map(Value::from))
+    }
+
+    /// Ordered scan of `[start, end)` in `table` as of the state after
+    /// block `snapshot`.
+    pub fn scan_at(
+        &self,
+        snapshot: BlockId,
+        table: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &Value) -> bool,
+    ) -> Result<()> {
+        // Collect snapshot-visible overrides for keys with newer writers.
+        let mut overrides: BTreeMap<Vec<u8>, Option<Value>> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (key, chain) in &shard.undo {
+                if key.table != table
+                    || key.row.as_ref() < start
+                    || end.is_some_and(|e| key.row.as_ref() >= e)
+                {
+                    continue;
+                }
+                if let Some(e) = chain.iter().find(|e| e.writer_block > snapshot) {
+                    overrides.insert(key.row.to_vec(), e.before.clone());
+                }
+            }
+        }
+        if overrides.is_empty() {
+            return self
+                .engine
+                .scan(table, start, end, |k, v| f(k, &Value::copy_from_slice(v)));
+        }
+        // Merge engine rows with overrides (override wins; None hides).
+        let mut merged: BTreeMap<Vec<u8>, Value> = BTreeMap::new();
+        self.engine.scan(table, start, end, |k, v| {
+            merged.insert(k.to_vec(), Value::copy_from_slice(v));
+            true
+        })?;
+        for (row, before) in overrides {
+            match before {
+                Some(v) => {
+                    merged.insert(row, v);
+                }
+                None => {
+                    merged.remove(&row);
+                }
+            }
+        }
+        for (k, v) in &merged {
+            if !f(k, v) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Last-writer TID of `key` (`None` before any overlay write).
+    #[must_use]
+    pub fn version_of(&self, key: &Key) -> Option<u64> {
+        self.shard_for(key)
+            .read()
+            .versions
+            .get(key)
+            .and_then(|chain| chain.last())
+            .map(|(_, tid)| *tid)
+    }
+
+    /// Last-writer TID of `key` as of the state after block `snapshot`
+    /// (`None` = written only by the initial load, or never).
+    #[must_use]
+    pub fn version_at(&self, snapshot: BlockId, key: &Key) -> Option<u64> {
+        self.shard_for(key)
+            .read()
+            .versions
+            .get(key)
+            .and_then(|chain| chain.iter().rev().find(|(b, _)| *b <= snapshot))
+            .map(|(_, tid)| *tid)
+    }
+
+    /// Drop undo entries that no live snapshot can request: everything
+    /// with `writer_block <= oldest_needed` (a snapshot at `s` needs
+    /// before-images of writers `> s` only). Version history keeps the
+    /// newest entry at-or-before the horizon as the base version.
+    pub fn gc(&self, oldest_needed: BlockId) {
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.undo.retain(|_, chain| {
+                chain.retain(|e| e.writer_block > oldest_needed);
+                !chain.is_empty()
+            });
+            for chain in shard.versions.values_mut() {
+                if let Some(base) = chain.iter().rposition(|(b, _)| *b <= oldest_needed) {
+                    chain.drain(..base);
+                }
+            }
+        }
+    }
+
+    /// Number of keys with live undo entries (tests / diagnostics).
+    #[must_use]
+    pub fn undo_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.read().undo.len()).sum()
+    }
+
+    /// Export the before-images recorded by block `block` (checkpointing
+    /// support: under inter-block parallelism, block `c + 1` simulates
+    /// against snapshot `c − 1`, so recovery from a checkpoint at `c` must
+    /// be able to reconstruct that older snapshot).
+    #[must_use]
+    pub fn export_undo_for(&self, block: BlockId) -> Vec<(Key, Option<Value>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (key, chain) in &shard.undo {
+                if let Some(e) = chain.iter().find(|e| e.writer_block == block) {
+                    out.push((key.clone(), e.before.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Re-install before-images exported by [`Self::export_undo_for`]
+    /// (recovery path). Also restores the version history entry for the
+    /// writing block.
+    pub fn import_undo_for(&self, block: BlockId, entries: &[(Key, Option<Value>)], tid: u64) {
+        for (key, before) in entries {
+            let mut shard = self.shard_for(key).write();
+            shard.undo.entry(key.clone()).or_default().push(UndoEntry {
+                writer_block: block,
+                before: before.clone(),
+            });
+            shard
+                .versions
+                .entry(key.clone())
+                .or_default()
+                .push((block, tid));
+        }
+    }
+
+    /// A [`SnapshotView`] of the state after `block`.
+    #[must_use]
+    pub fn view_at(&self, block: BlockId) -> SnapshotViewAt<'_> {
+        SnapshotViewAt {
+            store: self,
+            block,
+        }
+    }
+}
+
+/// [`SnapshotView`] adapter: reads the state after a fixed block.
+pub struct SnapshotViewAt<'a> {
+    store: &'a SnapshotStore,
+    block: BlockId,
+}
+
+impl SnapshotView for SnapshotViewAt<'_> {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        self.store.read_at(self.block, key)
+    }
+
+    fn scan(
+        &self,
+        table: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &Value) -> bool,
+    ) -> Result<()> {
+        self.store.scan_at(self.block, table, start, end, f)
+    }
+
+    fn version_of(&self, key: &Key) -> Option<u64> {
+        self.store.version_at(self.block, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_storage::StorageConfig;
+
+    fn store() -> (SnapshotStore, TableId) {
+        let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+        let t = engine.create_table("t").unwrap();
+        (SnapshotStore::new(engine), t)
+    }
+
+    fn key(t: TableId, s: &str) -> Key {
+        Key::new(t, s.as_bytes().to_vec())
+    }
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn snapshot_isolation_across_blocks() {
+        let (s, t) = store();
+        s.engine().put(t, b"x", b"v0").unwrap(); // genesis state
+        s.apply_write(BlockId(1), 100, &key(t, "x"), Some(&val("v1")))
+            .unwrap();
+        s.apply_write(BlockId(2), 200, &key(t, "x"), Some(&val("v2")))
+            .unwrap();
+        assert_eq!(s.read_at(BlockId(0), &key(t, "x")).unwrap(), Some(val("v0")));
+        assert_eq!(s.read_at(BlockId(1), &key(t, "x")).unwrap(), Some(val("v1")));
+        assert_eq!(s.read_at(BlockId(2), &key(t, "x")).unwrap(), Some(val("v2")));
+        assert_eq!(s.read_at(BlockId(9), &key(t, "x")).unwrap(), Some(val("v2")));
+    }
+
+    #[test]
+    fn snapshot_hides_insert_and_restores_delete() {
+        let (s, t) = store();
+        s.engine().put(t, b"old", b"o").unwrap();
+        s.apply_write(BlockId(1), 1, &key(t, "new"), Some(&val("n")))
+            .unwrap();
+        s.apply_write(BlockId(1), 2, &key(t, "old"), None).unwrap();
+        // At snapshot 0: "new" invisible, "old" still present.
+        assert_eq!(s.read_at(BlockId(0), &key(t, "new")).unwrap(), None);
+        assert_eq!(s.read_at(BlockId(0), &key(t, "old")).unwrap(), Some(val("o")));
+        // At snapshot 1: reversed.
+        assert_eq!(s.read_at(BlockId(1), &key(t, "new")).unwrap(), Some(val("n")));
+        assert_eq!(s.read_at(BlockId(1), &key(t, "old")).unwrap(), None);
+    }
+
+    #[test]
+    fn scan_at_sees_snapshot_consistent_rows() {
+        let (s, t) = store();
+        s.engine().put(t, b"a", b"a0").unwrap();
+        s.engine().put(t, b"c", b"c0").unwrap();
+        s.apply_write(BlockId(1), 1, &key(t, "b"), Some(&val("b1")))
+            .unwrap(); // insert
+        s.apply_write(BlockId(1), 2, &key(t, "c"), None).unwrap(); // delete
+        s.apply_write(BlockId(1), 3, &key(t, "a"), Some(&val("a1")))
+            .unwrap(); // update
+
+        let collect = |snap: u64| {
+            let mut rows = Vec::new();
+            s.scan_at(BlockId(snap), t, b"", None, &mut |k, v| {
+                rows.push((k.to_vec(), v.clone()));
+                true
+            })
+            .unwrap();
+            rows
+        };
+        let snap0 = collect(0);
+        assert_eq!(
+            snap0,
+            vec![
+                (b"a".to_vec(), val("a0")),
+                (b"c".to_vec(), val("c0")),
+            ]
+        );
+        let snap1 = collect(1);
+        assert_eq!(
+            snap1,
+            vec![
+                (b"a".to_vec(), val("a1")),
+                (b"b".to_vec(), val("b1")),
+            ]
+        );
+    }
+
+    #[test]
+    fn versions_track_last_writer() {
+        let (s, t) = store();
+        assert_eq!(s.version_of(&key(t, "x")), None);
+        s.apply_write(BlockId(1), 111, &key(t, "x"), Some(&val("v")))
+            .unwrap();
+        assert_eq!(s.version_of(&key(t, "x")), Some(111));
+        s.apply_write(BlockId(2), 222, &key(t, "x"), Some(&val("w")))
+            .unwrap();
+        assert_eq!(s.version_of(&key(t, "x")), Some(222));
+    }
+
+    #[test]
+    fn gc_drops_only_stale_entries() {
+        let (s, t) = store();
+        s.engine().put(t, b"x", b"v0").unwrap();
+        s.apply_write(BlockId(1), 1, &key(t, "x"), Some(&val("v1")))
+            .unwrap();
+        s.apply_write(BlockId(2), 2, &key(t, "x"), Some(&val("v2")))
+            .unwrap();
+        assert_eq!(s.undo_keys(), 1);
+        s.gc(BlockId(1));
+        // Snapshot 1 must still be reconstructible.
+        assert_eq!(s.read_at(BlockId(1), &key(t, "x")).unwrap(), Some(val("v1")));
+        s.gc(BlockId(2));
+        assert_eq!(s.undo_keys(), 0);
+        // Latest state still served from the engine.
+        assert_eq!(s.read_at(BlockId(5), &key(t, "x")).unwrap(), Some(val("v2")));
+    }
+
+    #[test]
+    fn view_adapter_implements_snapshot_view() {
+        let (s, t) = store();
+        s.engine().put(t, b"k", b"v").unwrap();
+        s.apply_write(BlockId(3), 1, &key(t, "k"), Some(&val("w")))
+            .unwrap();
+        let v0 = s.view_at(BlockId(0));
+        assert_eq!(v0.get(&key(t, "k")).unwrap(), Some(val("v")));
+        let v3 = s.view_at(BlockId(3));
+        assert_eq!(v3.get(&key(t, "k")).unwrap(), Some(val("w")));
+        assert_eq!(v3.version_of(&key(t, "k")), Some(1));
+    }
+}

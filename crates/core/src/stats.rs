@@ -1,0 +1,152 @@
+//! Per-block execution statistics.
+
+use std::fmt;
+
+/// Counters produced by executing one block (or aggregated over many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Transactions in the block.
+    pub txns: usize,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Aborts by Rule 1 (intra-block backward dangerous structure).
+    pub aborted_rule1: usize,
+    /// Aborts by Rule 3(ii) (inter-block dangerous structure).
+    pub aborted_interblock: usize,
+    /// Aborts by ww-dependency (Aria/RBC first-committer-wins; Harmony
+    /// only when update reordering is disabled).
+    pub aborted_ww: usize,
+    /// Stale-read aborts (Fabric MVCC validation, Aria raw-dependency).
+    pub aborted_stale: usize,
+    /// SSI dangerous-structure aborts (RBC).
+    pub aborted_ssi: usize,
+    /// Endorsement mismatch aborts (SOV architectures).
+    pub aborted_endorsement: usize,
+    /// Dependency-graph cycle / graph-cap drops (FastFabric#).
+    pub aborted_graph: usize,
+    /// Deterministic business aborts (contract logic).
+    pub user_aborted: usize,
+    /// RMW commands skipped because their record was missing at apply time
+    /// (zero-row UPDATE semantics).
+    pub apply_noop_commands: u64,
+    /// Total virtual nanoseconds spent in the simulation step.
+    pub sim_ns_total: u64,
+    /// Total virtual nanoseconds spent in the commit step.
+    pub commit_ns_total: u64,
+}
+
+impl BlockStats {
+    /// Protocol-induced aborts (excludes user aborts).
+    #[must_use]
+    pub fn protocol_aborts(&self) -> usize {
+        self.aborted_rule1
+            + self.aborted_interblock
+            + self.aborted_ww
+            + self.aborted_stale
+            + self.aborted_ssi
+            + self.aborted_endorsement
+            + self.aborted_graph
+    }
+
+    /// Abort rate over protocol-eligible transactions
+    /// (`protocol aborts / (txns - user aborts)`), the metric the paper's
+    /// abort-rate plots use.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let eligible = self.txns.saturating_sub(self.user_aborted);
+        if eligible == 0 {
+            0.0
+        } else {
+            self.protocol_aborts() as f64 / eligible as f64
+        }
+    }
+
+    /// Accumulate another block's counters.
+    pub fn absorb(&mut self, other: &BlockStats) {
+        self.txns += other.txns;
+        self.committed += other.committed;
+        self.aborted_rule1 += other.aborted_rule1;
+        self.aborted_interblock += other.aborted_interblock;
+        self.aborted_ww += other.aborted_ww;
+        self.aborted_stale += other.aborted_stale;
+        self.aborted_ssi += other.aborted_ssi;
+        self.aborted_endorsement += other.aborted_endorsement;
+        self.aborted_graph += other.aborted_graph;
+        self.user_aborted += other.user_aborted;
+        self.apply_noop_commands += other.apply_noop_commands;
+        self.sim_ns_total += other.sim_ns_total;
+        self.commit_ns_total += other.commit_ns_total;
+    }
+}
+
+impl fmt::Display for BlockStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "txns={} committed={} rule1={} inter={} ww={} user={} abort_rate={:.3}",
+            self.txns,
+            self.committed,
+            self.aborted_rule1,
+            self.aborted_interblock,
+            self.aborted_ww,
+            self.user_aborted,
+            self.abort_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_rate_excludes_user_aborts() {
+        let s = BlockStats {
+            txns: 10,
+            committed: 6,
+            aborted_rule1: 2,
+            user_aborted: 2,
+            ..BlockStats::default()
+        };
+        assert_eq!(s.protocol_aborts(), 2);
+        assert!((s.abort_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_block_zero_rate() {
+        assert_eq!(BlockStats::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = BlockStats {
+            txns: 5,
+            committed: 5,
+            sim_ns_total: 100,
+            ..BlockStats::default()
+        };
+        let b = BlockStats {
+            txns: 3,
+            committed: 1,
+            aborted_ww: 2,
+            commit_ns_total: 50,
+            ..BlockStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.txns, 8);
+        assert_eq!(a.committed, 6);
+        assert_eq!(a.aborted_ww, 2);
+        assert_eq!(a.sim_ns_total, 100);
+        assert_eq!(a.commit_ns_total, 50);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = BlockStats {
+            txns: 4,
+            committed: 4,
+            ..BlockStats::default()
+        };
+        assert!(s.to_string().contains("txns=4"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Protocol-level tests for the Harmony executor and pipeline:
+//! dangerous-structure aborts, reordering semantics, determinism under
+//! parallelism, inter-block behaviour, and a serializability oracle over
+//! randomized workloads.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use harmony_common::error::AbortReason;
+use harmony_common::ids::TableId;
+use harmony_common::{BlockId, DetRng};
+use harmony_core::executor::{BlockExecutor, ExecBlock, TxnOutcome};
+use harmony_core::{ChainPipeline, HarmonyConfig, SnapshotStore};
+use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_txn::{Contract, FnContract, Key, TxnCtx, UserAbort};
+
+fn setup(n_keys: u64) -> (Arc<SnapshotStore>, TableId) {
+    let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+    let t = engine.create_table("t").unwrap();
+    for i in 0..n_keys {
+        engine
+            .put(t, &i.to_be_bytes(), &100i64.to_le_bytes())
+            .unwrap();
+    }
+    (Arc::new(SnapshotStore::new(engine)), t)
+}
+
+fn key(t: TableId, i: u64) -> Key {
+    Key::from_u64(t, i)
+}
+
+fn read_i64(store: &SnapshotStore, t: TableId, i: u64) -> Option<i64> {
+    store
+        .engine()
+        .get(t, &i.to_be_bytes())
+        .unwrap()
+        .map(|v| i64::from_le_bytes(v.as_slice().try_into().unwrap()))
+}
+
+/// A transaction that reads `reads`, then adds 1 to each key in `writes`.
+fn read_add_txn(t: TableId, reads: Vec<u64>, writes: Vec<u64>) -> Arc<dyn Contract> {
+    Arc::new(FnContract::new("read-add", move |ctx: &mut TxnCtx<'_>| {
+        for &r in &reads {
+            ctx.read(&key(t, r)).map_err(|e| UserAbort(e.to_string()))?;
+        }
+        for &w in &writes {
+            ctx.add_i64(key(t, w), 0, 1);
+        }
+        Ok(())
+    }))
+}
+
+/// A blind overwrite transaction.
+fn put_txn(t: TableId, k: u64, v: i64) -> Arc<dyn Contract> {
+    Arc::new(FnContract::new("put", move |ctx: &mut TxnCtx<'_>| {
+        ctx.put(key(t, k), v.to_le_bytes().to_vec());
+        Ok(())
+    }))
+}
+
+#[test]
+fn disjoint_txns_all_commit() {
+    let (store, t) = setup(16);
+    let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default().single_threaded());
+    let txns: Vec<_> = (0..8).map(|i| read_add_txn(t, vec![i], vec![i + 8])).collect();
+    let res = exec.execute(&ExecBlock::new(BlockId(1), txns), None).unwrap();
+    assert_eq!(res.stats.committed, 8);
+    assert_eq!(res.stats.protocol_aborts(), 0);
+    for i in 8..16 {
+        assert_eq!(read_i64(&store, t, i), Some(101));
+    }
+}
+
+#[test]
+fn write_skew_aborts_exactly_one() {
+    // Classic write-skew: T0 reads x writes y; T1 reads y writes x.
+    // Rule 1 must abort exactly the larger-TID participant (T1).
+    let (store, t) = setup(2);
+    let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default());
+    let txns = vec![
+        read_add_txn(t, vec![0], vec![1]),
+        read_add_txn(t, vec![1], vec![0]),
+    ];
+    let res = exec.execute(&ExecBlock::new(BlockId(1), txns), None).unwrap();
+    assert_eq!(res.stats.committed, 1);
+    assert_eq!(res.stats.aborted_rule1, 1);
+    assert_eq!(
+        res.results[1].outcome,
+        TxnOutcome::Aborted(AbortReason::BackwardDangerousStructure),
+        "the larger TID is the one in the backward structure"
+    );
+    assert_eq!(res.results[0].outcome, TxnOutcome::Committed);
+}
+
+#[test]
+fn ww_conflicts_all_commit_via_reordering() {
+    // Ten concurrent `add(hot, 1)` txns: Aria aborts nine; Harmony commits
+    // all ten through update reordering + coalescence.
+    let (store, t) = setup(1);
+    let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default());
+    let txns: Vec<_> = (0..10).map(|_| read_add_txn(t, vec![], vec![0])).collect();
+    let res = exec.execute(&ExecBlock::new(BlockId(1), txns), None).unwrap();
+    assert_eq!(res.stats.committed, 10);
+    assert_eq!(read_i64(&store, t, 0), Some(110));
+}
+
+#[test]
+fn ww_conflicts_abort_without_reordering() {
+    // Ablation raw mode: ww-dependency aborts all but the smallest TID.
+    let (store, t) = setup(1);
+    let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::raw());
+    let txns: Vec<_> = (0..10).map(|_| read_add_txn(t, vec![], vec![0])).collect();
+    let res = exec.execute(&ExecBlock::new(BlockId(1), txns), None).unwrap();
+    assert_eq!(res.stats.committed, 1);
+    assert_eq!(res.stats.aborted_ww, 9);
+    assert_eq!(read_i64(&store, t, 0), Some(101));
+}
+
+#[test]
+fn rmw_then_read_consistency_matches_paper_example() {
+    // T0: add(x, 10); T1: reads x then writes x = read*3 expressed as a
+    // single RMW (mul) — both must commit and compose.
+    let (store, t) = setup(1);
+    store
+        .engine()
+        .put(t, &0u64.to_be_bytes(), &10i64.to_le_bytes())
+        .unwrap();
+    let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default());
+    let t0 = Arc::new(FnContract::new("add", move |ctx: &mut TxnCtx<'_>| {
+        ctx.add_i64(key(t, 0), 0, 10);
+        Ok(())
+    })) as Arc<dyn Contract>;
+    let t1 = Arc::new(FnContract::new("read-mul", move |ctx: &mut TxnCtx<'_>| {
+        // Read + separate RMW update (reads snapshot).
+        let _ = ctx.read(&key(t, 0)).map_err(|e| UserAbort(e.to_string()))?;
+        ctx.add_i64(key(t, 0), 0, 5);
+        Ok(())
+    })) as Arc<dyn Contract>;
+    let res = exec
+        .execute(&ExecBlock::new(BlockId(1), vec![t0, t1]), None)
+        .unwrap();
+    // T1 read x (before-image of T0's write): edge T0 ←rw T1. T1's update
+    // is reordered before T0's. Both commit; total = 10 + 10 + 5.
+    assert_eq!(res.stats.committed, 2);
+    assert_eq!(read_i64(&store, t, 0), Some(25));
+}
+
+#[test]
+fn user_abort_is_final_and_isolated() {
+    let (store, t) = setup(2);
+    let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default());
+    let aborter = Arc::new(FnContract::new("aborter", move |ctx: &mut TxnCtx<'_>| {
+        ctx.put(key(t, 0), 999i64.to_le_bytes().to_vec());
+        ctx.user_abort("business rule")
+    })) as Arc<dyn Contract>;
+    let res = exec
+        .execute(
+            &ExecBlock::new(BlockId(1), vec![aborter, put_txn(t, 1, 7)]),
+            None,
+        )
+        .unwrap();
+    assert_eq!(res.stats.user_aborted, 1);
+    assert_eq!(res.stats.committed, 1);
+    assert_eq!(read_i64(&store, t, 0), Some(100), "aborted write invisible");
+    assert_eq!(read_i64(&store, t, 1), Some(7));
+}
+
+#[test]
+fn determinism_across_worker_counts() {
+    // The committed state must be identical for 1, 2, and 8 workers.
+    let final_state = |workers: usize| -> Vec<(u64, i64)> {
+        let (store, t) = setup(32);
+        let config = HarmonyConfig {
+            workers,
+            ..HarmonyConfig::default()
+        };
+        let mut pipeline = ChainPipeline::new(Arc::clone(&store), config);
+        let mut rng = DetRng::new(777);
+        let mut blocks = Vec::new();
+        for b in 1..=10u64 {
+            let txns: Vec<_> = (0..20)
+                .map(|_| {
+                    let reads = vec![rng.gen_range(32)];
+                    let writes = vec![rng.gen_range(32)];
+                    read_add_txn(t, reads, writes)
+                })
+                .collect();
+            blocks.push(ExecBlock::new(BlockId(b), txns));
+        }
+        pipeline.run_blocks(&blocks).unwrap();
+        (0..32).map(|i| (i, read_i64(&store, t, i).unwrap())).collect()
+    };
+    let s1 = final_state(1);
+    let s2 = final_state(2);
+    let s8 = final_state(8);
+    assert_eq!(s1, s2);
+    assert_eq!(s1, s8);
+}
+
+#[test]
+fn interblock_write_skew_across_blocks_aborts() {
+    // Block 1: T reads x writes y. Block 2: T' reads y (from snapshot 0 —
+    // stale) writes x. Under IBP this is the cross-block write-skew the
+    // enhanced validation must catch.
+    let (store, t) = setup(2);
+    let config = HarmonyConfig {
+        inter_block_parallelism: true,
+        ..HarmonyConfig::default()
+    };
+    let mut pipeline = ChainPipeline::new(Arc::clone(&store), config);
+    let blocks = vec![
+        ExecBlock::new(BlockId(1), vec![read_add_txn(t, vec![0], vec![1])]),
+        ExecBlock::new(BlockId(2), vec![read_add_txn(t, vec![1], vec![0])]),
+    ];
+    let report = pipeline.run_blocks(&blocks).unwrap();
+    let total_commits = report.totals.committed;
+    let total_aborts = report.totals.protocol_aborts();
+    // One of the two must abort; committing both would be unserializable
+    // (each read the other's before-image).
+    assert_eq!(total_commits, 1, "aborts={total_aborts}");
+    assert_eq!(total_aborts, 1);
+}
+
+#[test]
+fn interblock_snapshot_is_two_blocks_back() {
+    let (store, t) = setup(1);
+    let config = HarmonyConfig::default(); // IBP on
+    let mut pipeline = ChainPipeline::new(Arc::clone(&store), config);
+    // Block 1 sets x=1; block 2 sets x=2; block 3 reads x.
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let reader = Arc::new(FnContract::new("reader", move |ctx: &mut TxnCtx<'_>| {
+        let v = ctx
+            .read(&key(t, 0))
+            .map_err(|e| UserAbort(e.to_string()))?
+            .map(|v| i64::from_le_bytes(v.as_ref().try_into().unwrap()));
+        *seen2.lock() = v;
+        Ok(())
+    })) as Arc<dyn Contract>;
+    let blocks = vec![
+        ExecBlock::new(BlockId(1), vec![put_txn(t, 0, 1)]),
+        ExecBlock::new(BlockId(2), vec![put_txn(t, 0, 2)]),
+        ExecBlock::new(BlockId(3), vec![reader]),
+    ];
+    pipeline.run_blocks(&blocks).unwrap();
+    // Block 3 simulates against the snapshot of block 1 (i − 2).
+    assert_eq!(*seen.lock(), Some(1));
+}
+
+#[test]
+fn pipeline_gc_bounds_undo_memory() {
+    let (store, t) = setup(4);
+    let mut pipeline = ChainPipeline::new(Arc::clone(&store), HarmonyConfig::default());
+    let blocks: Vec<_> = (1..=50u64)
+        .map(|b| ExecBlock::new(BlockId(b), vec![read_add_txn(t, vec![], vec![b % 4])]))
+        .collect();
+    pipeline.run_blocks(&blocks).unwrap();
+    assert!(
+        store.undo_keys() <= 8,
+        "undo chains must be GC'd, saw {}",
+        store.undo_keys()
+    );
+}
+
+#[test]
+fn phantom_scan_vs_insert_is_detected() {
+    // T0 inserts a key into the scanned range; T1 scans the range and
+    // writes based on the count. T1 read the before-image of T0's insert.
+    let (store, t) = setup(4);
+    let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default());
+    let inserter = Arc::new(FnContract::new("ins", move |ctx: &mut TxnCtx<'_>| {
+        // Also read something T1 writes so a cycle forms.
+        let _ = ctx.read(&key(t, 100)).map_err(|e| UserAbort(e.to_string()))?;
+        ctx.put(key(t, 2), 1i64.to_le_bytes().to_vec());
+        Ok(())
+    })) as Arc<dyn Contract>;
+    let scanner = Arc::new(FnContract::new("scan", move |ctx: &mut TxnCtx<'_>| {
+        let rows = ctx
+            .scan(t, &0u64.to_be_bytes(), Some(&4u64.to_be_bytes()), 100)
+            .map_err(|e| UserAbort(e.to_string()))?;
+        ctx.put(key(t, 100), (rows.len() as i64).to_le_bytes().to_vec());
+        Ok(())
+    })) as Arc<dyn Contract>;
+    let res = exec
+        .execute(&ExecBlock::new(BlockId(1), vec![inserter, scanner]), None)
+        .unwrap();
+    // T1 (scanner) has out-edge to T0 (phantom) and in-edge from T0
+    // (key 100): backward dangerous structure => abort scanner.
+    assert_eq!(res.stats.committed, 1);
+    assert_eq!(
+        res.results[1].outcome,
+        TxnOutcome::Aborted(AbortReason::BackwardDangerousStructure)
+    );
+}
+
+/// Serializability oracle: replay committed transactions serially in every
+/// topological-compatible order we derive (we use commit apply order:
+/// ascending (min_out, tid) is guaranteed equivalent) and compare final
+/// states. For this oracle we replay in apply order per key — which the
+/// protocol itself guarantees — so instead we check a stronger property on
+/// a restricted workload: for add-only RMW workloads, any serial order
+/// yields the same sums, so the committed state must equal "initial +
+/// number of committed adds per key".
+#[test]
+fn additive_workload_commits_are_exact() {
+    let (store, t) = setup(8);
+    let mut pipeline = ChainPipeline::new(Arc::clone(&store), HarmonyConfig::default());
+    let mut rng = DetRng::new(42);
+    let mut expected = [0i64; 8];
+    let mut blocks = Vec::new();
+    let mut planned: Vec<Vec<u64>> = Vec::new();
+    for b in 1..=20u64 {
+        let mut txns = Vec::new();
+        for _ in 0..15 {
+            let k = rng.gen_range(8);
+            planned.push(vec![b, k]);
+            txns.push(read_add_txn(t, vec![], vec![k]));
+        }
+        blocks.push(ExecBlock::new(BlockId(b), txns));
+    }
+    let report = pipeline.run_blocks(&blocks).unwrap();
+    // Blind adds never create rw-dependencies => nothing may abort.
+    assert_eq!(report.totals.protocol_aborts(), 0);
+    let mut idx = 0;
+    for plan in &planned {
+        let _b = plan[0];
+        expected[plan[1] as usize] += 1;
+        idx += 1;
+    }
+    assert_eq!(idx, 300);
+    for k in 0..8u64 {
+        assert_eq!(
+            read_i64(&store, t, k),
+            Some(100 + expected[k as usize]),
+            "key {k}"
+        );
+    }
+}
+
+/// Randomized serializability check: build the dependency graph over the
+/// *committed* transactions of each block from their rwsets and assert it
+/// is acyclic when edges are oriented by the apply order Harmony chose.
+#[test]
+fn committed_graph_is_acyclic_randomized() {
+    for seed in [1u64, 7, 99] {
+        let (store, t) = setup(10);
+        let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default());
+        let mut rng = DetRng::new(seed);
+        for b in 1..=10u64 {
+            let txns: Vec<_> = (0..25)
+                .map(|_| {
+                    let reads: Vec<u64> = (0..rng.gen_range(3)).map(|_| rng.gen_range(10)).collect();
+                    let writes: Vec<u64> =
+                        (0..=rng.gen_range(2)).map(|_| rng.gen_range(10)).collect();
+                    read_add_txn(t, reads, writes)
+                })
+                .collect();
+            let block = ExecBlock::new(BlockId(b), txns);
+            let res = exec.execute(&block, None).unwrap();
+
+            // Build the rw-subgraph over committed txns and verify no
+            // backward dangerous structure survived (sound because the
+            // structure is a necessary condition for rw-cycles).
+            let committed: Vec<usize> = res
+                .results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.outcome.is_committed())
+                .map(|(i, _)| i)
+                .collect();
+            let mut writes_by_key: BTreeMap<Key, Vec<usize>> = BTreeMap::new();
+            for &i in &committed {
+                if let Some(rw) = &res.rwsets[i] {
+                    for k in rw.write_keys() {
+                        writes_by_key.entry(k.clone()).or_default().push(i);
+                    }
+                }
+            }
+            for &j in &committed {
+                let Some(rw_j) = &res.rwsets[j] else { continue };
+                // min_out/max_in over committed subgraph.
+                let mut min_out = u64::MAX;
+                let mut max_in = 0u64;
+                for k in rw_j.read_keys() {
+                    for &w in writes_by_key.get(k).into_iter().flatten() {
+                        if w != j && (w as u64) < (j as u64) {
+                            min_out = min_out.min(w as u64);
+                        }
+                    }
+                }
+                for k in rw_j.write_keys() {
+                    for &r in &committed {
+                        if r == j {
+                            continue;
+                        }
+                        if let Some(rw_r) = &res.rwsets[r] {
+                            if rw_r.read_keys().any(|rk| rk == k) {
+                                max_in = max_in.max(r as u64 + 1);
+                            }
+                        }
+                    }
+                }
+                if min_out != u64::MAX && max_in > 0 {
+                    assert!(
+                        min_out + 1 > max_in || min_out >= j as u64,
+                        "backward dangerous structure survived in block {b} txn {j} \
+                         (min_out={min_out}, max_in={}, seed={seed})",
+                        max_in - 1
+                    );
+                }
+            }
+            // Feed next block.
+            let _ = res;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Cryptographic substrate for HarmonyBC.
+//!
+//! Private blockchains need tamper-evidence (hash-chained blocks, Merkle
+//! roots over transactions) and authentication (signatures on endorsements
+//! and votes). We implement SHA-256 and HMAC-SHA-256 from scratch — the
+//! workspace allows no external crypto crate — and model asymmetric
+//! signatures as keyed MACs plus a calibrated CPU-cost constant, which is
+//! exactly how crypto enters the paper's evaluation (a per-transaction CPU
+//! term; see [`CryptoCost`]).
+
+pub mod cost;
+pub mod hmac;
+pub mod merkle;
+pub mod sha256;
+pub mod signer;
+
+pub use cost::CryptoCost;
+pub use hmac::hmac_sha256;
+pub use merkle::MerkleTree;
+pub use sha256::{sha256, Digest, Sha256};
+pub use signer::{KeyPair, Signature, Verifier};

@@ -1,0 +1,208 @@
+//! Binary Merkle tree over transaction payloads.
+//!
+//! Each block header carries the Merkle root of its transactions; the tree
+//! also supports inclusion proofs so a light client can verify that a
+//! transaction belongs to a block without the full payload.
+
+use crate::sha256::{sha256, Digest, Sha256};
+
+/// Domain-separation prefixes (prevents a leaf being reinterpreted as an
+/// interior node — the classic CVE-2012-2459 style ambiguity).
+const LEAF_TAG: u8 = 0x00;
+const NODE_TAG: u8 = 0x01;
+
+fn hash_leaf(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_TAG]);
+    h.update(data);
+    h.finalize()
+}
+
+fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_TAG]);
+    h.update(&left.0);
+    h.update(&right.0);
+    h.finalize()
+}
+
+/// A fully materialized Merkle tree (levels bottom-up; level 0 = leaves).
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Digest>>,
+}
+
+/// One step of an inclusion proof: the sibling digest and whether the
+/// sibling sits to the left of the running hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// Sibling digest.
+    pub sibling: Digest,
+    /// True if the sibling is the left child.
+    pub sibling_is_left: bool,
+}
+
+impl MerkleTree {
+    /// Build a tree over the given leaf payloads. An empty input yields the
+    /// conventional "empty root" `sha256("")`.
+    #[must_use]
+    pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
+        if leaves.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![sha256(b"")]],
+            };
+        }
+        let mut levels = Vec::new();
+        let mut cur: Vec<Digest> = leaves.iter().map(|l| hash_leaf(l.as_ref())).collect();
+        levels.push(cur.clone());
+        while cur.len() > 1 {
+            let mut next = Vec::with_capacity(cur.len().div_ceil(2));
+            for pair in cur.chunks(2) {
+                // Odd node is paired with itself (Bitcoin-style duplication).
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                next.push(hash_node(&pair[0], right));
+            }
+            levels.push(next.clone());
+            cur = next;
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    #[must_use]
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty levels")[0]
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        if self.levels.len() == 1 && self.levels[0].len() == 1 && self.levels[0][0] == sha256(b"") {
+            0
+        } else {
+            self.levels[0].len()
+        }
+    }
+
+    /// Produce an inclusion proof for the leaf at `index`.
+    #[must_use]
+    pub fn prove(&self, index: usize) -> Option<Vec<ProofStep>> {
+        if index >= self.levels[0].len() {
+            return None;
+        }
+        let mut proof = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            let sibling = if sibling_idx < level.len() {
+                level[sibling_idx]
+            } else {
+                level[idx] // odd node duplicated
+            };
+            proof.push(ProofStep {
+                sibling,
+                sibling_is_left: sibling_idx < idx,
+            });
+            idx /= 2;
+        }
+        Some(proof)
+    }
+
+    /// Verify an inclusion proof for `payload` against `root`.
+    #[must_use]
+    pub fn verify(root: &Digest, payload: &[u8], proof: &[ProofStep]) -> bool {
+        let mut acc = hash_leaf(payload);
+        for step in proof {
+            acc = if step.sibling_is_left {
+                hash_node(&step.sibling, &acc)
+            } else {
+                hash_node(&acc, &step.sibling)
+            };
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("txn-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_conventional_root() {
+        let t = MerkleTree::build::<&[u8]>(&[]);
+        assert_eq!(t.root(), sha256(b""));
+        assert_eq!(t.leaf_count(), 0);
+    }
+
+    #[test]
+    fn single_leaf_root_is_tagged_leaf_hash() {
+        let t = MerkleTree::build(&[b"only".as_slice()]);
+        assert_eq!(t.root(), hash_leaf(b"only"));
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let ps = payloads(n);
+            let t = MerkleTree::build(&ps);
+            for (i, p) in ps.iter().enumerate() {
+                let proof = t.prove(i).expect("in range");
+                assert!(
+                    MerkleTree::verify(&t.root(), p, &proof),
+                    "n={n} leaf {i} failed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_payload_fails() {
+        let ps = payloads(8);
+        let t = MerkleTree::build(&ps);
+        let proof = t.prove(3).unwrap();
+        assert!(!MerkleTree::verify(&t.root(), b"txn-4", &proof));
+    }
+
+    #[test]
+    fn tampered_proof_fails() {
+        let ps = payloads(8);
+        let t = MerkleTree::build(&ps);
+        let mut proof = t.prove(2).unwrap();
+        proof[0].sibling.0[0] ^= 1;
+        assert!(!MerkleTree::verify(&t.root(), &ps[2], &proof));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let t = MerkleTree::build(&payloads(4));
+        assert!(t.prove(4).is_none());
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let a = MerkleTree::build(&payloads(4)).root();
+        let mut rev = payloads(4);
+        rev.reverse();
+        let b = MerkleTree::build(&rev).root();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn leaf_node_domain_separation() {
+        // A tree whose single leaf equals an interior-node encoding must not
+        // collide with the two-leaf tree that produced that encoding.
+        let two = MerkleTree::build(&payloads(2));
+        let l0 = hash_leaf(b"txn-0");
+        let l1 = hash_leaf(b"txn-1");
+        let mut fake = Vec::new();
+        fake.extend_from_slice(&l0.0);
+        fake.extend_from_slice(&l1.0);
+        let one = MerkleTree::build(&[fake]);
+        assert_ne!(two.root(), one.root());
+    }
+}

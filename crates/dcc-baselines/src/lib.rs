@@ -1,0 +1,32 @@
+//! Baseline DCC protocols the paper evaluates HarmonyBC against.
+//!
+//! Every protocol implements [`DccEngine`] over the same snapshot store and
+//! block format as Harmony, so the benchmark harness drives them uniformly:
+//!
+//! * [`aria`] — **AriaBC**: Aria's reservation-based ODCC (abort on
+//!   ww-dependency; with the deterministic-reordering optimization, commit
+//!   unless both raw- and war-dependencies exist). Parallel commit.
+//! * [`rbc`] — **RBC**: order-execute with serial SSI-style validation
+//!   (first-updater-wins + dangerous-structure pivots), serial commit.
+//! * [`fabric`] — **Fabric**: simulate-order-validate with endorsement
+//!   divergence and MVCC stale-read validation, serial commit.
+//! * [`fastfabric`] — **FastFabric#**: SOV plus an orderer-side dependency
+//!   graph that eliminates false aborts at the cost of an unparallelizable
+//!   graph traversal (and drops transactions when the graph grows too
+//!   large).
+//! * [`harmony_engine`] — adapter exposing Harmony itself through the same
+//!   [`DccEngine`] interface.
+
+pub mod aria;
+pub mod fabric;
+pub mod fastfabric;
+pub mod harmony_engine;
+pub mod protocol;
+pub mod rbc;
+
+pub use aria::{Aria, AriaConfig};
+pub use fabric::{Fabric, FabricConfig};
+pub use fastfabric::{FastFabric, FastFabricConfig};
+pub use harmony_engine::HarmonyEngine;
+pub use protocol::{Architecture, DccEngine, ProtocolBlockResult};
+pub use rbc::Rbc;

@@ -1,0 +1,364 @@
+//! Experiment driver: run (engine × workload) for N blocks with
+//! abort-retry and produce the paper's metrics.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use harmony_common::{BlockId, DetRng, Result};
+use harmony_core::executor::{ExecBlock, TxnOutcome};
+use harmony_core::{BlockStats, HarmonyConfig, SnapshotStore};
+use harmony_dcc_baselines::{
+    Aria, AriaConfig, DccEngine, Fabric, FabricConfig, FastFabric, FastFabricConfig,
+    HarmonyEngine, Rbc,
+};
+use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_txn::Contract;
+use harmony_workloads::Workload;
+
+use crate::sched::{pipeline_total_ns, schedule_block};
+
+/// Which engine to instantiate (the paper's five systems).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// HarmonyBC with the given toggles.
+    Harmony(HarmonyConfig),
+    /// AriaBC.
+    Aria,
+    /// RBC.
+    Rbc,
+    /// Fabric.
+    Fabric,
+    /// FastFabric#.
+    FastFabric,
+}
+
+impl EngineKind {
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Harmony(_) => "HarmonyBC",
+            EngineKind::Aria => "AriaBC",
+            EngineKind::Rbc => "RBC",
+            EngineKind::Fabric => "Fabric",
+            EngineKind::FastFabric => "FastFabric#",
+        }
+    }
+
+    /// Instantiate over a snapshot store.
+    #[must_use]
+    pub fn build(&self, store: Arc<SnapshotStore>, workers: usize) -> Arc<dyn DccEngine> {
+        match self {
+            EngineKind::Harmony(config) => {
+                let config = HarmonyConfig {
+                    workers,
+                    ..*config
+                };
+                Arc::new(HarmonyEngine::new(store, config))
+            }
+            EngineKind::Aria => Arc::new(Aria::new(
+                store,
+                AriaConfig {
+                    workers,
+                    reordering: true,
+                },
+            )),
+            EngineKind::Rbc => Arc::new(Rbc::new(store, workers)),
+            EngineKind::Fabric => Arc::new(Fabric::new(
+                store,
+                FabricConfig {
+                    workers,
+                    ..FabricConfig::default()
+                },
+            )),
+            EngineKind::FastFabric => Arc::new(FastFabric::new(
+                store,
+                FastFabricConfig {
+                    fabric: FabricConfig {
+                        workers,
+                        ..FabricConfig::default()
+                    },
+                    ..FastFabricConfig::default()
+                },
+            )),
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Number of blocks to execute.
+    pub blocks: usize,
+    /// Transactions per block (also the concurrency degree, §5.2).
+    pub block_size: usize,
+    /// Worker cores per replica.
+    pub workers: usize,
+    /// Storage configuration (disk profile = the Figure 21 axis).
+    pub storage: StorageConfig,
+    /// Workload seed.
+    pub seed: u64,
+    /// Requeue protocol-aborted transactions into the next block.
+    pub retry_aborts: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            blocks: 40,
+            block_size: 25,
+            workers: 8,
+            storage: StorageConfig::default(),
+            seed: 0x5EED,
+            retry_aborts: true,
+        }
+    }
+}
+
+/// Metrics of one run — the quantities the paper's figures plot.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// System name.
+    pub system: &'static str,
+    /// Committed transactions per second of virtual time.
+    pub throughput_tps: f64,
+    /// Mean end-to-end latency of committed transactions (ms): time from
+    /// the transaction's first block to its committing block's completion.
+    pub latency_ms: f64,
+    /// Protocol abort rate (aborts / attempts, excluding user aborts).
+    pub abort_rate: f64,
+    /// CPU utilization: total work / (workers × wall time).
+    pub cpu_utilization: f64,
+    /// Aggregated protocol counters.
+    pub stats: BlockStats,
+    /// Disk reads issued during the run.
+    pub disk_reads: u64,
+    /// Disk writes issued during the run.
+    pub disk_writes: u64,
+    /// Buffer pool hit rate.
+    pub buffer_hit_rate: f64,
+    /// Virtual wall time of the run (ns).
+    pub wall_ns: u64,
+}
+
+/// Run one experiment: load the workload, execute `blocks` blocks of
+/// `block_size` transactions, requeue aborts, and aggregate metrics.
+pub fn run_experiment(
+    kind: EngineKind,
+    workload: &mut dyn Workload,
+    config: &RunConfig,
+) -> Result<RunMetrics> {
+    let engine = Arc::new(StorageEngine::open(&config.storage)?);
+    workload.setup(&engine)?;
+    let store = Arc::new(SnapshotStore::new(Arc::clone(&engine)));
+    let dcc = kind.build(Arc::clone(&store), config.workers);
+    let io_before = engine.io_snapshot();
+
+    let mut rng = DetRng::new(config.seed);
+    let mut totals = BlockStats::default();
+    let mut schedules = Vec::with_capacity(config.blocks);
+    // Retry queue: (contract, block index it first entered).
+    let mut retry: VecDeque<(Arc<dyn Contract>, usize)> = VecDeque::new();
+    // Latency bookkeeping: blocks-in-flight per committed txn.
+    let mut committed_block_spans: Vec<(usize, usize)> = Vec::new();
+    let mut fresh_txns = 0usize;
+
+    for b in 0..config.blocks {
+        let mut txns: Vec<Arc<dyn Contract>> = Vec::with_capacity(config.block_size);
+        let mut born: Vec<usize> = Vec::with_capacity(config.block_size);
+        while txns.len() < config.block_size {
+            if let Some((t, b0)) = retry.pop_front() {
+                txns.push(t);
+                born.push(b0);
+            } else {
+                txns.push(workload.next_txn(&mut rng));
+                born.push(b);
+                fresh_txns += 1;
+            }
+        }
+        let block = ExecBlock::new(BlockId(b as u64 + 1), txns);
+        let result = dcc.execute_block(&block)?;
+        for (i, outcome) in result.outcomes.iter().enumerate() {
+            match outcome {
+                TxnOutcome::Committed => committed_block_spans.push((born[i], b)),
+                TxnOutcome::Aborted(reason)
+                    if config.retry_aborts
+                        && *reason != harmony_common::error::AbortReason::UserAbort =>
+                {
+                    retry.push_back((Arc::clone(&block.txns[i]), born[i]));
+                }
+                TxnOutcome::Aborted(_) => {}
+            }
+        }
+        totals.absorb(&result.stats);
+        let mut sched = schedule_block(&result, config.workers, dcc.commit_is_serial());
+        // Group commit: one log write + sync per block (logical block log
+        // for OE, physical write-set log for SOV).
+        sched.commit_ns += config.storage.log_sync_ns;
+        sched.commit_work_ns += config.storage.log_sync_ns;
+        sched.work_ns += config.storage.log_sync_ns;
+        schedules.push(sched);
+    }
+    let _ = fresh_txns;
+
+    let wall_ns = pipeline_total_ns(&schedules, dcc.pipeline_depth(), config.workers).max(1);
+    let io = engine.io_snapshot().delta_since(&io_before);
+    let mean_block_ns = wall_ns as f64 / config.blocks as f64;
+    let latency_ms = if committed_block_spans.is_empty() {
+        0.0
+    } else {
+        let mean_span: f64 = committed_block_spans
+            .iter()
+            .map(|(b0, b1)| (b1 - b0 + 1) as f64)
+            .sum::<f64>()
+            / committed_block_spans.len() as f64;
+        mean_span * mean_block_ns / 1e6
+    };
+    let work_ns: u64 = schedules.iter().map(|s| s.work_ns).sum();
+    Ok(RunMetrics {
+        system: kind.name(),
+        throughput_tps: totals.committed as f64 / (wall_ns as f64 / 1e9),
+        latency_ms,
+        abort_rate: totals.abort_rate(),
+        cpu_utilization: work_ns as f64 / (config.workers as f64 * wall_ns as f64),
+        stats: totals,
+        disk_reads: io.disk_reads,
+        disk_writes: io.disk_writes,
+        buffer_hit_rate: {
+            let total = io.pool.hits + io.pool.misses;
+            if total == 0 {
+                0.0
+            } else {
+                io.pool.hits as f64 / total as f64
+            }
+        },
+        wall_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_workloads::{Smallbank, SmallbankConfig, Ycsb, YcsbConfig};
+
+    fn quick_config() -> RunConfig {
+        RunConfig {
+            blocks: 12,
+            block_size: 20,
+            workers: 4,
+            storage: StorageConfig::default(),
+            seed: 1,
+            retry_aborts: true,
+        }
+    }
+
+    fn small_ycsb(theta: f64) -> Ycsb {
+        Ycsb::new(YcsbConfig {
+            keys: 1_000,
+            theta,
+            ..YcsbConfig::default()
+        })
+    }
+
+    #[test]
+    fn harmony_run_produces_metrics() {
+        let mut w = small_ycsb(0.6);
+        let m = run_experiment(
+            EngineKind::Harmony(HarmonyConfig::default()),
+            &mut w,
+            &quick_config(),
+        )
+        .unwrap();
+        assert!(m.throughput_tps > 0.0, "{m:?}");
+        assert!(m.latency_ms > 0.0);
+        assert!(m.stats.committed > 0);
+        assert!(m.buffer_hit_rate > 0.0);
+        assert!(m.cpu_utilization > 0.0 && m.cpu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn all_engines_run_ycsb() {
+        for kind in [
+            EngineKind::Harmony(HarmonyConfig::default()),
+            EngineKind::Aria,
+            EngineKind::Rbc,
+            EngineKind::Fabric,
+            EngineKind::FastFabric,
+        ] {
+            let mut w = small_ycsb(0.6);
+            let m = run_experiment(kind, &mut w, &quick_config()).unwrap();
+            assert!(
+                m.stats.committed > 0,
+                "{} committed nothing: {:?}",
+                kind.name(),
+                m.stats
+            );
+        }
+    }
+
+    #[test]
+    fn harmony_beats_aria_on_hotspots() {
+        // The Figure 14 claim: with 1% hot records and merged
+        // read-modify-write UPDATE statements, Harmony commits everything
+        // (ww-dependencies are reordered and coalesced, no rw edges arise)
+        // while Aria aborts every waw-conflicting updater.
+        let config = quick_config();
+        let mut w1 = Ycsb::new(YcsbConfig {
+            keys: 1_000,
+            ..YcsbConfig::hotspot(0.8)
+        });
+        let harmony =
+            run_experiment(EngineKind::Harmony(HarmonyConfig::default()), &mut w1, &config)
+                .unwrap();
+        let mut w2 = Ycsb::new(YcsbConfig {
+            keys: 1_000,
+            ..YcsbConfig::hotspot(0.8)
+        });
+        let aria = run_experiment(EngineKind::Aria, &mut w2, &config).unwrap();
+        assert!(
+            harmony.abort_rate < 0.05,
+            "Harmony must be hotspot-resilient: {:?}",
+            harmony.abort_rate
+        );
+        assert!(
+            aria.abort_rate > 2.0 * harmony.abort_rate + 0.1,
+            "harmony={:?} aria={:?}",
+            harmony.abort_rate,
+            aria.abort_rate
+        );
+        assert!(
+            harmony.throughput_tps > aria.throughput_tps,
+            "harmony={} aria={}",
+            harmony.throughput_tps,
+            aria.throughput_tps
+        );
+    }
+
+    #[test]
+    fn retry_requeues_aborted_txns() {
+        let mut w = Smallbank::new(SmallbankConfig {
+            accounts: 100,
+            theta: 0.95,
+        });
+        let m = run_experiment(EngineKind::Aria, &mut w, &quick_config()).unwrap();
+        // With retries, attempts exceed blocks × size.
+        assert!(m.stats.txns >= 12 * 20);
+    }
+
+    #[test]
+    fn deterministic_metrics() {
+        let run = || {
+            let mut w = small_ycsb(0.8);
+            run_experiment(
+                EngineKind::Harmony(HarmonyConfig::default()),
+                &mut w,
+                &quick_config(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.wall_ns, b.wall_ns);
+    }
+}

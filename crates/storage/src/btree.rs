@@ -1,0 +1,700 @@
+//! Disk-resident B+Tree.
+//!
+//! One tree per table. Keys and values are arbitrary byte strings (bounded
+//! so that any entry fits comfortably in a page); interior nodes hold
+//! separators, leaves are chained for range scans — the access-path shape
+//! whose index-lookup cost Harmony's update coalescence deduplicates
+//! (Figure 5 of the paper).
+//!
+//! Concurrency: the tree itself is not latched; callers (the
+//! [`crate::engine::StorageEngine`]) wrap each table in an `RwLock`.
+//! Deletion removes entries without rebalancing (underfull pages are
+//! tolerated), a standard simplification that preserves search correctness.
+
+use std::sync::Arc;
+
+use harmony_common::vtime;
+use harmony_common::{Error, Result};
+
+use crate::buffer::BufferPool;
+use crate::cost::StorageCost;
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Maximum combined key+value size accepted by the tree. Chosen so that a
+/// page can always hold at least four entries, keeping splits productive.
+pub const MAX_ENTRY_SIZE: usize = 900;
+
+const TAG_LEAF: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+const HEADER_LEN: usize = 1 + 2 + 8; // tag + count + (next_leaf | child0)
+
+/// Parsed in-memory form of one node page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    Leaf {
+        next: PageId,
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    Internal {
+        child0: PageId,
+        entries: Vec<(Vec<u8>, PageId)>,
+    },
+}
+
+impl Node {
+    fn parse(bytes: &[u8]) -> Result<Node> {
+        let tag = bytes[0];
+        let n = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
+        let mut off = 3;
+        let ptr = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+        off += 8;
+        match tag {
+            TAG_LEAF => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen =
+                        u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+                    let vlen =
+                        u16::from_le_bytes([bytes[off + 2], bytes[off + 3]]) as usize;
+                    off += 4;
+                    if off + klen + vlen > PAGE_SIZE {
+                        return Err(Error::Corruption("leaf entry overruns page".into()));
+                    }
+                    let key = bytes[off..off + klen].to_vec();
+                    off += klen;
+                    let val = bytes[off..off + vlen].to_vec();
+                    off += vlen;
+                    entries.push((key, val));
+                }
+                Ok(Node::Leaf {
+                    next: PageId(ptr),
+                    entries,
+                })
+            }
+            TAG_INTERNAL => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen =
+                        u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+                    off += 2;
+                    if off + klen + 8 > PAGE_SIZE {
+                        return Err(Error::Corruption("internal entry overruns page".into()));
+                    }
+                    let key = bytes[off..off + klen].to_vec();
+                    off += klen;
+                    let child =
+                        u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+                    off += 8;
+                    entries.push((key, PageId(child)));
+                }
+                Ok(Node::Internal {
+                    child0: PageId(ptr),
+                    entries,
+                })
+            }
+            t => Err(Error::Corruption(format!("unknown node tag {t}"))),
+        }
+    }
+
+    fn serialize_into(&self, out: &mut [u8; PAGE_SIZE]) {
+        out.fill(0);
+        match self {
+            Node::Leaf { next, entries } => {
+                out[0] = TAG_LEAF;
+                out[1..3].copy_from_slice(
+                    &u16::try_from(entries.len()).expect("entry count").to_le_bytes(),
+                );
+                out[3..11].copy_from_slice(&next.0.to_le_bytes());
+                let mut off = HEADER_LEN;
+                for (k, v) in entries {
+                    out[off..off + 2].copy_from_slice(
+                        &u16::try_from(k.len()).expect("key len").to_le_bytes(),
+                    );
+                    out[off + 2..off + 4].copy_from_slice(
+                        &u16::try_from(v.len()).expect("val len").to_le_bytes(),
+                    );
+                    off += 4;
+                    out[off..off + k.len()].copy_from_slice(k);
+                    off += k.len();
+                    out[off..off + v.len()].copy_from_slice(v);
+                    off += v.len();
+                }
+            }
+            Node::Internal { child0, entries } => {
+                out[0] = TAG_INTERNAL;
+                out[1..3].copy_from_slice(
+                    &u16::try_from(entries.len()).expect("entry count").to_le_bytes(),
+                );
+                out[3..11].copy_from_slice(&child0.0.to_le_bytes());
+                let mut off = HEADER_LEN;
+                for (k, child) in entries {
+                    out[off..off + 2].copy_from_slice(
+                        &u16::try_from(k.len()).expect("key len").to_le_bytes(),
+                    );
+                    off += 2;
+                    out[off..off + k.len()].copy_from_slice(k);
+                    off += k.len();
+                    out[off..off + 8].copy_from_slice(&child.0.to_le_bytes());
+                    off += 8;
+                }
+            }
+        }
+    }
+
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                HEADER_LEN
+                    + entries
+                        .iter()
+                        .map(|(k, v)| 4 + k.len() + v.len())
+                        .sum::<usize>()
+            }
+            Node::Internal { entries, .. } => {
+                HEADER_LEN + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// What an insert into a subtree produced.
+enum InsertOutcome {
+    /// Entry stored; `replaced` is true when an existing key was updated.
+    Done { replaced: bool },
+    /// The child split; the parent must add `(separator, right_page)`.
+    Split {
+        separator: Vec<u8>,
+        right: PageId,
+        replaced: bool,
+    },
+}
+
+/// A B+Tree rooted at a page, performing all I/O through a buffer pool.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    cost: StorageCost,
+    len: u64,
+}
+
+impl BTree {
+    /// Create an empty tree (allocates one leaf page).
+    pub fn create(pool: Arc<BufferPool>, cost: StorageCost) -> Result<BTree> {
+        let (root, frame) = pool.allocate()?;
+        let node = Node::Leaf {
+            next: PageId::NULL,
+            entries: Vec::new(),
+        };
+        node.serialize_into(frame.data.write().bytes_mut());
+        frame.mark_dirty();
+        Ok(BTree {
+            pool,
+            root,
+            cost,
+            len: 0,
+        })
+    }
+
+    /// Re-open a tree whose root page and length are known (from the
+    /// catalog / checkpoint manifest).
+    #[must_use]
+    pub fn open(pool: Arc<BufferPool>, root: PageId, len: u64, cost: StorageCost) -> BTree {
+        BTree {
+            pool,
+            root,
+            cost,
+            len,
+        }
+    }
+
+    /// Current root page (changes when the root splits).
+    #[must_use]
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn load(&self, id: PageId) -> Result<Node> {
+        let frame = self.pool.fetch(id)?;
+        vtime::charge(self.cost.node_search_ns);
+        let guard = frame.data.read();
+        Node::parse(guard.bytes().as_slice())
+    }
+
+    fn store(&self, id: PageId, node: &Node) -> Result<()> {
+        let frame = self.pool.fetch(id)?;
+        vtime::charge(self.cost.node_write_ns);
+        node.serialize_into(frame.data.write().bytes_mut());
+        frame.mark_dirty();
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut pid = self.root;
+        loop {
+            match self.load(pid)? {
+                Node::Internal { child0, entries } => {
+                    pid = child_for(&entries, child0, key);
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .iter()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v.clone()));
+                }
+            }
+        }
+    }
+
+    /// Insert or overwrite. Returns `true` if the key already existed.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
+        if key.len() + value.len() > MAX_ENTRY_SIZE {
+            return Err(Error::InvalidArgument(format!(
+                "entry of {} bytes exceeds MAX_ENTRY_SIZE={MAX_ENTRY_SIZE}",
+                key.len() + value.len()
+            )));
+        }
+        let outcome = self.insert_rec(self.root, key, value)?;
+        let replaced = match outcome {
+            InsertOutcome::Done { replaced } => replaced,
+            InsertOutcome::Split {
+                separator,
+                right,
+                replaced,
+            } => {
+                // Grow a new root.
+                let (new_root, frame) = self.pool.allocate()?;
+                let node = Node::Internal {
+                    child0: self.root,
+                    entries: vec![(separator, right)],
+                };
+                vtime::charge(self.cost.node_write_ns);
+                node.serialize_into(frame.data.write().bytes_mut());
+                frame.mark_dirty();
+                self.root = new_root;
+                replaced
+            }
+        };
+        if !replaced {
+            self.len += 1;
+        }
+        Ok(replaced)
+    }
+
+    fn insert_rec(&mut self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
+        match self.load(pid)? {
+            Node::Leaf { next, mut entries } => {
+                let replaced = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        entries[i].1 = value.to_vec();
+                        true
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        false
+                    }
+                };
+                let node = Node::Leaf { next, entries };
+                if node.serialized_size() <= PAGE_SIZE {
+                    self.store(pid, &node)?;
+                    return Ok(InsertOutcome::Done { replaced });
+                }
+                // Split the leaf in half.
+                let Node::Leaf { next, mut entries } = node else {
+                    unreachable!()
+                };
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let separator = right_entries[0].0.clone();
+                let (right_pid, right_frame) = self.pool.allocate()?;
+                let right = Node::Leaf {
+                    next,
+                    entries: right_entries,
+                };
+                vtime::charge(self.cost.node_write_ns);
+                right.serialize_into(right_frame.data.write().bytes_mut());
+                right_frame.mark_dirty();
+                let left = Node::Leaf {
+                    next: right_pid,
+                    entries,
+                };
+                self.store(pid, &left)?;
+                Ok(InsertOutcome::Split {
+                    separator,
+                    right: right_pid,
+                    replaced,
+                })
+            }
+            Node::Internal { child0, entries } => {
+                let child = child_for(&entries, child0, key);
+                match self.insert_rec(child, key, value)? {
+                    InsertOutcome::Done { replaced } => Ok(InsertOutcome::Done { replaced }),
+                    InsertOutcome::Split {
+                        separator,
+                        right,
+                        replaced,
+                    } => {
+                        let mut entries = entries;
+                        let pos = entries
+                            .binary_search_by(|(k, _)| k.as_slice().cmp(&separator))
+                            .unwrap_or_else(|i| i);
+                        entries.insert(pos, (separator, right));
+                        let node = Node::Internal { child0, entries };
+                        if node.serialized_size() <= PAGE_SIZE {
+                            self.store(pid, &node)?;
+                            return Ok(InsertOutcome::Done { replaced });
+                        }
+                        // Split the internal node; the middle separator is
+                        // promoted (not duplicated).
+                        let Node::Internal { child0, mut entries } = node else {
+                            unreachable!()
+                        };
+                        let mid = entries.len() / 2;
+                        let mut right_part = entries.split_off(mid);
+                        let (promoted, right_child0) = right_part.remove(0);
+                        let (right_pid, right_frame) = self.pool.allocate()?;
+                        let right_node = Node::Internal {
+                            child0: right_child0,
+                            entries: right_part,
+                        };
+                        vtime::charge(self.cost.node_write_ns);
+                        right_node.serialize_into(right_frame.data.write().bytes_mut());
+                        right_frame.mark_dirty();
+                        let left_node = Node::Internal { child0, entries };
+                        self.store(pid, &left_node)?;
+                        Ok(InsertOutcome::Split {
+                            separator: promoted,
+                            right: right_pid,
+                            replaced,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove a key. Returns `true` if it existed. Pages are never merged.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let mut pid = self.root;
+        loop {
+            match self.load(pid)? {
+                Node::Internal { child0, entries } => {
+                    pid = child_for(&entries, child0, key);
+                }
+                Node::Leaf { next, mut entries } => {
+                    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(i) => {
+                            entries.remove(i);
+                            self.store(pid, &Node::Leaf { next, entries })?;
+                            self.len -= 1;
+                            return Ok(true);
+                        }
+                        Err(_) => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Range scan over `[start, end)` (whole tree if `end` is `None`),
+    /// calling `f(key, value)` for each entry in order; stop early when `f`
+    /// returns `false`.
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        // Descend to the leaf that could contain `start`.
+        let mut pid = self.root;
+        loop {
+            match self.load(pid)? {
+                Node::Internal { child0, entries } => {
+                    pid = child_for(&entries, child0, start);
+                }
+                Node::Leaf { next, entries } => {
+                    let from = entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(start))
+                        .unwrap_or_else(|i| i);
+                    for (k, v) in &entries[from..] {
+                        if let Some(end) = end {
+                            if k.as_slice() >= end {
+                                return Ok(());
+                            }
+                        }
+                        vtime::charge(self.cost.scan_per_record_ns);
+                        if !f(k, v) {
+                            return Ok(());
+                        }
+                    }
+                    let mut cur = next;
+                    while !cur.is_null() {
+                        match self.load(cur)? {
+                            Node::Leaf { next, entries } => {
+                                for (k, v) in &entries {
+                                    if let Some(end) = end {
+                                        if k.as_slice() >= end {
+                                            return Ok(());
+                                        }
+                                    }
+                                    vtime::charge(self.cost.scan_per_record_ns);
+                                    if !f(k, v) {
+                                        return Ok(());
+                                    }
+                                }
+                                cur = next;
+                            }
+                            Node::Internal { .. } => {
+                                return Err(Error::Corruption(
+                                    "leaf chain points at internal node".into(),
+                                ))
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Pick the child subtree for `key`: the rightmost entry whose separator is
+/// `<= key`, or `child0` when `key` precedes every separator.
+fn child_for(entries: &[(Vec<u8>, PageId)], child0: PageId, key: &[u8]) -> PageId {
+    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+        Ok(i) => entries[i].1,
+        Err(0) => child0,
+        Err(i) => entries[i - 1].1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use std::collections::BTreeMap;
+
+    fn tree() -> BTree {
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemDisk::new()),
+            1024,
+            StorageCost::free(),
+        ));
+        BTree::create(pool, StorageCost::free()).unwrap()
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn put_get_single() {
+        let mut t = tree();
+        assert!(!t.put(b"a", b"1").unwrap());
+        assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"b").unwrap(), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut t = tree();
+        t.put(b"k", b"v1").unwrap();
+        assert!(t.put(b"k", b"v2").unwrap());
+        assert_eq!(t.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_inserts_split_and_remain_searchable() {
+        let mut t = tree();
+        let n = 5_000u64;
+        for i in 0..n {
+            t.put(&key(i), format!("val-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.len(), n);
+        for i in (0..n).step_by(97) {
+            assert_eq!(
+                t.get(&key(i)).unwrap(),
+                Some(format!("val-{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+        assert!(t.root() != PageId(0) || n < 10, "root must have split");
+    }
+
+    #[test]
+    fn reverse_and_shuffled_insert_orders() {
+        for mode in 0..2 {
+            let mut t = tree();
+            let mut order: Vec<u64> = (0..2_000).collect();
+            if mode == 0 {
+                order.reverse();
+            } else {
+                let mut rng = harmony_common::DetRng::new(5);
+                rng.shuffle(&mut order);
+            }
+            for &i in &order {
+                t.put(&key(i), &i.to_le_bytes()).unwrap();
+            }
+            for i in 0..2_000 {
+                assert_eq!(t.get(&key(i)).unwrap(), Some(i.to_le_bytes().to_vec()));
+            }
+        }
+    }
+
+    #[test]
+    fn delete_and_reinsert() {
+        let mut t = tree();
+        for i in 0..500 {
+            t.put(&key(i), b"x").unwrap();
+        }
+        for i in (0..500).step_by(2) {
+            assert!(t.delete(&key(i)).unwrap());
+        }
+        assert!(!t.delete(&key(0)).unwrap(), "double delete returns false");
+        assert_eq!(t.len(), 250);
+        for i in 0..500 {
+            let expect = i % 2 == 1;
+            assert_eq!(t.get(&key(i)).unwrap().is_some(), expect, "key {i}");
+        }
+        // Reinsert deleted keys.
+        for i in (0..500).step_by(2) {
+            t.put(&key(i), b"y").unwrap();
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.get(&key(4)).unwrap(), Some(b"y".to_vec()));
+    }
+
+    #[test]
+    fn scan_full_range_in_order() {
+        let mut t = tree();
+        for i in 0..1_000 {
+            t.put(&key(i), &i.to_le_bytes()).unwrap();
+        }
+        let mut seen = Vec::new();
+        t.scan(b"", None, |k, _| {
+            seen.push(k.to_vec());
+            true
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 1_000);
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "scan must be ordered");
+    }
+
+    #[test]
+    fn scan_subrange_and_early_stop() {
+        let mut t = tree();
+        for i in 0..100 {
+            t.put(&key(i), b"v").unwrap();
+        }
+        let mut count = 0;
+        t.scan(&key(10), Some(&key(20)), |_, _| {
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, 10);
+        let mut count = 0;
+        t.scan(&key(0), None, |_, _| {
+            count += 1;
+            count < 5
+        })
+        .unwrap();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut t = tree();
+        let big = vec![0u8; MAX_ENTRY_SIZE + 1];
+        assert!(matches!(
+            t.put(b"k", &big),
+            Err(Error::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_buffer_pool_still_correct() {
+        // Capacity 4 frames forces constant eviction during the build.
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemDisk::new()),
+            4,
+            StorageCost::free(),
+        ));
+        let mut t = BTree::create(pool, StorageCost::free()).unwrap();
+        for i in 0..2_000u64 {
+            t.put(&key(i), &i.to_le_bytes()).unwrap();
+        }
+        for i in (0..2_000).step_by(53) {
+            assert_eq!(t.get(&key(i)).unwrap(), Some(i.to_le_bytes().to_vec()));
+        }
+    }
+
+    #[test]
+    fn reopen_from_root_pointer() {
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemDisk::new()),
+            256,
+            StorageCost::free(),
+        ));
+        let (root, len) = {
+            let mut t = BTree::create(Arc::clone(&pool), StorageCost::free()).unwrap();
+            for i in 0..800u64 {
+                t.put(&key(i), &i.to_le_bytes()).unwrap();
+            }
+            (t.root(), t.len())
+        };
+        let t = BTree::open(pool, root, len, StorageCost::free());
+        assert_eq!(t.len(), 800);
+        assert_eq!(t.get(&key(799)).unwrap(), Some(799u64.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let mut t = tree();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = harmony_common::DetRng::new(99);
+        for step in 0..5_000 {
+            let k = key(rng.gen_range(600));
+            match rng.gen_range(10) {
+                0..=5 => {
+                    let v = format!("v{step}").into_bytes();
+                    let replaced = t.put(&k, &v).unwrap();
+                    assert_eq!(replaced, model.insert(k, v).is_some());
+                }
+                6..=7 => {
+                    let deleted = t.delete(&k).unwrap();
+                    assert_eq!(deleted, model.remove(&k).is_some());
+                }
+                _ => {
+                    assert_eq!(t.get(&k).unwrap(), model.get(&k).cloned());
+                }
+            }
+        }
+        assert_eq!(t.len(), model.len() as u64);
+        // Final full comparison via scan.
+        let mut scanned = Vec::new();
+        t.scan(b"", None, |k, v| {
+            scanned.push((k.to_vec(), v.to_vec()));
+            true
+        })
+        .unwrap();
+        let expect: Vec<_> = model.into_iter().collect();
+        assert_eq!(scanned, expect);
+    }
+}

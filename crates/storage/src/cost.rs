@@ -1,0 +1,72 @@
+//! Calibrated virtual-time cost constants for storage operations.
+//!
+//! These model the CPU side of a disk database — buffer-pool bookkeeping,
+//! B+Tree node binary search, record (de)serialization — while the disk
+//! side (read/write latency) lives in [`crate::disk::DiskProfile`].
+//! Defaults are in the ballpark of a tuned disk engine on the paper's
+//! E5-2620v4 nodes; the benchmark harness can sweep them.
+
+/// Per-operation CPU costs, in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageCost {
+    /// Buffer-pool hit: hash probe + LRU bump.
+    pub buffer_hit_ns: u64,
+    /// Extra bookkeeping on a miss (frame allocation, eviction decision),
+    /// on top of the disk read latency itself.
+    pub buffer_miss_cpu_ns: u64,
+    /// Binary search + entry decode within one B+Tree node.
+    pub node_search_ns: u64,
+    /// Mutating a node (insert/delete/update an entry, re-encode).
+    pub node_write_ns: u64,
+    /// Per record returned by a scan.
+    pub scan_per_record_ns: u64,
+    /// SQL-executor overhead per statement (parse/plan/executor setup) —
+    /// the dominant CPU term of a PostgreSQL-class database layer.
+    pub statement_ns: u64,
+}
+
+impl Default for StorageCost {
+    fn default() -> Self {
+        StorageCost {
+            buffer_hit_ns: 250,
+            buffer_miss_cpu_ns: 1_500,
+            node_search_ns: 400,
+            node_write_ns: 900,
+            scan_per_record_ns: 120,
+            statement_ns: 60_000,
+        }
+    }
+}
+
+impl StorageCost {
+    /// Zero-cost profile for logic-only tests.
+    #[must_use]
+    pub fn free() -> StorageCost {
+        StorageCost {
+            buffer_hit_ns: 0,
+            buffer_miss_cpu_ns: 0,
+            node_search_ns: 0,
+            node_write_ns: 0,
+            scan_per_record_ns: 0,
+            statement_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_positive() {
+        let c = StorageCost::default();
+        assert!(c.buffer_hit_ns > 0);
+        assert!(c.buffer_miss_cpu_ns > c.buffer_hit_ns);
+    }
+
+    #[test]
+    fn free_is_zero() {
+        let c = StorageCost::free();
+        assert_eq!(c.buffer_hit_ns + c.node_search_ns + c.node_write_ns, 0);
+    }
+}

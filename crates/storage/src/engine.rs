@@ -1,0 +1,593 @@
+//! The [`StorageEngine`] facade: a catalog of B+Tree tables behind one
+//! buffer pool, plus the logs and checkpoint machinery a blockchain's
+//! database layer needs.
+//!
+//! The engine is the reproduction's stand-in for PostgreSQL: disk-resident
+//! tables, DRAM buffer pool, physical WAL (for SOV baselines), logical block
+//! log and fuzzy checkpoints (for OE chains, HarmonyBC's discipline).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use harmony_common::ids::TableId;
+use harmony_common::{BlockId, Error, Result};
+use parking_lot::{Mutex, RwLock};
+
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, EvictionPolicy, PoolStats};
+use crate::checkpoint::{
+    FileManifestStore, Manifest, ManifestStore, MemManifestStore, TableMeta,
+};
+use crate::cost::StorageCost;
+use crate::disk::{DiskBackend, DiskProfile, FileDisk, MemDisk, SimDisk};
+use crate::log::{FileLog, LogSink, MemLog};
+
+/// Storage engine configuration.
+#[derive(Clone, Debug)]
+pub struct StorageConfig {
+    /// Buffer pool capacity in pages (4 KiB each).
+    pub buffer_pages: usize,
+    /// Latency profile applied to the (simulated) disk. Ignored for
+    /// file-backed engines, which pay real I/O latency.
+    pub disk_profile: DiskProfile,
+    /// CPU cost constants for storage operations.
+    pub cost: StorageCost,
+    /// When `Some`, the engine persists to files under this directory;
+    /// when `None`, it runs on a simulated in-memory disk.
+    pub data_dir: Option<PathBuf>,
+    /// Virtual-time cost of a log sync on the simulated log device.
+    pub log_sync_ns: u64,
+    /// Buffer-pool eviction policy.
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            buffer_pages: 4096, // 16 MiB of cache
+            disk_profile: DiskProfile::ssd(),
+            cost: StorageCost::default(),
+            data_dir: None,
+            log_sync_ns: DiskProfile::ssd().sync_ns,
+            eviction: EvictionPolicy::NoSteal,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// An all-in-memory, zero-latency configuration for tests.
+    #[must_use]
+    pub fn memory() -> StorageConfig {
+        StorageConfig {
+            buffer_pages: 4096,
+            disk_profile: DiskProfile::memory(),
+            cost: StorageCost::free(),
+            data_dir: None,
+            log_sync_ns: 0,
+            eviction: EvictionPolicy::NoSteal,
+        }
+    }
+}
+
+/// One key/value pair returned by a scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanItem {
+    /// Row key.
+    pub key: Vec<u8>,
+    /// Row value.
+    pub value: Vec<u8>,
+}
+
+/// Handle to one table (shared tree behind a lock).
+#[derive(Clone)]
+pub struct TableHandle {
+    /// Table id.
+    pub id: TableId,
+    tree: Arc<RwLock<BTree>>,
+}
+
+/// Point-in-time view of the engine's I/O activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Buffer pool counters.
+    pub pool: PoolStats,
+    /// Pages read from the disk device.
+    pub disk_reads: u64,
+    /// Pages written to the disk device.
+    pub disk_writes: u64,
+    /// Device sync barriers.
+    pub disk_syncs: u64,
+    /// Records in the physical WAL.
+    pub wal_records: u64,
+    /// Records in the logical block log.
+    pub block_records: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference (`self - earlier`), for measuring a phase.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            pool: PoolStats {
+                hits: self.pool.hits - earlier.pool.hits,
+                misses: self.pool.misses - earlier.pool.misses,
+                evict_writebacks: self.pool.evict_writebacks - earlier.pool.evict_writebacks,
+                flush_writebacks: self.pool.flush_writebacks - earlier.pool.flush_writebacks,
+            },
+            disk_reads: self.disk_reads - earlier.disk_reads,
+            disk_writes: self.disk_writes - earlier.disk_writes,
+            disk_syncs: self.disk_syncs - earlier.disk_syncs,
+            wal_records: self.wal_records - earlier.wal_records,
+            block_records: self.block_records - earlier.block_records,
+        }
+    }
+}
+
+/// A disk-oriented multi-table storage engine.
+pub struct StorageEngine {
+    pool: Arc<BufferPool>,
+    tables: RwLock<HashMap<TableId, TableHandle>>,
+    names: RwLock<HashMap<String, TableId>>,
+    next_table: Mutex<u16>,
+    manifest_store: Arc<dyn ManifestStore>,
+    wal: Arc<dyn LogSink>,
+    block_log: Arc<dyn LogSink>,
+    cost: StorageCost,
+    epoch: Mutex<u64>,
+    last_checkpoint: Mutex<Option<BlockId>>,
+}
+
+impl StorageEngine {
+    /// Open an engine per `config`, loading the latest checkpoint manifest
+    /// if one exists.
+    pub fn open(config: &StorageConfig) -> Result<StorageEngine> {
+        #[allow(clippy::type_complexity)]
+        let (disk, manifest_store, wal, block_log): (
+            Arc<dyn DiskBackend>,
+            Arc<dyn ManifestStore>,
+            Arc<dyn LogSink>,
+            Arc<dyn LogSink>,
+        ) = match &config.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                (
+                    Arc::new(FileDisk::open(&dir.join("pages.db"))?),
+                    Arc::new(FileManifestStore::new(dir)),
+                    Arc::new(FileLog::open(&dir.join("wal.log"))?),
+                    Arc::new(FileLog::open(&dir.join("blocks.log"))?),
+                )
+            }
+            None => (
+                Arc::new(SimDisk::wrap(MemDisk::new(), config.disk_profile)),
+                Arc::new(MemManifestStore::new()),
+                Arc::new(MemLog::new(config.log_sync_ns)),
+                Arc::new(MemLog::new(config.log_sync_ns)),
+            ),
+        };
+        let pool = Arc::new(BufferPool::with_policy(
+            disk,
+            config.buffer_pages,
+            config.cost,
+            config.eviction,
+        ));
+        let engine = StorageEngine {
+            pool,
+            tables: RwLock::new(HashMap::new()),
+            names: RwLock::new(HashMap::new()),
+            next_table: Mutex::new(0),
+            manifest_store,
+            wal,
+            block_log,
+            cost: config.cost,
+            epoch: Mutex::new(0),
+            last_checkpoint: Mutex::new(None),
+        };
+        engine.load_latest_manifest()?;
+        Ok(engine)
+    }
+
+    fn load_latest_manifest(&self) -> Result<()> {
+        let Some(manifest) = self.manifest_store.read_latest()? else {
+            return Ok(());
+        };
+        let mut tables = self.tables.write();
+        let mut names = self.names.write();
+        tables.clear();
+        names.clear();
+        let mut max_id = 0u16;
+        for meta in &manifest.tables {
+            let tree = BTree::open(
+                Arc::clone(&self.pool),
+                meta.root,
+                meta.len,
+                self.cost,
+            );
+            tables.insert(
+                meta.id,
+                TableHandle {
+                    id: meta.id,
+                    tree: Arc::new(RwLock::new(tree)),
+                },
+            );
+            names.insert(meta.name.clone(), meta.id);
+            max_id = max_id.max(meta.id.0 + 1);
+        }
+        *self.next_table.lock() = max_id;
+        *self.epoch.lock() = manifest.epoch;
+        *self.last_checkpoint.lock() = Some(manifest.block);
+        Ok(())
+    }
+
+    /// Create a table, or return the existing id when the name is taken.
+    pub fn create_table(&self, name: &str) -> Result<TableId> {
+        if let Some(id) = self.names.read().get(name) {
+            return Ok(*id);
+        }
+        let mut names = self.names.write();
+        if let Some(id) = names.get(name) {
+            return Ok(*id);
+        }
+        let id = {
+            let mut next = self.next_table.lock();
+            let id = TableId(*next);
+            *next += 1;
+            id
+        };
+        let tree = BTree::create(Arc::clone(&self.pool), self.cost)?;
+        self.tables.write().insert(
+            id,
+            TableHandle {
+                id,
+                tree: Arc::new(RwLock::new(tree)),
+            },
+        );
+        names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Look up a table id by name.
+    #[must_use]
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.names.read().get(name).copied()
+    }
+
+    /// Handle for a table (clone-cheap; use for hot paths).
+    pub fn table(&self, id: TableId) -> Result<TableHandle> {
+        self.tables
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {id:?}")))
+    }
+
+    /// Names and ids of every table.
+    #[must_use]
+    pub fn list_tables(&self) -> Vec<(String, TableId)> {
+        let mut v: Vec<(String, TableId)> = self
+            .names
+            .read()
+            .iter()
+            .map(|(n, id)| (n.clone(), *id))
+            .collect();
+        v.sort_by_key(|a| a.1);
+        v
+    }
+
+    /// Point read.
+    pub fn get(&self, table: TableId, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        harmony_common::vtime::charge(self.cost.statement_ns);
+        self.table(table)?.tree.read().get(key)
+    }
+
+    /// Insert or overwrite.
+    pub fn put(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<()> {
+        harmony_common::vtime::charge(self.cost.statement_ns);
+        self.table(table)?.tree.write().put(key, value)?;
+        Ok(())
+    }
+
+    /// Delete; returns whether the key existed.
+    pub fn delete(&self, table: TableId, key: &[u8]) -> Result<bool> {
+        harmony_common::vtime::charge(self.cost.statement_ns);
+        self.table(table)?.tree.write().delete(key)
+    }
+
+    /// Ordered scan over `[start, end)` (unbounded when `end` is `None`).
+    pub fn scan(
+        &self,
+        table: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        harmony_common::vtime::charge(self.cost.statement_ns);
+        self.table(table)?.tree.read().scan(start, end, f)
+    }
+
+    /// Scan into a vector (convenience; respects `limit`).
+    pub fn scan_collect(
+        &self,
+        table: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<ScanItem>> {
+        let mut out = Vec::new();
+        self.scan(table, start, end, |k, v| {
+            out.push(ScanItem {
+                key: k.to_vec(),
+                value: v.to_vec(),
+            });
+            out.len() < limit
+        })?;
+        Ok(out)
+    }
+
+    /// Number of live rows in a table.
+    pub fn table_len(&self, table: TableId) -> Result<u64> {
+        Ok(self.table(table)?.tree.read().len())
+    }
+
+    /// The physical write-ahead log (SOV baselines).
+    #[must_use]
+    pub fn wal(&self) -> &Arc<dyn LogSink> {
+        &self.wal
+    }
+
+    /// The logical block log (OE chains).
+    #[must_use]
+    pub fn block_log(&self) -> &Arc<dyn LogSink> {
+        &self.block_log
+    }
+
+    /// Checkpoint: flush all dirty pages, then persist a manifest declaring
+    /// `block` as fully durable. Crash-safe via double-slot manifests.
+    pub fn checkpoint(&self, block: BlockId) -> Result<()> {
+        self.pool.flush_all()?;
+        let tables = self.tables.read();
+        let names = self.names.read();
+        let mut metas: Vec<TableMeta> = Vec::with_capacity(tables.len());
+        for (name, id) in names.iter() {
+            let handle = &tables[id];
+            let tree = handle.tree.read();
+            metas.push(TableMeta {
+                id: *id,
+                name: name.clone(),
+                root: tree.root(),
+                len: tree.len(),
+            });
+        }
+        metas.sort_by_key(|a| a.id);
+        let epoch = {
+            let mut e = self.epoch.lock();
+            *e += 1;
+            *e
+        };
+        self.manifest_store.write(&Manifest {
+            epoch,
+            block,
+            tables: metas,
+        })?;
+        *self.last_checkpoint.lock() = Some(block);
+        Ok(())
+    }
+
+    /// Block id of the latest completed checkpoint.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<BlockId> {
+        *self.last_checkpoint.lock()
+    }
+
+    /// Simulate a crash for in-memory engines: the buffer cache (and with
+    /// it every un-checkpointed page) is discarded, then the engine reloads
+    /// the latest manifest — exactly what [`StorageEngine::open`] would do
+    /// after a real restart on a file-backed engine.
+    pub fn crash_and_recover(&self) -> Result<()> {
+        self.pool.clear_cache_discarding_dirty();
+        self.tables.write().clear();
+        self.names.write().clear();
+        *self.next_table.lock() = 0;
+        *self.last_checkpoint.lock() = None;
+        self.load_latest_manifest()?;
+        Ok(())
+    }
+
+    /// Current I/O counters.
+    #[must_use]
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        let (disk_reads, disk_writes, disk_syncs) = self.pool.disk().io_counts();
+        IoSnapshot {
+            pool: self.pool.stats(),
+            disk_reads,
+            disk_writes,
+            disk_syncs,
+            wal_records: self.wal.record_count(),
+            block_records: self.block_log.record_count(),
+        }
+    }
+
+    /// The buffer pool (exposed for benchmarks that want its stats).
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> StorageEngine {
+        StorageEngine::open(&StorageConfig::memory()).unwrap()
+    }
+
+    #[test]
+    fn create_and_reuse_table() {
+        let e = engine();
+        let a = e.create_table("accounts").unwrap();
+        let b = e.create_table("accounts").unwrap();
+        assert_eq!(a, b);
+        let c = e.create_table("orders").unwrap();
+        assert_ne!(a, c);
+        assert_eq!(e.table_id("accounts"), Some(a));
+        assert_eq!(e.table_id("nope"), None);
+        assert_eq!(e.list_tables().len(), 2);
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let e = engine();
+        let t = e.create_table("t").unwrap();
+        e.put(t, b"k", b"v").unwrap();
+        assert_eq!(e.get(t, b"k").unwrap(), Some(b"v".to_vec()));
+        assert!(e.delete(t, b"k").unwrap());
+        assert_eq!(e.get(t, b"k").unwrap(), None);
+        assert!(!e.delete(t, b"k").unwrap());
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let e = engine();
+        assert!(matches!(
+            e.get(TableId(42), b"k"),
+            Err(Error::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn scan_collect_with_limit() {
+        let e = engine();
+        let t = e.create_table("t").unwrap();
+        for i in 0..20u8 {
+            e.put(t, &[i], &[i]).unwrap();
+        }
+        let items = e.scan_collect(t, &[5], Some(&[15]), 100).unwrap();
+        assert_eq!(items.len(), 10);
+        assert_eq!(items[0].key, vec![5]);
+        let limited = e.scan_collect(t, &[0], None, 3).unwrap();
+        assert_eq!(limited.len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_then_crash_recovers_checkpointed_state() {
+        let e = engine();
+        let t = e.create_table("bank").unwrap();
+        for i in 0..500u64 {
+            e.put(t, &i.to_be_bytes(), b"pre-checkpoint").unwrap();
+        }
+        e.checkpoint(BlockId(10)).unwrap();
+        // Post-checkpoint writes that must disappear on crash.
+        for i in 0..500u64 {
+            e.put(t, &i.to_be_bytes(), b"post-checkpoint").unwrap();
+        }
+        e.put(t, b"new-key", b"x").unwrap();
+        e.crash_and_recover().unwrap();
+        assert_eq!(e.last_checkpoint(), Some(BlockId(10)));
+        assert_eq!(
+            e.get(t, &7u64.to_be_bytes()).unwrap(),
+            Some(b"pre-checkpoint".to_vec())
+        );
+        assert_eq!(e.get(t, b"new-key").unwrap(), None);
+        assert_eq!(e.table_len(t).unwrap(), 500);
+    }
+
+    #[test]
+    fn crash_without_checkpoint_loses_everything() {
+        let e = engine();
+        let t = e.create_table("t").unwrap();
+        e.put(t, b"a", b"1").unwrap();
+        e.crash_and_recover().unwrap();
+        // No manifest: catalog is empty again.
+        assert_eq!(e.table_id("t"), None);
+        assert!(e.get(t, b"a").is_err());
+    }
+
+    #[test]
+    fn second_checkpoint_supersedes_first() {
+        let e = engine();
+        let t = e.create_table("t").unwrap();
+        e.put(t, b"k", b"v1").unwrap();
+        e.checkpoint(BlockId(1)).unwrap();
+        e.put(t, b"k", b"v2").unwrap();
+        e.checkpoint(BlockId(2)).unwrap();
+        e.crash_and_recover().unwrap();
+        assert_eq!(e.get(t, b"k").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(e.last_checkpoint(), Some(BlockId(2)));
+    }
+
+    #[test]
+    fn io_snapshot_counts_grow() {
+        let e = engine();
+        let t = e.create_table("t").unwrap();
+        let before = e.io_snapshot();
+        for i in 0..100u8 {
+            e.put(t, &[i], &[i]).unwrap();
+        }
+        e.checkpoint(BlockId(0)).unwrap();
+        let after = e.io_snapshot();
+        let delta = after.delta_since(&before);
+        assert!(delta.pool.hits > 0);
+        assert!(delta.disk_writes > 0, "checkpoint must write pages");
+        assert!(delta.disk_syncs >= 1);
+    }
+
+    #[test]
+    fn file_backed_engine_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "harmony-engine-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let config = StorageConfig {
+            data_dir: Some(dir.clone()),
+            cost: StorageCost::free(),
+            ..StorageConfig::memory()
+        };
+        let t = {
+            let e = StorageEngine::open(&config).unwrap();
+            let t = e.create_table("persist").unwrap();
+            for i in 0..200u64 {
+                e.put(t, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            e.checkpoint(BlockId(5)).unwrap();
+            t
+        };
+        let e = StorageEngine::open(&config).unwrap();
+        assert_eq!(e.table_id("persist"), Some(t));
+        assert_eq!(e.last_checkpoint(), Some(BlockId(5)));
+        assert_eq!(
+            e.get(t, &42u64.to_be_bytes()).unwrap(),
+            Some(42u64.to_le_bytes().to_vec())
+        );
+        assert_eq!(e.table_len(t).unwrap(), 200);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let e = Arc::new(engine());
+        let t = e.create_table("t").unwrap();
+        for i in 0..64u8 {
+            e.put(t, &[i], &[0]).unwrap();
+        }
+        let mut handles = Vec::new();
+        for w in 0..4u8 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..100u8 {
+                    let key = [w * 16 + (round % 16)];
+                    e.put(t, &key, &[round]).unwrap();
+                    let _ = e.get(t, &[round % 64]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.table_len(t).unwrap(), 64);
+    }
+}

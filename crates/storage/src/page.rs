@@ -1,0 +1,128 @@
+//! Pages and page identifiers.
+
+use std::fmt;
+
+/// Size of one page in bytes. 4 KiB matches common SSD sector granularity
+/// and the paper's PostgreSQL substrate.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a disk backend.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel meaning "no page" (used for leaf chain terminators).
+    pub const NULL: PageId = PageId(u64::MAX);
+
+    /// Whether this is the null sentinel.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self == PageId::NULL
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "P-")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+/// A heap-allocated page buffer.
+pub struct PageBuf {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl PageBuf {
+    /// A zeroed page.
+    #[must_use]
+    pub fn zeroed() -> PageBuf {
+        PageBuf {
+            data: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("exact size"),
+        }
+    }
+
+    /// Build from raw bytes (must be exactly [`PAGE_SIZE`] long).
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != PAGE_SIZE`.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> PageBuf {
+        assert_eq!(bytes.len(), PAGE_SIZE, "page must be exactly PAGE_SIZE");
+        let mut p = PageBuf::zeroed();
+        p.data.copy_from_slice(bytes);
+        p
+    }
+
+    /// Read view.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Write view.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> Self {
+        PageBuf {
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        PageBuf::zeroed()
+    }
+}
+
+impl fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageBuf[{PAGE_SIZE}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero() {
+        let p = PageBuf::zeroed();
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let mut raw = vec![0u8; PAGE_SIZE];
+        raw[0] = 0xAA;
+        raw[PAGE_SIZE - 1] = 0xBB;
+        let p = PageBuf::from_bytes(&raw);
+        assert_eq!(p.bytes()[0], 0xAA);
+        assert_eq!(p.bytes()[PAGE_SIZE - 1], 0xBB);
+    }
+
+    #[test]
+    #[should_panic(expected = "PAGE_SIZE")]
+    fn from_bytes_wrong_len_panics() {
+        let _ = PageBuf::from_bytes(&[0u8; 100]);
+    }
+
+    #[test]
+    fn null_page_id() {
+        assert!(PageId::NULL.is_null());
+        assert!(!PageId(0).is_null());
+        assert_eq!(format!("{:?}", PageId(3)), "P3");
+        assert_eq!(format!("{:?}", PageId::NULL), "P-");
+    }
+}

@@ -1,0 +1,86 @@
+//! Contract serialization for logical logging.
+//!
+//! OE chains persist *input blocks* (transaction commands) rather than
+//! effects. To re-execute after recovery, someone must turn the persisted
+//! bytes back into executable contracts — that is the smart-contract
+//! registry's job, abstracted as [`ContractCodec`]. Each workload ships a
+//! codec for its own procedures.
+
+use std::sync::Arc;
+
+use harmony_common::Result;
+
+use crate::contract::Contract;
+
+/// Encodes/decodes contracts for the logical block log.
+pub trait ContractCodec: Send + Sync {
+    /// Serialize a contract. The default wire format is
+    /// `[name_len u16][name][payload]`.
+    fn encode(&self, contract: &dyn Contract) -> Vec<u8> {
+        let name = contract.name().as_bytes();
+        let payload = contract.payload();
+        let mut out = Vec::with_capacity(2 + name.len() + payload.len());
+        out.extend_from_slice(&u16::try_from(name.len()).expect("name length").to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Reconstruct an executable contract from its serialized form.
+    fn decode(&self, bytes: &[u8]) -> Result<Arc<dyn Contract>>;
+}
+
+/// Split the default wire format into `(name, payload)`.
+pub fn split_encoded(bytes: &[u8]) -> Result<(&str, &[u8])> {
+    if bytes.len() < 2 {
+        return Err(harmony_common::Error::Corruption(
+            "encoded contract too short".into(),
+        ));
+    }
+    let name_len = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    if bytes.len() < 2 + name_len {
+        return Err(harmony_common::Error::Corruption(
+            "encoded contract name truncated".into(),
+        ));
+    }
+    let name = std::str::from_utf8(&bytes[2..2 + name_len])
+        .map_err(|_| harmony_common::Error::Corruption("contract name not utf-8".into()))?;
+    Ok((name, &bytes[2 + name_len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::FnContract;
+    use crate::ctx::TxnCtx;
+
+    struct NopCodec;
+
+    impl ContractCodec for NopCodec {
+        fn decode(&self, bytes: &[u8]) -> Result<Arc<dyn Contract>> {
+            let (name, payload) = split_encoded(bytes)?;
+            let name = name.to_string();
+            let payload = payload.to_vec();
+            Ok(Arc::new(
+                FnContract::new(name, move |_: &mut TxnCtx<'_>| Ok(())).with_payload(payload),
+            ))
+        }
+    }
+
+    #[test]
+    fn roundtrip_default_format() {
+        let c = FnContract::new("demo", |_: &mut TxnCtx<'_>| Ok(())).with_payload(vec![1, 2, 3]);
+        let codec = NopCodec;
+        let bytes = codec.encode(&c);
+        let decoded = codec.decode(&bytes).unwrap();
+        assert_eq!(decoded.name(), "demo");
+        assert_eq!(decoded.payload(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let codec = NopCodec;
+        assert!(codec.decode(&[5]).is_err());
+        assert!(codec.decode(&[9, 0, b'x']).is_err());
+    }
+}

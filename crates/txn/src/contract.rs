@@ -1,0 +1,185 @@
+//! Smart contracts (stored procedures).
+//!
+//! A contract is arbitrary Rust logic executed against a [`TxnCtx`] — it
+//! may branch on query results, loop, scan, and abort. This is precisely
+//! the class of workloads where pessimistic DCC's static analysis fails
+//! (§2.2.1 of the paper) and where ODCC protocols like Harmony shine: the
+//! read-write set is discovered *by running the contract*, never declared.
+
+use crate::ctx::TxnCtx;
+
+/// A transaction aborted by its own logic (business rule), e.g.
+/// "insufficient balance". Distinct from protocol-induced aborts: user
+/// aborts are deterministic and final (no retry).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UserAbort(pub String);
+
+impl std::fmt::Display for UserAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "user abort: {}", self.0)
+    }
+}
+
+impl std::error::Error for UserAbort {}
+
+/// A smart contract / stored procedure.
+pub trait Contract: Send + Sync {
+    /// Execute against the given context. Reads/writes are captured by the
+    /// context; returning `Err` is a deterministic business abort.
+    ///
+    /// # Errors
+    /// Returns [`UserAbort`] when the contract's own logic rejects the
+    /// transaction.
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<(), UserAbort>;
+
+    /// Human-readable name (for logging and stats).
+    fn name(&self) -> &str {
+        "contract"
+    }
+
+    /// Serialized form included in block payloads (hashed into the Merkle
+    /// root). Defaults to the name; workloads encode their parameters.
+    fn payload(&self) -> Vec<u8> {
+        self.name().as_bytes().to_vec()
+    }
+
+    /// Extra simulated compute this transaction performs besides data
+    /// access (straggler modelling for inter-block-parallelism tests).
+    fn think_time_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Adapter turning a closure into a [`Contract`].
+pub struct FnContract<F> {
+    name: String,
+    payload: Vec<u8>,
+    think_ns: u64,
+    f: F,
+}
+
+impl<F> FnContract<F>
+where
+    F: Fn(&mut TxnCtx<'_>) -> Result<(), UserAbort> + Send + Sync,
+{
+    /// Wrap a closure.
+    pub fn new(name: impl Into<String>, f: F) -> FnContract<F> {
+        let name = name.into();
+        FnContract {
+            payload: name.as_bytes().to_vec(),
+            name,
+            think_ns: 0,
+            f,
+        }
+    }
+
+    /// Attach a payload (identifies the transaction in block hashes).
+    #[must_use]
+    pub fn with_payload(mut self, payload: Vec<u8>) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Attach simulated extra compute.
+    #[must_use]
+    pub fn with_think_time(mut self, ns: u64) -> Self {
+        self.think_ns = ns;
+        self
+    }
+}
+
+impl<F> Contract for FnContract<F>
+where
+    F: Fn(&mut TxnCtx<'_>) -> Result<(), UserAbort> + Send + Sync,
+{
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<(), UserAbort> {
+        (self.f)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        self.payload.clone()
+    }
+
+    fn think_time_ns(&self) -> u64 {
+        self.think_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::SnapshotView;
+    use crate::key::{Key, Value};
+    use harmony_common::ids::TableId;
+    use harmony_common::Result;
+
+    struct EmptyView;
+
+    impl SnapshotView for EmptyView {
+        fn get(&self, _key: &Key) -> Result<Option<Value>> {
+            Ok(None)
+        }
+        fn scan(
+            &self,
+            _table: TableId,
+            _start: &[u8],
+            _end: Option<&[u8]>,
+            _f: &mut dyn FnMut(&[u8], &Value) -> bool,
+        ) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn fn_contract_executes_and_captures() {
+        let c = FnContract::new("touch", |ctx: &mut TxnCtx<'_>| {
+            ctx.put(Key::from_u64(TableId(0), 1), vec![1u8]);
+            Ok(())
+        });
+        let mut ctx = TxnCtx::new(&EmptyView);
+        c.execute(&mut ctx).unwrap();
+        assert_eq!(ctx.rwset().updates.len(), 1);
+        assert_eq!(c.name(), "touch");
+        assert_eq!(c.payload(), b"touch");
+    }
+
+    #[test]
+    fn fn_contract_branches_on_read() {
+        // Data-dependent branching: the write set depends on what was read
+        // — exactly what static analysis cannot pre-compute.
+        let c = FnContract::new("branchy", |ctx: &mut TxnCtx<'_>| {
+            let key = Key::from_u64(TableId(0), 7);
+            match ctx.read(&key).map_err(|e| UserAbort(e.to_string()))? {
+                Some(_) => ctx.put(Key::from_u64(TableId(0), 8), vec![1]),
+                None => ctx.put(Key::from_u64(TableId(0), 9), vec![2]),
+            }
+            Ok(())
+        });
+        let mut ctx = TxnCtx::new(&EmptyView);
+        c.execute(&mut ctx).unwrap();
+        let rw = ctx.into_rwset();
+        assert_eq!(rw.updates[0].0, Key::from_u64(TableId(0), 9));
+    }
+
+    #[test]
+    fn user_abort_from_contract() {
+        let c = FnContract::new("abort", |ctx: &mut TxnCtx<'_>| {
+            ctx.user_abort("no funds")
+        });
+        let mut ctx = TxnCtx::new(&EmptyView);
+        assert_eq!(c.execute(&mut ctx).unwrap_err().0, "no funds");
+    }
+
+    #[test]
+    fn builder_options() {
+        let c = FnContract::new("x", |_: &mut TxnCtx<'_>| Ok(()))
+            .with_payload(vec![9, 9])
+            .with_think_time(1234);
+        assert_eq!(c.payload(), vec![9, 9]);
+        assert_eq!(c.think_time_ns(), 1234);
+    }
+}

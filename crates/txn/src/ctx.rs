@@ -1,0 +1,346 @@
+//! The transaction execution context.
+//!
+//! A [`TxnCtx`] is what a smart contract sees while it is *simulated*
+//! against a block snapshot: reads go to the snapshot (or to the
+//! transaction's own pending writes — corner case (1) of Algorithm 2),
+//! writes are captured as update commands, scans register range predicates
+//! so phantoms are covered by dependency tracking.
+
+use bytes::Bytes;
+use harmony_common::ids::TableId;
+use harmony_common::Result;
+
+use crate::contract::UserAbort;
+use crate::key::{Key, Value};
+use crate::rwset::{RangePredicate, RwSet};
+use crate::update::UpdateCommand;
+
+/// A read-only view of a deterministic block snapshot.
+///
+/// Implementations: the MVCC overlay in `harmony-core` (block snapshots),
+/// plain storage (single-node execution), or endorser-local state (SOV
+/// simulation, possibly stale).
+pub trait SnapshotView: Sync {
+    /// Point read.
+    fn get(&self, key: &Key) -> Result<Option<Value>>;
+
+    /// Ordered scan of `[start, end)` in `table`; stop when `f` returns
+    /// `false`.
+    fn scan(
+        &self,
+        table: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &Value) -> bool,
+    ) -> Result<()>;
+
+    /// Version (last-writer TID) of `key`, if the view tracks versions.
+    /// SOV validation compares these to detect stale reads.
+    fn version_of(&self, _key: &Key) -> Option<u64> {
+        None
+    }
+}
+
+/// Execution context handed to [`crate::contract::Contract::execute`].
+pub struct TxnCtx<'a> {
+    view: &'a dyn SnapshotView,
+    rwset: RwSet,
+}
+
+impl<'a> TxnCtx<'a> {
+    /// Create a context over a snapshot view.
+    pub fn new(view: &'a dyn SnapshotView) -> TxnCtx<'a> {
+        TxnCtx {
+            view,
+            rwset: RwSet::default(),
+        }
+    }
+
+    /// Read a record. Own pending updates are visible (read-your-writes);
+    /// a read whose value depends on the snapshot records a read-set entry.
+    pub fn read(&mut self, key: &Key) -> Result<Option<Value>> {
+        if let Some(seq) = self.rwset.pending_for(key) {
+            let seq = seq.clone();
+            let depends_on_snapshot = seq
+                .commands()
+                .first()
+                .is_none_or(UpdateCommand::is_rmw);
+            let base = if depends_on_snapshot {
+                let v = self.view.get(key)?;
+                self.rwset
+                    .record_read(key.clone(), self.view.version_of(key));
+                v
+            } else {
+                None
+            };
+            return seq.apply(base.as_ref());
+        }
+        let v = self.view.get(key)?;
+        self.rwset
+            .record_read(key.clone(), self.view.version_of(key));
+        Ok(v)
+    }
+
+    /// Record an update command against `key`.
+    pub fn update(&mut self, key: Key, cmd: UpdateCommand) {
+        self.rwset.record_update(key, cmd);
+    }
+
+    /// Blind overwrite (also used for inserts).
+    pub fn put(&mut self, key: Key, value: impl Into<Value>) {
+        self.update(key, UpdateCommand::Put(value.into()));
+    }
+
+    /// Delete a record.
+    pub fn delete(&mut self, key: Key) {
+        self.update(key, UpdateCommand::Delete);
+    }
+
+    /// Read-modify-write: add to a little-endian `i64` field — the SQL
+    /// `UPDATE t SET f = f + delta` shape Harmony reorders and coalesces.
+    pub fn add_i64(&mut self, key: Key, offset: usize, delta: i64) {
+        self.update(key, UpdateCommand::AddI64 { offset, delta });
+    }
+
+    /// Read-modify-write: add to a little-endian `f64` field.
+    pub fn add_f64(&mut self, key: Key, offset: usize, delta: f64) {
+        self.update(key, UpdateCommand::AddF64 { offset, delta });
+    }
+
+    /// Ordered scan of `[start, end)` returning at most `limit` rows. The
+    /// predicate joins the read set; the transaction's own pending writes
+    /// in range are merged into the result.
+    pub fn scan(
+        &mut self,
+        table: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Bytes, Value)>> {
+        self.rwset.record_scan(RangePredicate {
+            table,
+            start: Bytes::copy_from_slice(start),
+            end: end.map(Bytes::copy_from_slice),
+        });
+        let mut rows: Vec<(Bytes, Value)> = Vec::new();
+        self.view.scan(table, start, end, &mut |k, v| {
+            rows.push((Bytes::copy_from_slice(k), v.clone()));
+            // Over-collect a little so pending deletes cannot starve the
+            // limit; trimmed after the merge below.
+            rows.len() < limit.saturating_mul(2).max(limit + 8)
+        })?;
+        // Merge own pending writes that fall inside the range.
+        let pending: Vec<(Key, Option<Value>)> = self
+            .rwset
+            .updates
+            .iter()
+            .filter(|(k, _)| {
+                k.table == table
+                    && k.row.as_ref() >= start
+                    && end.is_none_or(|e| k.row.as_ref() < e)
+            })
+            .map(|(k, seq)| {
+                let base = rows
+                    .iter()
+                    .find(|(rk, _)| rk == &k.row)
+                    .map(|(_, v)| v.clone());
+                (k.clone(), seq.apply(base.as_ref()).unwrap_or(None))
+            })
+            .collect();
+        for (k, v) in pending {
+            rows.retain(|(rk, _)| rk != &k.row);
+            if let Some(v) = v {
+                rows.push((k.row, v));
+            }
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.truncate(limit);
+        // Returned rows join the read set with their observed versions.
+        for (row, _) in &rows {
+            let key = Key::new(table, row.clone());
+            let version = self.view.version_of(&key);
+            self.rwset.record_read(key, version);
+        }
+        Ok(rows)
+    }
+
+    /// Abort the transaction from contract logic (e.g. insufficient
+    /// balance). Returned as `Err` so `?` propagates it.
+    pub fn user_abort<T>(&self, reason: impl Into<String>) -> Result<T, UserAbort> {
+        Err(UserAbort(reason.into()))
+    }
+
+    /// Consume the context, yielding the captured read-write set.
+    #[must_use]
+    pub fn into_rwset(self) -> RwSet {
+        self.rwset
+    }
+
+    /// Inspect the read-write set captured so far.
+    #[must_use]
+    pub fn rwset(&self) -> &RwSet {
+        &self.rwset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::BTreeMap;
+
+    /// Simple in-memory snapshot for tests.
+    #[derive(Default)]
+    pub struct MapView {
+        #[allow(clippy::type_complexity)]
+        rows: Mutex<BTreeMap<(u16, Vec<u8>), (Value, u64)>>,
+    }
+
+    impl MapView {
+        fn insert(&self, table: u16, row: &[u8], value: &[u8], version: u64) {
+            self.rows.lock().insert(
+                (table, row.to_vec()),
+                (Bytes::copy_from_slice(value), version),
+            );
+        }
+    }
+
+    impl SnapshotView for MapView {
+        fn get(&self, key: &Key) -> Result<Option<Value>> {
+            Ok(self
+                .rows
+                .lock()
+                .get(&(key.table.0, key.row.to_vec()))
+                .map(|(v, _)| v.clone()))
+        }
+
+        fn scan(
+            &self,
+            table: TableId,
+            start: &[u8],
+            end: Option<&[u8]>,
+            f: &mut dyn FnMut(&[u8], &Value) -> bool,
+        ) -> Result<()> {
+            for ((t, row), (v, _)) in self.rows.lock().iter() {
+                if *t != table.0 || row.as_slice() < start {
+                    continue;
+                }
+                if let Some(e) = end {
+                    if row.as_slice() >= e {
+                        continue;
+                    }
+                }
+                if !f(row, v) {
+                    break;
+                }
+            }
+            Ok(())
+        }
+
+        fn version_of(&self, key: &Key) -> Option<u64> {
+            self.rows
+                .lock()
+                .get(&(key.table.0, key.row.to_vec()))
+                .map(|(_, ver)| *ver)
+        }
+    }
+
+    fn k(row: &str) -> Key {
+        Key::new(TableId(0), row.as_bytes().to_vec())
+    }
+
+    fn i64v(n: i64) -> Vec<u8> {
+        n.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn read_records_version() {
+        let view = MapView::default();
+        view.insert(0, b"a", &i64v(5), 42);
+        let mut ctx = TxnCtx::new(&view);
+        let v = ctx.read(&k("a")).unwrap().unwrap();
+        assert_eq!(v.as_ref(), i64v(5));
+        let rw = ctx.into_rwset();
+        assert_eq!(rw.reads.len(), 1);
+        assert_eq!(rw.reads[0].version, Some(42));
+    }
+
+    #[test]
+    fn read_your_own_blind_write_skips_read_set() {
+        let view = MapView::default();
+        let mut ctx = TxnCtx::new(&view);
+        ctx.put(k("new"), i64v(9));
+        let v = ctx.read(&k("new")).unwrap().unwrap();
+        assert_eq!(v.as_ref(), i64v(9));
+        // Value independent of snapshot => no rw-dependency created.
+        assert!(ctx.rwset().reads.is_empty());
+    }
+
+    #[test]
+    fn read_your_own_rmw_records_read() {
+        let view = MapView::default();
+        view.insert(0, b"x", &i64v(10), 1);
+        let mut ctx = TxnCtx::new(&view);
+        ctx.add_i64(k("x"), 0, 5);
+        let v = ctx.read(&k("x")).unwrap().unwrap();
+        assert_eq!(v.as_ref(), i64v(15), "pending add applied to snapshot");
+        assert_eq!(ctx.rwset().reads.len(), 1, "RMW read depends on snapshot");
+    }
+
+    #[test]
+    fn deleted_by_self_reads_none() {
+        let view = MapView::default();
+        view.insert(0, b"gone", &i64v(1), 1);
+        let mut ctx = TxnCtx::new(&view);
+        ctx.delete(k("gone"));
+        assert!(ctx.read(&k("gone")).unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_merges_pending_writes() {
+        let view = MapView::default();
+        view.insert(0, b"b", &i64v(2), 1);
+        view.insert(0, b"c", &i64v(3), 1);
+        view.insert(0, b"d", &i64v(4), 1);
+        let mut ctx = TxnCtx::new(&view);
+        ctx.put(k("a"), i64v(1)); // insert before range start? "a" < "b"
+        ctx.put(k("bb"), i64v(22)); // insert inside range
+        ctx.delete(k("c")); // delete inside range
+        let rows = ctx.scan(TableId(0), b"b", Some(b"e"), 10).unwrap();
+        let keys: Vec<&[u8]> = rows.iter().map(|(kk, _)| kk.as_ref()).collect();
+        assert_eq!(keys, vec![b"b".as_ref(), b"bb".as_ref(), b"d".as_ref()]);
+        // Predicate registered.
+        assert_eq!(ctx.rwset().scans.len(), 1);
+    }
+
+    #[test]
+    fn scan_respects_limit() {
+        let view = MapView::default();
+        for i in 0..20u8 {
+            view.insert(0, &[i], &i64v(i64::from(i)), 1);
+        }
+        let mut ctx = TxnCtx::new(&view);
+        let rows = ctx.scan(TableId(0), &[0], None, 5).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[4].0.as_ref(), &[4]);
+    }
+
+    #[test]
+    fn scan_records_row_reads() {
+        let view = MapView::default();
+        view.insert(0, b"p", &i64v(1), 7);
+        let mut ctx = TxnCtx::new(&view);
+        ctx.scan(TableId(0), b"p", None, 10).unwrap();
+        let rw = ctx.into_rwset();
+        assert_eq!(rw.reads.len(), 1);
+        assert_eq!(rw.reads[0].version, Some(7));
+    }
+
+    #[test]
+    fn user_abort_propagates() {
+        let view = MapView::default();
+        let ctx = TxnCtx::new(&view);
+        let r: Result<(), UserAbort> = ctx.user_abort("insufficient funds");
+        assert_eq!(r.unwrap_err().0, "insufficient funds");
+    }
+}

@@ -1,0 +1,91 @@
+//! Table-qualified row keys and values.
+
+use std::fmt;
+
+use bytes::Bytes;
+use harmony_common::ids::TableId;
+
+/// A row value. `Bytes` keeps clones cheap: values flow through read sets,
+/// update commands and undo records.
+pub type Value = Bytes;
+
+/// A table-qualified row key.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    /// Table the row lives in.
+    pub table: TableId,
+    /// Row key bytes within the table.
+    pub row: Bytes,
+}
+
+impl Key {
+    /// Build a key.
+    pub fn new(table: TableId, row: impl Into<Bytes>) -> Key {
+        Key {
+            table,
+            row: row.into(),
+        }
+    }
+
+    /// Convenience constructor from a `u64` row id (big-endian so byte
+    /// order matches numeric order in the B+Tree).
+    #[must_use]
+    pub fn from_u64(table: TableId, id: u64) -> Key {
+        Key::new(table, id.to_be_bytes().to_vec())
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.table.0, HexOrText(&self.row))
+    }
+}
+
+struct HexOrText<'a>(&'a [u8]);
+
+impl fmt::Display for HexOrText<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.iter().all(|b| b.is_ascii_graphic()) && !self.0.is_empty() {
+            write!(f, "{}", String::from_utf8_lossy(self.0))
+        } else {
+            for b in self.0 {
+                write!(f, "{b:02x}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = Key::new(TableId(1), &b"alice"[..]);
+        let b = Key::new(TableId(1), b"alice".to_vec());
+        let c = Key::new(TableId(2), &b"alice"[..]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn from_u64_preserves_order() {
+        let a = Key::from_u64(TableId(0), 5);
+        let b = Key::from_u64(TableId(0), 300);
+        assert!(a.row < b.row, "big-endian keys sort numerically");
+    }
+
+    #[test]
+    fn debug_renders_text_and_hex() {
+        let text = Key::new(TableId(3), &b"acct-9"[..]);
+        assert_eq!(format!("{text:?}"), "3:acct-9");
+        let bin = Key::new(TableId(3), vec![0u8, 255u8]);
+        assert_eq!(format!("{bin:?}"), "3:00ff");
+    }
+}

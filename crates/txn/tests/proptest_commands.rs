@@ -1,0 +1,124 @@
+//! Property-based tests on the update-command algebra — the foundation of
+//! Harmony's reordering/coalescence correctness.
+
+use bytes::Bytes;
+use harmony_txn::{CommandSeq, UpdateCommand, Value};
+use proptest::prelude::*;
+
+fn cmd_strategy() -> impl Strategy<Value = UpdateCommand> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 16..24)
+            .prop_map(|v| UpdateCommand::Put(Bytes::from(v))),
+        Just(UpdateCommand::Delete),
+        (0usize..2, -100i64..100).prop_map(|(slot, delta)| UpdateCommand::AddI64 {
+            offset: slot * 8,
+            delta,
+        }),
+        (0usize..2, prop::collection::vec(any::<u8>(), 1..8)).prop_map(|(slot, bytes)| {
+            UpdateCommand::SetBytes {
+                offset: slot * 8,
+                bytes: Bytes::from(bytes),
+            }
+        }),
+    ]
+}
+
+fn apply_raw(cmds: &[UpdateCommand], start: Option<Value>) -> Result<Option<Value>, ()> {
+    let mut cur = start;
+    for c in cmds {
+        match c.apply(cur.as_ref()) {
+            Ok(v) => cur = v,
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(cur)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CommandSeq's algebraic folding (Put absorbs prefixes, adjacent adds
+    /// merge) never changes application semantics.
+    #[test]
+    fn folding_preserves_semantics(cmds in prop::collection::vec(cmd_strategy(), 1..12)) {
+        let start = Some(Value::from(vec![7u8; 16]));
+        let mut seq = CommandSeq::new();
+        for c in &cmds {
+            seq.push(c.clone());
+        }
+        match apply_raw(&cmds, start.clone()) {
+            Ok(expect) => prop_assert_eq!(seq.apply(start.as_ref()).ok(), Some(expect)),
+            Err(()) => { /* raw application errored (RMW on missing) —
+                            seq may legally differ; skip */ }
+        }
+    }
+
+    /// Folding never grows the sequence.
+    #[test]
+    fn folding_never_grows(cmds in prop::collection::vec(cmd_strategy(), 1..12)) {
+        let mut seq = CommandSeq::new();
+        for c in &cmds {
+            seq.push(c.clone());
+        }
+        prop_assert!(seq.len() <= cmds.len());
+    }
+
+    /// extend() is associative with push(): building a sequence in two
+    /// halves equals building it in one pass.
+    #[test]
+    fn extend_equals_pushes(
+        left in prop::collection::vec(cmd_strategy(), 0..6),
+        right in prop::collection::vec(cmd_strategy(), 0..6)
+    ) {
+        let mut whole = CommandSeq::new();
+        for c in left.iter().chain(right.iter()) {
+            whole.push(c.clone());
+        }
+        let mut a = CommandSeq::new();
+        for c in &left {
+            a.push(c.clone());
+        }
+        let mut b = CommandSeq::new();
+        for c in &right {
+            b.push(c.clone());
+        }
+        a.extend(&b);
+        let start = Some(Value::from(vec![3u8; 16]));
+        prop_assert_eq!(a.apply(start.as_ref()).ok(), whole.apply(start.as_ref()).ok());
+    }
+
+    /// Pure AddI64 sequences commute on the same field — the property that
+    /// makes Harmony's hotspot coalescence exact for counter updates.
+    #[test]
+    fn adds_commute(mut deltas in prop::collection::vec(-50i64..50, 1..10)) {
+        let start = Some(Value::from(0i64.to_le_bytes().to_vec()));
+        let forward: Vec<UpdateCommand> = deltas
+            .iter()
+            .map(|&d| UpdateCommand::AddI64 { offset: 0, delta: d })
+            .collect();
+        let fwd = apply_raw(&forward, start.clone()).unwrap();
+        deltas.reverse();
+        let backward: Vec<UpdateCommand> = deltas
+            .iter()
+            .map(|&d| UpdateCommand::AddI64 { offset: 0, delta: d })
+            .collect();
+        let bwd = apply_raw(&backward, start).unwrap();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Blind Put always wins regardless of what preceded it.
+    #[test]
+    fn put_is_absorbing(
+        cmds in prop::collection::vec(cmd_strategy(), 0..8),
+        fin in prop::collection::vec(any::<u8>(), 16..24)
+    ) {
+        let mut seq = CommandSeq::new();
+        for c in &cmds {
+            seq.push(c.clone());
+        }
+        seq.push(UpdateCommand::Put(Bytes::from(fin.clone())));
+        let out = seq.apply(None).unwrap();
+        prop_assert_eq!(out, Some(Value::from(fin)));
+        prop_assert_eq!(seq.len(), 1, "Put absorbs everything before it");
+    }
+}

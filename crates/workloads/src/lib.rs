@@ -1,0 +1,26 @@
+//! The three benchmark workloads of the paper's evaluation, implemented as
+//! smart contracts over the transaction substrate:
+//!
+//! * [`ycsb`] — YCSB: 10 operations per transaction, 50/50 SELECT/UPDATE,
+//!   Zipfian skew (the contention axis of Figures 11–13), plus the hotspot
+//!   variant of Figure 14 (1 % hot records, merged read-modify-write
+//!   UPDATE statements).
+//! * [`smallbank`] — Smallbank: six banking procedures with data-dependent
+//!   branches and user aborts (insufficient funds).
+//! * [`tpcc`] — TPC-C: the five standard transaction profiles over the
+//!   full nine-table schema, with configurable warehouse count (the
+//!   contention/database-size axis of Figure 19) and a scale factor for
+//!   laptop-sized runs.
+//!
+//! All workloads implement [`Workload`], so the benchmark harness drives
+//! any (engine × workload) pair uniformly and deterministically.
+
+pub mod smallbank;
+pub mod tpcc;
+pub mod workload;
+pub mod ycsb;
+
+pub use smallbank::{Smallbank, SmallbankCodec, SmallbankConfig};
+pub use tpcc::{Tpcc, TpccConfig};
+pub use workload::Workload;
+pub use ycsb::{Ycsb, YcsbCodec, YcsbConfig};

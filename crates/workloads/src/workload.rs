@@ -1,0 +1,29 @@
+//! The uniform workload interface.
+
+use std::sync::Arc;
+
+use harmony_common::{DetRng, Result};
+use harmony_storage::StorageEngine;
+use harmony_txn::Contract;
+
+/// A transactional benchmark workload.
+///
+/// Implementations are deterministic: given the same RNG seed and engine
+/// state, `setup` loads identical data and `next_txn` yields identical
+/// transaction streams — the property replica-consistency tests rely on.
+pub trait Workload: Send + Sync {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Create tables and load the initial database. Must be called once
+    /// before generating transactions; records the table ids internally.
+    fn setup(&mut self, engine: &StorageEngine) -> Result<()>;
+
+    /// Generate the next transaction using the caller's RNG.
+    fn next_txn(&self, rng: &mut DetRng) -> Arc<dyn Contract>;
+
+    /// Generate a whole block's worth of transactions.
+    fn next_block(&self, rng: &mut DetRng, size: usize) -> Vec<Arc<dyn Contract>> {
+        (0..size).map(|_| self.next_txn(rng)).collect()
+    }
+}

@@ -1,0 +1,345 @@
+//! YCSB (Cooper et al., SoCC 2010), configured as in the paper's §5: 10 K
+//! keys, 10 operations per transaction, each operation a SELECT or UPDATE
+//! with equal probability, key choice Zipfian with skew `theta`.
+//!
+//! The hotspot variant (Figure 14) marks 1 % of the records hot; each
+//! statement targets a hot record with probability `hot_prob` and is issued
+//! as a *merged read-modify-write UPDATE* (`balance = balance + x`) — the
+//! statement shape Harmony's update reordering and coalescence exploit.
+
+use std::sync::Arc;
+
+use harmony_common::ids::TableId;
+use harmony_common::zipf::ScrambledZipfian;
+use harmony_common::{DetRng, Result};
+use harmony_storage::StorageEngine;
+use harmony_txn::row::RowBuilder;
+use harmony_txn::{Contract, FnContract, Key, TxnCtx, UserAbort};
+
+use crate::workload::Workload;
+
+/// Byte offset of the numeric field RMW updates target.
+pub const FIELD_OFFSET: usize = 0;
+/// Total row payload size (one i64 field + padding).
+pub const ROW_LEN: usize = 96;
+
+/// YCSB configuration.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// Number of records (paper: 10 000).
+    pub keys: u64,
+    /// Operations per transaction (paper: 10).
+    pub ops_per_txn: usize,
+    /// Probability an operation is a read (paper: 0.5).
+    pub read_ratio: f64,
+    /// Zipfian skew θ ∈ [0, 1).
+    pub theta: f64,
+    /// Hotspot mode: fraction of records that are hot (0 disables).
+    pub hot_fraction: f64,
+    /// Probability a statement targets a hot record (hotspot mode).
+    pub hot_prob: f64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            keys: 10_000,
+            ops_per_txn: 10,
+            read_ratio: 0.5,
+            theta: 0.6,
+            hot_fraction: 0.0,
+            hot_prob: 0.0,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// The Figure 14 hotspot variant: 1 % hot records, every statement a
+    /// merged read-modify-write UPDATE, hot with probability `hot_prob`.
+    #[must_use]
+    pub fn hotspot(hot_prob: f64) -> YcsbConfig {
+        YcsbConfig {
+            theta: 0.0,
+            hot_fraction: 0.01,
+            hot_prob,
+            ..YcsbConfig::default()
+        }
+    }
+}
+
+/// The YCSB workload.
+pub struct Ycsb {
+    config: YcsbConfig,
+    zipf: ScrambledZipfian,
+    table: TableId,
+}
+
+impl Ycsb {
+    /// Build with the given configuration.
+    #[must_use]
+    pub fn new(config: YcsbConfig) -> Ycsb {
+        let zipf = ScrambledZipfian::new(config.keys, config.theta);
+        Ycsb {
+            config,
+            zipf,
+            table: TableId(0),
+        }
+    }
+
+    /// The user table id (valid after `setup`).
+    #[must_use]
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    pub(crate) fn make_row(seed: u64) -> bytes::Bytes {
+        let mut b = RowBuilder::new();
+        b.push_i64(1_000);
+        b.push_pad(ROW_LEN - 8, (seed & 0x7F) as u8);
+        b.finish()
+    }
+
+    fn pick_key(&self, rng: &mut DetRng) -> u64 {
+        if self.config.hot_fraction > 0.0 {
+            let hot_keys = ((self.config.keys as f64) * self.config.hot_fraction).max(1.0) as u64;
+            if rng.gen_bool(self.config.hot_prob) {
+                rng.gen_range(hot_keys)
+            } else {
+                hot_keys + rng.gen_range(self.config.keys - hot_keys)
+            }
+        } else {
+            self.zipf.sample(rng)
+        }
+    }
+}
+
+impl Workload for Ycsb {
+    fn name(&self) -> &'static str {
+        "YCSB"
+    }
+
+    fn setup(&mut self, engine: &StorageEngine) -> Result<()> {
+        let table = engine.create_table("usertable")?;
+        self.table = table;
+        for k in 0..self.config.keys {
+            engine.put(table, &k.to_be_bytes(), &Self::make_row(k))?;
+        }
+        Ok(())
+    }
+
+    fn next_txn(&self, rng: &mut DetRng) -> Arc<dyn Contract> {
+        let table = self.table;
+        let hotspot_mode = self.config.hot_fraction > 0.0;
+        // Pre-draw the operation plan so the contract is deterministic.
+        let ops: Vec<(u64, u8, i64)> = (0..self.config.ops_per_txn)
+            .map(|_| {
+                let key = self.pick_key(rng);
+                let kind = if hotspot_mode {
+                    2 // merged RMW UPDATE
+                } else if rng.gen_bool(self.config.read_ratio) {
+                    0 // SELECT
+                } else {
+                    1 // blind UPDATE
+                };
+                (key, kind, rng.gen_range(100) as i64)
+            })
+            .collect();
+        build_txn(table, ops)
+    }
+}
+
+/// Build the executable YCSB contract for a concrete operation plan.
+/// `ops` entries are `(key, kind, value)` with kind 0 = SELECT, 1 = blind
+/// UPDATE, 2 = merged read-modify-write UPDATE.
+pub fn build_txn(table: TableId, ops: Vec<(u64, u8, i64)>) -> Arc<dyn Contract> {
+    let payload = {
+        let mut p = Vec::with_capacity(ops.len() * 17);
+        for (k, kind, v) in &ops {
+            p.extend_from_slice(&k.to_le_bytes());
+            p.push(*kind);
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        p
+    };
+    Arc::new(
+        FnContract::new("ycsb", move |ctx: &mut TxnCtx<'_>| {
+            for (k, kind, v) in &ops {
+                let key = Key::from_u64(table, *k);
+                match kind {
+                    0 => {
+                        ctx.read(&key).map_err(|e| UserAbort(e.to_string()))?;
+                    }
+                    1 => ctx.put(key, Ycsb::make_row(*v as u64)),
+                    _ => ctx.add_i64(key, FIELD_OFFSET, *v),
+                }
+            }
+            Ok(())
+        })
+        .with_payload(payload),
+    )
+}
+
+/// [`ContractCodec`] for YCSB transactions — the smart-contract registry a
+/// replica uses to re-execute logged blocks after recovery.
+pub struct YcsbCodec {
+    /// The user table.
+    pub table: TableId,
+}
+
+impl harmony_txn::ContractCodec for YcsbCodec {
+    fn decode(&self, bytes: &[u8]) -> harmony_common::Result<Arc<dyn Contract>> {
+        let (name, payload) = harmony_txn::split_encoded(bytes)?;
+        if name != "ycsb" {
+            return Err(harmony_common::Error::InvalidArgument(format!(
+                "YcsbCodec cannot decode contract {name}"
+            )));
+        }
+        if payload.len() % 17 != 0 {
+            return Err(harmony_common::Error::Corruption(
+                "ycsb payload not a multiple of 17".into(),
+            ));
+        }
+        let ops = payload
+            .chunks(17)
+            .map(|c| {
+                (
+                    u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
+                    c[8],
+                    i64::from_le_bytes(c[9..].try_into().expect("8 bytes")),
+                )
+            })
+            .collect();
+        Ok(build_txn(self.table, ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_storage::StorageConfig;
+    use harmony_txn::SnapshotView;
+
+    struct EngineView<'a>(&'a StorageEngine);
+
+    impl SnapshotView for EngineView<'_> {
+        fn get(&self, key: &Key) -> Result<Option<harmony_txn::Value>> {
+            Ok(self.0.get(key.table, &key.row)?.map(harmony_txn::Value::from))
+        }
+        fn scan(
+            &self,
+            table: TableId,
+            start: &[u8],
+            end: Option<&[u8]>,
+            f: &mut dyn FnMut(&[u8], &harmony_txn::Value) -> bool,
+        ) -> Result<()> {
+            self.0
+                .scan(table, start, end, |k, v| f(k, &harmony_txn::Value::copy_from_slice(v)))
+        }
+    }
+
+    fn setup_ycsb(config: YcsbConfig) -> (StorageEngine, Ycsb) {
+        let engine = StorageEngine::open(&StorageConfig::memory()).unwrap();
+        let mut w = Ycsb::new(config);
+        w.setup(&engine).unwrap();
+        (engine, w)
+    }
+
+    #[test]
+    fn setup_loads_all_keys() {
+        let (engine, w) = setup_ycsb(YcsbConfig {
+            keys: 500,
+            ..YcsbConfig::default()
+        });
+        assert_eq!(engine.table_len(w.table()).unwrap(), 500);
+    }
+
+    #[test]
+    fn txn_touches_requested_ops() {
+        let (engine, w) = setup_ycsb(YcsbConfig {
+            keys: 100,
+            ops_per_txn: 10,
+            ..YcsbConfig::default()
+        });
+        let mut rng = DetRng::new(1);
+        let txn = w.next_txn(&mut rng);
+        let view = EngineView(&engine);
+        let mut ctx = TxnCtx::new(&view);
+        txn.execute(&mut ctx).unwrap();
+        let rw = ctx.into_rwset();
+        assert!(rw.reads.len() + rw.updates.len() >= 5, "ops recorded");
+        assert!(rw.op_count() <= 20);
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let (_, w) = setup_ycsb(YcsbConfig {
+            keys: 100,
+            ..YcsbConfig::default()
+        });
+        let mut r1 = DetRng::new(9);
+        let mut r2 = DetRng::new(9);
+        for _ in 0..10 {
+            assert_eq!(
+                w.next_txn(&mut r1).payload(),
+                w.next_txn(&mut r2).payload()
+            );
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_accesses() {
+        let hot_hits = |theta: f64| {
+            let (_, w) = setup_ycsb(YcsbConfig {
+                keys: 1000,
+                theta,
+                ..YcsbConfig::default()
+            });
+            let mut rng = DetRng::new(5);
+            let mut key_counts = std::collections::HashMap::new();
+            for _ in 0..200 {
+                let txn = w.next_txn(&mut rng);
+                // Decode keys from payload (8 bytes key + 1 + 8 each).
+                for chunk in txn.payload().chunks(17) {
+                    let k = u64::from_le_bytes(chunk[..8].try_into().unwrap());
+                    *key_counts.entry(k).or_insert(0u32) += 1;
+                }
+            }
+            *key_counts.values().max().unwrap()
+        };
+        assert!(hot_hits(0.99) > 3 * hot_hits(0.0));
+    }
+
+    #[test]
+    fn hotspot_mode_is_all_rmw() {
+        let (engine, w) = setup_ycsb(YcsbConfig {
+            keys: 1000,
+            ..YcsbConfig::hotspot(0.8)
+        });
+        let mut rng = DetRng::new(3);
+        let txn = w.next_txn(&mut rng);
+        let view = EngineView(&engine);
+        let mut ctx = TxnCtx::new(&view);
+        txn.execute(&mut ctx).unwrap();
+        let rw = ctx.into_rwset();
+        assert_eq!(rw.updates.len(), rw.updates.len());
+        assert!(rw.updates.iter().all(|(_, seq)| seq.has_rmw()));
+        // Merged statements: no separate read set entries.
+        assert!(rw.reads.is_empty());
+    }
+
+    #[test]
+    fn hotspot_prob_targets_hot_range() {
+        let (_, w) = setup_ycsb(YcsbConfig {
+            keys: 1000,
+            ..YcsbConfig::hotspot(1.0)
+        });
+        let mut rng = DetRng::new(4);
+        for _ in 0..20 {
+            let txn = w.next_txn(&mut rng);
+            for chunk in txn.payload().chunks(17) {
+                let k = u64::from_le_bytes(chunk[..8].try_into().unwrap());
+                assert!(k < 10, "hot_prob=1.0 must stay within the 1% hot set");
+            }
+        }
+    }
+}

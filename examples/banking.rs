@@ -1,0 +1,69 @@
+//! Banking scenario: the Smallbank workload on HarmonyBC vs AriaBC under a
+//! hot-account storm — the paper's core claim in miniature.
+//!
+//! ```sh
+//! cargo run --release --example banking
+//! ```
+
+use std::sync::Arc;
+
+use harmonybc::baselines::{Aria, AriaConfig, DccEngine, HarmonyEngine};
+use harmonybc::common::{BlockId, DetRng};
+use harmonybc::core::executor::ExecBlock;
+use harmonybc::core::{BlockStats, HarmonyConfig, SnapshotStore};
+use harmonybc::storage::{StorageConfig, StorageEngine};
+use harmonybc::workloads::smallbank::{build_txn, Procedure};
+use harmonybc::workloads::{Smallbank, SmallbankConfig, Workload};
+
+fn run(name: &str, harmony: bool) -> harmonybc::common::Result<BlockStats> {
+    let engine = Arc::new(StorageEngine::open(&StorageConfig::memory())?);
+    let mut bank = Smallbank::new(SmallbankConfig {
+        accounts: 1_000,
+        theta: 0.0,
+    });
+    bank.setup(&engine)?;
+    let (checking, savings) = bank.tables();
+    let store = Arc::new(SnapshotStore::new(engine));
+    let dcc: Arc<dyn DccEngine> = if harmony {
+        Arc::new(HarmonyEngine::new(Arc::clone(&store), HarmonyConfig::default()))
+    } else {
+        Arc::new(Aria::new(Arc::clone(&store), AriaConfig::default()))
+    };
+
+    // A payday storm: everyone deposits into a handful of hot merchant
+    // accounts — single-statement read-modify-write UPDATEs, the shape
+    // Harmony reorders and coalesces while Aria aborts on ww-conflicts.
+    let mut rng = DetRng::new(2024);
+    let mut totals = BlockStats::default();
+    for b in 1..=20u64 {
+        let txns = (0..30)
+            .map(|_| {
+                let hot = rng.gen_range(5); // 5 hot merchant accounts
+                let amount = 1 + rng.gen_range(100) as i64;
+                build_txn(checking, savings, Procedure::DepositChecking, hot, 0, amount)
+            })
+            .collect();
+        let block = ExecBlock::new(BlockId(b), txns);
+        totals.absorb(&dcc.execute_block(&block)?.stats);
+    }
+    println!(
+        "{name:>10}: {} committed, {} protocol aborts, abort rate {:.1}%",
+        totals.committed,
+        totals.protocol_aborts(),
+        totals.abort_rate() * 100.0
+    );
+    Ok(totals)
+}
+
+fn main() -> harmonybc::common::Result<()> {
+    println!("Smallbank deposit storm: 5 hot merchant accounts, 20 blocks × 30 txns:\n");
+    let harmony = run("HarmonyBC", true)?;
+    let aria = run("AriaBC", false)?;
+    println!(
+        "\nHarmony committed {:.2}× the transactions per attempt \
+         (update reordering turns Aria's ww-aborts into commits).",
+        (harmony.committed as f64 / harmony.txns as f64)
+            / (aria.committed as f64 / aria.txns as f64)
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # HarmonyBC
+//!
+//! A reproduction of *"When Private Blockchain Meets Deterministic
+//! Database"* (SIGMOD 2023): the **Harmony** deterministic concurrency
+//! control protocol and the **HarmonyBC** private blockchain built on it,
+//! together with every substrate the paper depends on — a disk-oriented
+//! storage engine, baseline DCC protocols (Aria, RBC, Fabric, FastFabric#),
+//! a consensus layer (chained HotStuff and a Kafka-like sequencer), and the
+//! Smallbank / YCSB / TPC-C workloads used in the evaluation.
+//!
+//! This facade crate re-exports the public API of every workspace crate so
+//! downstream users depend on a single crate:
+//!
+//! ```
+//! use harmonybc::prelude::*;
+//!
+//! // Build a tiny in-memory chain with the Harmony DCC.
+//! let chain = OeChain::in_memory(ChainConfig::in_memory()).unwrap();
+//! assert_eq!(chain.height(), BlockId(0));
+//! ```
+
+pub use harmony_chain as chain;
+pub use harmony_common as common;
+pub use harmony_consensus as consensus;
+pub use harmony_core as core;
+pub use harmony_crypto as crypto;
+pub use harmony_dcc_baselines as baselines;
+pub use harmony_sim as sim;
+pub use harmony_storage as storage;
+pub use harmony_txn as txn;
+pub use harmony_workloads as workloads;
+
+/// Convenience re-exports covering the common entry points.
+pub mod prelude {
+    pub use harmony_chain::{ChainConfig, OeChain, SovChain};
+    pub use harmony_common::{BlockId, TableId, TxnId};
+    pub use harmony_core::{BlockExecutor, ChainPipeline, HarmonyConfig, SnapshotStore};
+    pub use harmony_dcc_baselines::{DccEngine, HarmonyEngine};
+    pub use harmony_storage::{DiskProfile, StorageConfig, StorageEngine};
+    pub use harmony_txn::{Contract, ContractCodec, Key, TxnCtx, UpdateCommand, Value};
+    pub use harmony_workloads::{Smallbank, Tpcc, Workload, Ycsb};
+}
