@@ -16,8 +16,7 @@ fn bench_block_execution(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let engine =
-                        Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+                    let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
                     let mut w = Ycsb::new(YcsbConfig {
                         keys: 2_000,
                         theta: 0.6,

@@ -5,11 +5,24 @@ use harmony_bench::{all_systems, f2, measure_tuned, Table, WorkloadKind, BLOCK_S
 fn main() {
     let mut t = Table::new(
         "fig08_overall_ycsb",
-        &["system", "block_size", "throughput_tps", "latency_ms", "abort_rate"],
+        &[
+            "system",
+            "block_size",
+            "throughput_tps",
+            "latency_ms",
+            "abort_rate",
+        ],
     );
     for kind in all_systems() {
-        let (size, m) = measure_tuned(kind, &WorkloadKind::Ycsb { theta: 0.6 }, &BLOCK_SIZES).unwrap();
-        t.row(vec![m.system.into(), size.to_string(), f2(m.throughput_tps), f2(m.latency_ms), f2(m.abort_rate)]);
+        let (size, m) =
+            measure_tuned(kind, &WorkloadKind::Ycsb { theta: 0.6 }, &BLOCK_SIZES).unwrap();
+        t.row(vec![
+            m.system.into(),
+            size.to_string(),
+            f2(m.throughput_tps),
+            f2(m.latency_ms),
+            f2(m.abort_rate),
+        ]);
     }
     t.emit();
 }

@@ -12,7 +12,12 @@ fn main() {
         for size in BLOCK_SIZES {
             let workload = WorkloadKind::Smallbank { theta: 0.6 };
             let m = measure(kind, &workload, &default_run(size)).unwrap();
-            t.row(vec![m.system.into(), size.to_string(), f2(m.throughput_tps), f2(m.latency_ms)]);
+            t.row(vec![
+                m.system.into(),
+                size.to_string(),
+                f2(m.throughput_tps),
+                f2(m.latency_ms),
+            ]);
         }
     }
     t.emit();

@@ -11,7 +11,12 @@ fn main() {
         for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
             let workload = WorkloadKind::Smallbank { theta };
             let m = measure(kind, &workload, &default_run(25)).unwrap();
-            t.row(vec![m.system.into(), theta.to_string(), f2(m.throughput_tps), f2(m.abort_rate)]);
+            t.row(vec![
+                m.system.into(),
+                theta.to_string(),
+                f2(m.throughput_tps),
+                f2(m.abort_rate),
+            ]);
         }
     }
     t.emit();

@@ -17,13 +17,22 @@ fn rate(kind: EngineKind, workload: &WorkloadKind) -> (f64, f64) {
         txns += (res.stats.txns - res.stats.user_aborted) as u64;
     })
     .unwrap();
-    (fa as f64 / txns.max(1) as f64, aborts as f64 / txns.max(1) as f64)
+    (
+        fa as f64 / txns.max(1) as f64,
+        aborts as f64 / txns.max(1) as f64,
+    )
 }
 
 fn main() {
     let mut t = Table::new(
         "fig13_false_aborts",
-        &["workload", "system", "skew", "false_abort_rate", "abort_rate"],
+        &[
+            "workload",
+            "system",
+            "skew",
+            "false_abort_rate",
+            "abort_rate",
+        ],
     );
     let systems = [
         EngineKind::Harmony(HarmonyConfig::default()),

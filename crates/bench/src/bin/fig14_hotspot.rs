@@ -10,8 +10,18 @@ fn main() {
     );
     for kind in relational_systems() {
         for hot in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
-            let m = measure(kind, &WorkloadKind::YcsbHotspot { hot_prob: hot }, &default_run(25)).unwrap();
-            t.row(vec![m.system.into(), hot.to_string(), f2(m.throughput_tps), f2(m.abort_rate)]);
+            let m = measure(
+                kind,
+                &WorkloadKind::YcsbHotspot { hot_prob: hot },
+                &default_run(25),
+            )
+            .unwrap();
+            t.row(vec![
+                m.system.into(),
+                hot.to_string(),
+                f2(m.throughput_tps),
+                f2(m.abort_rate),
+            ]);
         }
     }
     t.emit();

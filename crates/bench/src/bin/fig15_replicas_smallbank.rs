@@ -14,7 +14,9 @@ fn main() {
     );
     // Sustained replication bandwidth of the cloud instances (burst 5 Gbps,
     // sustained ~1 Gbps on t3-class nodes).
-    let model = ClusterModel::Kafka { latency: LatencyModel::lan_1g() };
+    let model = ClusterModel::Kafka {
+        latency: LatencyModel::lan_1g(),
+    };
     let workload = WorkloadKind::Smallbank { theta: 0.6 };
     for kind in all_systems() {
         let (size, db) = measure_tuned(kind, &workload, &BLOCK_SIZES).unwrap();
@@ -24,7 +26,12 @@ fn main() {
         };
         for replicas in [4usize, 20, 40, 60, 80] {
             let m = model.compose(&db, arch, replicas, size as u64);
-            t.row(vec![m.system.into(), replicas.to_string(), f2(m.throughput_tps), f2(m.latency_ms)]);
+            t.row(vec![
+                m.system.into(),
+                replicas.to_string(),
+                f2(m.throughput_tps),
+                f2(m.latency_ms),
+            ]);
         }
     }
     t.emit();

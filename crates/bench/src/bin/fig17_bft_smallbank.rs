@@ -27,11 +27,26 @@ fn main() {
             LatencyModel::wan_4_continents()
         };
         for (label, model) in [
-            ("HarmonyBC(BFT)", ClusterModel::HotStuff { latency: latency.clone() }),
-            ("HarmonyBC(Kafka)", ClusterModel::Kafka { latency: latency.clone() }),
+            (
+                "HarmonyBC(BFT)",
+                ClusterModel::HotStuff {
+                    latency: latency.clone(),
+                },
+            ),
+            (
+                "HarmonyBC(Kafka)",
+                ClusterModel::Kafka {
+                    latency: latency.clone(),
+                },
+            ),
         ] {
             let m = model.compose(&db, Architecture::Oe, nodes, size as u64);
-            t.row(vec![label.into(), nodes.to_string(), f2(m.throughput_tps), f2(m.latency_ms)]);
+            t.row(vec![
+                label.into(),
+                nodes.to_string(),
+                f2(m.throughput_tps),
+                f2(m.latency_ms),
+            ]);
         }
     }
     t.emit();

@@ -6,7 +6,13 @@ use harmony_bench::{default_run, f2, measure, relational_systems, Table, Workloa
 fn main() {
     let mut t = Table::new(
         "fig19_tpcc",
-        &["system", "warehouses", "throughput_tps", "latency_ms", "abort_rate"],
+        &[
+            "system",
+            "warehouses",
+            "throughput_tps",
+            "latency_ms",
+            "abort_rate",
+        ],
     );
     for kind in relational_systems() {
         for warehouses in [1u64, 20, 40, 60, 80] {

@@ -8,7 +8,14 @@ use harmony_sim::EngineKind;
 fn main() {
     let mut t = Table::new(
         "fig20_ablation",
-        &["workload", "contention", "config", "throughput_tps", "abort_rate", "cpu_util"],
+        &[
+            "workload",
+            "contention",
+            "config",
+            "throughput_tps",
+            "abort_rate",
+            "cpu_util",
+        ],
     );
     let tiers: [(&str, HarmonyConfig); 4] = [
         ("raw", HarmonyConfig::raw()),

@@ -26,7 +26,10 @@ fn main() {
             // CPU (the Stonebraker costs (i) and (ii) both removed).
             ("memory-engine", DiskProfile::memory(), true),
         ] {
-            for kind in [EngineKind::Aria, EngineKind::Harmony(HarmonyConfig::default())] {
+            for kind in [
+                EngineKind::Aria,
+                EngineKind::Harmony(HarmonyConfig::default()),
+            ] {
                 let mut config = default_run(25);
                 config.storage = storage_with_profile(profile);
                 if free_cpu {
@@ -40,7 +43,12 @@ fn main() {
                     };
                 }
                 let m = measure(kind, &make(), &config).unwrap();
-                t.row(vec![(*wl_name).into(), medium.into(), m.system.into(), f2(m.throughput_tps)]);
+                t.row(vec![
+                    (*wl_name).into(),
+                    medium.into(),
+                    m.system.into(),
+                    f2(m.throughput_tps),
+                ]);
             }
         }
     }

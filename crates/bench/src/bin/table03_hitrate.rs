@@ -24,13 +24,25 @@ fn hit_rate(workload: &WorkloadKind) -> f64 {
 fn main() {
     let mut t = Table::new("table03_hitrate", &["workload", "param", "hit_rate"]);
     for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
-        t.row(vec!["YCSB".into(), format!("skew={theta}"), pct(hit_rate(&WorkloadKind::Ycsb { theta }))]);
+        t.row(vec![
+            "YCSB".into(),
+            format!("skew={theta}"),
+            pct(hit_rate(&WorkloadKind::Ycsb { theta })),
+        ]);
     }
     for theta in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
-        t.row(vec!["Smallbank".into(), format!("skew={theta}"), pct(hit_rate(&WorkloadKind::Smallbank { theta }))]);
+        t.row(vec![
+            "Smallbank".into(),
+            format!("skew={theta}"),
+            pct(hit_rate(&WorkloadKind::Smallbank { theta })),
+        ]);
     }
     for w in [1u64, 20, 40] {
-        t.row(vec!["TPC-C".into(), format!("warehouses={w}"), pct(hit_rate(&WorkloadKind::Tpcc { warehouses: w }))]);
+        t.row(vec![
+            "TPC-C".into(),
+            format!("warehouses={w}"),
+            pct(hit_rate(&WorkloadKind::Tpcc { warehouses: w })),
+        ]);
     }
     t.emit();
 }

@@ -18,9 +18,7 @@ use harmony_dcc_baselines::ProtocolBlockResult;
 use harmony_sim::{run_experiment, EngineKind, RunConfig, RunMetrics};
 use harmony_storage::{DiskProfile, StorageConfig, StorageEngine};
 use harmony_txn::Key;
-use harmony_workloads::{
-    Smallbank, SmallbankConfig, Tpcc, TpccConfig, Workload, Ycsb, YcsbConfig,
-};
+use harmony_workloads::{Smallbank, SmallbankConfig, Tpcc, TpccConfig, Workload, Ycsb, YcsbConfig};
 
 /// The five systems of the evaluation, in the paper's plotting order.
 #[must_use]
@@ -108,7 +106,11 @@ pub fn default_run(block_size: usize) -> RunConfig {
 }
 
 /// Run one (system × workload) point.
-pub fn measure(kind: EngineKind, workload: &WorkloadKind, config: &RunConfig) -> Result<RunMetrics> {
+pub fn measure(
+    kind: EngineKind,
+    workload: &WorkloadKind,
+    config: &RunConfig,
+) -> Result<RunMetrics> {
     let mut w = workload.build();
     run_experiment(kind, w.as_mut(), config)
 }
@@ -177,7 +179,9 @@ pub fn false_aborts_in(result: &ProtocolBlockResult) -> (u64, u64) {
     let mut aborts = 0u64;
     let mut false_aborts = 0u64;
     for (j, outcome) in result.outcomes.iter().enumerate() {
-        let TxnOutcome::Aborted(reason) = outcome else { continue };
+        let TxnOutcome::Aborted(reason) = outcome else {
+            continue;
+        };
         if *reason == harmony_common::error::AbortReason::UserAbort {
             continue;
         }
@@ -201,7 +205,9 @@ pub fn false_aborts_in(result: &ProtocolBlockResult) -> (u64, u64) {
         // occur inside a block.
         let mut succ: HashMap<usize, Vec<usize>> = HashMap::new();
         for &m in &members {
-            let Some(rw) = &result.rwsets[m] else { continue };
+            let Some(rw) = &result.rwsets[m] else {
+                continue;
+            };
             for k in rw.read_keys() {
                 for &w in writers.get(k).into_iter().flatten() {
                     if w != m {

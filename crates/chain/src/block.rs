@@ -26,7 +26,11 @@ pub struct BlockHeader {
 }
 
 impl BlockHeader {
-    fn signing_bytes(id: BlockId, prev: &harmony_crypto::Digest, root: &harmony_crypto::Digest) -> Vec<u8> {
+    fn signing_bytes(
+        id: BlockId,
+        prev: &harmony_crypto::Digest,
+        root: &harmony_crypto::Digest,
+    ) -> Vec<u8> {
         let mut w = Writer::with_capacity(72);
         w.put_u64(id.0);
         w.put_raw(&prev.0);
@@ -38,7 +42,11 @@ impl BlockHeader {
     #[must_use]
     pub fn hash(&self) -> harmony_crypto::Digest {
         let mut h = Sha256::new();
-        h.update(&Self::signing_bytes(self.id, &self.prev_hash, &self.txn_root));
+        h.update(&Self::signing_bytes(
+            self.id,
+            &self.prev_hash,
+            &self.txn_root,
+        ));
         h.update(&self.signature.mac.0);
         h.finalize()
     }
@@ -96,8 +104,11 @@ impl ChainBlock {
                 self.header.id
             )));
         }
-        let bytes =
-            BlockHeader::signing_bytes(self.header.id, &self.header.prev_hash, &self.header.txn_root);
+        let bytes = BlockHeader::signing_bytes(
+            self.header.id,
+            &self.header.prev_hash,
+            &self.header.txn_root,
+        );
         if !verifier.verify(&bytes, &self.header.signature) {
             return Err(Error::Corruption(format!(
                 "block {} orderer signature invalid",
@@ -128,9 +139,7 @@ impl ChainBlock {
     pub fn decode(bytes: &[u8]) -> Result<ChainBlock> {
         let mut r = Reader::new(bytes);
         let id = BlockId(r.get_u64()?);
-        let prev_hash = harmony_crypto::Digest(
-            r.get_raw(32)?.try_into().expect("32 bytes"),
-        );
+        let prev_hash = harmony_crypto::Digest(r.get_raw(32)?.try_into().expect("32 bytes"));
         let txn_root = harmony_crypto::Digest(r.get_raw(32)?.try_into().expect("32 bytes"));
         let sealer = r.get_u64()?;
         let signer = r.get_u64()?;
@@ -211,7 +220,12 @@ mod tests {
     #[test]
     fn chain_linkage() {
         let (kp, v) = sealer();
-        let b1 = ChainBlock::seal(BlockId(1), harmony_crypto::Digest::ZERO, vec![b"x".to_vec()], &kp);
+        let b1 = ChainBlock::seal(
+            BlockId(1),
+            harmony_crypto::Digest::ZERO,
+            vec![b"x".to_vec()],
+            &kp,
+        );
         let b2 = ChainBlock::seal(BlockId(2), b1.header.hash(), vec![b"y".to_vec()], &kp);
         b1.verify(&harmony_crypto::Digest::ZERO, &v).unwrap();
         b2.verify(&b1.header.hash(), &v).unwrap();

@@ -111,10 +111,8 @@ impl OeChain {
     pub fn open(config: ChainConfig) -> Result<OeChain> {
         let engine = Arc::new(StorageEngine::open(&config.storage)?);
         let snapshots = Arc::new(SnapshotStore::new(Arc::clone(&engine)));
-        let dcc: Arc<dyn DccEngine> = Arc::new(HarmonyEngine::new(
-            Arc::clone(&snapshots),
-            config.harmony,
-        ));
+        let dcc: Arc<dyn DccEngine> =
+            Arc::new(HarmonyEngine::new(Arc::clone(&snapshots), config.harmony));
         let keypair = KeyPair::derive(&config.provision, config.orderer_id, config.crypto);
         let verifier = Verifier::new(&config.provision, config.crypto);
         Ok(OeChain {
@@ -252,7 +250,8 @@ impl OeChain {
         let blocks = self.verify_chain()?;
         self.height = checkpoint;
         self.last_hash = blocks
-            .iter().rfind(|b| b.header.id <= checkpoint)
+            .iter()
+            .rfind(|b| b.header.id <= checkpoint)
             .map_or(Digest::ZERO, |b| b.header.hash());
         for block in &blocks {
             if block.header.id <= checkpoint {

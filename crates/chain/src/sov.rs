@@ -167,7 +167,8 @@ impl SovChain {
         // Re-position the DCC engine and recompute the chain tip.
         let blocks = self.verify_chain()?;
         self.last_hash = blocks
-            .iter().rfind(|b| b.header.id <= height)
+            .iter()
+            .rfind(|b| b.header.id <= height)
             .map_or(Digest::ZERO, |b| b.header.hash());
         self.dcc = Arc::new(Fabric::starting_at(
             Arc::clone(&self.snapshots),

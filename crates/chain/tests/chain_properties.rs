@@ -87,7 +87,10 @@ fn oe_recovery_replays_to_identical_state() {
         crashing.submit_block(txns, &codec).unwrap();
         witness.submit_block(txns_w, &codec_w).unwrap();
     }
-    assert_eq!(crashing.state_root().unwrap(), witness.state_root().unwrap());
+    assert_eq!(
+        crashing.state_root().unwrap(),
+        witness.state_root().unwrap()
+    );
 }
 
 #[test]
@@ -107,7 +110,9 @@ fn oe_recovery_without_any_checkpoint() {
     };
     let mut rng = DetRng::new(3);
     for _ in 0..4 {
-        chain.submit_block(workload.next_block(&mut rng, 10), &codec).unwrap();
+        chain
+            .submit_block(workload.next_block(&mut rng, 10), &codec)
+            .unwrap();
     }
     let root = chain.state_root().unwrap();
     chain.crash_and_recover(&codec).unwrap();
@@ -128,7 +133,9 @@ fn oe_recovery_without_any_checkpoint() {
     w2.setup(fresh.engine()).unwrap();
     let mut rng2 = DetRng::new(3);
     for _ in 0..4 {
-        fresh.submit_block(w2.next_block(&mut rng2, 10), &codec).unwrap();
+        fresh
+            .submit_block(w2.next_block(&mut rng2, 10), &codec)
+            .unwrap();
     }
     assert_eq!(fresh.state_root().unwrap(), root);
 }
@@ -138,7 +145,9 @@ fn tampered_block_log_detected() {
     use harmony_txn::ContractCodec;
     let (mut chain, workload, codec, mut rng) = ycsb_chain(4, HarmonyConfig::default());
     for _ in 0..3 {
-        chain.submit_block(workload.next_block(&mut rng, 5), &codec).unwrap();
+        chain
+            .submit_block(workload.next_block(&mut rng, 5), &codec)
+            .unwrap();
     }
     chain.verify_chain().unwrap();
 
@@ -146,11 +155,11 @@ fn tampered_block_log_detected() {
     // — verification must reject it because the Merkle root breaks.
     let blocks = chain.verify_chain().unwrap();
     let mut tampered = blocks[1].clone();
-    tampered.txns[0] = codec.encode(
-        harmony_workloads::ycsb::build_txn(workload.table(), vec![(0, 1, 999)]).as_ref(),
-    );
+    tampered.txns[0] = codec
+        .encode(harmony_workloads::ycsb::build_txn(workload.table(), vec![(0, 1, 999)]).as_ref());
     let prev = blocks[0].header.hash();
-    let verifier = harmony_crypto::Verifier::new(b"harmonybc-cluster", harmony_crypto::CryptoCost::free());
+    let verifier =
+        harmony_crypto::Verifier::new(b"harmonybc-cluster", harmony_crypto::CryptoCost::free());
     assert!(tampered.verify(&prev, &verifier).is_err());
 }
 
@@ -170,7 +179,9 @@ fn smallbank_conservation_across_recovery() {
     let codec = SmallbankCodec { checking, savings };
     let mut rng = DetRng::new(5);
     for _ in 0..9 {
-        chain.submit_block(workload.next_block(&mut rng, 25), &codec).unwrap();
+        chain
+            .submit_block(workload.next_block(&mut rng, 25), &codec)
+            .unwrap();
     }
     let root = chain.state_root().unwrap();
     chain.crash_and_recover(&codec).unwrap();
@@ -199,7 +210,9 @@ fn sov_chain_recovers_by_value_replay() {
     let mut rng = DetRng::new(6);
     let mut committed = 0usize;
     for _ in 0..10 {
-        let (_, res) = chain.submit_block(workload.next_block(&mut rng, 12), &codec).unwrap();
+        let (_, res) = chain
+            .submit_block(workload.next_block(&mut rng, 12), &codec)
+            .unwrap();
         committed += res.stats.committed;
     }
     assert!(committed > 0);
@@ -230,6 +243,8 @@ fn aria_as_chain_engine() {
     let snapshots = Arc::clone(chain.snapshots());
     let mut chain = chain.with_dcc(Arc::new(Aria::new(snapshots, AriaConfig::default())));
     let mut rng = DetRng::new(7);
-    let (_, res) = chain.submit_block(workload.next_block(&mut rng, 10), &codec).unwrap();
+    let (_, res) = chain
+        .submit_block(workload.next_block(&mut rng, 10), &codec)
+        .unwrap();
     assert!(res.stats.committed > 0, "AriaBC runs on the same framework");
 }

@@ -149,10 +149,7 @@ mod tests {
     fn high_theta_concentrates_mass() {
         let z = Zipfian::new(10_000, 0.99);
         let mut rng = DetRng::new(2);
-        let hot = (0..100_000)
-            .filter(|_| z.sample(&mut rng) < 100)
-            .count() as f64
-            / 100_000.0;
+        let hot = (0..100_000).filter(|_| z.sample(&mut rng) < 100).count() as f64 / 100_000.0;
         // With theta=0.99 over 10k keys, the top 1% of ranks absorb the
         // majority of accesses.
         assert!(hot > 0.5, "hot fraction {hot}");

@@ -166,9 +166,11 @@ impl HsNode {
             self.high_qc = self.high_qc.max(view);
             if view >= 2 {
                 let committed_view = view - 2;
-                let latency = ctx
-                    .now()
-                    .saturating_sub(self.proposal_born.remove(&committed_view).unwrap_or(ctx.now()));
+                let latency = ctx.now().saturating_sub(
+                    self.proposal_born
+                        .remove(&committed_view)
+                        .unwrap_or(ctx.now()),
+                );
                 self.committed.push((committed_view, latency));
             }
             // Pipelined: immediately lead the next view.

@@ -110,7 +110,14 @@ impl KNode {
         self.acks.insert(seq, 1); // the leader's own log append
         for follower in 1..self.config.brokers {
             ctx.charge_cpu(bytes * self.config.tx_ns_per_byte);
-            ctx.send(follower, KMsg::Replicate { seq, born_at: ctx.now() }, bytes);
+            ctx.send(
+                follower,
+                KMsg::Replicate {
+                    seq,
+                    born_at: ctx.now(),
+                },
+                bytes,
+            );
         }
     }
 }
@@ -129,7 +136,8 @@ impl SimNode<KMsg> for KNode {
                 let acks = self.acks.entry(seq).or_insert(0);
                 *acks += 1;
                 if *acks == self.config.majority() {
-                    self.committed.push((seq, ctx.now().saturating_sub(born_at)));
+                    self.committed
+                        .push((seq, ctx.now().saturating_sub(born_at)));
                     // Deliver the sealed block to every chain replica.
                     let bytes = self.config.block_bytes();
                     for r in 0..self.config.replicas {
@@ -174,7 +182,9 @@ impl KafkaSim {
     #[must_use]
     pub fn run(&self, duration_ns: u64) -> ConsensusReport {
         let total = self.config.brokers + self.config.replicas;
-        let nodes: Vec<KNode> = (0..total).map(|i| KNode::new(i, self.config.clone())).collect();
+        let nodes: Vec<KNode> = (0..total)
+            .map(|i| KNode::new(i, self.config.clone()))
+            .collect();
         let mut el = EventLoop::new(nodes, self.config.latency.clone(), 0xCAFE);
         el.seed_timer(0, 0, 0);
         el.run_until(duration_ns);

@@ -171,7 +171,14 @@ impl<M> NetCtx<'_, M> {
     pub fn send(&mut self, to: usize, msg: M, bytes: u64) {
         let jitter = self.jitter.gen_range(50_000); // ≤50 µs deterministic jitter
         let at = self.now + self.latency.delay_ns(self.node, to, bytes) + jitter;
-        self.out.push((at, to, EventKind::Message { from: self.node, msg }));
+        self.out.push((
+            at,
+            to,
+            EventKind::Message {
+                from: self.node,
+                msg,
+            },
+        ));
     }
 
     /// Schedule a timer on this node after `delay_ns`.
@@ -331,8 +338,14 @@ mod tests {
         el.seed_timer(0, 0, 1);
         el.run_until(1_000_000_000);
         // 0 →(0)→ 1 →(1)→ 0 →(2)→ 1 →(3)→ 0: node1 got msgs 0, 2.
-        assert_eq!(el.node(1).received.iter().map(|r| r.1).collect::<Vec<_>>(), vec![0, 2]);
-        assert_eq!(el.node(0).received.iter().map(|r| r.1).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            el.node(1).received.iter().map(|r| r.1).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            el.node(0).received.iter().map(|r| r.1).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
     }
 
     #[test]
@@ -380,10 +393,7 @@ mod tests {
             }
         }
         let mut el = EventLoop::new(
-            vec![
-                Busy { starts: vec![] },
-                Busy { starts: vec![] },
-            ],
+            vec![Busy { starts: vec![] }, Busy { starts: vec![] }],
             LatencyModel::Lan {
                 latency_ns: 1_000,
                 ns_per_byte: 0,

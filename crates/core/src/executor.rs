@@ -339,14 +339,23 @@ impl BlockExecutor {
             ..BlockSummary::default()
         };
         for plan in &plans {
-            let min_tid = plan.cmds.iter().map(|(tid, _, _)| *tid).min().expect("plan non-empty");
+            let min_tid = plan
+                .cmds
+                .iter()
+                .map(|(tid, _, _)| *tid)
+                .min()
+                .expect("plan non-empty");
             let backward_out = plan
                 .cmds
                 .iter()
                 .any(|(_, idx, _)| metas[*idx as usize].has_backward_out());
-            summary
-                .committed_writes
-                .insert(plan.key.clone(), WriterInfo { min_tid, backward_out });
+            summary.committed_writes.insert(
+                plan.key.clone(),
+                WriterInfo {
+                    min_tid,
+                    backward_out,
+                },
+            );
         }
         for (i, rwset) in rwsets.iter().enumerate() {
             if !committed[i] {
@@ -405,11 +414,7 @@ impl BlockExecutor {
     }
 
     /// Convenience: simulate + commit in one call (no pipeline overlap).
-    pub fn execute(
-        &self,
-        block: &ExecBlock,
-        prev: Option<&BlockSummary>,
-    ) -> Result<BlockResult> {
+    pub fn execute(&self, block: &ExecBlock, prev: Option<&BlockSummary>) -> Result<BlockResult> {
         let sim = self.simulate(block);
         self.commit(block, sim, prev)
     }

@@ -1,9 +1,11 @@
 //! Minimal fork-join helper.
 //!
 //! Spawns `workers` scoped threads that pull task indices from a shared
-//! counter and run `f(index)`. Results are written into a pre-sized slot
-//! vector, so output order is by task index regardless of scheduling —
-//! one ingredient of Harmony's determinism under real parallelism.
+//! counter and run `f(index)`. Each worker buffers its `(index, result)`
+//! pairs locally and the caller scatters the merged buffers into a
+//! pre-sized slot vector, so output order is by task index regardless of
+//! scheduling — one ingredient of Harmony's determinism under real
+//! parallelism — with no per-item synchronization on the hot path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -25,38 +27,38 @@ where
         }
     } else {
         let next = AtomicUsize::new(0);
-        let slots_ptr = SlotsPtr(slots.as_mut_ptr());
-        std::thread::scope(|scope| {
-            for _ in 0..workers.min(n) {
-                let next = &next;
-                let f = &f;
-                let slots_ptr = &slots_ptr;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let out = f(i);
-                    // SAFETY: each index is claimed by exactly one worker
-                    // (fetch_add), slots outlives the scope, and distinct
-                    // indices touch distinct slots.
-                    unsafe {
-                        *slots_ptr.0.add(i) = Some(out);
-                    }
-                });
-            }
+        let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers.min(n))
+                .map(|_| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
+        for (i, out) in buffers.into_iter().flatten() {
+            slots[i] = Some(out);
+        }
     }
     slots
         .into_iter()
         .map(|s| s.expect("every task index filled"))
         .collect()
 }
-
-struct SlotsPtr<T>(*mut Option<T>);
-// SAFETY: distinct indices are written by distinct threads; see run_indexed.
-unsafe impl<T: Send> Sync for SlotsPtr<T> {}
-unsafe impl<T: Send> Send for SlotsPtr<T> {}
 
 #[cfg(test)]
 mod tests {

@@ -72,7 +72,11 @@ impl ChainPipeline {
     pub fn execute_one(&mut self, block: &ExecBlock) -> Result<BlockResult> {
         assert_eq!(block.id, self.next_block, "blocks must be consecutive");
         let ibp = self.executor.config().inter_block_parallelism;
-        let prev = if ibp { self.prev_summary.as_ref() } else { None };
+        let prev = if ibp {
+            self.prev_summary.as_ref()
+        } else {
+            None
+        };
         let result = self.executor.execute(block, prev)?;
         self.after_commit(&result);
         Ok(result)

@@ -186,10 +186,22 @@ mod tests {
         metas[1].note_out_edge(t1);
 
         let mut rw1 = RwSet::default();
-        rw1.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 10.0 });
+        rw1.record_update(
+            key.clone(),
+            UpdateCommand::AddF64 {
+                offset: 0,
+                delta: 10.0,
+            },
+        );
         let mut rw2 = RwSet::default();
         rw2.record_read(key.clone(), None);
-        rw2.record_update(key.clone(), UpdateCommand::MulF64 { offset: 0, factor: 3.0 });
+        rw2.record_update(
+            key.clone(),
+            UpdateCommand::MulF64 {
+                offset: 0,
+                factor: 3.0,
+            },
+        );
         table.register(0, &rw1);
         table.register(1, &rw2);
 
@@ -214,9 +226,21 @@ mod tests {
         let metas = vec![TxnMeta::new(tid(1, 0)), TxnMeta::new(tid(1, 1))];
         metas[1].note_out_edge(tid(1, 0));
         let mut rw1 = RwSet::default();
-        rw1.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 10.0 });
+        rw1.record_update(
+            key.clone(),
+            UpdateCommand::AddF64 {
+                offset: 0,
+                delta: 10.0,
+            },
+        );
         let mut rw2 = RwSet::default();
-        rw2.record_update(key.clone(), UpdateCommand::MulF64 { offset: 0, factor: 3.0 });
+        rw2.record_update(
+            key.clone(),
+            UpdateCommand::MulF64 {
+                offset: 0,
+                factor: 3.0,
+            },
+        );
         table.register(0, &rw1);
         table.register(1, &rw2);
         let rwsets = vec![Some(rw1), Some(rw2)];
@@ -235,9 +259,21 @@ mod tests {
         let table = ReservationTable::new();
         let metas = vec![TxnMeta::new(tid(1, 0)), TxnMeta::new(tid(1, 1))];
         let mut rw1 = RwSet::default();
-        rw1.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 100.0 });
+        rw1.record_update(
+            key.clone(),
+            UpdateCommand::AddF64 {
+                offset: 0,
+                delta: 100.0,
+            },
+        );
         let mut rw2 = RwSet::default();
-        rw2.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 1.0 });
+        rw2.record_update(
+            key.clone(),
+            UpdateCommand::AddF64 {
+                offset: 0,
+                delta: 1.0,
+            },
+        );
         table.register(0, &rw1);
         table.register(1, &rw2);
         let rwsets = vec![Some(rw1), Some(rw2)];
@@ -276,7 +312,10 @@ mod tests {
                 let mut rw = RwSet::default();
                 rw.record_update(
                     key.clone(),
-                    UpdateCommand::AddF64 { offset: 0, delta: 1.0 },
+                    UpdateCommand::AddF64 {
+                        offset: 0,
+                        delta: 1.0,
+                    },
                 );
                 table.register(i, &rw);
                 rwsets.push(Some(rw));
@@ -305,7 +344,13 @@ mod tests {
         let table = ReservationTable::new();
         let metas = vec![TxnMeta::new(tid(1, 0))];
         let mut rw = RwSet::default();
-        rw.record_update(key.clone(), UpdateCommand::AddI64 { offset: 0, delta: 5 });
+        rw.record_update(
+            key.clone(),
+            UpdateCommand::AddI64 {
+                offset: 0,
+                delta: 5,
+            },
+        );
         table.register(0, &rw);
         let plans = build_apply_plans(&table, &metas, &[Some(rw)], &[true], true);
         let noops = apply_key_plan(&store, BlockId(1), &plans[0], true).unwrap();
@@ -325,16 +370,16 @@ mod tests {
         let mut rw1 = RwSet::default();
         rw1.record_update(key.clone(), UpdateCommand::Delete);
         let mut rw2 = RwSet::default();
-        rw2.record_update(key.clone(), UpdateCommand::AddF64 { offset: 0, delta: 1.0 });
+        rw2.record_update(
+            key.clone(),
+            UpdateCommand::AddF64 {
+                offset: 0,
+                delta: 1.0,
+            },
+        );
         table.register(0, &rw1);
         table.register(1, &rw2);
-        let plans = build_apply_plans(
-            &table,
-            &metas,
-            &[Some(rw1), Some(rw2)],
-            &[true, true],
-            true,
-        );
+        let plans = build_apply_plans(&table, &metas, &[Some(rw1), Some(rw2)], &[true, true], true);
         let noops = apply_key_plan(&store, BlockId(1), &plans[0], true).unwrap();
         assert_eq!(noops, 1);
         assert_eq!(store.engine().get(t, b"x").unwrap(), None);

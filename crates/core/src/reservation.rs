@@ -124,12 +124,7 @@ impl ReservationTable {
         for shard in &self.shards {
             let shard = shard.lock();
             for (key, entry) in shard.iter() {
-                if let Some(min) = entry
-                    .writers
-                    .iter()
-                    .map(|&w| metas[w as usize].tid)
-                    .min()
-                {
+                if let Some(min) = entry.writers.iter().map(|&w| metas[w as usize].tid).min() {
                     out.insert(key.clone(), min);
                 }
             }

@@ -19,9 +19,9 @@ use std::sync::Arc;
 
 use harmony_common::ids::TableId;
 use harmony_common::{BlockId, Result};
+use harmony_storage::StorageEngine;
 use harmony_txn::{Key, SnapshotView, Value};
 use parking_lot::RwLock;
-use harmony_storage::StorageEngine;
 
 const SHARDS: usize = 64;
 
@@ -92,7 +92,11 @@ impl SnapshotStore {
                 writer_block: block,
                 before,
             });
-            shard.versions.entry(key.clone()).or_default().push((block, tid));
+            shard
+                .versions
+                .entry(key.clone())
+                .or_default()
+                .push((block, tid));
         }
         match value {
             Some(v) => self.engine.put(key.table, &key.row, v)?,
@@ -284,10 +288,7 @@ impl SnapshotStore {
     /// A [`SnapshotView`] of the state after `block`.
     #[must_use]
     pub fn view_at(&self, block: BlockId) -> SnapshotViewAt<'_> {
-        SnapshotViewAt {
-            store: self,
-            block,
-        }
+        SnapshotViewAt { store: self, block }
     }
 }
 
@@ -344,10 +345,22 @@ mod tests {
             .unwrap();
         s.apply_write(BlockId(2), 200, &key(t, "x"), Some(&val("v2")))
             .unwrap();
-        assert_eq!(s.read_at(BlockId(0), &key(t, "x")).unwrap(), Some(val("v0")));
-        assert_eq!(s.read_at(BlockId(1), &key(t, "x")).unwrap(), Some(val("v1")));
-        assert_eq!(s.read_at(BlockId(2), &key(t, "x")).unwrap(), Some(val("v2")));
-        assert_eq!(s.read_at(BlockId(9), &key(t, "x")).unwrap(), Some(val("v2")));
+        assert_eq!(
+            s.read_at(BlockId(0), &key(t, "x")).unwrap(),
+            Some(val("v0"))
+        );
+        assert_eq!(
+            s.read_at(BlockId(1), &key(t, "x")).unwrap(),
+            Some(val("v1"))
+        );
+        assert_eq!(
+            s.read_at(BlockId(2), &key(t, "x")).unwrap(),
+            Some(val("v2"))
+        );
+        assert_eq!(
+            s.read_at(BlockId(9), &key(t, "x")).unwrap(),
+            Some(val("v2"))
+        );
     }
 
     #[test]
@@ -359,9 +372,15 @@ mod tests {
         s.apply_write(BlockId(1), 2, &key(t, "old"), None).unwrap();
         // At snapshot 0: "new" invisible, "old" still present.
         assert_eq!(s.read_at(BlockId(0), &key(t, "new")).unwrap(), None);
-        assert_eq!(s.read_at(BlockId(0), &key(t, "old")).unwrap(), Some(val("o")));
+        assert_eq!(
+            s.read_at(BlockId(0), &key(t, "old")).unwrap(),
+            Some(val("o"))
+        );
         // At snapshot 1: reversed.
-        assert_eq!(s.read_at(BlockId(1), &key(t, "new")).unwrap(), Some(val("n")));
+        assert_eq!(
+            s.read_at(BlockId(1), &key(t, "new")).unwrap(),
+            Some(val("n"))
+        );
         assert_eq!(s.read_at(BlockId(1), &key(t, "old")).unwrap(), None);
     }
 
@@ -388,18 +407,12 @@ mod tests {
         let snap0 = collect(0);
         assert_eq!(
             snap0,
-            vec![
-                (b"a".to_vec(), val("a0")),
-                (b"c".to_vec(), val("c0")),
-            ]
+            vec![(b"a".to_vec(), val("a0")), (b"c".to_vec(), val("c0")),]
         );
         let snap1 = collect(1);
         assert_eq!(
             snap1,
-            vec![
-                (b"a".to_vec(), val("a1")),
-                (b"b".to_vec(), val("b1")),
-            ]
+            vec![(b"a".to_vec(), val("a1")), (b"b".to_vec(), val("b1")),]
         );
     }
 
@@ -426,11 +439,17 @@ mod tests {
         assert_eq!(s.undo_keys(), 1);
         s.gc(BlockId(1));
         // Snapshot 1 must still be reconstructible.
-        assert_eq!(s.read_at(BlockId(1), &key(t, "x")).unwrap(), Some(val("v1")));
+        assert_eq!(
+            s.read_at(BlockId(1), &key(t, "x")).unwrap(),
+            Some(val("v1"))
+        );
         s.gc(BlockId(2));
         assert_eq!(s.undo_keys(), 0);
         // Latest state still served from the engine.
-        assert_eq!(s.read_at(BlockId(5), &key(t, "x")).unwrap(), Some(val("v2")));
+        assert_eq!(
+            s.read_at(BlockId(5), &key(t, "x")).unwrap(),
+            Some(val("v2"))
+        );
     }
 
     #[test]

@@ -40,7 +40,8 @@ fn build(t: TableId, spec: &TxnSpec) -> Arc<dyn Contract> {
     let spec = spec.clone();
     Arc::new(FnContract::new("prop", move |ctx: &mut TxnCtx<'_>| {
         for &r in &spec.reads {
-            ctx.read(&Key::from_u64(t, r)).map_err(|e| UserAbort(e.to_string()))?;
+            ctx.read(&Key::from_u64(t, r))
+                .map_err(|e| UserAbort(e.to_string()))?;
         }
         for &(k, d) in &spec.adds {
             ctx.add_i64(Key::from_u64(t, k), 0, d);
@@ -56,7 +57,9 @@ fn setup() -> (Arc<StorageEngine>, TableId) {
     let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
     let t = engine.create_table("t").unwrap();
     for k in 0..KEYS {
-        engine.put(t, &k.to_be_bytes(), &100i64.to_le_bytes()).unwrap();
+        engine
+            .put(t, &k.to_be_bytes(), &100i64.to_le_bytes())
+            .unwrap();
     }
     (engine, t)
 }
@@ -70,11 +73,7 @@ fn final_state(engine: &StorageEngine, t: TableId) -> BTreeMap<u64, i64> {
         .collect()
 }
 
-fn run(
-    specs: &[Vec<TxnSpec>],
-    workers: usize,
-    ibp: bool,
-) -> (BTreeMap<u64, i64>, Vec<Vec<bool>>) {
+fn run(specs: &[Vec<TxnSpec>], workers: usize, ibp: bool) -> (BTreeMap<u64, i64>, Vec<Vec<bool>>) {
     let (engine, t) = setup();
     let store = Arc::new(SnapshotStore::new(Arc::clone(&engine)));
     let config = HarmonyConfig {

@@ -61,9 +61,16 @@ fn put_txn(t: TableId, k: u64, v: i64) -> Arc<dyn Contract> {
 #[test]
 fn disjoint_txns_all_commit() {
     let (store, t) = setup(16);
-    let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default().single_threaded());
-    let txns: Vec<_> = (0..8).map(|i| read_add_txn(t, vec![i], vec![i + 8])).collect();
-    let res = exec.execute(&ExecBlock::new(BlockId(1), txns), None).unwrap();
+    let exec = BlockExecutor::new(
+        Arc::clone(&store),
+        HarmonyConfig::default().single_threaded(),
+    );
+    let txns: Vec<_> = (0..8)
+        .map(|i| read_add_txn(t, vec![i], vec![i + 8]))
+        .collect();
+    let res = exec
+        .execute(&ExecBlock::new(BlockId(1), txns), None)
+        .unwrap();
     assert_eq!(res.stats.committed, 8);
     assert_eq!(res.stats.protocol_aborts(), 0);
     for i in 8..16 {
@@ -81,7 +88,9 @@ fn write_skew_aborts_exactly_one() {
         read_add_txn(t, vec![0], vec![1]),
         read_add_txn(t, vec![1], vec![0]),
     ];
-    let res = exec.execute(&ExecBlock::new(BlockId(1), txns), None).unwrap();
+    let res = exec
+        .execute(&ExecBlock::new(BlockId(1), txns), None)
+        .unwrap();
     assert_eq!(res.stats.committed, 1);
     assert_eq!(res.stats.aborted_rule1, 1);
     assert_eq!(
@@ -99,7 +108,9 @@ fn ww_conflicts_all_commit_via_reordering() {
     let (store, t) = setup(1);
     let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default());
     let txns: Vec<_> = (0..10).map(|_| read_add_txn(t, vec![], vec![0])).collect();
-    let res = exec.execute(&ExecBlock::new(BlockId(1), txns), None).unwrap();
+    let res = exec
+        .execute(&ExecBlock::new(BlockId(1), txns), None)
+        .unwrap();
     assert_eq!(res.stats.committed, 10);
     assert_eq!(read_i64(&store, t, 0), Some(110));
 }
@@ -110,7 +121,9 @@ fn ww_conflicts_abort_without_reordering() {
     let (store, t) = setup(1);
     let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::raw());
     let txns: Vec<_> = (0..10).map(|_| read_add_txn(t, vec![], vec![0])).collect();
-    let res = exec.execute(&ExecBlock::new(BlockId(1), txns), None).unwrap();
+    let res = exec
+        .execute(&ExecBlock::new(BlockId(1), txns), None)
+        .unwrap();
     assert_eq!(res.stats.committed, 1);
     assert_eq!(res.stats.aborted_ww, 9);
     assert_eq!(read_i64(&store, t, 0), Some(101));
@@ -188,7 +201,9 @@ fn determinism_across_worker_counts() {
             blocks.push(ExecBlock::new(BlockId(b), txns));
         }
         pipeline.run_blocks(&blocks).unwrap();
-        (0..32).map(|i| (i, read_i64(&store, t, i).unwrap())).collect()
+        (0..32)
+            .map(|i| (i, read_i64(&store, t, i).unwrap()))
+            .collect()
     };
     let s1 = final_state(1);
     let s2 = final_state(2);
@@ -270,7 +285,9 @@ fn phantom_scan_vs_insert_is_detected() {
     let exec = BlockExecutor::new(Arc::clone(&store), HarmonyConfig::default());
     let inserter = Arc::new(FnContract::new("ins", move |ctx: &mut TxnCtx<'_>| {
         // Also read something T1 writes so a cycle forms.
-        let _ = ctx.read(&key(t, 100)).map_err(|e| UserAbort(e.to_string()))?;
+        let _ = ctx
+            .read(&key(t, 100))
+            .map_err(|e| UserAbort(e.to_string()))?;
         ctx.put(key(t, 2), 1i64.to_le_bytes().to_vec());
         Ok(())
     })) as Arc<dyn Contract>;
@@ -349,7 +366,8 @@ fn committed_graph_is_acyclic_randomized() {
         for b in 1..=10u64 {
             let txns: Vec<_> = (0..25)
                 .map(|_| {
-                    let reads: Vec<u64> = (0..rng.gen_range(3)).map(|_| rng.gen_range(10)).collect();
+                    let reads: Vec<u64> =
+                        (0..rng.gen_range(3)).map(|_| rng.gen_range(10)).collect();
                     let writes: Vec<u64> =
                         (0..=rng.gen_range(2)).map(|_| rng.gen_range(10)).collect();
                     read_add_txn(t, reads, writes)

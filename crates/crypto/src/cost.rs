@@ -48,7 +48,10 @@ mod tests {
     fn default_is_nonzero() {
         let c = CryptoCost::default();
         assert!(c.sign_ns > 0 && c.verify_ns > 0 && c.hash_ns > 0);
-        assert!(c.verify_ns > c.sign_ns, "Ed25519 verify is slower than sign");
+        assert!(
+            c.verify_ns > c.sign_ns,
+            "Ed25519 verify is slower than sign"
+        );
     }
 
     #[test]

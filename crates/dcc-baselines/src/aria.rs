@@ -229,7 +229,9 @@ mod tests {
         let (aria, t, store) = engine(true);
         let block = ExecBlock::new(
             BlockId(1),
-            (0..4).map(|i| read_add_txn(t, vec![i], vec![i + 8])).collect(),
+            (0..4)
+                .map(|i| read_add_txn(t, vec![i], vec![i + 8]))
+                .collect(),
         );
         let res = aria.execute_block(&block).unwrap();
         assert_eq!(res.stats.committed, 4);

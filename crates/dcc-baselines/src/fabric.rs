@@ -286,7 +286,9 @@ mod tests {
         let fabric = Fabric::new(Arc::clone(&store), config_no_lag(2));
         let block = ExecBlock::new(
             BlockId(1),
-            (0..4).map(|i| read_add_txn(t, vec![i], vec![i + 8])).collect(),
+            (0..4)
+                .map(|i| read_add_txn(t, vec![i], vec![i + 8]))
+                .collect(),
         );
         let res = fabric.execute_block(&block).unwrap();
         assert_eq!(res.stats.committed, 4);
@@ -375,11 +377,16 @@ mod tests {
             for b in 1..=5u64 {
                 let block = ExecBlock::new(
                     BlockId(b),
-                    (0..10).map(|i| read_add_txn(t, vec![i % 8], vec![(i + 1) % 8])).collect(),
+                    (0..10)
+                        .map(|i| read_add_txn(t, vec![i % 8], vec![(i + 1) % 8]))
+                        .collect(),
                 );
                 committed += fabric.execute_block(&block).unwrap().stats.committed;
             }
-            (committed, (0..8).map(|i| read_i64(&store, t, i)).collect::<Vec<_>>())
+            (
+                committed,
+                (0..8).map(|i| read_i64(&store, t, i)).collect::<Vec<_>>(),
+            )
         };
         assert_eq!(run(), run());
     }

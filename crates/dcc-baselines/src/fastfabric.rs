@@ -94,10 +94,7 @@ impl DepGraph {
     /// visited) — the visit count feeds the traversal cost model.
     fn has_cycle_through(&self, start: u32) -> (bool, usize) {
         let mut visited = HashSet::new();
-        let mut stack: Vec<u32> = self
-            .succ
-            .get(&start).cloned()
-            .unwrap_or_default();
+        let mut stack: Vec<u32> = self.succ.get(&start).cloned().unwrap_or_default();
         let mut steps = 0usize;
         while let Some(node) = stack.pop() {
             steps += 1;
@@ -162,9 +159,10 @@ impl DccEngine for FastFabric {
             // Inter-block staleness is unfixable by reordering within the
             // block: the endorsed write values were computed from state a
             // later block already overwrote.
-            let stale = rwset.reads.iter().any(|r| {
-                self.store.version_at(latest, &r.key) != r.version
-            });
+            let stale = rwset
+                .reads
+                .iter()
+                .any(|r| self.store.version_at(latest, &r.key) != r.version);
             if stale {
                 outcomes.push(TxnOutcome::Aborted(AbortReason::StaleRead));
                 continue;
@@ -202,8 +200,8 @@ impl DccEngine for FastFabric {
                 graph.add_edge(from, to);
             }
             let (cycle, steps) = graph.has_cycle_through(idx);
-            orderer_ns += self.config.traversal_ns_per_edge
-                * (steps as u64 + new_edges.len() as u64 + 1);
+            orderer_ns +=
+                self.config.traversal_ns_per_edge * (steps as u64 + new_edges.len() as u64 + 1);
             if cycle {
                 for &(from, to) in &new_edges {
                     graph.remove_edge(from, to);
@@ -299,7 +297,9 @@ mod tests {
         let ff = FastFabric::new(Arc::clone(&store), config(2));
         let block = ExecBlock::new(
             BlockId(1),
-            (0..4).map(|i| read_add_txn(t, vec![i], vec![i + 8])).collect(),
+            (0..4)
+                .map(|i| read_add_txn(t, vec![i], vec![i + 8]))
+                .collect(),
         );
         let res = ff.execute_block(&block).unwrap();
         assert_eq!(res.stats.committed, 4);

@@ -120,7 +120,9 @@ mod tests {
             // every transaction across all three pipelined blocks.
             let block = ExecBlock::new(
                 BlockId(b),
-                (0..6).map(|i| read_add_txn(t, vec![], vec![i % 3])).collect(),
+                (0..6)
+                    .map(|i| read_add_txn(t, vec![], vec![i % 3]))
+                    .collect(),
             );
             let res = engine.execute_block(&block).unwrap();
             assert_eq!(res.stats.txns, 6);

@@ -144,7 +144,9 @@ pub(crate) mod testutil {
         let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
         let t = engine.create_table("t").unwrap();
         for i in 0..n_keys {
-            engine.put(t, &i.to_be_bytes(), &100i64.to_le_bytes()).unwrap();
+            engine
+                .put(t, &i.to_be_bytes(), &100i64.to_le_bytes())
+                .unwrap();
         }
         (Arc::new(SnapshotStore::new(engine)), t)
     }
@@ -186,7 +188,10 @@ mod tests {
         let (store, t) = setup(4);
         let block = ExecBlock::new(
             BlockId(1),
-            vec![read_add_txn(t, vec![0], vec![1]), read_add_txn(t, vec![2], vec![3])],
+            vec![
+                read_add_txn(t, vec![0], vec![1]),
+                read_add_txn(t, vec![2], vec![3]),
+            ],
         );
         let (rwsets, costs) = simulate_block(&store, BlockId(0), &block, 2);
         assert_eq!(rwsets.len(), 2);
@@ -200,7 +205,13 @@ mod tests {
     fn eval_writes_resolves_rmw_against_snapshot() {
         let (store, t) = setup(1);
         let mut rw = RwSet::default();
-        rw.record_update(key(t, 0), UpdateCommand::AddI64 { offset: 0, delta: 7 });
+        rw.record_update(
+            key(t, 0),
+            UpdateCommand::AddI64 {
+                offset: 0,
+                delta: 7,
+            },
+        );
         let writes = eval_writes(&store, BlockId(0), &rw).unwrap();
         assert_eq!(writes.len(), 1);
         let v = writes[0].1.as_ref().unwrap();
@@ -213,28 +224,15 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         let v1 = Value::from(1i64.to_le_bytes().to_vec());
         let v2 = Value::from(2i64.to_le_bytes().to_vec());
-        install_writes(
-            &store,
-            BlockId(1),
-            10,
-            &[(key(t, 0), Some(v1))],
-            &mut seen,
-        )
-        .unwrap();
-        install_writes(
-            &store,
-            BlockId(1),
-            11,
-            &[(key(t, 0), Some(v2))],
-            &mut seen,
-        )
-        .unwrap();
+        install_writes(&store, BlockId(1), 10, &[(key(t, 0), Some(v1))], &mut seen).unwrap();
+        install_writes(&store, BlockId(1), 11, &[(key(t, 0), Some(v2))], &mut seen).unwrap();
         assert_eq!(read_i64(&store, t, 0), Some(2));
         // Snapshot 0 still sees the pre-block value through one undo entry.
         assert_eq!(
-            store.read_at(BlockId(0), &key(t, 0)).unwrap().map(|v| i64::from_le_bytes(
-                v.as_ref().try_into().unwrap()
-            )),
+            store
+                .read_at(BlockId(0), &key(t, 0))
+                .unwrap()
+                .map(|v| i64::from_le_bytes(v.as_ref().try_into().unwrap())),
             Some(100)
         );
     }

@@ -101,12 +101,11 @@ impl DccEngine for Rbc {
                 // SSI pivot: out-edge (read something a committed txn
                 // wrote) AND in-edge (wrote something a committed txn
                 // read).
-                let out_edge = rwset
-                    .read_keys()
-                    .any(|k| committed_writes.contains_key(k))
-                    || rwset.scans.iter().any(|p| {
-                        committed_writes.keys().any(|k| p.covers(k))
-                    });
+                let out_edge = rwset.read_keys().any(|k| committed_writes.contains_key(k))
+                    || rwset
+                        .scans
+                        .iter()
+                        .any(|p| committed_writes.keys().any(|k| p.covers(k)));
                 let in_edge = rwset.write_keys().any(|k| committed_reads.contains_key(k));
                 let outcome = if ww {
                     TxnOutcome::Aborted(AbortReason::WwConflict)
@@ -174,7 +173,9 @@ mod tests {
         let (rbc, t, store) = engine();
         let block = ExecBlock::new(
             BlockId(1),
-            (0..4).map(|i| read_add_txn(t, vec![i], vec![i + 8])).collect(),
+            (0..4)
+                .map(|i| read_add_txn(t, vec![i], vec![i + 8]))
+                .collect(),
         );
         let res = rbc.execute_block(&block).unwrap();
         assert_eq!(res.stats.committed, 4);
@@ -248,7 +249,9 @@ mod tests {
         };
         let t = engine.create_table("t").unwrap();
         for i in 0..8u64 {
-            engine.put(t, &i.to_be_bytes(), &100i64.to_le_bytes()).unwrap();
+            engine
+                .put(t, &i.to_be_bytes(), &100i64.to_le_bytes())
+                .unwrap();
         }
         let store = Arc::new(SnapshotStore::new(engine));
         let rbc = Rbc::new(Arc::clone(&store), 2);

@@ -7,8 +7,8 @@
 //! service's bandwidth (degrading scaling). Consensus throughput/latency
 //! envelopes come from the real HotStuff/Kafka simulations.
 
-use harmony_consensus::{ConsensusReport, HotStuffConfig, HotStuffSim, KafkaConfig, KafkaSim};
 use harmony_consensus::net::LatencyModel;
+use harmony_consensus::{ConsensusReport, HotStuffConfig, HotStuffSim, KafkaConfig, KafkaSim};
 use harmony_dcc_baselines::Architecture;
 
 use crate::driver::RunMetrics;
@@ -63,7 +63,8 @@ impl ClusterModel {
         // block size (many DB blocks per consensus instance), so its
         // batches are large; WAN rounds would otherwise starve it.
         let consensus_batch = block_txns.max(4_000);
-        let duration = 6_000_000_000; // 6 s of simulated consensus time
+        // 6 s of simulated consensus time.
+        let duration = 6_000_000_000;
         // The sender-side serialization cost tracks the network model's
         // per-byte bandwidth term (the ordering node's NIC is the shared
         // resource the fan-out saturates).
@@ -197,7 +198,10 @@ mod tests {
         };
         let m_lan = lan.compose(&db(8_000.0, 20.0), Architecture::Oe, 8, 250);
         let m_wan = wan.compose(&db(8_000.0, 20.0), Architecture::Oe, 8, 250);
-        assert!(m_wan.latency_ms > 2.0 * m_lan.latency_ms, "lan={m_lan:?} wan={m_wan:?}");
+        assert!(
+            m_wan.latency_ms > 2.0 * m_lan.latency_ms,
+            "lan={m_lan:?} wan={m_wan:?}"
+        );
         // Throughput stays DB-bound even on the WAN (the Figure 17 claim).
         assert!((m_wan.throughput_tps - 8_000.0).abs() < 500.0, "{m_wan:?}");
     }

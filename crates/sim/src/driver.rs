@@ -8,8 +8,8 @@ use harmony_common::{BlockId, DetRng, Result};
 use harmony_core::executor::{ExecBlock, TxnOutcome};
 use harmony_core::{BlockStats, HarmonyConfig, SnapshotStore};
 use harmony_dcc_baselines::{
-    Aria, AriaConfig, DccEngine, Fabric, FabricConfig, FastFabric, FastFabricConfig,
-    HarmonyEngine, Rbc,
+    Aria, AriaConfig, DccEngine, Fabric, FabricConfig, FastFabric, FastFabricConfig, HarmonyEngine,
+    Rbc,
 };
 use harmony_storage::{StorageConfig, StorageEngine};
 use harmony_txn::Contract;
@@ -50,10 +50,7 @@ impl EngineKind {
     pub fn build(&self, store: Arc<SnapshotStore>, workers: usize) -> Arc<dyn DccEngine> {
         match self {
             EngineKind::Harmony(config) => {
-                let config = HarmonyConfig {
-                    workers,
-                    ..*config
-                };
+                let config = HarmonyConfig { workers, ..*config };
                 Arc::new(HarmonyEngine::new(store, config))
             }
             EngineKind::Aria => Arc::new(Aria::new(
@@ -307,9 +304,12 @@ mod tests {
             keys: 1_000,
             ..YcsbConfig::hotspot(0.8)
         });
-        let harmony =
-            run_experiment(EngineKind::Harmony(HarmonyConfig::default()), &mut w1, &config)
-                .unwrap();
+        let harmony = run_experiment(
+            EngineKind::Harmony(HarmonyConfig::default()),
+            &mut w1,
+            &config,
+        )
+        .unwrap();
         let mut w2 = Ycsb::new(YcsbConfig {
             keys: 1_000,
             ..YcsbConfig::hotspot(0.8)

@@ -90,8 +90,7 @@ pub fn pipeline_total_ns(blocks: &[BlockSchedule], depth: usize, workers: usize)
             let a = |b: &BlockSchedule| b.orderer_ns + b.sim_ns;
             let mut total = a(&blocks[0]);
             for w in blocks.windows(2) {
-                let capacity =
-                    (w[0].commit_work_ns + w[1].pre_work_ns).div_ceil(workers as u64);
+                let capacity = (w[0].commit_work_ns + w[1].pre_work_ns).div_ceil(workers as u64);
                 total += w[0].commit_ns.max(a(&w[1])).max(capacity);
             }
             total += blocks.last().expect("non-empty").commit_ns;

@@ -1,0 +1,52 @@
+//! Smoke test: every `EngineKind` end-to-end through `run_experiment` on a
+//! tiny YCSB run — each of the five systems must load the workload,
+//! execute blocks, and commit transactions.
+
+use harmony_core::HarmonyConfig;
+use harmony_sim::{run_experiment, EngineKind, RunConfig};
+use harmony_storage::StorageConfig;
+use harmony_workloads::{Ycsb, YcsbConfig};
+
+fn tiny_run() -> RunConfig {
+    RunConfig {
+        blocks: 3,
+        block_size: 8,
+        workers: 2,
+        storage: StorageConfig::memory(),
+        seed: 0xC0FFEE,
+        retry_aborts: true,
+    }
+}
+
+fn tiny_ycsb() -> Ycsb {
+    Ycsb::new(YcsbConfig {
+        keys: 200,
+        theta: 0.5,
+        ..YcsbConfig::default()
+    })
+}
+
+#[test]
+fn every_engine_commits_on_tiny_ycsb() {
+    let engines = [
+        EngineKind::Harmony(HarmonyConfig::default()),
+        EngineKind::Aria,
+        EngineKind::Rbc,
+        EngineKind::Fabric,
+        EngineKind::FastFabric,
+    ];
+    for kind in engines {
+        let name = kind.name();
+        let mut workload = tiny_ycsb();
+        let metrics = run_experiment(kind, &mut workload, &tiny_run())
+            .unwrap_or_else(|e| panic!("{name}: run_experiment failed: {e}"));
+        assert!(
+            metrics.stats.committed > 0,
+            "{name}: expected committed transactions, got 0"
+        );
+        assert!(
+            metrics.throughput_tps > 0.0,
+            "{name}: expected nonzero throughput"
+        );
+    }
+}

@@ -52,10 +52,8 @@ impl Node {
             TAG_LEAF => {
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let klen =
-                        u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
-                    let vlen =
-                        u16::from_le_bytes([bytes[off + 2], bytes[off + 3]]) as usize;
+                    let klen = u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+                    let vlen = u16::from_le_bytes([bytes[off + 2], bytes[off + 3]]) as usize;
                     off += 4;
                     if off + klen + vlen > PAGE_SIZE {
                         return Err(Error::Corruption("leaf entry overruns page".into()));
@@ -74,8 +72,7 @@ impl Node {
             TAG_INTERNAL => {
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let klen =
-                        u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+                    let klen = u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
                     off += 2;
                     if off + klen + 8 > PAGE_SIZE {
                         return Err(Error::Corruption("internal entry overruns page".into()));
@@ -102,17 +99,17 @@ impl Node {
             Node::Leaf { next, entries } => {
                 out[0] = TAG_LEAF;
                 out[1..3].copy_from_slice(
-                    &u16::try_from(entries.len()).expect("entry count").to_le_bytes(),
+                    &u16::try_from(entries.len())
+                        .expect("entry count")
+                        .to_le_bytes(),
                 );
                 out[3..11].copy_from_slice(&next.0.to_le_bytes());
                 let mut off = HEADER_LEN;
                 for (k, v) in entries {
-                    out[off..off + 2].copy_from_slice(
-                        &u16::try_from(k.len()).expect("key len").to_le_bytes(),
-                    );
-                    out[off + 2..off + 4].copy_from_slice(
-                        &u16::try_from(v.len()).expect("val len").to_le_bytes(),
-                    );
+                    out[off..off + 2]
+                        .copy_from_slice(&u16::try_from(k.len()).expect("key len").to_le_bytes());
+                    out[off + 2..off + 4]
+                        .copy_from_slice(&u16::try_from(v.len()).expect("val len").to_le_bytes());
                     off += 4;
                     out[off..off + k.len()].copy_from_slice(k);
                     off += k.len();
@@ -123,14 +120,15 @@ impl Node {
             Node::Internal { child0, entries } => {
                 out[0] = TAG_INTERNAL;
                 out[1..3].copy_from_slice(
-                    &u16::try_from(entries.len()).expect("entry count").to_le_bytes(),
+                    &u16::try_from(entries.len())
+                        .expect("entry count")
+                        .to_le_bytes(),
                 );
                 out[3..11].copy_from_slice(&child0.0.to_le_bytes());
                 let mut off = HEADER_LEN;
                 for (k, child) in entries {
-                    out[off..off + 2].copy_from_slice(
-                        &u16::try_from(k.len()).expect("key len").to_le_bytes(),
-                    );
+                    out[off..off + 2]
+                        .copy_from_slice(&u16::try_from(k.len()).expect("key len").to_le_bytes());
                     off += 2;
                     out[off..off + k.len()].copy_from_slice(k);
                     off += k.len();
@@ -358,7 +356,11 @@ impl BTree {
                         }
                         // Split the internal node; the middle separator is
                         // promoted (not duplicated).
-                        let Node::Internal { child0, mut entries } = node else {
+                        let Node::Internal {
+                            child0,
+                            mut entries,
+                        } = node
+                        else {
                             unreachable!()
                         };
                         let mid = entries.len() / 2;
@@ -622,10 +624,7 @@ mod tests {
     fn oversized_entry_rejected() {
         let mut t = tree();
         let big = vec![0u8; MAX_ENTRY_SIZE + 1];
-        assert!(matches!(
-            t.put(b"k", &big),
-            Err(Error::InvalidArgument(_))
-        ));
+        assert!(matches!(t.put(b"k", &big), Err(Error::InvalidArgument(_))));
     }
 
     #[test]
@@ -661,7 +660,10 @@ mod tests {
         };
         let t = BTree::open(pool, root, len, StorageCost::free());
         assert_eq!(t.len(), 800);
-        assert_eq!(t.get(&key(799)).unwrap(), Some(799u64.to_le_bytes().to_vec()));
+        assert_eq!(
+            t.get(&key(799)).unwrap(),
+            Some(799u64.to_le_bytes().to_vec())
+        );
     }
 
     #[test]

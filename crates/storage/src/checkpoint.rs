@@ -241,10 +241,7 @@ mod tests {
     fn corrupt_blob_rejected() {
         let mut blob = manifest(1, 2).encode();
         blob[6] ^= 0x01;
-        assert!(matches!(
-            Manifest::decode(&blob),
-            Err(Error::Corruption(_))
-        ));
+        assert!(matches!(Manifest::decode(&blob), Err(Error::Corruption(_))));
     }
 
     #[test]
@@ -257,7 +254,11 @@ mod tests {
         // Corrupting the newest slot falls back to the previous checkpoint.
         // Epoch 2 went to the slot not holding epoch 1.
         s.write(&manifest(3, 30)).unwrap(); // overwrote slot of epoch 1
-        s.corrupt_slot(if pick_write_slot(&[None, None]) == 0 { 1 } else { 0 });
+        s.corrupt_slot(if pick_write_slot(&[None, None]) == 0 {
+            1
+        } else {
+            0
+        });
         // Regardless of which physical slot epoch 3 landed in, at least one
         // intact manifest must remain readable.
         let latest = s.read_latest().unwrap().unwrap();

@@ -16,9 +16,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, EvictionPolicy, PoolStats};
-use crate::checkpoint::{
-    FileManifestStore, Manifest, ManifestStore, MemManifestStore, TableMeta,
-};
+use crate::checkpoint::{FileManifestStore, Manifest, ManifestStore, MemManifestStore, TableMeta};
 use crate::cost::StorageCost;
 use crate::disk::{DiskBackend, DiskProfile, FileDisk, MemDisk, SimDisk};
 use crate::log::{FileLog, LogSink, MemLog};
@@ -197,12 +195,7 @@ impl StorageEngine {
         names.clear();
         let mut max_id = 0u16;
         for meta in &manifest.tables {
-            let tree = BTree::open(
-                Arc::clone(&self.pool),
-                meta.root,
-                meta.len,
-                self.cost,
-            );
+            let tree = BTree::open(Arc::clone(&self.pool), meta.root, meta.len, self.cost);
             tables.insert(
                 meta.id,
                 TableHandle {
@@ -449,10 +442,7 @@ mod tests {
     #[test]
     fn unknown_table_errors() {
         let e = engine();
-        assert!(matches!(
-            e.get(TableId(42), b"k"),
-            Err(Error::NotFound(_))
-        ));
+        assert!(matches!(e.get(TableId(42), b"k"), Err(Error::NotFound(_))));
     }
 
     #[test]

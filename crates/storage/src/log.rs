@@ -152,8 +152,7 @@ impl LogSink for FileLog {
         let mut out = Vec::new();
         let mut off = 0usize;
         while off + 8 <= raw.len() {
-            let len =
-                u32::from_le_bytes(raw[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(raw[off..off + 4].try_into().expect("4 bytes")) as usize;
             let crc = u32::from_le_bytes(raw[off + 4..off + 8].try_into().expect("4 bytes"));
             if off + 8 + len > raw.len() {
                 break; // torn tail

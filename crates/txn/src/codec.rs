@@ -20,7 +20,11 @@ pub trait ContractCodec: Send + Sync {
         let name = contract.name().as_bytes();
         let payload = contract.payload();
         let mut out = Vec::with_capacity(2 + name.len() + payload.len());
-        out.extend_from_slice(&u16::try_from(name.len()).expect("name length").to_le_bytes());
+        out.extend_from_slice(
+            &u16::try_from(name.len())
+                .expect("name length")
+                .to_le_bytes(),
+        );
         out.extend_from_slice(name);
         out.extend_from_slice(&payload);
         out

@@ -167,9 +167,7 @@ mod tests {
 
     #[test]
     fn user_abort_from_contract() {
-        let c = FnContract::new("abort", |ctx: &mut TxnCtx<'_>| {
-            ctx.user_abort("no funds")
-        });
+        let c = FnContract::new("abort", |ctx: &mut TxnCtx<'_>| ctx.user_abort("no funds"));
         let mut ctx = TxnCtx::new(&EmptyView);
         assert_eq!(c.execute(&mut ctx).unwrap_err().0, "no funds");
     }

@@ -61,10 +61,7 @@ impl<'a> TxnCtx<'a> {
     pub fn read(&mut self, key: &Key) -> Result<Option<Value>> {
         if let Some(seq) = self.rwset.pending_for(key) {
             let seq = seq.clone();
-            let depends_on_snapshot = seq
-                .commands()
-                .first()
-                .is_none_or(UpdateCommand::is_rmw);
+            let depends_on_snapshot = seq.commands().first().is_none_or(UpdateCommand::is_rmw);
             let base = if depends_on_snapshot {
                 let v = self.view.get(key)?;
                 self.rwset

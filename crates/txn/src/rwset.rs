@@ -143,8 +143,20 @@ mod tests {
     #[test]
     fn updates_fold_per_key() {
         let mut rw = RwSet::default();
-        rw.record_update(key(0, "x"), UpdateCommand::AddI64 { offset: 0, delta: 1 });
-        rw.record_update(key(0, "x"), UpdateCommand::AddI64 { offset: 0, delta: 2 });
+        rw.record_update(
+            key(0, "x"),
+            UpdateCommand::AddI64 {
+                offset: 0,
+                delta: 1,
+            },
+        );
+        rw.record_update(
+            key(0, "x"),
+            UpdateCommand::AddI64 {
+                offset: 0,
+                delta: 2,
+            },
+        );
         rw.record_update(key(0, "y"), UpdateCommand::Delete);
         assert_eq!(rw.updates.len(), 2);
         assert_eq!(rw.pending_for(&key(0, "x")).unwrap().len(), 1);

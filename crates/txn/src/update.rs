@@ -155,22 +155,40 @@ impl CommandSeq {
         if let (Some(last), new) = (self.cmds.last_mut(), &cmd) {
             match (last, new) {
                 (
-                    UpdateCommand::AddI64 { offset: o1, delta: d1 },
-                    UpdateCommand::AddI64 { offset: o2, delta: d2 },
+                    UpdateCommand::AddI64 {
+                        offset: o1,
+                        delta: d1,
+                    },
+                    UpdateCommand::AddI64 {
+                        offset: o2,
+                        delta: d2,
+                    },
                 ) if o1 == o2 => {
                     *d1 = d1.wrapping_add(*d2);
                     return;
                 }
                 (
-                    UpdateCommand::AddF64 { offset: o1, delta: d1 },
-                    UpdateCommand::AddF64 { offset: o2, delta: d2 },
+                    UpdateCommand::AddF64 {
+                        offset: o1,
+                        delta: d1,
+                    },
+                    UpdateCommand::AddF64 {
+                        offset: o2,
+                        delta: d2,
+                    },
                 ) if o1 == o2 => {
                     *d1 += d2;
                     return;
                 }
                 (
-                    UpdateCommand::MulF64 { offset: o1, factor: f1 },
-                    UpdateCommand::MulF64 { offset: o2, factor: f2 },
+                    UpdateCommand::MulF64 {
+                        offset: o1,
+                        factor: f1,
+                    },
+                    UpdateCommand::MulF64 {
+                        offset: o2,
+                        factor: f2,
+                    },
                 ) if o1 == o2 => {
                     *f1 *= f2;
                     return;
@@ -252,7 +270,10 @@ mod tests {
 
     #[test]
     fn add_i64() {
-        let add = UpdateCommand::AddI64 { offset: 0, delta: 10 };
+        let add = UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 10,
+        };
         assert!(add.is_rmw());
         let out = add.apply(Some(&val(5))).unwrap().unwrap();
         assert_eq!(as_i64(&out), 15);
@@ -260,13 +281,19 @@ mod tests {
 
     #[test]
     fn add_on_missing_record_errors() {
-        let add = UpdateCommand::AddI64 { offset: 0, delta: 1 };
+        let add = UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 1,
+        };
         assert!(add.apply(None).is_err());
     }
 
     #[test]
     fn field_out_of_range_errors() {
-        let add = UpdateCommand::AddI64 { offset: 4, delta: 1 };
+        let add = UpdateCommand::AddI64 {
+            offset: 4,
+            delta: 1,
+        };
         assert!(add.apply(Some(&val(0))).is_err());
     }
 
@@ -275,8 +302,14 @@ mod tests {
         // Paper §3.3.1: x = 10; T2 applies mul(x,3) then T1 applies
         // add(x,10) after reordering => 40.
         let x = Bytes::from(10f64.to_le_bytes().to_vec());
-        let mul = UpdateCommand::MulF64 { offset: 0, factor: 3.0 };
-        let add = UpdateCommand::AddF64 { offset: 0, delta: 10.0 };
+        let mul = UpdateCommand::MulF64 {
+            offset: 0,
+            factor: 3.0,
+        };
+        let add = UpdateCommand::AddF64 {
+            offset: 0,
+            delta: 10.0,
+        };
         let after_mul = mul.apply(Some(&x)).unwrap().unwrap();
         let after_add = add.apply(Some(&after_mul)).unwrap().unwrap();
         let out = f64::from_le_bytes(after_add.as_ref().try_into().unwrap());
@@ -302,9 +335,15 @@ mod tests {
     #[test]
     fn seq_applies_in_order() {
         let mut seq = CommandSeq::new();
-        seq.push(UpdateCommand::AddI64 { offset: 0, delta: 5 });
+        seq.push(UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 5,
+        });
         seq.push(UpdateCommand::Put(val(100)));
-        seq.push(UpdateCommand::AddI64 { offset: 0, delta: 1 });
+        seq.push(UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 1,
+        });
         let out = seq.apply(Some(&val(0))).unwrap().unwrap();
         assert_eq!(as_i64(&out), 101);
     }
@@ -312,8 +351,14 @@ mod tests {
     #[test]
     fn blind_put_absorbs_prefix() {
         let mut seq = CommandSeq::new();
-        seq.push(UpdateCommand::AddI64 { offset: 0, delta: 5 });
-        seq.push(UpdateCommand::AddI64 { offset: 0, delta: 6 });
+        seq.push(UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 5,
+        });
+        seq.push(UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 6,
+        });
         seq.push(UpdateCommand::Put(val(1)));
         assert_eq!(seq.len(), 1, "Put absorbs earlier commands");
         // Semantics unchanged: applies as just Put(1).
@@ -323,14 +368,26 @@ mod tests {
     #[test]
     fn adjacent_adds_fold() {
         let mut seq = CommandSeq::new();
-        seq.push(UpdateCommand::AddI64 { offset: 0, delta: 5 });
-        seq.push(UpdateCommand::AddI64 { offset: 0, delta: -2 });
+        seq.push(UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 5,
+        });
+        seq.push(UpdateCommand::AddI64 {
+            offset: 0,
+            delta: -2,
+        });
         assert_eq!(seq.len(), 1);
         assert_eq!(as_i64(&seq.apply(Some(&val(10))).unwrap().unwrap()), 13);
         // Different offsets do not fold.
         let mut seq2 = CommandSeq::new();
-        seq2.push(UpdateCommand::AddI64 { offset: 0, delta: 1 });
-        seq2.push(UpdateCommand::AddI64 { offset: 8, delta: 1 });
+        seq2.push(UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 1,
+        });
+        seq2.push(UpdateCommand::AddI64 {
+            offset: 8,
+            delta: 1,
+        });
         assert_eq!(seq2.len(), 2);
     }
 
@@ -348,7 +405,10 @@ mod tests {
                         offset: 0,
                         delta: rng.gen_range(20) as i64 - 10,
                     },
-                    2 => UpdateCommand::AddI64 { offset: 8, delta: 3 },
+                    2 => UpdateCommand::AddI64 {
+                        offset: 8,
+                        delta: 3,
+                    },
                     _ => UpdateCommand::SetBytes {
                         offset: 0,
                         bytes: Bytes::from(vec![rng.gen_range(255) as u8]),
@@ -382,7 +442,10 @@ mod tests {
         assert!(!blind.has_rmw());
         let mut rmw = CommandSeq::new();
         rmw.push(UpdateCommand::Put(val(1)));
-        rmw.push(UpdateCommand::AddI64 { offset: 0, delta: 1 });
+        rmw.push(UpdateCommand::AddI64 {
+            offset: 0,
+            delta: 1,
+        });
         assert!(rmw.has_rmw());
     }
 }

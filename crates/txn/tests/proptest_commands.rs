@@ -7,8 +7,7 @@ use proptest::prelude::*;
 
 fn cmd_strategy() -> impl Strategy<Value = UpdateCommand> {
     prop_oneof![
-        prop::collection::vec(any::<u8>(), 16..24)
-            .prop_map(|v| UpdateCommand::Put(Bytes::from(v))),
+        prop::collection::vec(any::<u8>(), 16..24).prop_map(|v| UpdateCommand::Put(Bytes::from(v))),
         Just(UpdateCommand::Delete),
         (0usize..2, -100i64..100).prop_map(|(slot, delta)| UpdateCommand::AddI64 {
             offset: slot * 8,

@@ -55,11 +55,17 @@ const MIX: [(Procedure, f64); 6] = [
 /// Smallbank procedure selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Procedure {
+    /// Read both balances of one customer.
     Balance,
+    /// Add to a customer's checking balance.
     DepositChecking,
+    /// Add to a customer's savings balance (aborts if it would go negative).
     TransactSavings,
+    /// Move a customer's full savings into checking.
     Amalgamate,
+    /// Cash a check against combined balances (penalty on overdraft).
     WriteCheck,
+    /// Transfer checking funds between two customers.
     SendPayment,
 }
 
@@ -320,7 +326,10 @@ mod tests {
         // committed transactions' payloads.
         let mut blocks = Vec::new();
         for b in 1..=10u64 {
-            blocks.push(ExecBlock::new(harmony_common::BlockId(b), w.next_block(&mut rng, 20)));
+            blocks.push(ExecBlock::new(
+                harmony_common::BlockId(b),
+                w.next_block(&mut rng, 20),
+            ));
         }
         let report = pipeline.run_blocks(&blocks).unwrap();
 

@@ -255,65 +255,68 @@ impl Tpcc {
                 (item, supply_w, 1 + rng.gen_range(10))
             })
             .collect();
-        Arc::new(FnContract::new("tpcc-neworder", move |ctx: &mut TxnCtx<'_>| {
-            let err = |e: harmony_common::Error| UserAbort(e.to_string());
-            // Warehouse + district taxes; district hands out the order id.
-            let wrow = ctx
-                .read(&Key::new(t.warehouse, k_wh(w)))
-                .map_err(err)?
-                .ok_or_else(|| UserAbort("missing warehouse".into()))?;
-            let _w_tax = read_i64(&wrow, wh::TAX).map_err(err)?;
-            let drow = ctx
-                .read(&Key::new(t.district, k_dist(w, d)))
-                .map_err(err)?
-                .ok_or_else(|| UserAbort("missing district".into()))?;
-            let o_id = read_i64(&drow, dist::NEXT_O_ID).map_err(err)? as u64;
-            let _d_tax = read_i64(&drow, dist::TAX).map_err(err)?;
-            ctx.add_i64(Key::new(t.district, k_dist(w, d)), dist::NEXT_O_ID, 1);
-
-            let mut total = 0i64;
-            for (l, (item, supply_w, qty)) in lines.iter().enumerate() {
-                // 1% rule: invalid item rolls the whole order back.
-                let Some(irow) = ctx.read(&Key::new(t.item, k_item(*item))).map_err(err)?
-                else {
-                    return Err(UserAbort("invalid item".into()));
-                };
-                let price = read_i64(&irow, 0).map_err(err)?;
-                let srow = ctx
-                    .read(&Key::new(t.stock, k_stock(*supply_w, *item)))
+        Arc::new(FnContract::new(
+            "tpcc-neworder",
+            move |ctx: &mut TxnCtx<'_>| {
+                let err = |e: harmony_common::Error| UserAbort(e.to_string());
+                // Warehouse + district taxes; district hands out the order id.
+                let wrow = ctx
+                    .read(&Key::new(t.warehouse, k_wh(w)))
                     .map_err(err)?
-                    .ok_or_else(|| UserAbort("missing stock".into()))?;
-                let quantity = read_i64(&srow, stk::QUANTITY).map_err(err)?;
-                let delta = if quantity - (*qty as i64) >= 10 {
-                    -(*qty as i64)
-                } else {
-                    91 - (*qty as i64)
-                };
-                let skey = Key::new(t.stock, k_stock(*supply_w, *item));
-                ctx.add_i64(skey.clone(), stk::QUANTITY, delta);
-                ctx.add_i64(skey.clone(), stk::YTD, *qty as i64);
-                ctx.add_i64(skey.clone(), stk::ORDER_CNT, 1);
-                if *supply_w != w {
-                    ctx.add_i64(skey, stk::REMOTE_CNT, 1);
+                    .ok_or_else(|| UserAbort("missing warehouse".into()))?;
+                let _w_tax = read_i64(&wrow, wh::TAX).map_err(err)?;
+                let drow = ctx
+                    .read(&Key::new(t.district, k_dist(w, d)))
+                    .map_err(err)?
+                    .ok_or_else(|| UserAbort("missing district".into()))?;
+                let o_id = read_i64(&drow, dist::NEXT_O_ID).map_err(err)? as u64;
+                let _d_tax = read_i64(&drow, dist::TAX).map_err(err)?;
+                ctx.add_i64(Key::new(t.district, k_dist(w, d)), dist::NEXT_O_ID, 1);
+
+                let mut total = 0i64;
+                for (l, (item, supply_w, qty)) in lines.iter().enumerate() {
+                    // 1% rule: invalid item rolls the whole order back.
+                    let Some(irow) = ctx.read(&Key::new(t.item, k_item(*item))).map_err(err)?
+                    else {
+                        return Err(UserAbort("invalid item".into()));
+                    };
+                    let price = read_i64(&irow, 0).map_err(err)?;
+                    let srow = ctx
+                        .read(&Key::new(t.stock, k_stock(*supply_w, *item)))
+                        .map_err(err)?
+                        .ok_or_else(|| UserAbort("missing stock".into()))?;
+                    let quantity = read_i64(&srow, stk::QUANTITY).map_err(err)?;
+                    let delta = if quantity - (*qty as i64) >= 10 {
+                        -(*qty as i64)
+                    } else {
+                        91 - (*qty as i64)
+                    };
+                    let skey = Key::new(t.stock, k_stock(*supply_w, *item));
+                    ctx.add_i64(skey.clone(), stk::QUANTITY, delta);
+                    ctx.add_i64(skey.clone(), stk::YTD, *qty as i64);
+                    ctx.add_i64(skey.clone(), stk::ORDER_CNT, 1);
+                    if *supply_w != w {
+                        ctx.add_i64(skey, stk::REMOTE_CNT, 1);
+                    }
+                    let amount = price * (*qty as i64);
+                    total += amount;
+                    ctx.put(
+                        Key::new(t.order_line, k_order_line(w, d, o_id, l as u64)),
+                        row4(*item as i64, *qty as i64, amount, *supply_w as i64, 8),
+                    );
                 }
-                let amount = price * (*qty as i64);
-                total += amount;
+                let _ = total;
                 ctx.put(
-                    Key::new(t.order_line, k_order_line(w, d, o_id, l as u64)),
-                    row4(*item as i64, *qty as i64, amount, *supply_w as i64, 8),
+                    Key::new(t.orders, k_order(w, d, o_id)),
+                    row4(c as i64, o_id as i64, 0, lines.len() as i64, 8),
                 );
-            }
-            let _ = total;
-            ctx.put(
-                Key::new(t.orders, k_order(w, d, o_id)),
-                row4(c as i64, o_id as i64, 0, lines.len() as i64, 8),
-            );
-            ctx.put(
-                Key::new(t.new_order, k_order(w, d, o_id)),
-                bytes::Bytes::from_static(&[1]),
-            );
-            Ok(())
-        }))
+                ctx.put(
+                    Key::new(t.new_order, k_order(w, d, o_id)),
+                    bytes::Bytes::from_static(&[1]),
+                );
+                Ok(())
+            },
+        ))
     }
 
     fn payment_txn(&self, rng: &mut DetRng) -> Arc<dyn Contract> {
@@ -330,27 +333,30 @@ impl Tpcc {
         let c = rng.gen_range(cfg.customers_per_district());
         let amount = 100 + rng.gen_range(500_000) as i64;
         let uniq = rng.next_u64();
-        Arc::new(FnContract::new("tpcc-payment", move |ctx: &mut TxnCtx<'_>| {
-            let err = |e: harmony_common::Error| UserAbort(e.to_string());
-            // Single-statement RMWs (the paper's recommended contract
-            // style): warehouse/district YTD never need reading first.
-            ctx.add_i64(Key::new(t.warehouse, k_wh(w)), wh::YTD, amount);
-            ctx.add_i64(Key::new(t.district, k_dist(w, d)), dist::YTD, amount);
-            let ckey = Key::new(t.customer, k_cust(cw, cd, c));
-            let crow = ctx
-                .read(&ckey)
-                .map_err(err)?
-                .ok_or_else(|| UserAbort("missing customer".into()))?;
-            let _balance = read_i64(&crow, cust::BALANCE).map_err(err)?;
-            ctx.add_i64(ckey.clone(), cust::BALANCE, -amount);
-            ctx.add_i64(ckey.clone(), cust::YTD_PAYMENT, amount);
-            ctx.add_i64(ckey, cust::PAYMENT_CNT, 1);
-            ctx.put(
-                Key::new(t.history, k_history(cw, cd, c, uniq)),
-                row4(amount, w as i64, d as i64, 0, 0),
-            );
-            Ok(())
-        }))
+        Arc::new(FnContract::new(
+            "tpcc-payment",
+            move |ctx: &mut TxnCtx<'_>| {
+                let err = |e: harmony_common::Error| UserAbort(e.to_string());
+                // Single-statement RMWs (the paper's recommended contract
+                // style): warehouse/district YTD never need reading first.
+                ctx.add_i64(Key::new(t.warehouse, k_wh(w)), wh::YTD, amount);
+                ctx.add_i64(Key::new(t.district, k_dist(w, d)), dist::YTD, amount);
+                let ckey = Key::new(t.customer, k_cust(cw, cd, c));
+                let crow = ctx
+                    .read(&ckey)
+                    .map_err(err)?
+                    .ok_or_else(|| UserAbort("missing customer".into()))?;
+                let _balance = read_i64(&crow, cust::BALANCE).map_err(err)?;
+                ctx.add_i64(ckey.clone(), cust::BALANCE, -amount);
+                ctx.add_i64(ckey.clone(), cust::YTD_PAYMENT, amount);
+                ctx.add_i64(ckey, cust::PAYMENT_CNT, 1);
+                ctx.put(
+                    Key::new(t.history, k_history(cw, cd, c, uniq)),
+                    row4(amount, w as i64, d as i64, 0, 0),
+                );
+                Ok(())
+            },
+        ))
     }
 
     fn order_status_txn(&self, rng: &mut DetRng) -> Arc<dyn Contract> {
@@ -359,34 +365,39 @@ impl Tpcc {
         let w = rng.gen_range(cfg.warehouses);
         let d = rng.gen_range(DISTRICTS);
         let c = rng.gen_range(cfg.customers_per_district());
-        Arc::new(FnContract::new("tpcc-orderstatus", move |ctx: &mut TxnCtx<'_>| {
-            let err = |e: harmony_common::Error| UserAbort(e.to_string());
-            let _ = ctx.read(&Key::new(t.customer, k_cust(w, d, c))).map_err(err)?;
-            // Most recent order of the customer: scan the district's
-            // orders from the end (bounded window).
-            let rows = ctx
-                .scan(t.orders, &k_dist(w, d), Some(&k_dist(w, d + 1)), 10_000)
-                .map_err(err)?;
-            let last = rows
-                .iter()
-                .rev()
-                .find(|(_, v)| read_i64(v, ord::C_ID).unwrap_or(-1) == c as i64);
-            if let Some((okey, orow)) = last {
-                let o_id = u64::from(u32::from_be_bytes(
-                    okey[okey.len() - 4..].try_into().expect("4 bytes"),
-                ));
-                let n = read_i64(orow, ord::OL_CNT).map_err(err)? as u64;
-                let _lines = ctx
-                    .scan(
-                        t.order_line,
-                        &k_order_line(w, d, o_id, 0),
-                        Some(&k_order_line(w, d, o_id, n + 1)),
-                        32,
-                    )
+        Arc::new(FnContract::new(
+            "tpcc-orderstatus",
+            move |ctx: &mut TxnCtx<'_>| {
+                let err = |e: harmony_common::Error| UserAbort(e.to_string());
+                let _ = ctx
+                    .read(&Key::new(t.customer, k_cust(w, d, c)))
                     .map_err(err)?;
-            }
-            Ok(())
-        }))
+                // Most recent order of the customer: scan the district's
+                // orders from the end (bounded window).
+                let rows = ctx
+                    .scan(t.orders, &k_dist(w, d), Some(&k_dist(w, d + 1)), 10_000)
+                    .map_err(err)?;
+                let last = rows
+                    .iter()
+                    .rev()
+                    .find(|(_, v)| read_i64(v, ord::C_ID).unwrap_or(-1) == c as i64);
+                if let Some((okey, orow)) = last {
+                    let o_id = u64::from(u32::from_be_bytes(
+                        okey[okey.len() - 4..].try_into().expect("4 bytes"),
+                    ));
+                    let n = read_i64(orow, ord::OL_CNT).map_err(err)? as u64;
+                    let _lines = ctx
+                        .scan(
+                            t.order_line,
+                            &k_order_line(w, d, o_id, 0),
+                            Some(&k_order_line(w, d, o_id, n + 1)),
+                            32,
+                        )
+                        .map_err(err)?;
+                }
+                Ok(())
+            },
+        ))
     }
 
     fn delivery_txn(&self, rng: &mut DetRng) -> Arc<dyn Contract> {
@@ -394,47 +405,54 @@ impl Tpcc {
         let cfg = self.config.clone();
         let w = rng.gen_range(cfg.warehouses);
         let carrier = 1 + rng.gen_range(10) as i64;
-        Arc::new(FnContract::new("tpcc-delivery", move |ctx: &mut TxnCtx<'_>| {
-            let err = |e: harmony_common::Error| UserAbort(e.to_string());
-            for d in 0..DISTRICTS {
-                // Oldest undelivered order in the district.
-                let oldest = ctx
-                    .scan(t.new_order, &k_dist(w, d), Some(&k_dist(w, d + 1)), 1)
-                    .map_err(err)?;
-                let Some((no_key, _)) = oldest.first() else { continue };
-                let o_id = u64::from(u32::from_be_bytes(
-                    no_key[no_key.len() - 4..].try_into().expect("4 bytes"),
-                ));
-                ctx.delete(Key::new(t.new_order, k_order(w, d, o_id)));
-                let okey = Key::new(t.orders, k_order(w, d, o_id));
-                let Some(orow) = ctx.read(&okey).map_err(err)? else { continue };
-                let c = read_i64(&orow, ord::C_ID).map_err(err)? as u64;
-                let n = read_i64(&orow, ord::OL_CNT).map_err(err)? as u64;
-                ctx.update(
-                    okey,
-                    UpdateCommand::SetBytes {
-                        offset: ord::CARRIER_ID,
-                        bytes: bytes::Bytes::from(carrier.to_le_bytes().to_vec()),
-                    },
-                );
-                let lines = ctx
-                    .scan(
-                        t.order_line,
-                        &k_order_line(w, d, o_id, 0),
-                        Some(&k_order_line(w, d, o_id, n + 1)),
-                        32,
-                    )
-                    .map_err(err)?;
-                let total: i64 = lines
-                    .iter()
-                    .map(|(_, v)| read_i64(v, ol::AMOUNT).unwrap_or(0))
-                    .sum();
-                let ckey = Key::new(t.customer, k_cust(w, d, c));
-                ctx.add_i64(ckey.clone(), cust::BALANCE, total);
-                ctx.add_i64(ckey, cust::DELIVERY_CNT, 1);
-            }
-            Ok(())
-        }))
+        Arc::new(FnContract::new(
+            "tpcc-delivery",
+            move |ctx: &mut TxnCtx<'_>| {
+                let err = |e: harmony_common::Error| UserAbort(e.to_string());
+                for d in 0..DISTRICTS {
+                    // Oldest undelivered order in the district.
+                    let oldest = ctx
+                        .scan(t.new_order, &k_dist(w, d), Some(&k_dist(w, d + 1)), 1)
+                        .map_err(err)?;
+                    let Some((no_key, _)) = oldest.first() else {
+                        continue;
+                    };
+                    let o_id = u64::from(u32::from_be_bytes(
+                        no_key[no_key.len() - 4..].try_into().expect("4 bytes"),
+                    ));
+                    ctx.delete(Key::new(t.new_order, k_order(w, d, o_id)));
+                    let okey = Key::new(t.orders, k_order(w, d, o_id));
+                    let Some(orow) = ctx.read(&okey).map_err(err)? else {
+                        continue;
+                    };
+                    let c = read_i64(&orow, ord::C_ID).map_err(err)? as u64;
+                    let n = read_i64(&orow, ord::OL_CNT).map_err(err)? as u64;
+                    ctx.update(
+                        okey,
+                        UpdateCommand::SetBytes {
+                            offset: ord::CARRIER_ID,
+                            bytes: bytes::Bytes::from(carrier.to_le_bytes().to_vec()),
+                        },
+                    );
+                    let lines = ctx
+                        .scan(
+                            t.order_line,
+                            &k_order_line(w, d, o_id, 0),
+                            Some(&k_order_line(w, d, o_id, n + 1)),
+                            32,
+                        )
+                        .map_err(err)?;
+                    let total: i64 = lines
+                        .iter()
+                        .map(|(_, v)| read_i64(v, ol::AMOUNT).unwrap_or(0))
+                        .sum();
+                    let ckey = Key::new(t.customer, k_cust(w, d, c));
+                    ctx.add_i64(ckey.clone(), cust::BALANCE, total);
+                    ctx.add_i64(ckey, cust::DELIVERY_CNT, 1);
+                }
+                Ok(())
+            },
+        ))
     }
 
     fn stock_level_txn(&self, rng: &mut DetRng) -> Arc<dyn Contract> {
@@ -443,38 +461,44 @@ impl Tpcc {
         let w = rng.gen_range(cfg.warehouses);
         let d = rng.gen_range(DISTRICTS);
         let threshold = 10 + rng.gen_range(11) as i64;
-        Arc::new(FnContract::new("tpcc-stocklevel", move |ctx: &mut TxnCtx<'_>| {
-            let err = |e: harmony_common::Error| UserAbort(e.to_string());
-            let drow = ctx
-                .read(&Key::new(t.district, k_dist(w, d)))
-                .map_err(err)?
-                .ok_or_else(|| UserAbort("missing district".into()))?;
-            let next_o = read_i64(&drow, dist::NEXT_O_ID).map_err(err)? as u64;
-            let from = next_o.saturating_sub(20);
-            let lines = ctx
-                .scan(
-                    t.order_line,
-                    &k_order_line(w, d, from, 0),
-                    Some(&k_order_line(w, d, next_o, 0)),
-                    512,
-                )
-                .map_err(err)?;
-            let mut low = 0u32;
-            let mut seen = std::collections::HashSet::new();
-            for (_, v) in &lines {
-                let item = read_i64(v, ol::I_ID).map_err(err)? as u64;
-                if !seen.insert(item) {
-                    continue;
-                }
-                if let Some(srow) = ctx.read(&Key::new(t.stock, k_stock(w, item))).map_err(err)? {
-                    if read_i64(&srow, stk::QUANTITY).map_err(err)? < threshold {
-                        low += 1;
+        Arc::new(FnContract::new(
+            "tpcc-stocklevel",
+            move |ctx: &mut TxnCtx<'_>| {
+                let err = |e: harmony_common::Error| UserAbort(e.to_string());
+                let drow = ctx
+                    .read(&Key::new(t.district, k_dist(w, d)))
+                    .map_err(err)?
+                    .ok_or_else(|| UserAbort("missing district".into()))?;
+                let next_o = read_i64(&drow, dist::NEXT_O_ID).map_err(err)? as u64;
+                let from = next_o.saturating_sub(20);
+                let lines = ctx
+                    .scan(
+                        t.order_line,
+                        &k_order_line(w, d, from, 0),
+                        Some(&k_order_line(w, d, next_o, 0)),
+                        512,
+                    )
+                    .map_err(err)?;
+                let mut low = 0u32;
+                let mut seen = std::collections::HashSet::new();
+                for (_, v) in &lines {
+                    let item = read_i64(v, ol::I_ID).map_err(err)? as u64;
+                    if !seen.insert(item) {
+                        continue;
+                    }
+                    if let Some(srow) = ctx
+                        .read(&Key::new(t.stock, k_stock(w, item)))
+                        .map_err(err)?
+                    {
+                        if read_i64(&srow, stk::QUANTITY).map_err(err)? < threshold {
+                            low += 1;
+                        }
                     }
                 }
-            }
-            let _ = low;
-            Ok(())
-        }))
+                let _ = low;
+                Ok(())
+            },
+        ))
     }
 }
 
@@ -518,11 +542,7 @@ impl Workload for Tpcc {
                     &row4(n_orders as i64, 0, load_rng.gen_range(2_000) as i64, 0, 16),
                 )?;
                 for c in 0..cfg.customers_per_district() {
-                    engine.put(
-                        t.customer,
-                        &k_cust(w, d, c),
-                        &row4(-1_000, 1_000, 1, 0, 32),
-                    )?;
+                    engine.put(t.customer, &k_cust(w, d, c), &row4(-1_000, 1_000, 1, 0, 32))?;
                 }
                 // Preloaded orders: one per customer, newest 30% undelivered.
                 for o in 0..n_orders {

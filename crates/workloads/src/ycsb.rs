@@ -223,7 +223,10 @@ mod tests {
 
     impl SnapshotView for EngineView<'_> {
         fn get(&self, key: &Key) -> Result<Option<harmony_txn::Value>> {
-            Ok(self.0.get(key.table, &key.row)?.map(harmony_txn::Value::from))
+            Ok(self
+                .0
+                .get(key.table, &key.row)?
+                .map(harmony_txn::Value::from))
         }
         fn scan(
             &self,
@@ -232,8 +235,9 @@ mod tests {
             end: Option<&[u8]>,
             f: &mut dyn FnMut(&[u8], &harmony_txn::Value) -> bool,
         ) -> Result<()> {
-            self.0
-                .scan(table, start, end, |k, v| f(k, &harmony_txn::Value::copy_from_slice(v)))
+            self.0.scan(table, start, end, |k, v| {
+                f(k, &harmony_txn::Value::copy_from_slice(v))
+            })
         }
     }
 
@@ -279,10 +283,7 @@ mod tests {
         let mut r1 = DetRng::new(9);
         let mut r2 = DetRng::new(9);
         for _ in 0..10 {
-            assert_eq!(
-                w.next_txn(&mut r1).payload(),
-                w.next_txn(&mut r2).payload()
-            );
+            assert_eq!(w.next_txn(&mut r1).payload(), w.next_txn(&mut r2).payload());
         }
     }
 

@@ -25,7 +25,10 @@ fn run(name: &str, harmony: bool) -> harmonybc::common::Result<BlockStats> {
     let (checking, savings) = bank.tables();
     let store = Arc::new(SnapshotStore::new(engine));
     let dcc: Arc<dyn DccEngine> = if harmony {
-        Arc::new(HarmonyEngine::new(Arc::clone(&store), HarmonyConfig::default()))
+        Arc::new(HarmonyEngine::new(
+            Arc::clone(&store),
+            HarmonyConfig::default(),
+        ))
     } else {
         Arc::new(Aria::new(Arc::clone(&store), AriaConfig::default()))
     };
@@ -40,7 +43,14 @@ fn run(name: &str, harmony: bool) -> harmonybc::common::Result<BlockStats> {
             .map(|_| {
                 let hot = rng.gen_range(5); // 5 hot merchant accounts
                 let amount = 1 + rng.gen_range(100) as i64;
-                build_txn(checking, savings, Procedure::DepositChecking, hot, 0, amount)
+                build_txn(
+                    checking,
+                    savings,
+                    Procedure::DepositChecking,
+                    hot,
+                    0,
+                    amount,
+                )
             })
             .collect();
         let block = ExecBlock::new(BlockId(b), txns);

@@ -18,10 +18,7 @@ struct CounterCodec {
 }
 
 impl harmonybc::txn::ContractCodec for CounterCodec {
-    fn decode(
-        &self,
-        bytes: &[u8],
-    ) -> harmonybc::common::Result<Arc<dyn Contract>> {
+    fn decode(&self, bytes: &[u8]) -> harmonybc::common::Result<Arc<dyn Contract>> {
         let (_, payload) = harmonybc::txn::split_encoded(bytes)?;
         let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
         Ok(increment(self.table, id))
@@ -58,8 +55,7 @@ fn main() -> harmonybc::common::Result<()> {
     // 3. Submit three blocks of contended increments — every transaction
     //    in a block hits the same hot counter, and all of them commit.
     for round in 0..3u64 {
-        let txns: Vec<Arc<dyn Contract>> =
-            (0..20).map(|_| increment(table, round % 10)).collect();
+        let txns: Vec<Arc<dyn Contract>> = (0..20).map(|_| increment(table, round % 10)).collect();
         let (block, result) = chain.submit_block(txns, &codec)?;
         println!(
             "block {:>2} [{}]: {} committed / {} txns, aborts: {}",
@@ -82,6 +78,10 @@ fn main() -> harmonybc::common::Result<()> {
 
     // 5. The chain is tamper-evident and replayable.
     let blocks = chain.verify_chain()?;
-    println!("verified {} blocks; state root {}", blocks.len(), chain.state_root()?);
+    println!(
+        "verified {} blocks; state root {}",
+        blocks.len(),
+        chain.state_root()?
+    );
     Ok(())
 }

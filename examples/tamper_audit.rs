@@ -30,7 +30,11 @@ fn main() -> harmonybc::common::Result<()> {
 
     // An auditor replays the persisted chain and checks every link.
     let blocks = chain.verify_chain()?;
-    println!("audit: {} blocks verified, tip = {}", blocks.len(), chain.last_hash());
+    println!(
+        "audit: {} blocks verified, tip = {}",
+        blocks.len(),
+        chain.last_hash()
+    );
 
     // An attacker rewrites one transaction inside block 3...
     let mut forged = blocks[2].clone();

@@ -1,0 +1,170 @@
+//! Minimal, offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`proptest!`] macro, the [`Strategy`](strategy::Strategy)
+//! trait with `prop_map`, integer-range / tuple / `Just` / regex-lite
+//! string strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::Index`, [`prop_oneof!`] and the `prop_assert_*` macros.
+//!
+//! Cases are generated from a deterministic RNG seeded per test name and
+//! case index, so failures are reproducible run-to-run. Unlike real
+//! proptest there is **no shrinking**: a failing case panics with the
+//! generated inputs visible in the assertion message.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy modules under their proptest paths (`prop::collection::vec`,
+/// `prop::option::of`, `prop::sample::Index`).
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Option strategies (`prop::option::of`).
+    pub mod option {
+        pub use crate::strategy::of;
+    }
+    /// Sampling helpers (`prop::sample::Index`).
+    pub mod sample {
+        pub use crate::strategy::Index;
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body for N generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg).cases; $($rest)*);
+    };
+    (@munch $cases:expr;) => {};
+    (@munch $cases:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases: u32 = $cases;
+            for case in 0..cases {
+                let mut prop_rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@munch $cases; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch 256u32; $($rest)*);
+    };
+}
+
+/// Assert a boolean property (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality (maps to `assert_eq!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality (maps to `assert_ne!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::gen_box($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..6, z in 0usize..2) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..6).contains(&y));
+            prop_assert!(z < 2);
+        }
+
+        #[test]
+        fn vec_len_respects_size(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn map_and_oneof(
+            cmd in prop_oneof![
+                (0u64..4).prop_map(|v| v * 2),
+                Just(99u64),
+            ],
+            s in "[a-c]{1,4}",
+            opt in prop::option::of(0i64..3),
+            idx in any::<prop::sample::Index>()
+        ) {
+            prop_assert!(cmd == 99 || cmd % 2 == 0);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.bytes().all(|b| (b'a'..=b'c').contains(&b)));
+            if let Some(o) = opt {
+                prop_assert!((0..3).contains(&o));
+            }
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

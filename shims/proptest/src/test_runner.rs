@@ -1,0 +1,50 @@
+//! Deterministic RNG driving case generation.
+
+/// A splitmix64 generator seeded from the test name and case index, so
+/// every run of a property test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRng {
+    /// RNG for one `(test name, case index)` pair.
+    #[must_use]
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let seed = fnv1a(name) ^ (u64::from(case) + 1).wrapping_mul(GOLDEN);
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift bounded sampling; bias is negligible for test use.
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}

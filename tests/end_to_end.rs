@@ -39,7 +39,9 @@ fn five_replicas_converge_on_ycsb() {
             let codec = YcsbCodec { table: w.table() };
             let mut rng = DetRng::new(12345);
             for _ in 0..10 {
-                chain.submit_block(w.next_block(&mut rng, 25), &codec).unwrap();
+                chain
+                    .submit_block(w.next_block(&mut rng, 25), &codec)
+                    .unwrap();
             }
             (chain.state_root().unwrap(), chain.last_hash())
         })
@@ -77,7 +79,9 @@ fn smallbank_send_payments_conserve_money() {
                 build_txn(checking, savings, Procedure::SendPayment, a0, a1, amount)
             })
             .collect();
-        pipeline.execute_one(&ExecBlock::new(BlockId(b), txns)).unwrap();
+        pipeline
+            .execute_one(&ExecBlock::new(BlockId(b), txns))
+            .unwrap();
     }
     let mut total = 0i64;
     for table in [checking, savings] {
@@ -145,7 +149,9 @@ fn recovery_preserves_chain_across_smallbank_checkpoints() {
     let codec = SmallbankCodec { checking, savings };
     let mut rng = DetRng::new(5);
     for _ in 0..8 {
-        chain.submit_block(bank.next_block(&mut rng, 20), &codec).unwrap();
+        chain
+            .submit_block(bank.next_block(&mut rng, 20), &codec)
+            .unwrap();
     }
     let root = chain.state_root().unwrap();
     let tip = chain.last_hash();
