@@ -23,6 +23,7 @@ fn main() {
         "fig19_tpcc",
         "fig20_ablation",
         "fig21_storage_media",
+        "fig22_shard_scaling",
     ];
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");

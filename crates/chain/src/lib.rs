@@ -20,5 +20,5 @@ pub mod oe;
 pub mod sov;
 
 pub use block::{BlockHeader, ChainBlock};
-pub use oe::{state_root, ChainConfig, OeChain};
+pub use oe::{sharded_state_root, state_root, ChainConfig, OeChain};
 pub use sov::SovChain;

@@ -21,7 +21,7 @@ use harmony_common::codec::{Reader, Writer};
 use harmony_common::{BlockId, Error, Result};
 use harmony_core::executor::{BlockSummary, ExecBlock, WriterInfo};
 use harmony_core::{HarmonyConfig, SnapshotStore};
-use harmony_crypto::{CryptoCost, Digest, KeyPair, Sha256, Verifier};
+use harmony_crypto::{CryptoCost, Digest, KeyPair, MerkleTree, Sha256, Verifier};
 use harmony_dcc_baselines::{DccEngine, HarmonyEngine, ProtocolBlockResult};
 use harmony_storage::{StorageConfig, StorageEngine};
 use harmony_txn::{Contract, ContractCodec, Key, RangePredicate, Value};
@@ -85,6 +85,20 @@ pub fn state_root(engine: &StorageEngine) -> Result<Digest> {
         })?;
     }
     Ok(h.finalize())
+}
+
+/// Fold per-shard state roots into one tamper-evident top-level root.
+///
+/// Under sharded execution each shard maintains its own partition of the
+/// database, so the replica-consistency digest becomes two-level: a state
+/// root per shard (ordered by shard index), folded through a Merkle tree.
+/// Any single-shard divergence changes the top root, and a light client can
+/// still check one shard's state against the chain with a `log₂(shards)`
+/// inclusion proof.
+#[must_use]
+pub fn sharded_state_root(shard_roots: &[Digest]) -> Digest {
+    let leaves: Vec<[u8; 32]> = shard_roots.iter().map(|d| d.0).collect();
+    MerkleTree::build(&leaves).root()
 }
 
 /// An Order-Execute private blockchain node.
@@ -443,6 +457,19 @@ mod tests {
         assert_eq!(s2.committed_reads.len(), 1);
         assert_eq!(s2.committed_read_preds.len(), 1);
         assert!(s2.committed_writes.values().next().unwrap().backward_out);
+    }
+
+    #[test]
+    fn sharded_root_detects_single_shard_divergence() {
+        let roots = [Digest([1; 32]), Digest([2; 32]), Digest([3; 32])];
+        let top = sharded_state_root(&roots);
+        assert_eq!(top, sharded_state_root(&roots), "deterministic");
+        let mut tampered = roots;
+        tampered[1].0[0] ^= 1;
+        assert_ne!(top, sharded_state_root(&tampered));
+        // Order-sensitive: shard index is part of the commitment.
+        let swapped = [roots[1], roots[0], roots[2]];
+        assert_ne!(top, sharded_state_root(&swapped));
     }
 
     #[test]

@@ -173,6 +173,7 @@ fn smallbank_conservation_across_recovery() {
     let mut workload = Smallbank::new(SmallbankConfig {
         accounts: 200,
         theta: 0.9,
+        ..SmallbankConfig::default()
     });
     workload.setup(chain.engine()).unwrap();
     let (checking, savings) = workload.tables();

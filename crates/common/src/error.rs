@@ -56,6 +56,10 @@ pub enum AbortReason {
     /// FastFabric#: transaction was dropped by the orderer to bound the
     /// dependency graph, or removed to break a genuine cycle.
     GraphCycle,
+    /// Sharded execution: a multi-partition transaction lost the
+    /// deterministic cross-shard reservation to an earlier conflicting
+    /// multi-partition transaction in the same block.
+    CrossShardConflict,
     /// The transaction's own logic aborted (e.g. insufficient balance).
     UserAbort,
 }
@@ -70,6 +74,7 @@ impl fmt::Display for AbortReason {
             AbortReason::SsiDangerousStructure => "SSI dangerous structure",
             AbortReason::EndorsementMismatch => "endorsement mismatch",
             AbortReason::GraphCycle => "dependency-graph cycle",
+            AbortReason::CrossShardConflict => "cross-shard conflict",
             AbortReason::UserAbort => "user abort",
         };
         f.write_str(s)
@@ -150,6 +155,7 @@ mod tests {
             SsiDangerousStructure,
             EndorsementMismatch,
             GraphCycle,
+            CrossShardConflict,
             UserAbort,
         ];
         let mut seen = std::collections::HashSet::new();

@@ -1,0 +1,63 @@
+//! Stable, dependency-free hashing.
+//!
+//! Keyspace partitioning must agree between the component that *assigns*
+//! keys to partitions (the shard router) and the components that *generate*
+//! keys with a target partition in mind (the partition-aware workload
+//! variants). `std`'s `DefaultHasher` is explicitly unstable across
+//! releases, so both sides use this FNV-1a implementation instead: simple,
+//! fast on short row keys, and fixed forever.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`. Deterministic across platforms and releases.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Logical partition of a dense `u64` id under the canonical hash
+/// partitioning: FNV-1a of the big-endian bytes, modulo `partitions`.
+///
+/// This is the *single* definition the partition-aware workload generators
+/// and the shard router's hash partitioner share — `Key::from_u64` encodes
+/// row keys big-endian, so hashing `id.to_be_bytes()` here equals hashing
+/// the key's row bytes there (pinned by a test in `harmony-shard`).
+///
+/// # Panics
+/// Panics if `partitions == 0`.
+#[must_use]
+pub fn partition_of_u64(id: u64, partitions: u64) -> u64 {
+    fnv1a64(&id.to_be_bytes()) % partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_keys_spread() {
+        let mut buckets = [0u32; 8];
+        for i in 0..1_000u64 {
+            buckets[(fnv1a64(&i.to_be_bytes()) % 8) as usize] += 1;
+        }
+        // Roughly uniform: every bucket populated, none dominating.
+        assert!(buckets.iter().all(|&c| c > 60), "{buckets:?}");
+        assert!(buckets.iter().all(|&c| c < 250), "{buckets:?}");
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod codec;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 pub mod stats;

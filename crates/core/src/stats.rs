@@ -24,6 +24,8 @@ pub struct BlockStats {
     pub aborted_endorsement: usize,
     /// Dependency-graph cycle / graph-cap drops (FastFabric#).
     pub aborted_graph: usize,
+    /// Deterministic cross-shard reservation losses (sharded execution).
+    pub aborted_cross_shard: usize,
     /// Deterministic business aborts (contract logic).
     pub user_aborted: usize,
     /// RMW commands skipped because their record was missing at apply time
@@ -46,6 +48,7 @@ impl BlockStats {
             + self.aborted_ssi
             + self.aborted_endorsement
             + self.aborted_graph
+            + self.aborted_cross_shard
     }
 
     /// Abort rate over protocol-eligible transactions
@@ -72,6 +75,7 @@ impl BlockStats {
         self.aborted_ssi += other.aborted_ssi;
         self.aborted_endorsement += other.aborted_endorsement;
         self.aborted_graph += other.aborted_graph;
+        self.aborted_cross_shard += other.aborted_cross_shard;
         self.user_aborted += other.user_aborted;
         self.apply_noop_commands += other.apply_noop_commands;
         self.sim_ns_total += other.sim_ns_total;

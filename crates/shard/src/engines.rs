@@ -1,0 +1,153 @@
+//! The five DCC engines in their **sharded profile**.
+//!
+//! A shard group can run any of the paper's five systems, but two
+//! engine-level behaviors must be normalized so that commit/abort
+//! decisions depend only on conflict structure and *relative* transaction
+//! order (the invariant behind N-shard ≡ 1-shard state equivalence and
+//! cross-shard atomicity):
+//!
+//! * **Harmony: inter-block parallelism off.** Under Rule 3 a transaction
+//!   whose snapshot missed the previous block's writes can abort; applied
+//!   to a cross-shard fragment that staleness is shard-local (each shard's
+//!   fragment reads different keys), so shards could disagree about one
+//!   transaction — exactly the atomicity violation the reservation pass
+//!   exists to prevent. Intra-block parallelism and the full
+//!   reordering/coalescence machinery stay on; blocks across *shards*
+//!   still run concurrently.
+//! * **Fabric / FastFabric#: endorser lag and validation delay off.** The
+//!   lag sampler is deliberately seeded by (block, txn-position), which is
+//!   not invariant under re-splitting blocks into sub-blocks; and a
+//!   non-zero validation delay lets a fragment's reads go stale against
+//!   the previous block on one shard but not another. The order-execute
+//!   shard router also genuinely removes the client-side endorsement round
+//!   that those knobs model.
+//!
+//! Aria and RBC need no adjustment: their rules are already pure functions
+//! of pairwise conflicts and relative TID order.
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use harmony_core::{HarmonyConfig, SnapshotStore};
+use harmony_dcc_baselines::{
+    Aria, AriaConfig, DccEngine, Fabric, FabricConfig, FastFabric, FastFabricConfig, HarmonyEngine,
+    Rbc,
+};
+
+/// Engine selector for a shard group (the paper's five systems).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardEngine {
+    /// Harmony (sharded profile: inter-block parallelism off).
+    Harmony,
+    /// AriaBC.
+    Aria,
+    /// RBC.
+    Rbc,
+    /// Fabric (sharded profile: no endorser lag / validation delay).
+    Fabric,
+    /// FastFabric# (sharded profile, like Fabric).
+    FastFabric,
+}
+
+impl ShardEngine {
+    /// All five engines, in the paper's plotting order.
+    pub const ALL: [ShardEngine; 5] = [
+        ShardEngine::Fabric,
+        ShardEngine::FastFabric,
+        ShardEngine::Rbc,
+        ShardEngine::Aria,
+        ShardEngine::Harmony,
+    ];
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardEngine::Harmony => "HarmonyBC",
+            ShardEngine::Aria => "AriaBC",
+            ShardEngine::Rbc => "RBC",
+            ShardEngine::Fabric => "Fabric",
+            ShardEngine::FastFabric => "FastFabric#",
+        }
+    }
+
+    /// Instantiate the engine over one shard's store, in the sharded
+    /// profile described in the module docs.
+    #[must_use]
+    pub fn build(&self, store: Arc<SnapshotStore>, workers: usize) -> Arc<dyn DccEngine> {
+        let sov = FabricConfig {
+            workers,
+            endorser_lag_prob: 0.0,
+            validation_delay: 0,
+            ..FabricConfig::default()
+        };
+        match self {
+            ShardEngine::Harmony => Arc::new(HarmonyEngine::new(
+                store,
+                HarmonyConfig {
+                    workers,
+                    inter_block_parallelism: false,
+                    ..HarmonyConfig::default()
+                },
+            )),
+            ShardEngine::Aria => Arc::new(Aria::new(
+                store,
+                AriaConfig {
+                    workers,
+                    reordering: true,
+                },
+            )),
+            ShardEngine::Rbc => Arc::new(Rbc::new(store, workers)),
+            ShardEngine::Fabric => Arc::new(Fabric::new(store, sov)),
+            ShardEngine::FastFabric => Arc::new(FastFabric::new(
+                store,
+                FastFabricConfig {
+                    fabric: sov,
+                    ..FastFabricConfig::default()
+                },
+            )),
+        }
+    }
+}
+
+impl FromStr for ShardEngine {
+    type Err = harmony_common::Error;
+
+    fn from_str(s: &str) -> Result<ShardEngine, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "harmony" | "harmonybc" => Ok(ShardEngine::Harmony),
+            "aria" | "ariabc" => Ok(ShardEngine::Aria),
+            "rbc" => Ok(ShardEngine::Rbc),
+            "fabric" => Ok(ShardEngine::Fabric),
+            "fastfabric" | "fastfabric#" => Ok(ShardEngine::FastFabric),
+            other => Err(harmony_common::Error::InvalidArgument(format!(
+                "unknown engine {other:?} (expected one of: harmony, aria, rbc, \
+                 fabric, fastfabric)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_storage::{StorageConfig, StorageEngine};
+
+    #[test]
+    fn names_and_parse_round_trip() {
+        for e in ShardEngine::ALL {
+            assert_eq!(e.name().parse::<ShardEngine>().unwrap(), e);
+        }
+        assert!("postgres".parse::<ShardEngine>().is_err());
+    }
+
+    #[test]
+    fn builds_every_engine() {
+        for e in ShardEngine::ALL {
+            let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+            let store = Arc::new(SnapshotStore::new(engine));
+            let dcc = e.build(store, 2);
+            assert_eq!(dcc.name(), e.name());
+        }
+    }
+}

@@ -1,0 +1,971 @@
+//! The shard group: one [`DccEngine`] per shard plus the deterministic
+//! cross-shard commit protocol.
+//!
+//! # Block anatomy
+//!
+//! An ordered block enters the group and is split three ways:
+//!
+//! 1. **Multi-partition transactions** are executed once against a global
+//!    snapshot view assembled from the owner shards' states after the
+//!    previous block, capturing their read-write sets.
+//! 2. A **pure reservation function** over the global order decides which
+//!    multi-partition transactions commit ([`decide_cross`]): a transaction
+//!    survives iff it conflicts with no earlier surviving one. Survivors
+//!    are therefore mutually conflict-free.
+//! 3. Each shard executes a sub-block through its own engine: first the
+//!    **fragments** of surviving multi-partition transactions (one
+//!    synthetic contract per logical partition, in global sub-order), then
+//!    its single-partition transactions in global order.
+//!
+//! # Why no voting round
+//!
+//! Because execution is deterministic (ordered input block → unique output
+//! state), every shard that holds the read fragments can re-derive every
+//! other shard's reservation outcome locally: the commit/abort decision is
+//! a pure function of the global order and the captured read-write sets,
+//! both of which are identical on every shard after the (modeled) fragment
+//! exchange. No prepare/commit votes are exchanged — the only network cost
+//! is shipping read fragments, modeled through
+//! [`harmony_consensus::net::LatencyModel`].
+//!
+//! # Why fragments cannot abort
+//!
+//! Surviving fragments are pairwise conflict-free and sub-ordered before
+//! every local transaction, so in each engine they have no conflict with
+//! any smaller-TID transaction. Every engine in the workspace aborts a
+//! transaction only on a conflict involving an earlier transaction
+//! (first-updater-wins, dangerous-structure pivots, Rule 1), so fragments
+//! commit unconditionally — which is exactly what makes the cross-shard
+//! decision atomic across shards. The group enforces this invariant and
+//! fails loudly if an engine ever violates it.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use harmony_chain::{sharded_state_root, state_root};
+use harmony_common::error::AbortReason;
+use harmony_common::ids::TableId;
+use harmony_common::{vtime, BlockId, Error, Result};
+use harmony_consensus::net::LatencyModel;
+use harmony_core::executor::{ExecBlock, TxnOutcome};
+use harmony_core::par::run_indexed;
+use harmony_core::{BlockStats, SnapshotStore};
+use harmony_crypto::Digest;
+use harmony_dcc_baselines::{DccEngine, ProtocolBlockResult};
+use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_txn::{
+    CommandSeq, Contract, Key, RangePredicate, RwSet, SnapshotView, TxnCtx, UserAbort, Value,
+};
+
+use crate::router::{Placement, ShardRouter};
+
+/// Shard-group configuration.
+#[derive(Clone, Debug)]
+pub struct ShardGroupConfig {
+    /// Storage configuration cloned per shard (each shard opens its own
+    /// engine; the in-memory engines never contend on a path).
+    pub storage: StorageConfig,
+    /// Network model for the read-fragment exchange between shards.
+    pub latency: LatencyModel,
+    /// Worker cores for the multi-partition simulation step.
+    pub cross_workers: usize,
+}
+
+impl Default for ShardGroupConfig {
+    fn default() -> Self {
+        ShardGroupConfig {
+            storage: StorageConfig::default(),
+            latency: LatencyModel::lan_1g(),
+            cross_workers: 8,
+        }
+    }
+}
+
+impl ShardGroupConfig {
+    /// All-in-memory, zero-cost configuration for tests.
+    #[must_use]
+    pub fn in_memory() -> ShardGroupConfig {
+        ShardGroupConfig {
+            storage: StorageConfig::memory(),
+            ..ShardGroupConfig::default()
+        }
+    }
+}
+
+struct ShardNode {
+    engine: Arc<StorageEngine>,
+    store: Arc<SnapshotStore>,
+    dcc: Arc<dyn DccEngine>,
+}
+
+/// What a sub-block slot maps back to in the global block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// Fragment of the multi-partition transaction at this global index,
+    /// for the given logical partition.
+    Fragment {
+        /// Global index in the submitted block.
+        global: usize,
+        /// Logical partition the fragment covers.
+        partition: u32,
+    },
+    /// The single-partition transaction at this global index.
+    Local {
+        /// Global index in the submitted block.
+        global: usize,
+    },
+}
+
+/// Result of pushing one block through the group.
+#[derive(Debug)]
+pub struct ShardBlockResult {
+    /// The block.
+    pub block: BlockId,
+    /// Outcome per transaction, in the submitted global order.
+    pub outcomes: Vec<TxnOutcome>,
+    /// Raw per-shard engine results (sub-block order).
+    pub shard_results: Vec<ProtocolBlockResult>,
+    /// Per-shard mapping from sub-block position to global transaction.
+    pub slots: Vec<Vec<Slot>>,
+    /// Number of multi-partition transactions in the block.
+    pub cross_txns: usize,
+    /// Multi-partition transactions that committed.
+    pub cross_committed: usize,
+    /// Per-multi-partition-transaction simulation cost (global order of the
+    /// multi-partition subset).
+    pub cross_sim_ns: Vec<u64>,
+    /// Modeled one-round read-fragment exchange latency.
+    pub exchange_ns: u64,
+    /// Global counters (fragments excluded; one entry per submitted txn).
+    pub stats: BlockStats,
+}
+
+impl ShardBlockResult {
+    /// Every shard's outcome for the fragments of the multi-partition
+    /// transaction at `global` — by construction all `Committed`.
+    #[must_use]
+    pub fn fragment_outcomes(&self, global: usize) -> Vec<(usize, TxnOutcome)> {
+        let mut out = Vec::new();
+        for (shard, slots) in self.slots.iter().enumerate() {
+            for (pos, slot) in slots.iter().enumerate() {
+                if let Slot::Fragment { global: g, .. } = slot {
+                    if *g == global {
+                        out.push((shard, self.shard_results[shard].outcomes[pos]));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Two-level state commitment of a shard group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedRoot {
+    /// One state root per shard, in shard order.
+    pub shard_roots: Vec<Digest>,
+    /// Merkle fold of the shard roots (what a block header would carry).
+    pub root: Digest,
+}
+
+/// A group of shards executing one ordered chain of blocks.
+pub struct ShardGroup {
+    router: ShardRouter,
+    nodes: Vec<ShardNode>,
+    latency: LatencyModel,
+    cross_workers: usize,
+    height: BlockId,
+}
+
+impl ShardGroup {
+    /// Build a group: one storage engine + snapshot store + DCC engine per
+    /// shard. `build` constructs the engine over a shard's store — use the
+    /// same engine kind and configuration for every shard.
+    pub fn new(
+        router: ShardRouter,
+        config: &ShardGroupConfig,
+        build: impl Fn(Arc<SnapshotStore>) -> Arc<dyn DccEngine>,
+    ) -> Result<ShardGroup> {
+        let mut nodes = Vec::with_capacity(router.shards());
+        for _ in 0..router.shards() {
+            let engine = Arc::new(StorageEngine::open(&config.storage)?);
+            let store = Arc::new(SnapshotStore::new(Arc::clone(&engine)));
+            let dcc = build(Arc::clone(&store));
+            nodes.push(ShardNode { engine, store, dcc });
+        }
+        Ok(ShardGroup {
+            router,
+            nodes,
+            latency: config.latency.clone(),
+            cross_workers: config.cross_workers.max(1),
+            height: BlockId(0),
+        })
+    }
+
+    /// The router.
+    #[must_use]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current height (blocks executed).
+    #[must_use]
+    pub fn height(&self) -> BlockId {
+        self.height
+    }
+
+    /// A shard's storage engine (inspection / workload setup).
+    #[must_use]
+    pub fn engine(&self, shard: usize) -> &Arc<StorageEngine> {
+        &self.nodes[shard].engine
+    }
+
+    /// A shard's snapshot store.
+    #[must_use]
+    pub fn store(&self, shard: usize) -> &Arc<SnapshotStore> {
+        &self.nodes[shard].store
+    }
+
+    /// A shard's DCC engine.
+    #[must_use]
+    pub fn dcc(&self, shard: usize) -> &Arc<dyn DccEngine> {
+        &self.nodes[shard].dcc
+    }
+
+    /// Load the initial database: run `load` on every shard's engine (table
+    /// ids come out identical because creation order is identical), then
+    /// prune each shard down to the rows it owns. After this, every shard
+    /// holds exactly its partition of the database.
+    ///
+    /// Typical call: `group.setup_with(|engine| workload.setup(engine))`.
+    pub fn setup_with(&mut self, mut load: impl FnMut(&StorageEngine) -> Result<()>) -> Result<()> {
+        assert_eq!(self.height, BlockId(0), "setup must precede execution");
+        for (s, node) in self.nodes.iter().enumerate() {
+            load(&node.engine)?;
+            for (_, table) in node.engine.list_tables() {
+                let mut foreign: Vec<Vec<u8>> = Vec::new();
+                node.engine.scan(table, b"", None, |k, _| {
+                    if self.router.shard_of_key(&Key::new(table, k.to_vec())) != s {
+                        foreign.push(k.to_vec());
+                    }
+                    true
+                })?;
+                for row in foreign {
+                    node.engine.delete(table, &row)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute the next block of the global order.
+    pub fn execute_block(&mut self, txns: Vec<Arc<dyn Contract>>) -> Result<ShardBlockResult> {
+        let id = self.height.next();
+        let snapshot = self.height;
+        let n = txns.len();
+
+        // ── 1. Route ───────────────────────────────────────────────────
+        let placements: Vec<Placement> = txns
+            .iter()
+            .map(|t| self.router.classify(t.as_ref()))
+            .collect();
+        let cross_idx: Vec<usize> = (0..n)
+            .filter(|&i| placements[i] == Placement::MultiPartition)
+            .collect();
+
+        // ── 2. Simulate multi-partition transactions globally ──────────
+        // Models each shard re-executing the full transaction after the
+        // read-fragment exchange: the assembled view reads every key from
+        // its owner shard's snapshot after the previous block.
+        let view_template = GroupView {
+            router: &self.router,
+            nodes: &self.nodes,
+            snapshot,
+        };
+        let sims: Vec<(Option<RwSet>, u64)> =
+            run_indexed(cross_idx.len(), self.cross_workers, |j| {
+                let txn = &txns[cross_idx[j]];
+                vtime::scope(|| {
+                    vtime::charge(txn.think_time_ns());
+                    let mut ctx = TxnCtx::new(&view_template);
+                    match txn.execute(&mut ctx) {
+                        Ok(()) => Some(ctx.into_rwset()),
+                        Err(_) => None,
+                    }
+                })
+            });
+        let (cross_rwsets, cross_sim_ns): (Vec<Option<RwSet>>, Vec<u64>) = sims.into_iter().unzip();
+
+        // ── 3. Decide: pure function of (global order, rwsets) ─────────
+        let decisions = decide_cross(&cross_rwsets);
+
+        // ── 4. Exchange model (read fragments, one synchronous round) ──
+        let exchange_ns = self.exchange_ns(&cross_rwsets);
+
+        // ── 5. Build and execute per-shard sub-blocks ──────────────────
+        let mut shard_txns: Vec<Vec<Arc<dyn Contract>>> =
+            (0..self.shards()).map(|_| Vec::new()).collect();
+        let mut slots: Vec<Vec<Slot>> = (0..self.shards()).map(|_| Vec::new()).collect();
+        // Fragments first, in (global order, partition) sub-order.
+        for (j, &g) in cross_idx.iter().enumerate() {
+            if decisions[j] != TxnOutcome::Committed {
+                continue;
+            }
+            let rwset = cross_rwsets[j].as_ref().expect("committed implies rwset");
+            for (partition, fragment) in split_fragments(&self.router, rwset, g) {
+                let shard = self.router.shard_of_partition(partition);
+                shard_txns[shard].push(Arc::new(fragment));
+                slots[shard].push(Slot::Fragment {
+                    global: g,
+                    partition,
+                });
+            }
+        }
+        // Then single-partition transactions, in global order.
+        for (i, placement) in placements.iter().enumerate() {
+            if let Placement::Single { shard, .. } = placement {
+                shard_txns[*shard].push(Arc::clone(&txns[i]));
+                slots[*shard].push(Slot::Local { global: i });
+            }
+        }
+        let mut shard_results = Vec::with_capacity(self.shards());
+        for (node, sub) in self.nodes.iter().zip(shard_txns) {
+            shard_results.push(node.dcc.execute_block(&ExecBlock::new(id, sub))?);
+        }
+
+        // ── 6. Fold outcomes back into global order ────────────────────
+        let mut outcomes: Vec<TxnOutcome> = vec![TxnOutcome::Committed; n];
+        for (j, &g) in cross_idx.iter().enumerate() {
+            outcomes[g] = decisions[j];
+        }
+        for (shard, shard_slots) in slots.iter().enumerate() {
+            for (pos, slot) in shard_slots.iter().enumerate() {
+                match slot {
+                    Slot::Local { global } => {
+                        outcomes[*global] = shard_results[shard].outcomes[pos];
+                    }
+                    Slot::Fragment { global, partition } => {
+                        // The coordination-free protocol's core invariant.
+                        let o = shard_results[shard].outcomes[pos];
+                        if o != TxnOutcome::Committed {
+                            return Err(Error::Corruption(format!(
+                                "shard {shard} aborted fragment of txn {global} \
+                                 (partition {partition}): {o:?} — engines must \
+                                 never abort reservation survivors"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+
+        // ── 7. Global stats (fragments excluded) ───────────────────────
+        let mut stats = BlockStats {
+            txns: n,
+            sim_ns_total: cross_sim_ns.iter().sum(),
+            ..BlockStats::default()
+        };
+        for r in &shard_results {
+            stats.sim_ns_total += r.stats.sim_ns_total;
+            stats.commit_ns_total += r.stats.commit_ns_total;
+            stats.apply_noop_commands += r.stats.apply_noop_commands;
+        }
+        for o in &outcomes {
+            match o {
+                TxnOutcome::Committed => stats.committed += 1,
+                TxnOutcome::Aborted(AbortReason::UserAbort) => stats.user_aborted += 1,
+                TxnOutcome::Aborted(AbortReason::CrossShardConflict) => {
+                    stats.aborted_cross_shard += 1;
+                }
+                TxnOutcome::Aborted(AbortReason::BackwardDangerousStructure) => {
+                    stats.aborted_rule1 += 1;
+                }
+                TxnOutcome::Aborted(AbortReason::InterBlockDangerousStructure) => {
+                    stats.aborted_interblock += 1;
+                }
+                TxnOutcome::Aborted(AbortReason::WwConflict) => stats.aborted_ww += 1,
+                TxnOutcome::Aborted(AbortReason::StaleRead) => stats.aborted_stale += 1,
+                TxnOutcome::Aborted(AbortReason::SsiDangerousStructure) => {
+                    stats.aborted_ssi += 1;
+                }
+                TxnOutcome::Aborted(AbortReason::EndorsementMismatch) => {
+                    stats.aborted_endorsement += 1;
+                }
+                TxnOutcome::Aborted(AbortReason::GraphCycle) => stats.aborted_graph += 1,
+            }
+        }
+
+        self.height = id;
+        let cross_committed = decisions
+            .iter()
+            .filter(|d| **d == TxnOutcome::Committed)
+            .count();
+        Ok(ShardBlockResult {
+            block: id,
+            outcomes,
+            shard_results,
+            slots,
+            cross_txns: cross_idx.len(),
+            cross_committed,
+            cross_sim_ns,
+            exchange_ns,
+            stats,
+        })
+    }
+
+    /// One synchronous broadcast round: every shard ships its owned read
+    /// fragments of the block's multi-partition transactions to the other
+    /// shards; the round completes when the slowest sender finishes fanning
+    /// out. Fragment sizes are estimated from the read/write-set shapes.
+    fn exchange_ns(&self, cross_rwsets: &[Option<RwSet>]) -> u64 {
+        let shards = self.shards();
+        if shards <= 1 || cross_rwsets.iter().all(Option::is_none) {
+            return 0;
+        }
+        let mut bytes_per_shard = vec![0u64; shards];
+        for rwset in cross_rwsets.iter().flatten() {
+            for r in &rwset.reads {
+                // Key + observed value (row-sized) + version tag.
+                bytes_per_shard[self.router.shard_of_key(&r.key)] += r.key.row.len() as u64 + 72;
+            }
+            for (key, seq) in &rwset.updates {
+                // Keys + encoded commands travel with the write fragment.
+                bytes_per_shard[self.router.shard_of_key(key)] +=
+                    key.row.len() as u64 + 24 * seq.len() as u64;
+            }
+        }
+        (0..shards)
+            .map(|s| {
+                let fan_out = bytes_per_shard[s] * (shards as u64 - 1);
+                self.latency.delay_ns(s, (s + 1) % shards, fan_out)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-shard state roots and their Merkle fold. The fold commits to
+    /// the physical layout (leaf = shard), so it is what a sharded block
+    /// header carries but is *not* comparable across shard counts — use
+    /// [`Self::logical_state_root`] for that.
+    pub fn state_roots(&self) -> Result<ShardedRoot> {
+        let shard_roots: Vec<Digest> = self
+            .nodes
+            .iter()
+            .map(|node| state_root(&node.engine))
+            .collect::<Result<_>>()?;
+        let root = sharded_state_root(&shard_roots);
+        Ok(ShardedRoot { shard_roots, root })
+    }
+
+    /// Hash of the *logical* database — the union of the disjoint shard
+    /// partitions, merged per table in key order, digested exactly like
+    /// `harmony_chain::state_root`. Independent of how many shards host
+    /// the data: a 1-shard group and an N-shard group fed the same blocks
+    /// produce the same logical root (the equivalence property tests pin).
+    pub fn logical_state_root(&self) -> Result<Digest> {
+        let mut h = harmony_crypto::Sha256::new();
+        for (name, id) in self.nodes[0].engine.list_tables() {
+            h.update(name.as_bytes());
+            let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for node in &self.nodes {
+                node.engine.scan(id, b"", None, |k, v| {
+                    merged.insert(k.to_vec(), v.to_vec());
+                    true
+                })?;
+            }
+            for (k, v) in &merged {
+                h.update(&(k.len() as u32).to_le_bytes());
+                h.update(k);
+                h.update(&(v.len() as u32).to_le_bytes());
+                h.update(v);
+            }
+        }
+        Ok(h.finalize())
+    }
+}
+
+/// The deterministic cross-shard commit decision (a pure function).
+///
+/// Processes multi-partition transactions in global order; a transaction
+/// survives iff it has **no conflict of any kind** (ww, wr, rw, including
+/// range predicates) with an earlier survivor. Survivors are therefore
+/// pairwise conflict-free — the property that lets every shard's engine
+/// commit their fragments unconditionally, and every shard derive the same
+/// decision vector with no voting round.
+#[must_use]
+pub fn decide_cross(rwsets: &[Option<RwSet>]) -> Vec<TxnOutcome> {
+    let mut reserved_writes: HashSet<Key> = HashSet::new();
+    let mut reserved_reads: HashSet<Key> = HashSet::new();
+    let mut reserved_preds: Vec<RangePredicate> = Vec::new();
+    let mut outcomes = Vec::with_capacity(rwsets.len());
+    for rwset in rwsets {
+        let Some(rwset) = rwset else {
+            outcomes.push(TxnOutcome::Aborted(AbortReason::UserAbort));
+            continue;
+        };
+        let write_conflict = rwset.write_keys().any(|k| {
+            reserved_writes.contains(k)
+                || reserved_reads.contains(k)
+                || reserved_preds.iter().any(|p| p.covers(k))
+        });
+        let read_conflict = rwset.read_keys().any(|k| reserved_writes.contains(k))
+            || rwset
+                .scans
+                .iter()
+                .any(|p| reserved_writes.iter().any(|k| p.covers(k)));
+        if write_conflict || read_conflict {
+            outcomes.push(TxnOutcome::Aborted(AbortReason::CrossShardConflict));
+            continue;
+        }
+        for k in rwset.write_keys() {
+            reserved_writes.insert(k.clone());
+        }
+        for k in rwset.read_keys() {
+            reserved_reads.insert(k.clone());
+        }
+        reserved_preds.extend(rwset.scans.iter().cloned());
+        outcomes.push(TxnOutcome::Committed);
+    }
+    outcomes
+}
+
+/// Split a surviving multi-partition transaction's read-write set into one
+/// fragment per logical partition, ascending partition order.
+fn split_fragments(
+    router: &ShardRouter,
+    rwset: &RwSet,
+    global: usize,
+) -> Vec<(u32, FragmentContract)> {
+    let mut by_partition: BTreeMap<u32, FragmentContract> = BTreeMap::new();
+    for r in &rwset.reads {
+        by_partition
+            .entry(router.partition_of(&r.key))
+            .or_insert_with(|| FragmentContract::new(global))
+            .reads
+            .push(r.key.clone());
+    }
+    for (key, seq) in &rwset.updates {
+        by_partition
+            .entry(router.partition_of(key))
+            .or_insert_with(|| FragmentContract::new(global))
+            .updates
+            .push((key.clone(), seq.clone()));
+    }
+    by_partition.into_iter().collect()
+}
+
+/// A shard-local fragment of a multi-partition transaction: replays the
+/// owned point reads (so local dependency tracking sees them) and re-issues
+/// the owned update commands (which the engine evaluates against the same
+/// snapshot the global simulation read — deterministic equality).
+///
+/// Scan predicates are *not* replayed: the cross-shard reservation already
+/// serialized every surviving transaction against all predicate overlaps.
+struct FragmentContract {
+    global: usize,
+    reads: Vec<Key>,
+    updates: Vec<(Key, CommandSeq)>,
+}
+
+impl FragmentContract {
+    fn new(global: usize) -> FragmentContract {
+        FragmentContract {
+            global,
+            reads: Vec::new(),
+            updates: Vec::new(),
+        }
+    }
+}
+
+impl Contract for FragmentContract {
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<(), UserAbort> {
+        for key in &self.reads {
+            ctx.read(key).map_err(|e| UserAbort(e.to_string()))?;
+        }
+        for (key, seq) in &self.updates {
+            for cmd in seq.commands() {
+                ctx.update(key.clone(), cmd.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "xshard-fragment"
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut p = b"xsf".to_vec();
+        p.extend_from_slice(&(self.global as u64).to_le_bytes());
+        for key in &self.reads {
+            p.extend_from_slice(&key.table.0.to_le_bytes());
+            p.extend_from_slice(&key.row);
+        }
+        for (key, _) in &self.updates {
+            p.extend_from_slice(&key.table.0.to_le_bytes());
+            p.extend_from_slice(&key.row);
+        }
+        p
+    }
+}
+
+/// Snapshot view assembling the whole keyspace from the owner shards.
+struct GroupView<'a> {
+    router: &'a ShardRouter,
+    nodes: &'a [ShardNode],
+    snapshot: BlockId,
+}
+
+impl SnapshotView for GroupView<'_> {
+    fn get(&self, key: &Key) -> Result<Option<Value>> {
+        self.nodes[self.router.shard_of_key(key)]
+            .store
+            .read_at(self.snapshot, key)
+    }
+
+    fn scan(
+        &self,
+        table: TableId,
+        start: &[u8],
+        end: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &Value) -> bool,
+    ) -> Result<()> {
+        // Shards hold disjoint row sets: merge their snapshot scans into
+        // one ordered stream. The callback-based `scan_at` cannot be
+        // suspended for a streaming k-way merge, so the whole range is
+        // materialized before the caller's early-stop is honored — fine
+        // for the conservative cross path (declared-footprint workloads
+        // never scan), but a LIMIT-style scan over a huge table would pay
+        // for the full range.
+        let mut merged: BTreeMap<Vec<u8>, Value> = BTreeMap::new();
+        for node in self.nodes {
+            node.store
+                .scan_at(self.snapshot, table, start, end, &mut |k, v| {
+                    merged.insert(k.to_vec(), v.clone());
+                    true
+                })?;
+        }
+        for (k, v) in &merged {
+            if !f(k, v) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn version_of(&self, key: &Key) -> Option<u64> {
+        self.nodes[self.router.shard_of_key(key)]
+            .store
+            .version_at(self.snapshot, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::HashPartitioner;
+    use harmony_core::HarmonyConfig;
+    use harmony_dcc_baselines::HarmonyEngine;
+    use harmony_txn::{FnContract, UpdateCommand};
+
+    const TABLE: TableId = TableId(0);
+
+    fn key(id: u64) -> Key {
+        Key::from_u64(TABLE, id)
+    }
+
+    /// Group of `shards` shards over 8 logical partitions, Harmony engines
+    /// (inter-block parallelism off — the sharded profile), `keys` records
+    /// valued 100.
+    fn group(shards: usize, keys: u64) -> ShardGroup {
+        let router = ShardRouter::new(Arc::new(HashPartitioner::new(8)), shards);
+        let config = ShardGroupConfig::in_memory();
+        let mut g = ShardGroup::new(router, &config, |store| {
+            Arc::new(HarmonyEngine::new(
+                store,
+                HarmonyConfig {
+                    inter_block_parallelism: false,
+                    workers: 2,
+                    ..HarmonyConfig::default()
+                },
+            ))
+        })
+        .unwrap();
+        g.setup_with(|engine| {
+            let t = engine.create_table("t")?;
+            assert_eq!(t, TABLE);
+            for i in 0..keys {
+                engine.put(t, &i.to_be_bytes(), &100i64.to_le_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        g
+    }
+
+    /// `add(w, delta)` for each write key after reading each read key, with
+    /// a declared footprint.
+    fn add_txn(reads: Vec<u64>, writes: Vec<u64>, delta: i64) -> Arc<dyn Contract> {
+        let footprint: Vec<Key> = reads.iter().chain(&writes).map(|&i| key(i)).collect();
+        Arc::new(
+            FnContract::new("add", move |ctx: &mut TxnCtx<'_>| {
+                for &r in &reads {
+                    ctx.read(&key(r)).map_err(|e| UserAbort(e.to_string()))?;
+                }
+                for &w in &writes {
+                    ctx.add_i64(key(w), 0, delta);
+                }
+                Ok(())
+            })
+            .with_footprint(footprint),
+        )
+    }
+
+    fn read_i64(g: &ShardGroup, id: u64) -> i64 {
+        let k = key(id);
+        let shard = g.router().shard_of_key(&k);
+        let v = g.engine(shard).get(TABLE, &k.row).unwrap().unwrap();
+        i64::from_le_bytes(v.as_slice().try_into().unwrap())
+    }
+
+    /// Two ids guaranteed to live in different partitions.
+    fn cross_pair(g: &ShardGroup) -> (u64, u64) {
+        let a = 0u64;
+        let b = (1..200u64)
+            .find(|&i| g.router().partition_of(&key(i)) != g.router().partition_of(&key(a)))
+            .expect("hash spreads");
+        (a, b)
+    }
+
+    #[test]
+    fn setup_prunes_to_owned_rows() {
+        let g = group(4, 64);
+        let mut total = 0;
+        for s in 0..4 {
+            let len = g.engine(s).table_len(TABLE).unwrap();
+            assert!(len > 0, "shard {s} owns nothing");
+            g.engine(s)
+                .scan(TABLE, b"", None, |k, _| {
+                    assert_eq!(g.router().shard_of_key(&Key::new(TABLE, k.to_vec())), s);
+                    true
+                })
+                .unwrap();
+            total += len;
+        }
+        assert_eq!(total, 64, "partitions cover the keyspace exactly once");
+    }
+
+    #[test]
+    fn local_txns_run_on_their_shards() {
+        let mut g = group(4, 64);
+        let txns: Vec<Arc<dyn Contract>> = (0..8).map(|i| add_txn(vec![], vec![i], 1)).collect();
+        let res = g.execute_block(txns).unwrap();
+        assert_eq!(res.cross_txns, 0);
+        assert_eq!(res.stats.committed, 8);
+        assert_eq!(res.exchange_ns, 0, "no cross txns, no exchange");
+        for i in 0..8 {
+            assert_eq!(read_i64(&g, i), 101);
+        }
+    }
+
+    #[test]
+    fn cross_shard_transfer_is_atomic() {
+        let mut g = group(4, 64);
+        let (a, b) = cross_pair(&g);
+        // Transfer 30 from a to b: debits one shard, credits another.
+        let transfer: Arc<dyn Contract> = Arc::new(
+            FnContract::new("transfer", move |ctx: &mut TxnCtx<'_>| {
+                ctx.add_i64(key(a), 0, -30);
+                ctx.add_i64(key(b), 0, 30);
+                Ok(())
+            })
+            .with_footprint(vec![key(a), key(b)]),
+        );
+        let res = g.execute_block(vec![transfer]).unwrap();
+        assert_eq!(res.cross_txns, 1);
+        assert_eq!(res.cross_committed, 1);
+        assert_eq!(res.outcomes[0], TxnOutcome::Committed);
+        assert!(res.exchange_ns > 0, "fragment exchange must be costed");
+        assert_eq!(read_i64(&g, a), 70);
+        assert_eq!(read_i64(&g, b), 130);
+        let frags = res.fragment_outcomes(0);
+        assert_eq!(frags.len(), 2, "two shards participate");
+        assert!(frags.iter().all(|(_, o)| o.is_committed()));
+    }
+
+    #[test]
+    fn conflicting_cross_txns_lose_reservation_deterministically() {
+        let mut g = group(4, 64);
+        let (a, b) = cross_pair(&g);
+        let t = |delta: i64| add_txn(vec![], vec![a, b], delta);
+        let res = g.execute_block(vec![t(1), t(2), t(4)]).unwrap();
+        assert_eq!(res.outcomes[0], TxnOutcome::Committed);
+        assert_eq!(
+            res.outcomes[1],
+            TxnOutcome::Aborted(AbortReason::CrossShardConflict)
+        );
+        assert_eq!(
+            res.outcomes[2],
+            TxnOutcome::Aborted(AbortReason::CrossShardConflict)
+        );
+        assert_eq!(read_i64(&g, a), 101, "only the first writer applied");
+        assert_eq!(res.stats.aborted_cross_shard, 2);
+    }
+
+    #[test]
+    fn cross_reads_see_previous_block_snapshot() {
+        let mut g = group(2, 64);
+        let (a, b) = cross_pair(&g);
+        // Block 1: bump a.
+        g.execute_block(vec![add_txn(vec![], vec![a], 5)]).unwrap();
+        // Block 2: a cross txn that copies a's value delta onto b must read
+        // the state *after* block 1.
+        let copier: Arc<dyn Contract> = Arc::new(
+            FnContract::new("copier", move |ctx: &mut TxnCtx<'_>| {
+                let v = ctx
+                    .read(&key(a))
+                    .map_err(|e| UserAbort(e.to_string()))?
+                    .expect("present");
+                let cur = i64::from_le_bytes(v.as_ref().try_into().expect("i64 row"));
+                ctx.update(
+                    key(b),
+                    UpdateCommand::Put(bytes::Bytes::from(cur.to_le_bytes().to_vec())),
+                );
+                Ok(())
+            })
+            .with_footprint(vec![key(a), key(b)]),
+        );
+        let res = g.execute_block(vec![copier]).unwrap();
+        assert_eq!(res.outcomes[0], TxnOutcome::Committed);
+        assert_eq!(read_i64(&g, b), 105);
+    }
+
+    #[test]
+    fn undeclared_contract_routes_through_cross_path() {
+        let mut g = group(4, 64);
+        let opaque: Arc<dyn Contract> =
+            Arc::new(FnContract::new("opaque", move |ctx: &mut TxnCtx<'_>| {
+                ctx.add_i64(key(3), 0, 7);
+                Ok(())
+            }));
+        let res = g.execute_block(vec![opaque]).unwrap();
+        assert_eq!(res.cross_txns, 1);
+        assert_eq!(res.outcomes[0], TxnOutcome::Committed);
+        assert_eq!(read_i64(&g, 3), 107);
+    }
+
+    #[test]
+    fn logical_root_matches_chain_state_root_on_one_shard() {
+        let mut g = group(1, 64);
+        g.execute_block(vec![add_txn(vec![], vec![0], 1)]).unwrap();
+        assert_eq!(
+            g.logical_state_root().unwrap(),
+            state_root(g.engine(0)).unwrap()
+        );
+    }
+
+    #[test]
+    fn state_roots_fold_and_diverge() {
+        let mut g = group(4, 64);
+        let before = g.state_roots().unwrap();
+        assert_eq!(before.shard_roots.len(), 4);
+        g.execute_block(vec![add_txn(vec![], vec![0], 1)]).unwrap();
+        let after = g.state_roots().unwrap();
+        assert_ne!(before.root, after.root);
+        // Only key 0's owner shard changed.
+        let owner = g.router().shard_of_key(&key(0));
+        for s in 0..4 {
+            if s == owner {
+                assert_ne!(before.shard_roots[s], after.shard_roots[s]);
+            } else {
+                assert_eq!(before.shard_roots[s], after.shard_roots[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn decide_cross_rules() {
+        let rw = |reads: &[u64], writes: &[u64]| {
+            let mut rw = RwSet::default();
+            for &r in reads {
+                rw.record_read(key(r), None);
+            }
+            for &w in writes {
+                rw.record_update(key(w), UpdateCommand::Delete);
+            }
+            Some(rw)
+        };
+        // ww, rw (earlier reads / later writes), wr all lose; read-read ok.
+        let outcomes = decide_cross(&[
+            rw(&[0], &[1]), // survivor
+            rw(&[], &[1]),  // ww vs #0's write -> abort
+            rw(&[1], &[2]), // reads #0's write -> abort
+            rw(&[], &[0]),  // writes #0's read -> abort
+            rw(&[0], &[3]), // shares only the read of 0 -> survivor
+            None,           // user abort
+            rw(&[], &[2]),  // #2 aborted, its reservation never happened -> survivor
+        ]);
+        use TxnOutcome::{Aborted, Committed};
+        assert_eq!(
+            outcomes,
+            vec![
+                Committed,
+                Aborted(AbortReason::CrossShardConflict),
+                Aborted(AbortReason::CrossShardConflict),
+                Aborted(AbortReason::CrossShardConflict),
+                Committed,
+                Aborted(AbortReason::UserAbort),
+                Committed,
+            ]
+        );
+    }
+
+    #[test]
+    fn decide_cross_respects_scan_predicates() {
+        let mut scanner = RwSet::default();
+        scanner.record_scan(RangePredicate {
+            table: TABLE,
+            start: bytes::Bytes::from(0u64.to_be_bytes().to_vec()),
+            end: None,
+        });
+        scanner.record_update(key(1000), UpdateCommand::Delete);
+        let mut writer = RwSet::default();
+        writer.record_update(key(5), UpdateCommand::Delete);
+        let outcomes = decide_cross(&[Some(scanner), Some(writer)]);
+        assert_eq!(outcomes[0], TxnOutcome::Committed);
+        assert_eq!(
+            outcomes[1],
+            TxnOutcome::Aborted(AbortReason::CrossShardConflict),
+            "write into a reserved predicate range must lose"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut g = group(4, 64);
+            let (a, b) = cross_pair(&g);
+            let mut outcomes = Vec::new();
+            for blk in 0..5 {
+                let txns: Vec<Arc<dyn Contract>> = (0..6)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            add_txn(vec![a], vec![b], blk + 1)
+                        } else {
+                            add_txn(vec![], vec![i * 7 % 64], 1)
+                        }
+                    })
+                    .collect();
+                outcomes.push(g.execute_block(txns).unwrap().outcomes);
+            }
+            (outcomes, g.state_roots().unwrap())
+        };
+        assert_eq!(run(), run());
+    }
+}

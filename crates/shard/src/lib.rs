@@ -1,0 +1,53 @@
+//! **harmony-shard** — sharded multi-partition execution with
+//! deterministic, coordination-free cross-shard commit.
+//!
+//! The Harmony protocol makes a single replica group execute an ordered
+//! block deterministically: the committed post-state is a pure function of
+//! (previous state, ordered block). This crate scales that property out by
+//! hash- or range-partitioning the keyspace ([`Partitioner`]) across
+//! independent execution shards ([`ShardGroup`]), each running its own
+//! `DccEngine` (any of the five systems) over its own `SnapshotStore`.
+//!
+//! # Why determinism makes cross-shard commit coordination-free
+//!
+//! Classic sharded databases need two-phase commit because each shard's
+//! commit decision depends on private, nondeterministic state (lock
+//! queues, aborts-in-progress), so the decision must be *communicated*.
+//! Under the order-execute architecture the inputs to every decision are
+//! globally replicated by consensus: all shards see the same ordered block
+//! and, after exchanging read fragments, the same captured read-write
+//! sets. The commit/abort decision for multi-partition transactions
+//! ([`decide_cross`]) is a pure function of exactly those inputs, so every
+//! shard evaluates it locally and arrives at the same answer — a voting
+//! round would transmit information the peers can already derive. The only
+//! cross-shard traffic is the read-fragment exchange itself, which the
+//! group models for latency/bandwidth through
+//! [`harmony_consensus::net::LatencyModel`] (the same model the cluster
+//! composition uses).
+//!
+//! Two structural choices keep the decision shard-count-invariant (the
+//! N-shard state root equals the 1-shard root for the same input stream):
+//!
+//! * **Logical partitions ≠ physical shards.** Transactions are classified
+//!   against a fixed partition count; shards merely host partitions
+//!   ([`ShardRouter`]). Moving from 1 to N shards redistributes work but
+//!   never reclassifies a transaction.
+//! * **Fragments first, conflict-free.** Surviving multi-partition
+//!   transactions are split into per-partition fragments sub-ordered ahead
+//!   of each shard's local transactions. Survivors are pairwise
+//!   conflict-free by construction, so no engine can abort a fragment, and
+//!   local conflict components (and hence engine decisions) are identical
+//!   for every shard count.
+//!
+//! Tamper evidence survives sharding: each shard's state root is folded
+//! into a top-level root via `harmony_chain::sharded_state_root`.
+
+pub mod engines;
+pub mod group;
+pub mod partition;
+pub mod router;
+
+pub use engines::ShardEngine;
+pub use group::{decide_cross, ShardBlockResult, ShardGroup, ShardGroupConfig, ShardedRoot, Slot};
+pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use router::{Placement, ShardRouter};

@@ -1,0 +1,192 @@
+//! Keyspace partitioners.
+//!
+//! A partitioner carves the keyspace into a fixed number of **logical
+//! partitions**. Logical partitions are deliberately decoupled from
+//! physical shards (see [`crate::router::ShardRouter`]): a transaction's
+//! classification as single- or multi-partition depends only on the
+//! partitioner, so the commit/abort decision of every transaction is
+//! *independent of the shard count* — the property the N-shard vs 1-shard
+//! state-root equivalence tests rely on.
+//!
+//! Partitioners hash/compare only the **row bytes** of a key, never the
+//! table: an entity keyed identically across tables (e.g. a Smallbank
+//! customer's `checking` and `savings` rows) co-locates on one partition.
+
+use harmony_common::hash::fnv1a64;
+use harmony_txn::Key;
+
+/// Assigns every key to one of a fixed number of logical partitions.
+///
+/// Implementations must be pure functions of the key bytes: every replica
+/// and every shard derives the same placement with no coordination.
+pub trait Partitioner: Send + Sync {
+    /// Number of logical partitions (≥ 1).
+    fn partitions(&self) -> u32;
+
+    /// The partition owning `key`.
+    fn partition_of(&self, key: &Key) -> u32;
+}
+
+/// Hash partitioner: stable FNV-1a over the row bytes, modulo the partition
+/// count. The same function the partition-aware workload generators use, so
+/// their `multi_partition_ratio` knob translates exactly into cross-shard
+/// transactions.
+#[derive(Clone, Debug)]
+pub struct HashPartitioner {
+    partitions: u32,
+}
+
+impl HashPartitioner {
+    /// Build with `partitions` logical partitions.
+    ///
+    /// # Panics
+    /// Panics if `partitions == 0`.
+    #[must_use]
+    pub fn new(partitions: u32) -> HashPartitioner {
+        assert!(partitions > 0, "need at least one partition");
+        HashPartitioner { partitions }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    fn partition_of(&self, key: &Key) -> u32 {
+        (fnv1a64(&key.row) % u64::from(self.partitions)) as u32
+    }
+}
+
+/// Range partitioner: ordered split points over the row bytes. Partition
+/// `i` owns rows in `[bounds[i-1], bounds[i])` (with open ends), so ordered
+/// scans stay shard-local when their range respects the split points.
+#[derive(Clone, Debug)]
+pub struct RangePartitioner {
+    /// Ascending exclusive upper bounds of partitions `0..n-1`; the last
+    /// partition is unbounded above.
+    bounds: Vec<Vec<u8>>,
+}
+
+impl RangePartitioner {
+    /// Build from ascending split points. `n` split points define `n + 1`
+    /// partitions.
+    ///
+    /// # Panics
+    /// Panics if the split points are not strictly ascending.
+    #[must_use]
+    pub fn new(bounds: Vec<Vec<u8>>) -> RangePartitioner {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "split points must be strictly ascending"
+        );
+        RangePartitioner { bounds }
+    }
+
+    /// Even split of a dense `u64` big-endian keyspace `[0, keys)` into
+    /// `partitions` contiguous ranges.
+    ///
+    /// # Panics
+    /// Panics if `partitions == 0`.
+    #[must_use]
+    pub fn u64_uniform(partitions: u32, keys: u64) -> RangePartitioner {
+        assert!(partitions > 0, "need at least one partition");
+        let stride = (keys / u64::from(partitions)).max(1);
+        let bounds = (1..partitions)
+            .map(|i| (u64::from(i) * stride).to_be_bytes().to_vec())
+            .collect();
+        RangePartitioner::new(bounds)
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn partitions(&self) -> u32 {
+        self.bounds.len() as u32 + 1
+    }
+
+    fn partition_of(&self, key: &Key) -> u32 {
+        // First split point strictly greater than the row = its partition.
+        self.bounds
+            .partition_point(|b| b.as_slice() <= key.row.as_ref()) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_common::ids::TableId;
+
+    fn key(id: u64) -> Key {
+        Key::from_u64(TableId(0), id)
+    }
+
+    #[test]
+    fn hash_partitioner_is_table_blind_and_stable() {
+        let p = HashPartitioner::new(8);
+        for id in 0..200u64 {
+            let a = Key::from_u64(TableId(0), id);
+            let b = Key::from_u64(TableId(5), id);
+            assert_eq!(p.partition_of(&a), p.partition_of(&b), "co-location");
+            assert!(p.partition_of(&a) < 8);
+            assert_eq!(p.partition_of(&a), p.partition_of(&a));
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_agrees_with_canonical_u64_partitioning() {
+        // The partition-aware workload generators steer keys using
+        // `harmony_common::hash::partition_of_u64`; the router places keys
+        // with `HashPartitioner`. The two must agree or the workloads'
+        // multi_partition_ratio knob stops meaning "cross-shard".
+        let p = HashPartitioner::new(8);
+        for id in 0..500u64 {
+            assert_eq!(
+                u64::from(p.partition_of(&key(id))),
+                harmony_common::hash::partition_of_u64(id, 8),
+                "divergence at id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads() {
+        let p = HashPartitioner::new(4);
+        let mut counts = [0u32; 4];
+        for id in 0..1000u64 {
+            counts[p.partition_of(&key(id)) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 150), "{counts:?}");
+    }
+
+    #[test]
+    fn range_partitioner_respects_bounds() {
+        let p = RangePartitioner::new(vec![
+            10u64.to_be_bytes().to_vec(),
+            20u64.to_be_bytes().to_vec(),
+        ]);
+        assert_eq!(p.partitions(), 3);
+        assert_eq!(p.partition_of(&key(0)), 0);
+        assert_eq!(p.partition_of(&key(9)), 0);
+        assert_eq!(p.partition_of(&key(10)), 1);
+        assert_eq!(p.partition_of(&key(19)), 1);
+        assert_eq!(p.partition_of(&key(20)), 2);
+        assert_eq!(p.partition_of(&key(u64::MAX)), 2);
+    }
+
+    #[test]
+    fn u64_uniform_covers_all_partitions() {
+        let p = RangePartitioner::u64_uniform(4, 100);
+        assert_eq!(p.partitions(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..100u64 {
+            seen.insert(p.partition_of(&key(id)));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn range_partitioner_rejects_unsorted_bounds() {
+        let _ = RangePartitioner::new(vec![vec![5], vec![5]]);
+    }
+}

@@ -1,0 +1,180 @@
+//! The shard router: placing transactions onto physical shards.
+//!
+//! The router composes a [`Partitioner`] (fixed logical partitions) with a
+//! physical shard count. Logical partition `p` lives on shard
+//! `p mod shards`, so re-deploying the same chain with a different shard
+//! count never changes which *partition* a key belongs to — only where
+//! that partition is hosted. Transaction classification (single- vs
+//! multi-partition) therefore depends only on the partitioner, which keeps
+//! every commit/abort decision shard-count-invariant.
+
+use std::sync::Arc;
+
+use harmony_txn::{Contract, Key};
+
+use crate::partition::Partitioner;
+
+/// Where a transaction executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// All declared keys fall into one logical partition: the transaction
+    /// runs entirely inside that partition's shard, through its engine.
+    Single {
+        /// Hosting shard.
+        shard: usize,
+        /// The single logical partition touched.
+        partition: u32,
+    },
+    /// The declared keys span several partitions — or the contract declared
+    /// nothing (data-dependent accesses, scans) and must be routed
+    /// conservatively. Runs through the deterministic cross-shard protocol.
+    MultiPartition,
+}
+
+/// Maps logical partitions onto physical shards and classifies
+/// transactions.
+#[derive(Clone)]
+pub struct ShardRouter {
+    partitioner: Arc<dyn Partitioner>,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Build a router hosting `partitioner`'s partitions on `shards`
+    /// physical shards.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn new(partitioner: Arc<dyn Partitioner>, shards: usize) -> ShardRouter {
+        assert!(shards > 0, "need at least one shard");
+        ShardRouter {
+            partitioner,
+            shards,
+        }
+    }
+
+    /// Number of physical shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of logical partitions.
+    #[must_use]
+    pub fn partitions(&self) -> u32 {
+        self.partitioner.partitions()
+    }
+
+    /// Logical partition of `key`.
+    #[must_use]
+    pub fn partition_of(&self, key: &Key) -> u32 {
+        self.partitioner.partition_of(key)
+    }
+
+    /// Hosting shard of logical partition `partition`.
+    #[must_use]
+    pub fn shard_of_partition(&self, partition: u32) -> usize {
+        partition as usize % self.shards
+    }
+
+    /// Hosting shard of `key`.
+    #[must_use]
+    pub fn shard_of_key(&self, key: &Key) -> usize {
+        self.shard_of_partition(self.partition_of(key))
+    }
+
+    /// Classify a transaction from its declared footprint.
+    #[must_use]
+    pub fn classify(&self, txn: &dyn Contract) -> Placement {
+        let Some(keys) = txn.declared_keys() else {
+            return Placement::MultiPartition;
+        };
+        let mut single: Option<u32> = None;
+        for key in keys {
+            let p = self.partition_of(key);
+            match single {
+                None => single = Some(p),
+                Some(q) if q == p => {}
+                Some(_) => return Placement::MultiPartition,
+            }
+        }
+        // A declared-empty footprint is trivially single-partition.
+        let partition = single.unwrap_or(0);
+        Placement::Single {
+            shard: self.shard_of_partition(partition),
+            partition,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::HashPartitioner;
+    use harmony_common::ids::TableId;
+    use harmony_txn::{FnContract, TxnCtx};
+
+    fn router(partitions: u32, shards: usize) -> ShardRouter {
+        ShardRouter::new(Arc::new(HashPartitioner::new(partitions)), shards)
+    }
+
+    fn txn_with_keys(
+        keys: Vec<Key>,
+    ) -> FnContract<impl Fn(&mut TxnCtx<'_>) -> Result<(), harmony_txn::UserAbort> + Send + Sync>
+    {
+        FnContract::new("t", |_: &mut TxnCtx<'_>| Ok(())).with_footprint(keys)
+    }
+
+    #[test]
+    fn partition_to_shard_is_modular() {
+        let r = router(8, 3);
+        for p in 0..8 {
+            assert_eq!(r.shard_of_partition(p), p as usize % 3);
+        }
+    }
+
+    #[test]
+    fn single_partition_footprint_routes_single() {
+        let r = router(8, 4);
+        let k = Key::from_u64(TableId(0), 42);
+        let p = r.partition_of(&k);
+        // Same row in two tables: still one partition (table-blind hash).
+        let txn = txn_with_keys(vec![k.clone(), Key::from_u64(TableId(1), 42)]);
+        assert_eq!(
+            r.classify(&txn),
+            Placement::Single {
+                shard: r.shard_of_partition(p),
+                partition: p
+            }
+        );
+    }
+
+    #[test]
+    fn spanning_footprint_routes_multi() {
+        let r = router(8, 4);
+        // Find two u64 keys in different partitions.
+        let a = Key::from_u64(TableId(0), 0);
+        let b = (1..100u64)
+            .map(|i| Key::from_u64(TableId(0), i))
+            .find(|k| r.partition_of(k) != r.partition_of(&a))
+            .expect("hash spreads");
+        let txn = txn_with_keys(vec![a, b]);
+        assert_eq!(r.classify(&txn), Placement::MultiPartition);
+    }
+
+    #[test]
+    fn undeclared_footprint_is_conservative() {
+        let r = router(4, 2);
+        let txn = FnContract::new("opaque", |_: &mut TxnCtx<'_>| Ok(()));
+        assert_eq!(r.classify(&txn), Placement::MultiPartition);
+    }
+
+    #[test]
+    fn one_shard_hosts_everything() {
+        let r = router(16, 1);
+        for id in 0..50 {
+            assert_eq!(r.shard_of_key(&Key::from_u64(TableId(0), id)), 0);
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! service's bandwidth (degrading scaling). Consensus throughput/latency
 //! envelopes come from the real HotStuff/Kafka simulations.
 
+use std::borrow::Cow;
+
 use harmony_consensus::net::LatencyModel;
 use harmony_consensus::{ConsensusReport, HotStuffConfig, HotStuffSim, KafkaConfig, KafkaSim};
 use harmony_dcc_baselines::Architecture;
@@ -16,8 +18,10 @@ use crate::driver::RunMetrics;
 /// End-to-end metrics for one (system, cluster) point.
 #[derive(Clone, Debug)]
 pub struct ClusterMetrics {
-    /// System name.
-    pub system: &'static str,
+    /// System name. Borrowed for the plain engines; owned for composed
+    /// configurations (e.g. `"HarmonyBC×8shards"`) labelling their own
+    /// series.
+    pub system: Cow<'static, str>,
     /// Number of replicas.
     pub replicas: usize,
     /// End-to-end committed throughput (min of DB layer and ordering).
@@ -97,7 +101,7 @@ impl ClusterModel {
         };
         let throughput_tps = db.throughput_tps.min(consensus.throughput_tps);
         ClusterMetrics {
-            system: db.system,
+            system: db.system.clone(),
             replicas,
             throughput_tps,
             latency_ms: db.latency_ms + consensus.latency_ms + client_trips_ms,
@@ -144,7 +148,7 @@ mod tests {
 
     fn db(tps: f64, latency_ms: f64) -> RunMetrics {
         RunMetrics {
-            system: "HarmonyBC",
+            system: Cow::Borrowed("HarmonyBC"),
             throughput_tps: tps,
             latency_ms,
             stats: BlockStats::default(),

@@ -1,21 +1,25 @@
 //! Experiment driver: run (engine × workload) for N blocks with
 //! abort-retry and produce the paper's metrics.
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
+use std::str::FromStr;
 use std::sync::Arc;
 
 use harmony_common::{BlockId, DetRng, Result};
+use harmony_consensus::net::LatencyModel;
 use harmony_core::executor::{ExecBlock, TxnOutcome};
 use harmony_core::{BlockStats, HarmonyConfig, SnapshotStore};
 use harmony_dcc_baselines::{
     Aria, AriaConfig, DccEngine, Fabric, FabricConfig, FastFabric, FastFabricConfig, HarmonyEngine,
     Rbc,
 };
+use harmony_shard::{HashPartitioner, ShardEngine, ShardGroup, ShardGroupConfig, ShardRouter};
 use harmony_storage::{StorageConfig, StorageEngine};
 use harmony_txn::Contract;
 use harmony_workloads::Workload;
 
-use crate::sched::{pipeline_total_ns, schedule_block};
+use crate::sched::{makespan, pipeline_total_ns, schedule_block};
 
 /// Which engine to instantiate (the paper's five systems).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +46,27 @@ impl EngineKind {
             EngineKind::Rbc => "RBC",
             EngineKind::Fabric => "Fabric",
             EngineKind::FastFabric => "FastFabric#",
+        }
+    }
+
+    /// The engine in its sharded profile (see `harmony_shard::engines`),
+    /// preserving Harmony's ablation toggles apart from the inter-block
+    /// parallelism the profile forbids.
+    #[must_use]
+    pub fn build_sharded(&self, store: Arc<SnapshotStore>, workers: usize) -> Arc<dyn DccEngine> {
+        match self {
+            EngineKind::Harmony(config) => Arc::new(HarmonyEngine::new(
+                store,
+                HarmonyConfig {
+                    workers,
+                    inter_block_parallelism: false,
+                    ..*config
+                },
+            )),
+            EngineKind::Aria => ShardEngine::Aria.build(store, workers),
+            EngineKind::Rbc => ShardEngine::Rbc.build(store, workers),
+            EngineKind::Fabric => ShardEngine::Fabric.build(store, workers),
+            EngineKind::FastFabric => ShardEngine::FastFabric.build(store, workers),
         }
     }
 
@@ -82,6 +107,24 @@ impl EngineKind {
     }
 }
 
+impl FromStr for EngineKind {
+    type Err = harmony_common::Error;
+
+    /// Case-insensitive parse of the paper names (plus common short
+    /// forms): `HarmonyBC`/`harmony`, `AriaBC`/`aria`, `RBC`,
+    /// `Fabric`, `FastFabric#`/`fastfabric`. Delegates to
+    /// [`ShardEngine`]'s parser so the two selectors can never drift.
+    fn from_str(s: &str) -> Result<EngineKind, Self::Err> {
+        Ok(match s.parse::<ShardEngine>()? {
+            ShardEngine::Harmony => EngineKind::Harmony(HarmonyConfig::default()),
+            ShardEngine::Aria => EngineKind::Aria,
+            ShardEngine::Rbc => EngineKind::Rbc,
+            ShardEngine::Fabric => EngineKind::Fabric,
+            ShardEngine::FastFabric => EngineKind::FastFabric,
+        })
+    }
+}
+
 /// Experiment parameters.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -115,8 +158,10 @@ impl Default for RunConfig {
 /// Metrics of one run — the quantities the paper's figures plot.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
-    /// System name.
-    pub system: &'static str,
+    /// System name. Borrowed for the plain engines; owned for composed
+    /// configurations that label their own series (e.g.
+    /// `"HarmonyBC×8shards"`).
+    pub system: Cow<'static, str>,
     /// Committed transactions per second of virtual time.
     pub throughput_tps: f64,
     /// Mean end-to-end latency of committed transactions (ms): time from
@@ -138,6 +183,80 @@ pub struct RunMetrics {
     pub wall_ns: u64,
 }
 
+/// Retry queue entry: (contract, block index it first entered).
+type RetryQueue = VecDeque<(Arc<dyn Contract>, usize)>;
+
+/// Fill the next block: drain the retry queue first, then top up with
+/// fresh transactions from the workload. Returns the transactions and the
+/// block index each first entered (latency bookkeeping).
+fn fill_block(
+    retry: &mut RetryQueue,
+    workload: &mut dyn Workload,
+    rng: &mut DetRng,
+    block_size: usize,
+    block: usize,
+) -> (Vec<Arc<dyn Contract>>, Vec<usize>) {
+    let mut txns: Vec<Arc<dyn Contract>> = Vec::with_capacity(block_size);
+    let mut born: Vec<usize> = Vec::with_capacity(block_size);
+    while txns.len() < block_size {
+        if let Some((t, b0)) = retry.pop_front() {
+            txns.push(t);
+            born.push(b0);
+        } else {
+            txns.push(workload.next_txn(rng));
+            born.push(block);
+        }
+    }
+    (txns, born)
+}
+
+/// Record commit spans and requeue retryable (non-user) aborts.
+fn track_outcomes(
+    outcomes: &[TxnOutcome],
+    txns: &[Arc<dyn Contract>],
+    born: &[usize],
+    block: usize,
+    retry_aborts: bool,
+    retry: &mut RetryQueue,
+    committed_block_spans: &mut Vec<(usize, usize)>,
+) {
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            TxnOutcome::Committed => committed_block_spans.push((born[i], block)),
+            TxnOutcome::Aborted(reason)
+                if retry_aborts && *reason != harmony_common::error::AbortReason::UserAbort =>
+            {
+                retry.push_back((Arc::clone(&txns[i]), born[i]));
+            }
+            TxnOutcome::Aborted(_) => {}
+        }
+    }
+}
+
+/// Mean end-to-end latency (ms) from the blocks-in-flight spans of
+/// committed transactions and the mean per-block wall time.
+fn mean_latency_ms(committed_block_spans: &[(usize, usize)], mean_block_ns: f64) -> f64 {
+    if committed_block_spans.is_empty() {
+        return 0.0;
+    }
+    let mean_span: f64 = committed_block_spans
+        .iter()
+        .map(|(b0, b1)| (b1 - b0 + 1) as f64)
+        .sum::<f64>()
+        / committed_block_spans.len() as f64;
+    mean_span * mean_block_ns / 1e6
+}
+
+/// Buffer pool hit rate of an I/O delta (0 when no lookups happened).
+fn hit_rate(io: &harmony_storage::IoSnapshot) -> f64 {
+    let total = io.pool.hits + io.pool.misses;
+    if total == 0 {
+        0.0
+    } else {
+        io.pool.hits as f64 / total as f64
+    }
+}
+
 /// Run one experiment: load the workload, execute `blocks` blocks of
 /// `block_size` transactions, requeue aborts, and aggregate metrics.
 pub fn run_experiment(
@@ -154,39 +273,23 @@ pub fn run_experiment(
     let mut rng = DetRng::new(config.seed);
     let mut totals = BlockStats::default();
     let mut schedules = Vec::with_capacity(config.blocks);
-    // Retry queue: (contract, block index it first entered).
-    let mut retry: VecDeque<(Arc<dyn Contract>, usize)> = VecDeque::new();
+    let mut retry: RetryQueue = VecDeque::new();
     // Latency bookkeeping: blocks-in-flight per committed txn.
     let mut committed_block_spans: Vec<(usize, usize)> = Vec::new();
-    let mut fresh_txns = 0usize;
 
     for b in 0..config.blocks {
-        let mut txns: Vec<Arc<dyn Contract>> = Vec::with_capacity(config.block_size);
-        let mut born: Vec<usize> = Vec::with_capacity(config.block_size);
-        while txns.len() < config.block_size {
-            if let Some((t, b0)) = retry.pop_front() {
-                txns.push(t);
-                born.push(b0);
-            } else {
-                txns.push(workload.next_txn(&mut rng));
-                born.push(b);
-                fresh_txns += 1;
-            }
-        }
+        let (txns, born) = fill_block(&mut retry, workload, &mut rng, config.block_size, b);
         let block = ExecBlock::new(BlockId(b as u64 + 1), txns);
         let result = dcc.execute_block(&block)?;
-        for (i, outcome) in result.outcomes.iter().enumerate() {
-            match outcome {
-                TxnOutcome::Committed => committed_block_spans.push((born[i], b)),
-                TxnOutcome::Aborted(reason)
-                    if config.retry_aborts
-                        && *reason != harmony_common::error::AbortReason::UserAbort =>
-                {
-                    retry.push_back((Arc::clone(&block.txns[i]), born[i]));
-                }
-                TxnOutcome::Aborted(_) => {}
-            }
-        }
+        track_outcomes(
+            &result.outcomes,
+            &block.txns,
+            &born,
+            b,
+            config.retry_aborts,
+            &mut retry,
+            &mut committed_block_spans,
+        );
         totals.absorb(&result.stats);
         let mut sched = schedule_block(&result, config.workers, dcc.commit_is_serial());
         // Group commit: one log write + sync per block (logical block log
@@ -196,24 +299,14 @@ pub fn run_experiment(
         sched.work_ns += config.storage.log_sync_ns;
         schedules.push(sched);
     }
-    let _ = fresh_txns;
 
     let wall_ns = pipeline_total_ns(&schedules, dcc.pipeline_depth(), config.workers).max(1);
     let io = engine.io_snapshot().delta_since(&io_before);
     let mean_block_ns = wall_ns as f64 / config.blocks as f64;
-    let latency_ms = if committed_block_spans.is_empty() {
-        0.0
-    } else {
-        let mean_span: f64 = committed_block_spans
-            .iter()
-            .map(|(b0, b1)| (b1 - b0 + 1) as f64)
-            .sum::<f64>()
-            / committed_block_spans.len() as f64;
-        mean_span * mean_block_ns / 1e6
-    };
+    let latency_ms = mean_latency_ms(&committed_block_spans, mean_block_ns);
     let work_ns: u64 = schedules.iter().map(|s| s.work_ns).sum();
     Ok(RunMetrics {
-        system: kind.name(),
+        system: Cow::Borrowed(kind.name()),
         throughput_tps: totals.committed as f64 / (wall_ns as f64 / 1e9),
         latency_ms,
         abort_rate: totals.abort_rate(),
@@ -221,14 +314,130 @@ pub fn run_experiment(
         stats: totals,
         disk_reads: io.disk_reads,
         disk_writes: io.disk_writes,
-        buffer_hit_rate: {
-            let total = io.pool.hits + io.pool.misses;
-            if total == 0 {
-                0.0
-            } else {
-                io.pool.hits as f64 / total as f64
-            }
-        },
+        buffer_hit_rate: hit_rate(&io),
+        wall_ns,
+    })
+}
+
+// ── Sharded run path ─────────────────────────────────────────────────────
+
+/// Parameters of a sharded experiment (the Figure 22 axes).
+#[derive(Clone, Debug)]
+pub struct ShardRunConfig {
+    /// Per-shard parameters: `block_size` is the *global* block size
+    /// (split across shards by the router); `workers` are per shard —
+    /// shards add hardware, like replicas do.
+    pub base: RunConfig,
+    /// Physical shard count.
+    pub shards: usize,
+    /// Logical partition count (fixed across shard counts so transaction
+    /// classification never changes; must be ≥ the largest shard count
+    /// under comparison).
+    pub partitions: u32,
+    /// Network model for the cross-shard read-fragment exchange.
+    pub latency: LatencyModel,
+}
+
+impl Default for ShardRunConfig {
+    fn default() -> Self {
+        ShardRunConfig {
+            base: RunConfig::default(),
+            shards: 4,
+            partitions: 64,
+            latency: LatencyModel::lan_1g(),
+        }
+    }
+}
+
+/// Run one sharded experiment: the workload's global transaction stream is
+/// routed across `shards` engine instances; single-shard sub-blocks run in
+/// parallel across shards, multi-partition transactions pay the modeled
+/// fragment-exchange round plus a re-simulation stage.
+pub fn run_sharded_experiment(
+    kind: EngineKind,
+    workload: &mut dyn Workload,
+    config: &ShardRunConfig,
+) -> Result<RunMetrics> {
+    let router = ShardRouter::new(
+        Arc::new(HashPartitioner::new(config.partitions)),
+        config.shards,
+    );
+    let group_config = ShardGroupConfig {
+        storage: config.base.storage.clone(),
+        latency: config.latency.clone(),
+        cross_workers: config.base.workers,
+    };
+    let mut group = ShardGroup::new(router, &group_config, |store| {
+        kind.build_sharded(store, config.base.workers)
+    })?;
+    group.setup_with(|engine| workload.setup(engine))?;
+    let commit_serial = (0..group.shards()).any(|s| group.dcc(s).commit_is_serial());
+    let io_before: Vec<_> = (0..group.shards())
+        .map(|s| group.engine(s).io_snapshot())
+        .collect();
+
+    let mut rng = DetRng::new(config.base.seed);
+    let mut totals = BlockStats::default();
+    let mut retry: RetryQueue = VecDeque::new();
+    let mut committed_block_spans: Vec<(usize, usize)> = Vec::new();
+    let mut wall_ns = 0u64;
+    let mut work_ns = 0u64;
+    for b in 0..config.base.blocks {
+        let (txns, born) = fill_block(&mut retry, workload, &mut rng, config.base.block_size, b);
+        let result = group.execute_block(txns.clone())?;
+        track_outcomes(
+            &result.outcomes,
+            &txns,
+            &born,
+            b,
+            config.base.retry_aborts,
+            &mut retry,
+            &mut committed_block_spans,
+        );
+        totals.absorb(&result.stats);
+
+        // Cross stage (all shards in lockstep): fragment exchange + the
+        // deterministic re-simulation of multi-partition transactions.
+        let cross_ns = result.exchange_ns + makespan(&result.cross_sim_ns, config.base.workers);
+        // Shard stage: every shard executes its sub-block concurrently;
+        // each pays its own group-commit log sync.
+        let shard_stage = result
+            .shard_results
+            .iter()
+            .map(|r| {
+                schedule_block(r, config.base.workers, commit_serial).total_ns()
+                    + config.base.storage.log_sync_ns
+            })
+            .max()
+            .unwrap_or(0);
+        wall_ns += cross_ns + shard_stage;
+        work_ns += result.stats.sim_ns_total
+            + result.stats.commit_ns_total
+            + config.base.storage.log_sync_ns * group.shards() as u64;
+    }
+    let wall_ns = wall_ns.max(1);
+
+    let mut io = harmony_storage::IoSnapshot::default();
+    for (s, before) in io_before.iter().enumerate() {
+        let delta = group.engine(s).io_snapshot().delta_since(before);
+        io.disk_reads += delta.disk_reads;
+        io.disk_writes += delta.disk_writes;
+        io.pool.hits += delta.pool.hits;
+        io.pool.misses += delta.pool.misses;
+    }
+    let mean_block_ns = wall_ns as f64 / config.base.blocks as f64;
+    let latency_ms = mean_latency_ms(&committed_block_spans, mean_block_ns);
+    Ok(RunMetrics {
+        system: Cow::Owned(format!("{}×{}shards", kind.name(), config.shards)),
+        throughput_tps: totals.committed as f64 / (wall_ns as f64 / 1e9),
+        latency_ms,
+        abort_rate: totals.abort_rate(),
+        cpu_utilization: work_ns as f64
+            / (config.shards as f64 * config.base.workers as f64 * wall_ns as f64),
+        stats: totals,
+        disk_reads: io.disk_reads,
+        disk_writes: io.disk_writes,
+        buffer_hit_rate: hit_rate(&io),
         wall_ns,
     })
 }
@@ -339,10 +548,115 @@ mod tests {
         let mut w = Smallbank::new(SmallbankConfig {
             accounts: 100,
             theta: 0.95,
+            ..SmallbankConfig::default()
         });
         let m = run_experiment(EngineKind::Aria, &mut w, &quick_config()).unwrap();
         // With retries, attempts exceed blocks × size.
         assert!(m.stats.txns >= 12 * 20);
+    }
+
+    #[test]
+    fn engine_kind_name_parse_round_trip() {
+        for kind in [
+            EngineKind::Harmony(HarmonyConfig::default()),
+            EngineKind::Aria,
+            EngineKind::Rbc,
+            EngineKind::Fabric,
+            EngineKind::FastFabric,
+        ] {
+            let parsed: EngineKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind, "round trip through {}", kind.name());
+        }
+        assert_eq!(
+            "fastfabric".parse::<EngineKind>().unwrap(),
+            EngineKind::FastFabric
+        );
+        assert!("mysql".parse::<EngineKind>().is_err());
+    }
+
+    fn sharded_config(shards: usize, blocks: usize, block_size: usize) -> ShardRunConfig {
+        ShardRunConfig {
+            base: RunConfig {
+                blocks,
+                block_size,
+                workers: 4,
+                ..RunConfig::default()
+            },
+            shards,
+            partitions: 16,
+            ..ShardRunConfig::default()
+        }
+    }
+
+    fn partitioned_smallbank(ratio: f64) -> Smallbank {
+        Smallbank::new(SmallbankConfig {
+            accounts: 2_000,
+            theta: 0.4,
+            partitions: 16,
+            multi_partition_ratio: ratio,
+        })
+    }
+
+    #[test]
+    fn sharded_run_produces_labelled_metrics() {
+        let mut w = partitioned_smallbank(0.1);
+        let m = run_sharded_experiment(
+            EngineKind::Harmony(HarmonyConfig::default()),
+            &mut w,
+            &sharded_config(8, 8, 40),
+        )
+        .unwrap();
+        assert_eq!(m.system, "HarmonyBC×8shards");
+        assert!(m.throughput_tps > 0.0, "{m:?}");
+        assert!(m.stats.committed > 0);
+        assert!(m.cpu_utilization > 0.0 && m.cpu_utilization <= 1.0, "{m:?}");
+    }
+
+    #[test]
+    fn sharding_scales_partitionable_load() {
+        // A fully single-partition workload must gain throughput from
+        // sharding (the Figure 22 headline shape).
+        let run = |shards| {
+            let mut w = partitioned_smallbank(0.0);
+            run_sharded_experiment(
+                EngineKind::Harmony(HarmonyConfig::default()),
+                &mut w,
+                &sharded_config(shards, 10, 64),
+            )
+            .unwrap()
+            .throughput_tps
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert!(
+            eight > 2.5 * one,
+            "8 shards must outscale 1: one={one} eight={eight}"
+        );
+    }
+
+    #[test]
+    fn cross_shard_ratio_degrades_gracefully() {
+        let run = |ratio| {
+            let mut w = partitioned_smallbank(ratio);
+            run_sharded_experiment(
+                EngineKind::Harmony(HarmonyConfig::default()),
+                &mut w,
+                &sharded_config(4, 8, 40),
+            )
+            .unwrap()
+            .throughput_tps
+        };
+        let clean = run(0.0);
+        let dirty = run(0.2);
+        assert!(
+            dirty < clean,
+            "cross-shard traffic must cost something: clean={clean} dirty={dirty}"
+        );
+        assert!(
+            dirty > clean * 0.2,
+            "20% cross-shard must degrade gracefully, not collapse: \
+             clean={clean} dirty={dirty}"
+        );
     }
 
     #[test]

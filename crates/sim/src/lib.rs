@@ -20,5 +20,7 @@ pub mod driver;
 pub mod sched;
 
 pub use cluster::{ClusterMetrics, ClusterModel};
-pub use driver::{run_experiment, EngineKind, RunConfig, RunMetrics};
+pub use driver::{
+    run_experiment, run_sharded_experiment, EngineKind, RunConfig, RunMetrics, ShardRunConfig,
+};
 pub use sched::{pipeline_total_ns, schedule_block, BlockSchedule};

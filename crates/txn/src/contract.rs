@@ -5,8 +5,14 @@
 //! the class of workloads where pessimistic DCC's static analysis fails
 //! (§2.2.1 of the paper) and where ODCC protocols like Harmony shine: the
 //! read-write set is discovered *by running the contract*, never declared.
+//!
+//! Orthogonally, a contract *may* declare the superset of point keys it can
+//! touch ([`Contract::declared_keys`]). Declaration is never required for
+//! correctness — it only lets the shard router place a transaction on a
+//! single shard instead of the conservative multi-partition path.
 
 use crate::ctx::TxnCtx;
+use crate::key::Key;
 
 /// A transaction aborted by its own logic (business rule), e.g.
 /// "insufficient balance". Distinct from protocol-induced aborts: user
@@ -48,6 +54,16 @@ pub trait Contract: Send + Sync {
     fn think_time_ns(&self) -> u64 {
         0
     }
+
+    /// The complete set of point keys this transaction may touch, if the
+    /// submitter can declare it a priori (Calvin-style). Used by the shard
+    /// router to place transactions without a reconnaissance run: a
+    /// declared footprint confined to one partition makes the transaction
+    /// single-shard; `None` (the general contract case — data-dependent
+    /// accesses, scans) is routed conservatively as multi-partition.
+    fn declared_keys(&self) -> Option<&[Key]> {
+        None
+    }
 }
 
 /// Adapter turning a closure into a [`Contract`].
@@ -55,6 +71,7 @@ pub struct FnContract<F> {
     name: String,
     payload: Vec<u8>,
     think_ns: u64,
+    footprint: Option<Vec<Key>>,
     f: F,
 }
 
@@ -69,6 +86,7 @@ where
             payload: name.as_bytes().to_vec(),
             name,
             think_ns: 0,
+            footprint: None,
             f,
         }
     }
@@ -84,6 +102,14 @@ where
     #[must_use]
     pub fn with_think_time(mut self, ns: u64) -> Self {
         self.think_ns = ns;
+        self
+    }
+
+    /// Declare the complete point-key footprint (enables single-shard
+    /// routing; see [`Contract::declared_keys`]).
+    #[must_use]
+    pub fn with_footprint(mut self, keys: Vec<Key>) -> Self {
+        self.footprint = Some(keys);
         self
     }
 }
@@ -106,6 +132,10 @@ where
 
     fn think_time_ns(&self) -> u64 {
         self.think_ns
+    }
+
+    fn declared_keys(&self) -> Option<&[Key]> {
+        self.footprint.as_deref()
     }
 }
 
@@ -179,5 +209,13 @@ mod tests {
             .with_think_time(1234);
         assert_eq!(c.payload(), vec![9, 9]);
         assert_eq!(c.think_time_ns(), 1234);
+        assert!(c.declared_keys().is_none(), "footprint is opt-in");
+    }
+
+    #[test]
+    fn footprint_is_declared() {
+        let keys = vec![Key::from_u64(TableId(0), 1), Key::from_u64(TableId(1), 2)];
+        let c = FnContract::new("x", |_: &mut TxnCtx<'_>| Ok(())).with_footprint(keys.clone());
+        assert_eq!(c.declared_keys(), Some(keys.as_slice()));
     }
 }

@@ -31,6 +31,15 @@ pub struct SmallbankConfig {
     pub accounts: u64,
     /// Zipfian skew for account selection (the paper's contention axis).
     pub theta: f64,
+    /// Partition-aware mode: the number of logical keyspace partitions the
+    /// shard router will use (`0` disables partition awareness and keeps
+    /// the classic transaction stream bit-for-bit).
+    pub partitions: u64,
+    /// Probability that a two-account procedure (SendPayment, Amalgamate)
+    /// picks its counterparty in a *different* partition — the cross-shard
+    /// ratio axis of the shard-scaling experiment. Ignored unless
+    /// `partitions > 0`.
+    pub multi_partition_ratio: f64,
 }
 
 impl Default for SmallbankConfig {
@@ -38,9 +47,20 @@ impl Default for SmallbankConfig {
         SmallbankConfig {
             accounts: 10_000,
             theta: 0.6,
+            partitions: 0,
+            multi_partition_ratio: 0.0,
         }
     }
 }
+
+/// Logical partition of an account id — the canonical hash partitioning
+/// shared with the shard router.
+#[must_use]
+pub fn partition_of_account(account: u64, partitions: u64) -> u64 {
+    harmony_common::hash::partition_of_u64(account, partitions)
+}
+
+use crate::workload::walk_u64 as walk_account;
 
 /// Transaction mix (standard Smallbank distribution).
 const MIX: [(Procedure, f64); 6] = [
@@ -136,6 +156,24 @@ impl Workload for Smallbank {
         if a1 == a0 {
             a1 = (a1 + 1) % self.config.accounts;
         }
+        // Partition-aware counterparty choice: steer `a1` into (or out of)
+        // `a0`'s partition with the configured cross-partition probability.
+        // Only the two-account procedures consult `a1`, so only they draw.
+        let two_account = matches!(proc, Procedure::Amalgamate | Procedure::SendPayment);
+        if self.config.partitions > 0 && two_account {
+            let parts = self.config.partitions;
+            let accounts = self.config.accounts;
+            let home = partition_of_account(a0, parts);
+            if rng.gen_bool(self.config.multi_partition_ratio) {
+                if partition_of_account(a1, parts) == home {
+                    a1 = walk_account(accounts, a1, |c| partition_of_account(c, parts) != home);
+                }
+            } else if partition_of_account(a1, parts) != home {
+                a1 = walk_account(accounts, a1, |c| {
+                    c != a0 && partition_of_account(c, parts) == home
+                });
+            }
+        }
         let amount = 1 + rng.gen_range(100) as i64;
         build_txn(self.checking, self.savings, proc, a0, a1, amount)
     }
@@ -165,6 +203,19 @@ pub fn build_txn(
             Procedure::Amalgamate => "sb-amalgamate",
             Procedure::WriteCheck => "sb-writecheck",
             Procedure::SendPayment => "sb-sendpayment",
+        };
+        // Complete point-key footprint per procedure (enables single-shard
+        // routing; every access below stays within these keys).
+        let footprint: Vec<Key> = {
+            let ck = |a: u64| Key::from_u64(checking, a);
+            let sv = |a: u64| Key::from_u64(savings, a);
+            match proc {
+                Procedure::Balance | Procedure::WriteCheck => vec![ck(a0), sv(a0)],
+                Procedure::DepositChecking => vec![ck(a0)],
+                Procedure::TransactSavings => vec![sv(a0)],
+                Procedure::Amalgamate => vec![sv(a0), ck(a0), ck(a1)],
+                Procedure::SendPayment => vec![ck(a0), ck(a1)],
+            }
         };
         Arc::new(
             FnContract::new(name, move |ctx: &mut TxnCtx<'_>| {
@@ -217,7 +268,8 @@ pub fn build_txn(
                 }
                 Ok(())
             })
-            .with_payload(payload),
+            .with_payload(payload)
+            .with_footprint(footprint),
         )
     }
 }
@@ -266,7 +318,11 @@ mod tests {
 
     fn setup_sb(accounts: u64, theta: f64) -> (StorageEngine, Smallbank) {
         let engine = StorageEngine::open(&StorageConfig::memory()).unwrap();
-        let mut w = Smallbank::new(SmallbankConfig { accounts, theta });
+        let mut w = Smallbank::new(SmallbankConfig {
+            accounts,
+            theta,
+            ..SmallbankConfig::default()
+        });
         w.setup(&engine).unwrap();
         (engine, w)
     }
@@ -302,6 +358,53 @@ mod tests {
         }
     }
 
+    #[test]
+    fn partition_mode_steers_counterparties() {
+        let cross_counts = |ratio: f64| {
+            let (_, w) = setup_sb(1000, 0.0);
+            let mut w = w;
+            w.config.partitions = 8;
+            w.config.multi_partition_ratio = ratio;
+            let mut rng = DetRng::new(13);
+            let (mut two_account, mut cross) = (0u32, 0u32);
+            for _ in 0..400 {
+                let txn = w.next_txn(&mut rng);
+                if !matches!(txn.name(), "sb-amalgamate" | "sb-sendpayment") {
+                    continue;
+                }
+                two_account += 1;
+                let p = txn.payload();
+                let a0 = u64::from_le_bytes(p[1..9].try_into().unwrap());
+                let a1 = u64::from_le_bytes(p[9..17].try_into().unwrap());
+                if partition_of_account(a0, 8) != partition_of_account(a1, 8) {
+                    cross += 1;
+                }
+            }
+            (two_account, cross)
+        };
+        let (n0, c0) = cross_counts(0.0);
+        assert!(n0 > 50);
+        assert_eq!(c0, 0, "ratio 0 must keep counterparties co-partitioned");
+        let (n1, c1) = cross_counts(1.0);
+        assert_eq!(c1, n1, "ratio 1 must always cross partitions");
+    }
+
+    #[test]
+    fn footprint_matches_procedure() {
+        let ck = TableId(1);
+        let sv = TableId(2);
+        let t = build_txn(ck, sv, Procedure::SendPayment, 3, 9, 10);
+        assert_eq!(
+            t.declared_keys().unwrap(),
+            &[Key::from_u64(ck, 3), Key::from_u64(ck, 9)]
+        );
+        let t = build_txn(ck, sv, Procedure::Balance, 4, 0, 0);
+        assert_eq!(
+            t.declared_keys().unwrap(),
+            &[Key::from_u64(ck, 4), Key::from_u64(sv, 4)]
+        );
+    }
+
     /// Money conservation: running the whole mix through Harmony must keep
     /// the total balance constant, modulo WriteCheck penalties which only
     /// ever *reduce* by writing checks (amount leaves the system).
@@ -315,6 +418,7 @@ mod tests {
         let mut w = Smallbank::new(SmallbankConfig {
             accounts: 50,
             theta: 0.9,
+            ..SmallbankConfig::default()
         });
         w.setup(&engine).unwrap();
         let (ck, sv) = w.tables();

@@ -27,3 +27,17 @@ pub trait Workload: Send + Sync {
         (0..size).map(|_| self.next_txn(rng)).collect()
     }
 }
+
+/// Deterministically walk forward from `from` (exclusive, wrapping modulo
+/// `space`) to the first id satisfying `pred`; falls back to `from` if
+/// none does. Shared by the partition-aware workload variants to steer
+/// ids into (or out of) a target partition without extra RNG draws.
+pub(crate) fn walk_u64(space: u64, from: u64, mut pred: impl FnMut(u64) -> bool) -> u64 {
+    for step in 1..space {
+        let cand = (from + step) % space;
+        if pred(cand) {
+            return cand;
+        }
+    }
+    from
+}

@@ -38,6 +38,13 @@ pub struct YcsbConfig {
     pub hot_fraction: f64,
     /// Probability a statement targets a hot record (hotspot mode).
     pub hot_prob: f64,
+    /// Partition-aware mode: number of logical keyspace partitions (`0`
+    /// disables partition awareness and keeps the classic stream).
+    pub partitions: u64,
+    /// Probability a transaction is multi-partition (its operations span at
+    /// least two partitions); otherwise every operation is steered into the
+    /// first operation's partition. Ignored unless `partitions > 0`.
+    pub multi_partition_ratio: f64,
 }
 
 impl Default for YcsbConfig {
@@ -49,9 +56,20 @@ impl Default for YcsbConfig {
             theta: 0.6,
             hot_fraction: 0.0,
             hot_prob: 0.0,
+            partitions: 0,
+            multi_partition_ratio: 0.0,
         }
     }
 }
+
+/// Logical partition of a record id — the canonical hash partitioning
+/// shared with the shard router.
+#[must_use]
+pub fn partition_of_key(key: u64, partitions: u64) -> u64 {
+    harmony_common::hash::partition_of_u64(key, partitions)
+}
+
+use crate::workload::walk_u64 as walk_key;
 
 impl YcsbConfig {
     /// The Figure 14 hotspot variant: 1 % hot records, every statement a
@@ -131,7 +149,7 @@ impl Workload for Ycsb {
         let table = self.table;
         let hotspot_mode = self.config.hot_fraction > 0.0;
         // Pre-draw the operation plan so the contract is deterministic.
-        let ops: Vec<(u64, u8, i64)> = (0..self.config.ops_per_txn)
+        let mut ops: Vec<(u64, u8, i64)> = (0..self.config.ops_per_txn)
             .map(|_| {
                 let key = self.pick_key(rng);
                 let kind = if hotspot_mode {
@@ -144,6 +162,32 @@ impl Workload for Ycsb {
                 (key, kind, rng.gen_range(100) as i64)
             })
             .collect();
+        // A one-operation transaction can never span two partitions, so
+        // partition steering only applies to plans with ≥ 2 operations.
+        if self.config.partitions > 0 && ops.len() >= 2 {
+            let parts = self.config.partitions;
+            let keys = self.config.keys;
+            let home = partition_of_key(ops[0].0, parts);
+            if rng.gen_bool(self.config.multi_partition_ratio) {
+                // Multi-partition: keep the natural key spread but guarantee
+                // at least one operation lands outside the home partition.
+                if ops
+                    .iter()
+                    .all(|(k, _, _)| partition_of_key(*k, parts) == home)
+                {
+                    let last = ops.last_mut().expect("non-empty plan");
+                    last.0 = walk_key(keys, last.0, |c| partition_of_key(c, parts) != home);
+                }
+            } else {
+                // Single-partition: steer every operation into the home
+                // partition of the first drawn key.
+                for op in &mut ops[1..] {
+                    if partition_of_key(op.0, parts) != home {
+                        op.0 = walk_key(keys, op.0, |c| partition_of_key(c, parts) == home);
+                    }
+                }
+            }
+        }
         build_txn(table, ops)
     }
 }
@@ -161,6 +205,10 @@ pub fn build_txn(table: TableId, ops: Vec<(u64, u8, i64)>) -> Arc<dyn Contract> 
         }
         p
     };
+    let footprint: Vec<Key> = ops
+        .iter()
+        .map(|(k, _, _)| Key::from_u64(table, *k))
+        .collect();
     Arc::new(
         FnContract::new("ycsb", move |ctx: &mut TxnCtx<'_>| {
             for (k, kind, v) in &ops {
@@ -175,7 +223,8 @@ pub fn build_txn(table: TableId, ops: Vec<(u64, u8, i64)>) -> Arc<dyn Contract> 
             }
             Ok(())
         })
-        .with_payload(payload),
+        .with_payload(payload)
+        .with_footprint(footprint),
     )
 }
 
@@ -326,6 +375,55 @@ mod tests {
         assert!(rw.updates.iter().all(|(_, seq)| seq.has_rmw()));
         // Merged statements: no separate read set entries.
         assert!(rw.reads.is_empty());
+    }
+
+    #[test]
+    fn partition_mode_controls_spread() {
+        let spans = |ratio: f64| {
+            let (_, w) = setup_ycsb(YcsbConfig {
+                keys: 1000,
+                partitions: 4,
+                multi_partition_ratio: ratio,
+                ..YcsbConfig::default()
+            });
+            let mut rng = DetRng::new(7);
+            let mut multi = 0;
+            for _ in 0..100 {
+                let txn = w.next_txn(&mut rng);
+                let mut parts = std::collections::HashSet::new();
+                for chunk in txn.payload().chunks(17) {
+                    let k = u64::from_le_bytes(chunk[..8].try_into().unwrap());
+                    parts.insert(partition_of_key(k, 4));
+                }
+                if parts.len() > 1 {
+                    multi += 1;
+                }
+            }
+            multi
+        };
+        assert_eq!(spans(0.0), 0, "ratio 0 must be fully single-partition");
+        assert_eq!(spans(1.0), 100, "ratio 1 must be fully multi-partition");
+        let mid = spans(0.3);
+        assert!((15..=45).contains(&mid), "ratio 0.3 gave {mid}/100");
+    }
+
+    #[test]
+    fn footprint_covers_executed_keys() {
+        let (engine, w) = setup_ycsb(YcsbConfig {
+            keys: 100,
+            ..YcsbConfig::default()
+        });
+        let mut rng = DetRng::new(2);
+        let txn = w.next_txn(&mut rng);
+        let declared: std::collections::HashSet<Key> =
+            txn.declared_keys().unwrap().iter().cloned().collect();
+        let view = EngineView(&engine);
+        let mut ctx = TxnCtx::new(&view);
+        txn.execute(&mut ctx).unwrap();
+        let rw = ctx.into_rwset();
+        for k in rw.read_keys().chain(rw.write_keys()) {
+            assert!(declared.contains(k), "undeclared key {k:?}");
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn run(name: &str, harmony: bool) -> harmonybc::common::Result<BlockStats> {
     let mut bank = Smallbank::new(SmallbankConfig {
         accounts: 1_000,
         theta: 0.0,
+        ..SmallbankConfig::default()
     });
     bank.setup(&engine)?;
     let (checking, savings) = bank.tables();

@@ -25,6 +25,7 @@ pub use harmony_consensus as consensus;
 pub use harmony_core as core;
 pub use harmony_crypto as crypto;
 pub use harmony_dcc_baselines as baselines;
+pub use harmony_shard as shard;
 pub use harmony_sim as sim;
 pub use harmony_storage as storage;
 pub use harmony_txn as txn;
@@ -36,6 +37,9 @@ pub mod prelude {
     pub use harmony_common::{BlockId, TableId, TxnId};
     pub use harmony_core::{BlockExecutor, ChainPipeline, HarmonyConfig, SnapshotStore};
     pub use harmony_dcc_baselines::{DccEngine, HarmonyEngine};
+    pub use harmony_shard::{
+        HashPartitioner, Partitioner, RangePartitioner, ShardGroup, ShardGroupConfig, ShardRouter,
+    };
     pub use harmony_storage::{DiskProfile, StorageConfig, StorageEngine};
     pub use harmony_txn::{Contract, ContractCodec, Key, TxnCtx, UpdateCommand, Value};
     pub use harmony_workloads::{Smallbank, Tpcc, Workload, Ycsb};

@@ -63,6 +63,7 @@ fn smallbank_send_payments_conserve_money() {
     let mut bank = Smallbank::new(SmallbankConfig {
         accounts: 50,
         theta: 0.0,
+        ..SmallbankConfig::default()
     });
     bank.setup(&engine).unwrap();
     let (checking, savings) = bank.tables();
@@ -143,6 +144,7 @@ fn recovery_preserves_chain_across_smallbank_checkpoints() {
     let mut bank = Smallbank::new(SmallbankConfig {
         accounts: 100,
         theta: 0.8,
+        ..SmallbankConfig::default()
     });
     bank.setup(chain.engine()).unwrap();
     let (checking, savings) = bank.tables();
