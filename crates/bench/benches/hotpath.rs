@@ -1,0 +1,225 @@
+//! Hot-path micro-benchmarks: the per-transaction critical path.
+//!
+//! Every simulated read and every registered read-write set crosses
+//! `SnapshotStore` and `ReservationTable`; this suite times those two
+//! structures in isolation (snapshot read/write/scan, reservation
+//! register/fire) plus one end-to-end Smallbank block, so each PR leaves
+//! a measured perf trajectory in `BENCH_PR*.json` (see the README "perf"
+//! section for how the numbers are produced and compared).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harmony_common::{BlockId, DetRng};
+use harmony_core::executor::ExecBlock;
+use harmony_core::meta::TxnMeta;
+use harmony_core::reservation::{RegisterScratch, ReservationTable};
+use harmony_core::{BlockExecutor, HarmonyConfig, SnapshotStore};
+use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_txn::{Key, RwSet, UpdateCommand, Value};
+use harmony_workloads::{Smallbank, SmallbankConfig, Workload};
+
+const KEYS: u64 = 10_000;
+
+/// Engine with one table preloaded with `KEYS` little-endian u64 rows.
+fn loaded_store() -> (Arc<SnapshotStore>, Vec<Key>) {
+    let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+    let t = engine.create_table("hot").unwrap();
+    for i in 0..KEYS {
+        engine.put(t, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    let keys: Vec<Key> = (0..KEYS).map(|i| Key::from_u64(t, i)).collect();
+    (Arc::new(SnapshotStore::new(engine)), keys)
+}
+
+/// Overlay every key with a block-1 write so snapshot-0 reads hit the
+/// undo chains rather than the engine.
+fn overlaid_store() -> (Arc<SnapshotStore>, Vec<Key>) {
+    let (store, keys) = loaded_store();
+    let v = Value::copy_from_slice(b"overlaid");
+    for (i, key) in keys.iter().enumerate() {
+        store
+            .apply_write(BlockId(1), i as u64, key, Some(&v))
+            .unwrap();
+    }
+    (store, keys)
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+
+    // Snapshot-0 point reads served from the undo overlay (no engine I/O):
+    // isolates key hashing + shard lock + chain probe.
+    let (store, keys) = overlaid_store();
+    let mut i = 0usize;
+    group.sample_size(100_000);
+    group.bench_function("read_hot", |b| {
+        b.iter(|| {
+            i = (i + 7919) % keys.len();
+            store.read_at(BlockId(0), &keys[i]).unwrap()
+        });
+    });
+
+    // Point reads against an empty overlay: the common no-overlay case
+    // (every read falls through to the engine).
+    let (store, keys) = loaded_store();
+    let mut i = 0usize;
+    group.sample_size(20_000);
+    group.bench_function("read_no_overlay", |b| {
+        b.iter(|| {
+            i = (i + 7919) % keys.len();
+            store.read_at(BlockId(1), &keys[i]).unwrap()
+        });
+    });
+
+    // Committed writes: undo + version bookkeeping plus the engine put.
+    group.sample_size(30);
+    group.bench_function("write_block", |b| {
+        b.iter_batched(
+            loaded_store,
+            |(store, keys)| {
+                let v = Value::copy_from_slice(b"committed");
+                for (i, key) in keys.iter().take(1_000).enumerate() {
+                    store
+                        .apply_write(BlockId(1), i as u64, key, Some(&v))
+                        .unwrap();
+                }
+                store
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Narrow scan over a fully-overlaid table, snapshot 0: ~100 of the
+    // 10k undo chains fall inside the scanned interval.
+    let (store, keys) = overlaid_store();
+    let t = keys[0].table();
+    let start = 5_000u64.to_be_bytes();
+    let end = 5_100u64.to_be_bytes();
+    group.sample_size(1_000);
+    group.bench_function("scan_narrow_overlaid", |b| {
+        b.iter(|| {
+            let mut rows = 0u64;
+            store
+                .scan_at(BlockId(0), t, &start, Some(&end), &mut |_, _| {
+                    rows += 1;
+                    true
+                })
+                .unwrap();
+            rows
+        });
+    });
+
+    // Same scan at snapshot 1: no override is visible, but discovering
+    // that must not cost a walk over every undo chain.
+    group.bench_function("scan_narrow_clean", |b| {
+        b.iter(|| {
+            let mut rows = 0u64;
+            store
+                .scan_at(BlockId(1), t, &start, Some(&end), &mut |_, _| {
+                    rows += 1;
+                    true
+                })
+                .unwrap();
+            rows
+        });
+    });
+
+    group.finish();
+}
+
+/// 100 transactions, each reading 4 keys and writing 4 keys of a 10k
+/// keyspace (deterministic), mirroring an OLTP block's reservation load.
+fn block_rwsets() -> Vec<RwSet> {
+    let t = harmony_common::ids::TableId(0);
+    let mut rng = DetRng::new(42);
+    (0..100)
+        .map(|_| {
+            let mut rw = RwSet::default();
+            for _ in 0..4 {
+                rw.record_read(Key::from_u64(t, rng.next_u64() % KEYS), None);
+            }
+            for _ in 0..4 {
+                rw.record_update(
+                    Key::from_u64(t, rng.next_u64() % KEYS),
+                    UpdateCommand::AddI64 {
+                        offset: 0,
+                        delta: 1,
+                    },
+                );
+            }
+            rw
+        })
+        .collect()
+}
+
+fn bench_reservation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservation");
+    let rwsets = block_rwsets();
+
+    // Production path: each worker holds one scratch for the whole block
+    // (see `BlockExecutor::simulate`), so the bench reuses one too.
+    let mut scratch = RegisterScratch::default();
+    group.sample_size(1_000);
+    group.bench_function("register", |b| {
+        b.iter_batched(
+            ReservationTable::new,
+            |table| {
+                for (i, rw) in rwsets.iter().enumerate() {
+                    table.register_with(i as u32, rw, &mut scratch);
+                }
+                table
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let table = ReservationTable::new();
+    for (i, rw) in rwsets.iter().enumerate() {
+        table.register(i as u32, rw);
+    }
+    let metas: Vec<TxnMeta> = (0..rwsets.len()).map(|i| TxnMeta::new(i as u64)).collect();
+    group.sample_size(20_000);
+    group.bench_function("fire", |b| {
+        b.iter(|| table.fire_rw_events(&metas));
+    });
+
+    group.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(20);
+    group.bench_function("smallbank_block", |b| {
+        b.iter_batched(
+            || {
+                let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+                let mut w = Smallbank::new(SmallbankConfig {
+                    accounts: 1_000,
+                    ..SmallbankConfig::default()
+                });
+                w.setup(&engine).unwrap();
+                let store = Arc::new(SnapshotStore::new(engine));
+                let exec = BlockExecutor::new(
+                    store,
+                    HarmonyConfig {
+                        workers: 4,
+                        ..HarmonyConfig::default()
+                    },
+                );
+                let mut rng = DetRng::new(7);
+                let txns = w.next_block(&mut rng, 100);
+                (exec, txns)
+            },
+            |(exec, txns)| {
+                let block = ExecBlock::new(BlockId(1), txns);
+                exec.execute(&block, None).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_reservation, bench_block);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Schema check for the committed `BENCH_PR*.json` perf-trajectory files.
+//!
+//! The workspace has no JSON dependency (offline build), so this uses a
+//! small purpose-built scanner: enough to verify the files are
+//! well-formed, carry the expected schema tag and required benches, and
+//! that the committed speedups back the PR's acceptance floor. CI runs
+//! this as part of the test suite *and* the bench-smoke job, so a drifted
+//! or hand-mangled benchmark file fails fast.
+
+use std::path::Path;
+
+/// Check the byte stream is plausibly well-formed JSON: braces/brackets
+/// balance outside of strings and the document is a single object.
+fn check_balanced(text: &str) {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        assert!(depth_obj >= 0 && depth_arr >= 0, "unbalanced nesting");
+    }
+    assert!(!in_string, "unterminated string");
+    assert_eq!(depth_obj, 0, "unbalanced braces");
+    assert_eq!(depth_arr, 0, "unbalanced brackets");
+}
+
+/// Extract the numeric value following `"field":` after `from` (index).
+fn number_after(text: &str, from: usize, field: &str) -> f64 {
+    let probe = format!("\"{field}\":");
+    let at = text[from..]
+        .find(&probe)
+        .unwrap_or_else(|| panic!("missing field {field}"));
+    let rest = text[from + at + probe.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|e| panic!("bad number for {field}: {e}"))
+}
+
+#[test]
+fn bench_pr3_json_matches_schema_and_floors() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_PR3.json committed at the repo root");
+    check_balanced(&text);
+    assert!(
+        text.contains("\"schema\": \"harmonybc-bench/v1\""),
+        "schema tag"
+    );
+    assert!(text.contains("\"suite\": \"hotpath\""), "suite tag");
+    assert!(text.contains("\"benches\""), "benches array");
+
+    // Every bench entry must carry before/after/speedup, and the speedup
+    // must match before/after within rounding.
+    let mut checked = 0;
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"before_ns\":") {
+        let entry = from + at;
+        let before = number_after(&text, entry, "before_ns");
+        let after = number_after(&text, entry, "after_ns");
+        let speedup = number_after(&text, entry, "speedup");
+        assert!(before > 0.0 && after > 0.0, "positive timings");
+        let actual = before / after;
+        assert!(
+            (actual - speedup).abs() / actual < 0.05,
+            "speedup field {speedup} inconsistent with {before}/{after} = {actual:.2}"
+        );
+        checked += 1;
+        from = entry + "\"before_ns\":".len();
+    }
+    assert!(checked >= 6, "expected >= 6 bench entries, found {checked}");
+
+    // PR3 acceptance floor: >= 1.5x on the two named microbenches.
+    for name in ["reservation/register", "snapshot/read_hot"] {
+        let at = text
+            .find(&format!("\"{name}\""))
+            .unwrap_or_else(|| panic!("missing required bench {name}"));
+        let speedup = number_after(&text, at, "speedup");
+        assert!(
+            speedup >= 1.5,
+            "{name} speedup {speedup} below the 1.5x floor"
+        );
+    }
+}

@@ -288,8 +288,8 @@ impl OeChain {
 // ── Recovery sidecar codec ───────────────────────────────────────────────
 
 fn put_key(w: &mut Writer, key: &Key) {
-    w.put_u16(key.table.0);
-    w.put_bytes(&key.row);
+    w.put_u16(key.table().0);
+    w.put_bytes(key.row());
 }
 
 fn get_key(r: &mut Reader<'_>) -> Result<Key> {

@@ -99,10 +99,10 @@ impl SovChain {
             let Some(rwset) = rwset else { continue };
             for key in rwset.write_keys() {
                 if seen.insert(key.clone()) {
-                    let value = self.engine.get(key.table, &key.row)?;
+                    let value = self.engine.get(key.table(), key.row())?;
                     writes.push(WalWrite {
-                        table: key.table,
-                        key: key.row.to_vec(),
+                        table: key.table(),
+                        key: key.row().to_vec(),
                         value,
                     });
                 }

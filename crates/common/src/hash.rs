@@ -15,13 +15,53 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// 64-bit FNV-1a over `bytes`. Deterministic across platforms and releases.
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
+    fnv1a64_seeded(FNV_OFFSET, bytes)
+}
+
+/// Continue a 64-bit FNV-1a hash from `seed` over `bytes`.
+///
+/// `fnv1a64(b)` ≡ `fnv1a64_seeded(FNV-offset, b)`; chaining calls hashes
+/// the concatenation of the chunks, which is how composite keys (table id
+/// followed by row bytes) fold into one stable digest.
+#[must_use]
+pub fn fnv1a64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
     }
     h
 }
+
+/// A [`Hasher`](std::hash::Hasher) that passes an already-computed 64-bit
+/// hash straight through instead of re-hashing.
+///
+/// Built for hash-map keys that cache a stable digest at construction
+/// (`harmony_txn::Key` caches FNV-1a of table + row): the key's `Hash`
+/// impl emits the cached value via `write_u64`, and this hasher uses it
+/// verbatim, so map lookups and shard selection never touch the row bytes
+/// again. Any other input (the `write` fallback) is FNV-1a-folded, keeping
+/// the hasher deterministic for arbitrary key types.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoRehash(u64);
+
+impl std::hash::Hasher for NoRehash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a64_seeded(self.0 ^ FNV_OFFSET, bytes);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// `BuildHasher` for [`NoRehash`] — plug into `HashMap::with_hasher` or a
+/// type alias like `HashMap<Key, V, BuildNoRehash>`.
+pub type BuildNoRehash = std::hash::BuildHasherDefault<NoRehash>;
 
 /// Logical partition of a dense `u64` id under the canonical hash
 /// partitioning: FNV-1a of the big-endian bytes, modulo `partitions`.
@@ -48,6 +88,33 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seeded_chaining_equals_concatenation() {
+        let whole = fnv1a64(b"foobar");
+        let chained = fnv1a64_seeded(fnv1a64(b"foo"), b"bar");
+        assert_eq!(whole, chained);
+    }
+
+    #[test]
+    fn no_rehash_passes_u64_through() {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = BuildNoRehash::default().build_hasher();
+        h.write_u64(0xdead_beef_cafe_f00d);
+        assert_eq!(h.finish(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn no_rehash_byte_fallback_is_deterministic_and_spreads() {
+        use std::hash::{BuildHasher, Hasher};
+        let digest = |bytes: &[u8]| {
+            let mut h = BuildNoRehash::default().build_hasher();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(digest(b"abc"), digest(b"abc"));
+        assert_ne!(digest(b"abc"), digest(b"abd"));
     }
 
     #[test]

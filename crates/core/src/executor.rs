@@ -21,9 +21,9 @@ use harmony_txn::{Contract, Key, RangePredicate, RwSet, TxnCtx};
 
 use crate::config::HarmonyConfig;
 use crate::meta::TxnMeta;
-use crate::par::run_indexed;
+use crate::par::{run_indexed, run_indexed_with};
 use crate::reorder::{apply_key_plan, build_apply_plans};
-use crate::reservation::ReservationTable;
+use crate::reservation::{RegisterScratch, ReservationTable};
 use crate::snapshot::SnapshotStore;
 use crate::stats::BlockStats;
 
@@ -181,21 +181,27 @@ impl BlockExecutor {
             .collect();
         let table = ReservationTable::new();
 
-        let sims = run_indexed(n, self.config.workers, |i| {
-            let view = self.store.view_at(snapshot);
-            let (outcome, sim_ns) = vtime::scope(|| {
-                vtime::charge(block.txns[i].think_time_ns());
-                let mut ctx = TxnCtx::new(&view);
-                match block.txns[i].execute(&mut ctx) {
-                    Ok(()) => Ok(ctx.into_rwset()),
-                    Err(user) => Err(user),
+        // Each worker keeps one snapshot view and one reservation scratch
+        // for its whole run — no per-transaction allocations for either.
+        let sims = run_indexed_with(
+            n,
+            self.config.workers,
+            || (self.store.view_at(snapshot), RegisterScratch::default()),
+            |(view, scratch), i| {
+                let (outcome, sim_ns) = vtime::scope(|| {
+                    vtime::charge(block.txns[i].think_time_ns());
+                    let mut ctx = TxnCtx::new(&*view);
+                    match block.txns[i].execute(&mut ctx) {
+                        Ok(()) => Ok(ctx.into_rwset()),
+                        Err(user) => Err(user),
+                    }
+                });
+                if let Ok(rwset) = &outcome {
+                    table.register_with(i as u32, rwset, scratch);
                 }
-            });
-            if let Ok(rwset) = &outcome {
-                table.register(i as u32, rwset);
-            }
-            (outcome, sim_ns)
-        });
+                (outcome, sim_ns)
+            },
+        );
 
         let mut rwsets = Vec::with_capacity(n);
         let mut sim_ns = Vec::with_capacity(n);

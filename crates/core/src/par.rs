@@ -16,14 +16,29 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(n, workers, || (), |(), i| f(i))
+}
+
+/// Like [`run_indexed`], but each worker thread first builds a scratch
+/// state with `init` and hands `f` a mutable reference to it for every
+/// task it pulls. Hot loops use this to reuse per-worker buffers (e.g.
+/// the reservation table's shard-grouping scratch) across transactions
+/// instead of reallocating them per task.
+pub fn run_indexed_with<S, T, I, F>(n: usize, workers: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     assert!(workers > 0, "need at least one worker");
     if n == 0 {
         return Vec::new();
     }
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     if workers == 1 || n == 1 {
+        let mut scratch = init();
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(f(i));
+            *slot = Some(f(&mut scratch, i));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -31,15 +46,17 @@ where
             let handles: Vec<_> = (0..workers.min(n))
                 .map(|_| {
                     let next = &next;
+                    let init = &init;
                     let f = &f;
                     scope.spawn(move || {
+                        let mut scratch = init();
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            local.push((i, f(i)));
+                            local.push((i, f(&mut scratch, i)));
                         }
                         local
                     })
@@ -87,6 +104,28 @@ mod tests {
     fn more_workers_than_tasks() {
         let out = run_indexed(3, 16, |i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // Each worker's scratch counts the tasks it ran; the counts must
+        // sum to n (every task sees a scratch, no scratch is shared).
+        use std::sync::atomic::AtomicUsize;
+        let total = AtomicUsize::new(0);
+        let out = run_indexed_with(
+            64,
+            4,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+                (i, *count)
+            },
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+        // Within one worker the per-scratch count strictly increases, so
+        // at least one task must observe a reused scratch when n > workers.
+        assert!(out.iter().any(|&(_, c)| c > 1), "scratch never reused");
     }
 
     #[test]

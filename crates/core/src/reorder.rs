@@ -101,7 +101,7 @@ pub fn apply_key_plan(
         // One read: current value (state after the previous block).
         let mut cur = store
             .engine()
-            .get(plan.key.table, &plan.key.row)?
+            .get(plan.key.table(), plan.key.row())?
             .map(harmony_txn::Value::from);
         for (_, _, seq) in &plan.cmds {
             for cmd in seq.commands() {
@@ -120,7 +120,7 @@ pub fn apply_key_plan(
         for (tid, _, seq) in &plan.cmds {
             let mut cur = store
                 .engine()
-                .get(plan.key.table, &plan.key.row)?
+                .get(plan.key.table(), plan.key.row())?
                 .map(harmony_txn::Value::from);
             for cmd in seq.commands() {
                 match cmd.apply(cur.as_ref()) {

@@ -10,9 +10,18 @@
 //! Because every transaction in a block reads the same snapshot, *every*
 //! (reader, writer) pair on one key is an rw-dependency: the reader saw the
 //! before-image of the writer's write.
+//!
+//! Registration is the write-hot path (every simulated transaction calls
+//! it once), so it is tuned accordingly: shard selection reuses the key's
+//! cached FNV-1a digest ([`Key::hash64`]), the per-shard maps use the
+//! pass-through [`BuildNoRehash`] hasher (row bytes are hashed exactly
+//! once, at key construction), and [`ReservationTable::register_with`]
+//! groups a transaction's read-write set by shard so each shard lock is
+//! taken once per transaction instead of once per key.
 
 use std::collections::HashMap;
 
+use harmony_common::hash::BuildNoRehash;
 use harmony_txn::{Key, RangePredicate, RwSet};
 use parking_lot::Mutex;
 
@@ -20,15 +29,81 @@ use crate::meta::TxnMeta;
 
 const SHARDS: usize = 32;
 
+/// Inline capacity of an [`IdxList`]. In a typical block almost every key
+/// sees at most a couple of readers/writers, so the common case costs no
+/// heap allocation at all.
+const INLINE: usize = 3;
+
+/// A `u32` list that stores its first [`INLINE`] elements inline and only
+/// spills to a `Vec` beyond that. Registering a block allocates one list
+/// pair per touched key; keeping the common case allocation-free is a
+/// measurable win on the register hot path.
+enum IdxList {
+    Inline { len: u8, buf: [u32; INLINE] },
+    Heap(Vec<u32>),
+}
+
+impl Default for IdxList {
+    fn default() -> IdxList {
+        IdxList::Inline {
+            len: 0,
+            buf: [0; INLINE],
+        }
+    }
+}
+
+impl IdxList {
+    fn push(&mut self, v: u32) {
+        match self {
+            IdxList::Inline { len, buf } => {
+                if usize::from(*len) < INLINE {
+                    buf[usize::from(*len)] = v;
+                    *len += 1;
+                } else {
+                    let mut heap = Vec::with_capacity(INLINE * 2 + 2);
+                    heap.extend_from_slice(&buf[..]);
+                    heap.push(v);
+                    *self = IdxList::Heap(heap);
+                }
+            }
+            IdxList::Heap(vec) => vec.push(v),
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            IdxList::Inline { len, buf } => &buf[..usize::from(*len)],
+            IdxList::Heap(vec) => vec,
+        }
+    }
+}
+
 #[derive(Default)]
 struct KeyEntry {
-    readers: Vec<u32>,
-    writers: Vec<u32>,
+    readers: IdxList,
+    writers: IdxList,
+}
+
+type KeyShard = HashMap<Key, KeyEntry, BuildNoRehash>;
+
+/// Pre-sized per-shard map capacity: a block's keys spread over [`SHARDS`]
+/// shards, so a handful of buckets per shard absorbs typical blocks
+/// without rehash-and-move cycles during registration.
+const SHARD_CAPACITY: usize = 32;
+
+/// Reusable per-worker scratch for [`ReservationTable::register_with`]:
+/// holds the shard-grouped `(shard, op)` pairs of one transaction so the
+/// grouping buffer is allocated once per worker, not once per transaction.
+#[derive(Default)]
+pub struct RegisterScratch {
+    /// `(shard, op index)` — ops below the transaction's read count are
+    /// reads, the rest writes. Sorted to group ops by shard.
+    ops: Vec<(u32, u32)>,
 }
 
 /// Reservation table for one block.
 pub struct ReservationTable {
-    shards: Vec<Mutex<HashMap<Key, KeyEntry>>>,
+    shards: Vec<Mutex<KeyShard>>,
     preds: Mutex<Vec<(u32, RangePredicate)>>,
 }
 
@@ -43,36 +118,68 @@ impl ReservationTable {
     #[must_use]
     pub fn new() -> ReservationTable {
         ReservationTable {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(KeyShard::with_capacity_and_hasher(
+                        SHARD_CAPACITY,
+                        BuildNoRehash::default(),
+                    ))
+                })
+                .collect(),
             preds: Mutex::new(Vec::new()),
         }
     }
 
-    fn shard_for(&self, key: &Key) -> &Mutex<HashMap<Key, KeyEntry>> {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+    fn shard_index(key: &Key) -> u32 {
+        // Cached FNV-1a digest: stable across releases and never re-walks
+        // the row bytes. The *high* half picks the shard — the in-shard
+        // map indexes buckets with the low bits of the same digest, so
+        // using the low bits here would cluster every key of a shard into
+        // the same buckets.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            ((key.hash64() >> 32) % SHARDS as u64) as u32
+        }
     }
 
     /// Register the read-write set of the transaction at block index
     /// `idx`. Thread-safe; called concurrently as simulations finish.
+    /// Convenience wrapper over [`Self::register_with`] with a throwaway
+    /// scratch — workers that register many transactions should hold one
+    /// [`RegisterScratch`] and reuse it.
     pub fn register(&self, idx: u32, rwset: &RwSet) {
-        for r in &rwset.reads {
-            self.shard_for(&r.key)
-                .lock()
-                .entry(r.key.clone())
-                .or_default()
-                .readers
-                .push(idx);
+        self.register_with(idx, rwset, &mut RegisterScratch::default());
+    }
+
+    /// Register a read-write set, grouping its keys by shard first so each
+    /// shard lock is taken once per transaction rather than once per key.
+    pub fn register_with(&self, idx: u32, rwset: &RwSet, scratch: &mut RegisterScratch) {
+        let reads = u32::try_from(rwset.reads.len()).expect("rw-set fits u32");
+        let ops = &mut scratch.ops;
+        ops.clear();
+        for (i, r) in rwset.reads.iter().enumerate() {
+            ops.push((Self::shard_index(&r.key), i as u32));
         }
-        for (key, _) in &rwset.updates {
-            self.shard_for(key)
-                .lock()
-                .entry(key.clone())
-                .or_default()
-                .writers
-                .push(idx);
+        for (i, (key, _)) in rwset.updates.iter().enumerate() {
+            ops.push((Self::shard_index(key), reads + i as u32));
+        }
+        // Group by shard (ties keep op order: reads before writes).
+        ops.sort_unstable();
+        let mut at = 0;
+        while at < ops.len() {
+            let shard = ops[at].0;
+            let mut guard = self.shards[shard as usize].lock();
+            while at < ops.len() && ops[at].0 == shard {
+                let op = ops[at].1;
+                if op < reads {
+                    let key = &rwset.reads[op as usize].key;
+                    guard.entry(key.clone()).or_default().readers.push(idx);
+                } else {
+                    let key = &rwset.updates[(op - reads) as usize].0;
+                    guard.entry(key.clone()).or_default().writers.push(idx);
+                }
+                at += 1;
+            }
         }
         if !rwset.scans.is_empty() {
             let mut preds = self.preds.lock();
@@ -92,9 +199,9 @@ impl ReservationTable {
         for shard in &self.shards {
             let shard = shard.lock();
             for (key, entry) in shard.iter() {
-                for &w in &entry.writers {
+                for &w in entry.writers.as_slice() {
                     let w_tid = metas[w as usize].tid;
-                    for &r in &entry.readers {
+                    for &r in entry.readers.as_slice() {
                         if r == w {
                             continue;
                         }
@@ -124,7 +231,13 @@ impl ReservationTable {
         for shard in &self.shards {
             let shard = shard.lock();
             for (key, entry) in shard.iter() {
-                if let Some(min) = entry.writers.iter().map(|&w| metas[w as usize].tid).min() {
+                if let Some(min) = entry
+                    .writers
+                    .as_slice()
+                    .iter()
+                    .map(|&w| metas[w as usize].tid)
+                    .min()
+                {
                     out.insert(key.clone(), min);
                 }
             }
@@ -137,8 +250,9 @@ impl ReservationTable {
         for shard in &self.shards {
             let shard = shard.lock();
             for (key, entry) in shard.iter() {
-                if !entry.writers.is_empty() {
-                    f(key, &entry.writers);
+                let writers = entry.writers.as_slice();
+                if !writers.is_empty() {
+                    f(key, writers);
                 }
             }
         }
@@ -285,13 +399,65 @@ mod tests {
     }
 
     #[test]
+    fn idx_list_spills_past_inline_capacity() {
+        let mut list = IdxList::default();
+        let n = u32::try_from(INLINE).unwrap() + 5;
+        for i in 0..n {
+            list.push(i);
+        }
+        assert_eq!(list.as_slice(), (0..n).collect::<Vec<_>>().as_slice());
+        assert!(matches!(list, IdxList::Heap(_)), "spilled to the heap");
+    }
+
+    #[test]
+    fn hotspot_key_tracks_many_readers_and_writers() {
+        // More readers/writers on one key than the inline capacity: the
+        // spill path must keep every index.
+        let table = ReservationTable::new();
+        for i in 0..10 {
+            table.register(i, &rw(&["hot"], &["hot"]));
+        }
+        let mut writer_count = 0;
+        table.for_each_written_key(|_, ws| writer_count = ws.len());
+        assert_eq!(writer_count, 10);
+        let m = metas(&(1..=10).collect::<Vec<_>>());
+        let min_writers = table.min_writer_tids(&m);
+        assert_eq!(min_writers[&key("hot")], 1);
+    }
+
+    #[test]
+    fn register_with_reused_scratch_matches_register() {
+        let fresh = ReservationTable::new();
+        let reused = ReservationTable::new();
+        let mut scratch = RegisterScratch::default();
+        let sets = [
+            rw(&["a", "b"], &["x"]),
+            rw(&["x"], &["a", "y"]),
+            rw(&[], &["b", "x", "y"]),
+        ];
+        for (i, set) in sets.iter().enumerate() {
+            fresh.register(i as u32, set);
+            reused.register_with(i as u32, set, &mut scratch);
+        }
+        let m = metas(&[1, 2, 3]);
+        let n = metas(&[1, 2, 3]);
+        fresh.fire_rw_events(&m);
+        reused.fire_rw_events(&n);
+        for (a, b) in m.iter().zip(n.iter()) {
+            assert_eq!(a.min_out(), b.min_out());
+            assert_eq!(a.max_in(), b.max_in());
+        }
+        assert_eq!(fresh.min_writer_tids(&m), reused.min_writer_tids(&n));
+    }
+
+    #[test]
     fn for_each_written_key_visits_all() {
         let table = ReservationTable::new();
         table.register(0, &rw(&[], &["a", "b"]));
         table.register(1, &rw(&[], &["b"]));
         let mut seen: Vec<(String, usize)> = Vec::new();
         table.for_each_written_key(|k, ws| {
-            seen.push((String::from_utf8_lossy(&k.row).into_owned(), ws.len()));
+            seen.push((String::from_utf8_lossy(k.row()).into_owned(), ws.len()));
         });
         seen.sort();
         assert_eq!(seen, vec![("a".into(), 1), ("b".into(), 2)]);

@@ -432,12 +432,12 @@ impl ShardGroup {
         for rwset in cross_rwsets.iter().flatten() {
             for r in &rwset.reads {
                 // Key + observed value (row-sized) + version tag.
-                bytes_per_shard[self.router.shard_of_key(&r.key)] += r.key.row.len() as u64 + 72;
+                bytes_per_shard[self.router.shard_of_key(&r.key)] += r.key.row().len() as u64 + 72;
             }
             for (key, seq) in &rwset.updates {
                 // Keys + encoded commands travel with the write fragment.
                 bytes_per_shard[self.router.shard_of_key(key)] +=
-                    key.row.len() as u64 + 24 * seq.len() as u64;
+                    key.row().len() as u64 + 24 * seq.len() as u64;
             }
         }
         (0..shards)
@@ -604,12 +604,12 @@ impl Contract for FragmentContract {
         let mut p = b"xsf".to_vec();
         p.extend_from_slice(&(self.global as u64).to_le_bytes());
         for key in &self.reads {
-            p.extend_from_slice(&key.table.0.to_le_bytes());
-            p.extend_from_slice(&key.row);
+            p.extend_from_slice(&key.table().0.to_le_bytes());
+            p.extend_from_slice(key.row());
         }
         for (key, _) in &self.updates {
-            p.extend_from_slice(&key.table.0.to_le_bytes());
-            p.extend_from_slice(&key.row);
+            p.extend_from_slice(&key.table().0.to_le_bytes());
+            p.extend_from_slice(key.row());
         }
         p
     }
@@ -730,7 +730,7 @@ mod tests {
     fn read_i64(g: &ShardGroup, id: u64) -> i64 {
         let k = key(id);
         let shard = g.router().shard_of_key(&k);
-        let v = g.engine(shard).get(TABLE, &k.row).unwrap().unwrap();
+        let v = g.engine(shard).get(TABLE, k.row()).unwrap().unwrap();
         i64::from_le_bytes(v.as_slice().try_into().unwrap())
     }
 

@@ -54,7 +54,7 @@ impl Partitioner for HashPartitioner {
     }
 
     fn partition_of(&self, key: &Key) -> u32 {
-        (fnv1a64(&key.row) % u64::from(self.partitions)) as u32
+        (fnv1a64(key.row()) % u64::from(self.partitions)) as u32
     }
 }
 
@@ -107,7 +107,7 @@ impl Partitioner for RangePartitioner {
     fn partition_of(&self, key: &Key) -> u32 {
         // First split point strictly greater than the row = its partition.
         self.bounds
-            .partition_point(|b| b.as_slice() <= key.row.as_ref()) as u32
+            .partition_point(|b| b.as_slice() <= key.row().as_ref()) as u32
     }
 }
 

@@ -132,22 +132,22 @@ impl<'a> TxnCtx<'a> {
             .updates
             .iter()
             .filter(|(k, _)| {
-                k.table == table
-                    && k.row.as_ref() >= start
-                    && end.is_none_or(|e| k.row.as_ref() < e)
+                k.table() == table
+                    && k.row().as_ref() >= start
+                    && end.is_none_or(|e| k.row().as_ref() < e)
             })
             .map(|(k, seq)| {
                 let base = rows
                     .iter()
-                    .find(|(rk, _)| rk == &k.row)
+                    .find(|(rk, _)| rk == k.row())
                     .map(|(_, v)| v.clone());
                 (k.clone(), seq.apply(base.as_ref()).unwrap_or(None))
             })
             .collect();
         for (k, v) in pending {
-            rows.retain(|(rk, _)| rk != &k.row);
+            rows.retain(|(rk, _)| rk != k.row());
             if let Some(v) = v {
-                rows.push((k.row, v));
+                rows.push((k.into_row(), v));
             }
         }
         rows.sort_by(|a, b| a.0.cmp(&b.0));
@@ -207,7 +207,7 @@ mod tests {
             Ok(self
                 .rows
                 .lock()
-                .get(&(key.table.0, key.row.to_vec()))
+                .get(&(key.table().0, key.row().to_vec()))
                 .map(|(v, _)| v.clone()))
         }
 
@@ -237,7 +237,7 @@ mod tests {
         fn version_of(&self, key: &Key) -> Option<u64> {
             self.rows
                 .lock()
-                .get(&(key.table.0, key.row.to_vec()))
+                .get(&(key.table().0, key.row().to_vec()))
                 .map(|(_, ver)| *ver)
         }
     }

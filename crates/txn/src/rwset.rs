@@ -41,11 +41,11 @@ impl RangePredicate {
     /// Whether `key` falls inside the predicate.
     #[must_use]
     pub fn covers(&self, key: &Key) -> bool {
-        if key.table != self.table || key.row < self.start {
+        if key.table() != self.table || *key.row() < self.start {
             return false;
         }
         match &self.end {
-            Some(end) => key.row < *end,
+            Some(end) => key.row() < end,
             None => true,
         }
     }

@@ -274,7 +274,7 @@ mod tests {
         fn get(&self, key: &Key) -> Result<Option<harmony_txn::Value>> {
             Ok(self
                 .0
-                .get(key.table, &key.row)?
+                .get(key.table(), key.row())?
                 .map(harmony_txn::Value::from))
         }
         fn scan(

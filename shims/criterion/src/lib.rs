@@ -70,14 +70,27 @@ impl BenchmarkGroup {
     pub fn finish(self) {}
 }
 
+/// Whether the harness was invoked with `--test` (smoke mode, mirroring
+/// real criterion): every routine runs exactly once and no timing is
+/// reported, so CI can verify benches still build and run without paying
+/// for a measurement.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: u64, mut f: F) {
+    let test = test_mode();
     let mut bencher = Bencher {
-        iters: samples,
+        iters: if test { 1 } else { samples },
         elapsed: Duration::ZERO,
     };
     f(&mut bencher);
-    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
-    println!("  {name}: {per_iter} ns/iter ({} iters)", bencher.iters);
+    if test {
+        println!("  {name}: test ok");
+    } else {
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
+        println!("  {name}: {per_iter} ns/iter ({} iters)", bencher.iters);
+    }
 }
 
 /// Timing harness passed to each benchmark closure.
