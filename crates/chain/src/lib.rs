@@ -11,6 +11,9 @@
 //! * [`sov`] — [`SovChain`]: the Simulate-Order-Validate chain (Fabric
 //!   family) with *physical* write-set logging and value replay on
 //!   recovery.
+//! * [`sync`] — [`sync::StateSnapshot`]: the transferable checkpoint
+//!   manifest behind state-sync catch-up (manifest install + block-range
+//!   replay).
 //!
 //! Replica consistency is checked with [`oe::state_root`]: equal inputs ⇒
 //! equal roots on every replica, whatever the thread counts.
@@ -18,7 +21,9 @@
 pub mod block;
 pub mod oe;
 pub mod sov;
+pub mod sync;
 
 pub use block::{BlockHeader, ChainBlock};
-pub use oe::{sharded_state_root, state_root, ChainConfig, OeChain};
+pub use oe::{sharded_state_root, state_root, BlockUndo, ChainConfig, DccFactory, OeChain};
 pub use sov::SovChain;
+pub use sync::{StateSnapshot, TableDump};

@@ -37,6 +37,13 @@ pub struct ChainConfig {
     pub harmony: HarmonyConfig,
     /// Checkpoint period `p` in blocks (paper example: 10).
     pub checkpoint_every: u64,
+    /// How many trailing blocks' before-images (and version-history
+    /// entries) the recovery sidecar captures. Must cover the engine's
+    /// farthest-back snapshot read: 2 suffices for Harmony's inter-block
+    /// parallelism; the SOV engines endorse against snapshots up to
+    /// `validation_delay + max_lag` blocks old, so the default of 4
+    /// covers their default profile too.
+    pub sidecar_depth: u64,
     /// Cluster provisioning secret (node authentication).
     pub provision: Vec<u8>,
     /// This orderer's identity.
@@ -51,6 +58,7 @@ impl Default for ChainConfig {
             storage: StorageConfig::default(),
             harmony: HarmonyConfig::default(),
             checkpoint_every: 10,
+            sidecar_depth: 4,
             provision: b"harmonybc-cluster".to_vec(),
             orderer_id: 0,
             crypto: CryptoCost::default(),
@@ -101,17 +109,32 @@ pub fn sharded_state_root(shard_roots: &[Digest]) -> Digest {
     MerkleTree::build(&leaves).root()
 }
 
+/// Factory rebuilding the DCC engine over a snapshot store, positioned at
+/// `next_block` with the previous block's Rule-3 summary (Harmony only;
+/// other engines ignore it). [`OeChain`] calls it on open, crash recovery,
+/// and state-snapshot install, so a chain running any of the five engines
+/// recovers onto the *same* engine kind.
+pub type DccFactory = Arc<
+    dyn Fn(Arc<SnapshotStore>, BlockId, Option<BlockSummary>) -> Arc<dyn DccEngine> + Send + Sync,
+>;
+
 /// An Order-Execute private blockchain node.
 pub struct OeChain {
     config: ChainConfig,
     engine: Arc<StorageEngine>,
     snapshots: Arc<SnapshotStore>,
     dcc: Arc<dyn DccEngine>,
+    factory: DccFactory,
     keypair: KeyPair,
     verifier: Verifier,
     height: BlockId,
     last_hash: Digest,
     last_summary: Option<BlockSummary>,
+    /// Earliest state this node holds locally: `(height, hash)` of the
+    /// block its history starts after. `(0, ZERO)` for a genesis-born
+    /// node; the snapshot point for a node bootstrapped via state-sync
+    /// (its block log only holds blocks *after* the base).
+    base: (BlockId, Digest),
 }
 
 impl OeChain {
@@ -121,12 +144,24 @@ impl OeChain {
     }
 
     /// Open a node, recovering from the latest checkpoint if one exists.
-    /// For recovery with re-execution use [`OeChain::recover`].
+    /// For recovery with re-execution use [`OeChain::crash_and_recover`].
     pub fn open(config: ChainConfig) -> Result<OeChain> {
+        let harmony = config.harmony;
+        OeChain::open_with_factory(
+            config,
+            Arc::new(move |store, next, summary| {
+                Arc::new(HarmonyEngine::starting_at(store, harmony, next, summary))
+            }),
+        )
+    }
+
+    /// Open a node whose DCC engine (and its recovery re-instantiation)
+    /// comes from `factory` — AriaBC, RBC, or the SOV engines on the same
+    /// chain framework, as the paper does.
+    pub fn open_with_factory(config: ChainConfig, factory: DccFactory) -> Result<OeChain> {
         let engine = Arc::new(StorageEngine::open(&config.storage)?);
         let snapshots = Arc::new(SnapshotStore::new(Arc::clone(&engine)));
-        let dcc: Arc<dyn DccEngine> =
-            Arc::new(HarmonyEngine::new(Arc::clone(&snapshots), config.harmony));
+        let dcc = factory(Arc::clone(&snapshots), BlockId(1), None);
         let keypair = KeyPair::derive(&config.provision, config.orderer_id, config.crypto);
         let verifier = Verifier::new(&config.provision, config.crypto);
         Ok(OeChain {
@@ -134,16 +169,21 @@ impl OeChain {
             engine,
             snapshots,
             dcc,
+            factory,
             keypair,
             verifier,
             height: BlockId(0),
             last_hash: Digest::ZERO,
             last_summary: None,
+            base: (BlockId(0), Digest::ZERO),
         })
     }
 
     /// Replace the DCC engine (build AriaBC / RBC on the same chain
     /// framework, as the paper does). Must be called before any block.
+    /// Crash recovery still rebuilds through the configured factory — use
+    /// [`OeChain::open_with_factory`] when the node must recover onto the
+    /// same engine kind.
     pub fn with_dcc(mut self, dcc: Arc<dyn DccEngine>) -> OeChain {
         assert_eq!(self.height, BlockId(0), "cannot swap DCC mid-chain");
         self.dcc = dcc;
@@ -162,6 +202,12 @@ impl OeChain {
         &self.snapshots
     }
 
+    /// The active DCC engine.
+    #[must_use]
+    pub fn dcc(&self) -> &Arc<dyn DccEngine> {
+        &self.dcc
+    }
+
     /// Current chain height.
     #[must_use]
     pub fn height(&self) -> BlockId {
@@ -174,15 +220,73 @@ impl OeChain {
         self.last_hash
     }
 
-    /// Submit the next block of transactions: seal, log, execute.
+    /// `(height, hash)` of the block this node's local history starts
+    /// after — non-zero on a replica bootstrapped by state-sync.
+    #[must_use]
+    pub fn base(&self) -> (BlockId, Digest) {
+        self.base
+    }
+
+    /// The Rule-3 summary of the last executed block (Harmony only).
+    #[must_use]
+    pub fn last_summary(&self) -> Option<&BlockSummary> {
+        self.last_summary.as_ref()
+    }
+
+    /// The chain's active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// Seal the next block of transactions — what the ordering service
+    /// does before delivery. Does not execute.
+    #[must_use]
+    pub fn seal_block(&self, txns: &[Arc<dyn Contract>], codec: &dyn ContractCodec) -> ChainBlock {
+        let encoded: Vec<Vec<u8>> = txns.iter().map(|t| codec.encode(t.as_ref())).collect();
+        ChainBlock::seal(self.height.next(), self.last_hash, encoded, &self.keypair)
+    }
+
+    /// Submit the next block of transactions: seal, log, execute — the
+    /// single-node path where orderer and replica are the same process.
     pub fn submit_block(
         &mut self,
         txns: Vec<Arc<dyn Contract>>,
         codec: &dyn ContractCodec,
     ) -> Result<(ChainBlock, ProtocolBlockResult)> {
-        let id = self.height.next();
-        let encoded: Vec<Vec<u8>> = txns.iter().map(|t| codec.encode(t.as_ref())).collect();
-        let sealed = ChainBlock::seal(id, self.last_hash, encoded, &self.keypair);
+        let sealed = self.seal_block(&txns, codec);
+        let result = self.apply_block_inner(&sealed, txns)?;
+        Ok((sealed, result))
+    }
+
+    /// Consume a sealed block delivered by an ordering service: verify its
+    /// linkage and signature, log it, decode the payloads through `codec`,
+    /// and execute — the replica-side half of the Order-Execute loop.
+    pub fn apply_sealed_block(
+        &mut self,
+        sealed: &ChainBlock,
+        codec: &dyn ContractCodec,
+    ) -> Result<ProtocolBlockResult> {
+        let txns: Result<Vec<Arc<dyn Contract>>> =
+            sealed.txns.iter().map(|b| codec.decode(b)).collect();
+        self.apply_block_inner(sealed, txns?)
+    }
+
+    /// Shared seal-consumption path: verify, log before execution, execute,
+    /// advance, checkpoint on period.
+    fn apply_block_inner(
+        &mut self,
+        sealed: &ChainBlock,
+        txns: Vec<Arc<dyn Contract>>,
+    ) -> Result<ProtocolBlockResult> {
+        let id = sealed.header.id;
+        if id != self.height.next() {
+            return Err(Error::InvalidArgument(format!(
+                "block {id} delivered out of order (expected {})",
+                self.height.next()
+            )));
+        }
+        sealed.verify(&self.last_hash, &self.verifier)?;
         // Logical logging: persist the input block before execution.
         self.engine.block_log().append(&sealed.encode())?;
         self.engine.block_log().sync()?;
@@ -195,15 +299,41 @@ impl OeChain {
         if id.0.is_multiple_of(self.config.checkpoint_every) {
             self.checkpoint()?;
         }
-        Ok((sealed, result))
+        Ok(result)
+    }
+
+    /// Replay a verified range of sealed blocks in order — the catch-up
+    /// path of state-sync. Blocks at or below the current height are
+    /// skipped (idempotent), so a peer's full suffix can be handed over
+    /// as-is. Returns the number of blocks actually applied.
+    pub fn replay_range(
+        &mut self,
+        blocks: &[ChainBlock],
+        codec: &dyn ContractCodec,
+    ) -> Result<usize> {
+        let mut applied = 0;
+        for block in blocks {
+            if block.header.id <= self.height {
+                continue;
+            }
+            self.apply_sealed_block(block, codec)?;
+            applied += 1;
+        }
+        Ok(applied)
     }
 
     /// Force a checkpoint now.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.engine.checkpoint(self.height)?;
-        // Recovery sidecar: last block's undo images + Rule-3 summary.
-        let undo = self.snapshots.export_undo_for(self.height);
-        let sidecar = encode_sidecar(self.height, &undo, self.last_summary.as_ref());
+        // Recovery sidecar: chain position + the trailing blocks' undo
+        // images / version history + Rule-3 summary.
+        let undo = export_recent_undo(&self.snapshots, self.height, self.config.sidecar_depth);
+        let sidecar = encode_sidecar(
+            self.height,
+            &self.last_hash,
+            &undo,
+            self.last_summary.as_ref(),
+        );
         self.engine.wal().append(&sidecar)?;
         self.engine.wal().sync()?;
         Ok(())
@@ -215,58 +345,98 @@ impl OeChain {
     }
 
     /// Verify the persisted chain: decode every logged block and walk the
-    /// hash chain, checking Merkle roots and orderer signatures.
+    /// hash chain from this node's base, checking Merkle roots and orderer
+    /// signatures.
     pub fn verify_chain(&self) -> Result<Vec<ChainBlock>> {
         let records = self.engine.block_log().read_all()?;
-        let mut prev = Digest::ZERO;
+        let mut prev = self.base.1;
+        let mut next_id = self.base.0.next();
         let mut blocks = Vec::with_capacity(records.len());
         for rec in &records {
             let block = ChainBlock::decode(rec)?;
+            if block.header.id != next_id {
+                return Err(Error::Corruption(format!(
+                    "block log gap: found {} expected {next_id}",
+                    block.header.id
+                )));
+            }
             block.verify(&prev, &self.verifier)?;
             prev = block.header.hash();
+            next_id = next_id.next();
             blocks.push(block);
         }
         Ok(blocks)
     }
 
+    /// Verified blocks strictly after `from` — what a replica serves to a
+    /// lagging peer replaying a range.
+    pub fn blocks_after(&self, from: BlockId) -> Result<Vec<ChainBlock>> {
+        let mut blocks = self.verify_chain()?;
+        blocks.retain(|b| b.header.id > from);
+        Ok(blocks)
+    }
+
     /// Crash this node (drop caches and unsynced state) and recover:
     /// reload the checkpoint, then deterministically re-execute every
-    /// logged block after it.
+    /// logged block after it. The DCC engine is rebuilt through the
+    /// configured factory, so AriaBC/RBC/Fabric chains recover onto their
+    /// own engine kind.
+    ///
+    /// A node that never checkpointed has lost its entire database (the
+    /// genesis load included), so there is no base state to replay onto:
+    /// recovery honestly lands back at this node's base height with an
+    /// empty catalog, ready for a state-sync bootstrap — it must NOT
+    /// replay logged blocks onto the wiped state and claim success.
     pub fn crash_and_recover(&mut self, codec: &dyn ContractCodec) -> Result<()> {
         self.engine.crash_and_recover()?;
-        let checkpoint = self.engine.last_checkpoint().unwrap_or(BlockId(0));
+        let checkpoint = self.engine.last_checkpoint();
 
         // Rebuild the snapshot overlay and Rule-3 state from the sidecar.
         self.snapshots = Arc::new(SnapshotStore::new(Arc::clone(&self.engine)));
         self.last_summary = None;
+        let Some(checkpoint) = checkpoint else {
+            // Total loss: no manifest survived the crash, so the catalog
+            // (genesis load included) is gone. Drop the stale block log —
+            // its blocks are unreplayable without base state — and reset
+            // to an empty genesis, ready for a state-sync bootstrap.
+            self.engine.block_log().truncate()?;
+            self.base = (BlockId(0), Digest::ZERO);
+            self.height = BlockId(0);
+            self.last_hash = Digest::ZERO;
+            self.dcc = (self.factory)(Arc::clone(&self.snapshots), BlockId(1), None);
+            return Ok(());
+        };
+        let mut checkpoint_hash = None;
         if checkpoint.0 > 0 {
             let sidecars = self.engine.wal().read_all()?;
-            let latest = sidecars
-                .iter()
-                .rev()
-                .find_map(|s| decode_sidecar(s).ok().filter(|(b, _, _)| *b == checkpoint));
-            if let Some((block, undo, summary)) = latest {
-                let tid = harmony_common::TxnId::new(block, 0).0;
-                self.snapshots.import_undo_for(block, &undo, tid);
+            let latest = sidecars.iter().rev().find_map(|s| {
+                decode_sidecar(s)
+                    .ok()
+                    .filter(|(b, _, _, _)| *b == checkpoint)
+            });
+            if let Some((_, hash, undo, summary)) = latest {
+                import_recent_undo(&self.snapshots, &undo);
                 self.last_summary = summary;
+                checkpoint_hash = Some(hash);
             }
         }
 
         // Re-create the DCC engine positioned after the checkpoint.
-        self.dcc = Arc::new(HarmonyEngine::starting_at(
+        self.dcc = (self.factory)(
             Arc::clone(&self.snapshots),
-            self.config.harmony,
             checkpoint.next(),
             self.last_summary.clone(),
-        ));
+        );
 
         // Verify and replay the logged blocks after the checkpoint.
         let blocks = self.verify_chain()?;
         self.height = checkpoint;
-        self.last_hash = blocks
-            .iter()
-            .rfind(|b| b.header.id <= checkpoint)
-            .map_or(Digest::ZERO, |b| b.header.hash());
+        self.last_hash = checkpoint_hash.unwrap_or_else(|| {
+            blocks
+                .iter()
+                .rfind(|b| b.header.id <= checkpoint)
+                .map_or(self.base.1, |b| b.header.hash())
+        });
         for block in &blocks {
             if block.header.id <= checkpoint {
                 continue;
@@ -283,31 +453,103 @@ impl OeChain {
         }
         Ok(())
     }
+
+    /// Install a state snapshot exported by a peer at some height — the
+    /// manifest-transfer half of state-sync. Only valid on a fresh node:
+    /// height 0 *and* an empty catalog (installing over pre-loaded
+    /// genesis rows would silently merge, keeping local rows the peer
+    /// deleted). Afterwards the node continues from `snapshot.height` and
+    /// its local history starts there.
+    pub fn install_snapshot(&mut self, snapshot: &crate::sync::StateSnapshot) -> Result<()> {
+        if self.height != BlockId(0) {
+            return Err(Error::InvalidArgument(format!(
+                "snapshot install requires a fresh node (height {})",
+                self.height
+            )));
+        }
+        if !self.engine.list_tables().is_empty() {
+            return Err(Error::InvalidArgument(
+                "snapshot install requires an empty database (local tables exist)".into(),
+            ));
+        }
+        // Drop any stale local history (a crashed, checkpoint-less node
+        // may hold logged blocks it can no longer replay): after install,
+        // this node's chain starts at the snapshot point.
+        self.engine.block_log().truncate()?;
+        for table in &snapshot.tables {
+            let id = self.engine.create_table(&table.name)?;
+            for (key, value) in &table.rows {
+                self.engine.put(id, key, value)?;
+            }
+        }
+        self.height = snapshot.height;
+        self.last_hash = snapshot.last_hash;
+        self.base = (snapshot.height, snapshot.last_hash);
+        self.last_summary = snapshot.summary.clone();
+        import_recent_undo(&self.snapshots, &snapshot.undo);
+        self.dcc = (self.factory)(
+            Arc::clone(&self.snapshots),
+            self.height.next(),
+            self.last_summary.clone(),
+        );
+        // Persist: the install point becomes this node's first checkpoint,
+        // so a later crash recovers from here rather than from genesis.
+        self.checkpoint()
+    }
+
+    /// Export this node's full state at its current height for a lagging
+    /// peer — the manifest the state-sync protocol transfers.
+    pub fn export_snapshot(&self) -> Result<crate::sync::StateSnapshot> {
+        crate::sync::StateSnapshot::export(self)
+    }
 }
 
-// ── Recovery sidecar codec ───────────────────────────────────────────────
+// ── Recovery sidecar ─────────────────────────────────────────────────────
+// (key / undo / summary encoders shared with crate::sync's state snapshot)
 
-fn put_key(w: &mut Writer, key: &Key) {
+/// Before-images (and implied version-history entries) of one block.
+pub type BlockUndo = (BlockId, Vec<(Key, Option<Value>)>);
+
+/// Export the undo images of the trailing `depth` blocks ending at
+/// `height`, oldest first — what recovery needs to reconstruct the
+/// snapshots and version comparisons engines read several blocks back.
+pub(crate) fn export_recent_undo(
+    snapshots: &SnapshotStore,
+    height: BlockId,
+    depth: u64,
+) -> Vec<BlockUndo> {
+    let lo = height.0.saturating_sub(depth.max(1) - 1).max(1);
+    (lo..=height.0)
+        .map(|b| (BlockId(b), snapshots.export_undo_for(BlockId(b))))
+        .collect()
+}
+
+/// Re-install exported undo images, oldest block first (undo chains and
+/// version lists grow strictly newer). Per-block synthetic writer TIDs
+/// preserve the version-equality structure the SOV staleness checks
+/// compare (same block ⇔ same version).
+pub(crate) fn import_recent_undo(snapshots: &SnapshotStore, undo: &[BlockUndo]) {
+    for (block, entries) in undo {
+        let tid = harmony_common::TxnId::new(*block, 0).0;
+        snapshots.import_undo_for(*block, entries, tid);
+    }
+}
+
+pub(crate) fn put_key(w: &mut Writer, key: &Key) {
     w.put_u16(key.table().0);
     w.put_bytes(key.row());
 }
 
-fn get_key(r: &mut Reader<'_>) -> Result<Key> {
+pub(crate) fn get_key(r: &mut Reader<'_>) -> Result<Key> {
     let table = harmony_common::ids::TableId(r.get_u16()?);
     let row = r.get_bytes()?;
     Ok(Key::new(table, row))
 }
 
-fn encode_sidecar(
-    block: BlockId,
-    undo: &[(Key, Option<Value>)],
-    summary: Option<&BlockSummary>,
-) -> Vec<u8> {
-    let mut w = Writer::with_capacity(256);
-    w.put_u64(block.0);
+pub(crate) fn put_undo(w: &mut Writer, undo: &[(Key, Option<Value>)]) {
     w.put_u32(u32::try_from(undo.len()).expect("undo count"));
     for (key, before) in undo {
-        put_key(&mut w, key);
+        put_key(w, key);
         match before {
             Some(v) => {
                 w.put_u8(1);
@@ -316,6 +558,24 @@ fn encode_sidecar(
             None => w.put_u8(0),
         }
     }
+}
+
+pub(crate) fn get_undo(r: &mut Reader<'_>) -> Result<Vec<(Key, Option<Value>)>> {
+    let n = r.get_u32()? as usize;
+    let mut undo = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = get_key(r)?;
+        let before = match r.get_u8()? {
+            0 => None,
+            1 => Some(Value::from(r.get_bytes()?)),
+            t => return Err(Error::Corruption(format!("bad undo tag {t}"))),
+        };
+        undo.push((key, before));
+    }
+    Ok(undo)
+}
+
+pub(crate) fn put_summary(w: &mut Writer, summary: Option<&BlockSummary>) {
     match summary {
         None => w.put_u8(0),
         Some(s) => {
@@ -325,7 +585,7 @@ fn encode_sidecar(
             let mut writes: Vec<_> = s.committed_writes.iter().collect();
             writes.sort_by(|a, b| a.0.cmp(b.0));
             for (key, info) in writes {
-                put_key(&mut w, key);
+                put_key(w, key);
                 w.put_u64(info.min_tid);
                 w.put_u8(u8::from(info.backward_out));
             }
@@ -333,7 +593,7 @@ fn encode_sidecar(
             let mut reads: Vec<_> = s.committed_reads.iter().collect();
             reads.sort_by(|a, b| a.0.cmp(b.0));
             for (key, tid) in reads {
-                put_key(&mut w, key);
+                put_key(w, key);
                 w.put_u64(*tid);
             }
             w.put_u32(u32::try_from(s.committed_read_preds.len()).expect("preds"));
@@ -351,32 +611,16 @@ fn encode_sidecar(
             }
         }
     }
-    w.finish().to_vec()
 }
 
-type Sidecar = (BlockId, Vec<(Key, Option<Value>)>, Option<BlockSummary>);
-
-fn decode_sidecar(bytes: &[u8]) -> Result<Sidecar> {
-    let mut r = Reader::new(bytes);
-    let block = BlockId(r.get_u64()?);
-    let n = r.get_u32()? as usize;
-    let mut undo = Vec::with_capacity(n);
-    for _ in 0..n {
-        let key = get_key(&mut r)?;
-        let before = match r.get_u8()? {
-            0 => None,
-            1 => Some(Value::from(r.get_bytes()?)),
-            t => return Err(Error::Corruption(format!("bad undo tag {t}"))),
-        };
-        undo.push((key, before));
-    }
-    let summary = match r.get_u8()? {
-        0 => None,
+pub(crate) fn get_summary(r: &mut Reader<'_>) -> Result<Option<BlockSummary>> {
+    match r.get_u8()? {
+        0 => Ok(None),
         1 => {
             let sblock = BlockId(r.get_u64()?);
             let mut committed_writes = HashMap::new();
             for _ in 0..r.get_u32()? {
-                let key = get_key(&mut r)?;
+                let key = get_key(r)?;
                 let min_tid = r.get_u64()?;
                 let backward_out = r.get_u8()? == 1;
                 committed_writes.insert(
@@ -389,7 +633,7 @@ fn decode_sidecar(bytes: &[u8]) -> Result<Sidecar> {
             }
             let mut committed_reads = HashMap::new();
             for _ in 0..r.get_u32()? {
-                let key = get_key(&mut r)?;
+                let key = get_key(r)?;
                 committed_reads.insert(key, r.get_u64()?);
             }
             let mut committed_read_preds = Vec::new();
@@ -404,16 +648,58 @@ fn decode_sidecar(bytes: &[u8]) -> Result<Sidecar> {
                 };
                 committed_read_preds.push((tid, RangePredicate { table, start, end }));
             }
-            Some(BlockSummary {
+            Ok(Some(BlockSummary {
                 block: sblock,
                 committed_writes,
                 committed_reads,
                 committed_read_preds,
-            })
+            }))
         }
-        t => return Err(Error::Corruption(format!("bad summary tag {t}"))),
-    };
-    Ok((block, undo, summary))
+        t => Err(Error::Corruption(format!("bad summary tag {t}"))),
+    }
+}
+
+pub(crate) fn put_block_undo(w: &mut Writer, undo: &[BlockUndo]) {
+    w.put_u32(u32::try_from(undo.len()).expect("block count"));
+    for (block, entries) in undo {
+        w.put_u64(block.0);
+        put_undo(w, entries);
+    }
+}
+
+pub(crate) fn get_block_undo(r: &mut Reader<'_>) -> Result<Vec<BlockUndo>> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let block = BlockId(r.get_u64()?);
+        out.push((block, get_undo(r)?));
+    }
+    Ok(out)
+}
+
+fn encode_sidecar(
+    block: BlockId,
+    last_hash: &Digest,
+    undo: &[BlockUndo],
+    summary: Option<&BlockSummary>,
+) -> Vec<u8> {
+    let mut w = Writer::with_capacity(256);
+    w.put_u64(block.0);
+    w.put_raw(&last_hash.0);
+    put_block_undo(&mut w, undo);
+    put_summary(&mut w, summary);
+    w.finish().to_vec()
+}
+
+type Sidecar = (BlockId, Digest, Vec<BlockUndo>, Option<BlockSummary>);
+
+fn decode_sidecar(bytes: &[u8]) -> Result<Sidecar> {
+    let mut r = Reader::new(bytes);
+    let block = BlockId(r.get_u64()?);
+    let last_hash = Digest(r.get_raw(32)?.try_into().expect("32 bytes"));
+    let undo = get_block_undo(&mut r)?;
+    let summary = get_summary(&mut r)?;
+    Ok((block, last_hash, undo, summary))
 }
 
 #[cfg(test)]
@@ -423,7 +709,7 @@ mod tests {
     #[test]
     fn sidecar_roundtrip() {
         let key = Key::from_u64(harmony_common::ids::TableId(2), 9);
-        let undo = vec![
+        let undo: Vec<(Key, Option<Value>)> = vec![
             (key.clone(), Some(Value::from_static(b"before"))),
             (Key::from_u64(harmony_common::ids::TableId(2), 10), None),
         ];
@@ -447,9 +733,12 @@ mod tests {
                 end: Some(bytes::Bytes::from_static(b"z")),
             },
         ));
-        let enc = encode_sidecar(BlockId(7), &undo, Some(&summary));
-        let (block, undo2, summary2) = decode_sidecar(&enc).unwrap();
+        let hash = Digest([9; 32]);
+        let undo = vec![(BlockId(6), Vec::new()), (BlockId(7), undo)];
+        let enc = encode_sidecar(BlockId(7), &hash, &undo, Some(&summary));
+        let (block, hash2, undo2, summary2) = decode_sidecar(&enc).unwrap();
         assert_eq!(block, BlockId(7));
+        assert_eq!(hash2, hash);
         assert_eq!(undo2, undo);
         let s2 = summary2.unwrap();
         assert_eq!(s2.block, BlockId(7));
@@ -474,9 +763,10 @@ mod tests {
 
     #[test]
     fn sidecar_without_summary() {
-        let enc = encode_sidecar(BlockId(3), &[], None);
-        let (block, undo, summary) = decode_sidecar(&enc).unwrap();
+        let enc = encode_sidecar(BlockId(3), &Digest::ZERO, &[], None);
+        let (block, hash, undo, summary) = decode_sidecar(&enc).unwrap();
         assert_eq!(block, BlockId(3));
+        assert_eq!(hash, Digest::ZERO);
         assert!(undo.is_empty());
         assert!(summary.is_none());
     }

@@ -1,0 +1,263 @@
+//! State-sync: the checkpoint manifest a replica transfers to bootstrap a
+//! lagging (or freshly joined) peer without replaying from genesis.
+//!
+//! A [`StateSnapshot`] captures everything a node needs to continue the
+//! chain from height `h`:
+//!
+//! * the full table contents at `h` (the checkpoint manifest proper),
+//! * the hash of block `h` (so the hash chain continues verifiably),
+//! * the last block's undo images and Rule-3 summary — the same recovery
+//!   sidecar the crash path uses, so Harmony's inter-block validation
+//!   replays bit-identically on the synced node.
+//!
+//! The protocol is two phases (driven by `harmony-node`'s `StateSync`):
+//! manifest transfer ([`OeChain::install_snapshot`]) followed by
+//! block-range replay ([`OeChain::replay_range`]) of everything the peer
+//! committed after the snapshot point.
+
+use harmony_common::codec::{Reader, Writer};
+use harmony_common::{BlockId, Result};
+use harmony_core::executor::BlockSummary;
+use harmony_crypto::{sha256, Digest};
+
+use crate::oe::{
+    export_recent_undo, get_block_undo, get_summary, put_block_undo, put_summary, BlockUndo,
+    OeChain,
+};
+
+/// One table's full contents at the snapshot height.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableDump {
+    /// Table name (ids are reassigned in creation order on install).
+    pub name: String,
+    /// All rows, in key order.
+    pub rows: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// A transferable checkpoint manifest: the chain position plus the full
+/// database state and recovery sidecar at that position.
+#[derive(Clone, Debug)]
+pub struct StateSnapshot {
+    /// Height the snapshot was taken at.
+    pub height: BlockId,
+    /// Hash of the block at `height` (hash-chain continuation point).
+    pub last_hash: Digest,
+    /// Every table's contents, in catalog order.
+    pub tables: Vec<TableDump>,
+    /// Undo images of the trailing blocks, oldest first (snapshot-overlay
+    /// and version-history reseed — same depth as the recovery sidecar).
+    pub undo: Vec<BlockUndo>,
+    /// Rule-3 summary of the last executed block (Harmony continuity).
+    pub summary: Option<BlockSummary>,
+}
+
+impl StateSnapshot {
+    /// Capture `chain`'s state at its current height.
+    pub fn export(chain: &OeChain) -> Result<StateSnapshot> {
+        let engine = chain.engine();
+        let mut tables = Vec::new();
+        for (name, id) in engine.list_tables() {
+            let mut rows = Vec::new();
+            engine.scan(id, b"", None, |k, v| {
+                rows.push((k.to_vec(), v.to_vec()));
+                true
+            })?;
+            tables.push(TableDump { name, rows });
+        }
+        Ok(StateSnapshot {
+            height: chain.height(),
+            last_hash: chain.last_hash(),
+            tables,
+            undo: export_recent_undo(
+                chain.snapshots(),
+                chain.height(),
+                chain.config().sidecar_depth,
+            ),
+            summary: chain.last_summary().cloned(),
+        })
+    }
+
+    /// Serialize for transfer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(1024);
+        w.put_u64(self.height.0);
+        w.put_raw(&self.last_hash.0);
+        w.put_u32(u32::try_from(self.tables.len()).expect("table count"));
+        for t in &self.tables {
+            w.put_bytes(t.name.as_bytes());
+            w.put_u32(u32::try_from(t.rows.len()).expect("row count"));
+            for (k, v) in &t.rows {
+                w.put_bytes(k);
+                w.put_bytes(v);
+            }
+        }
+        put_block_undo(&mut w, &self.undo);
+        put_summary(&mut w, self.summary.as_ref());
+        w.finish().to_vec()
+    }
+
+    /// Deserialize a transferred manifest.
+    pub fn decode(bytes: &[u8]) -> Result<StateSnapshot> {
+        let mut r = Reader::new(bytes);
+        let height = BlockId(r.get_u64()?);
+        let last_hash = Digest(r.get_raw(32)?.try_into().expect("32 bytes"));
+        let n_tables = r.get_u32()? as usize;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let name = String::from_utf8(r.get_bytes()?)
+                .map_err(|e| harmony_common::Error::Corruption(format!("table name: {e}")))?;
+            let n_rows = r.get_u32()? as usize;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                let k = r.get_bytes()?;
+                let v = r.get_bytes()?;
+                rows.push((k, v));
+            }
+            tables.push(TableDump { name, rows });
+        }
+        let undo = get_block_undo(&mut r)?;
+        let summary = get_summary(&mut r)?;
+        Ok(StateSnapshot {
+            height,
+            last_hash,
+            tables,
+            undo,
+            summary,
+        })
+    }
+
+    /// Content digest of the manifest — what a paranoid receiver compares
+    /// against an out-of-band commitment before installing.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        sha256(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChainConfig;
+    use harmony_common::DetRng;
+    use harmony_workloads::{Workload, Ycsb, YcsbCodec, YcsbConfig};
+
+    fn running_chain(blocks: usize) -> (OeChain, YcsbCodec, Ycsb, DetRng) {
+        let mut chain = OeChain::in_memory(ChainConfig {
+            checkpoint_every: 4,
+            ..ChainConfig::in_memory()
+        })
+        .unwrap();
+        let mut w = Ycsb::new(YcsbConfig {
+            keys: 200,
+            theta: 0.7,
+            ..YcsbConfig::default()
+        });
+        w.setup(chain.engine()).unwrap();
+        let codec = YcsbCodec { table: w.table() };
+        let mut rng = DetRng::new(0x51AC);
+        for _ in 0..blocks {
+            let txns = w.next_block(&mut rng, 12);
+            chain.submit_block(txns, &codec).unwrap();
+        }
+        (chain, codec, w, rng)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_content() {
+        let (chain, _, _, _) = running_chain(6);
+        let snap = chain.export_snapshot().unwrap();
+        let decoded = StateSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded.height, snap.height);
+        assert_eq!(decoded.last_hash, snap.last_hash);
+        assert_eq!(decoded.tables, snap.tables);
+        assert_eq!(decoded.undo, snap.undo);
+        assert_eq!(decoded.digest(), snap.digest());
+    }
+
+    #[test]
+    fn install_then_replay_matches_peer() {
+        // Peer runs 6 blocks, exports at 6; a fresh node installs the
+        // manifest, then both execute 4 more identical blocks and agree.
+        let (mut peer, codec, w, mut rng) = running_chain(6);
+        let snap = peer.export_snapshot().unwrap();
+
+        let mut joiner = OeChain::in_memory(ChainConfig {
+            checkpoint_every: 4,
+            ..ChainConfig::in_memory()
+        })
+        .unwrap();
+        joiner
+            .install_snapshot(&StateSnapshot::decode(&snap.encode()).unwrap())
+            .unwrap();
+        assert_eq!(joiner.height(), peer.height());
+        assert_eq!(joiner.last_hash(), peer.last_hash());
+        assert_eq!(
+            joiner.state_root().unwrap(),
+            peer.state_root().unwrap(),
+            "manifest install must reproduce the peer's exact state"
+        );
+
+        for _ in 0..4 {
+            let txns = w.next_block(&mut rng, 12);
+            let (sealed, _) = peer.submit_block(txns, &codec).unwrap();
+            joiner.apply_sealed_block(&sealed, &codec).unwrap();
+        }
+        assert_eq!(joiner.state_root().unwrap(), peer.state_root().unwrap());
+        assert_eq!(joiner.last_hash(), peer.last_hash());
+
+        // The joiner's base-aware chain verification still works (its log
+        // starts at the snapshot height) — and it can crash-recover.
+        joiner.verify_chain().unwrap();
+        let root = joiner.state_root().unwrap();
+        joiner.crash_and_recover(&codec).unwrap();
+        assert_eq!(joiner.state_root().unwrap(), root);
+    }
+
+    #[test]
+    fn install_rejected_on_non_fresh_node() {
+        let (chain, _, _, _) = running_chain(2);
+        let snap = chain.export_snapshot().unwrap();
+        let (mut busy, _, _, _) = running_chain(1);
+        assert!(busy.install_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn replay_range_catches_up_from_blocks_after() {
+        // A replica that stops at height 3 catches up to 8 purely from a
+        // peer's verified block range (no manifest needed).
+        let (mut peer, codec, w, mut rng) = running_chain(3);
+        let mut lagger = OeChain::in_memory(ChainConfig {
+            checkpoint_every: 4,
+            ..ChainConfig::in_memory()
+        })
+        .unwrap();
+        let mut w2 = Ycsb::new(YcsbConfig {
+            keys: 200,
+            theta: 0.7,
+            ..YcsbConfig::default()
+        });
+        w2.setup(lagger.engine()).unwrap();
+        // Replay the peer's first 3 blocks, then fall behind.
+        lagger
+            .replay_range(&peer.blocks_after(BlockId(0)).unwrap(), &codec)
+            .unwrap();
+        assert_eq!(lagger.height(), BlockId(3));
+        for _ in 0..5 {
+            let txns = w.next_block(&mut rng, 12);
+            peer.submit_block(txns, &codec).unwrap();
+        }
+        let applied = lagger
+            .replay_range(&peer.blocks_after(lagger.height()).unwrap(), &codec)
+            .unwrap();
+        assert_eq!(applied, 5);
+        assert_eq!(lagger.state_root().unwrap(), peer.state_root().unwrap());
+        // Idempotent: handing the full suffix again applies nothing.
+        assert_eq!(
+            lagger
+                .replay_range(&peer.blocks_after(BlockId(0)).unwrap(), &codec)
+                .unwrap(),
+            0
+        );
+    }
+}

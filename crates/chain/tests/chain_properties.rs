@@ -116,11 +116,16 @@ fn oe_recovery_without_any_checkpoint() {
     }
     let root = chain.state_root().unwrap();
     chain.crash_and_recover(&codec).unwrap();
-    // Without a checkpoint the initial load is also gone — but so is it on
-    // a replica that replays from genesis... the initial load must be
-    // reloaded by the operator before replay. Reload and replay:
-    // (we instead verify the chain itself still verifies and re-running
-    // from genesis state reproduces the root).
+    // Without a checkpoint the initial load is gone, so there is no base
+    // state to replay onto: recovery must honestly report total local
+    // loss (height 0, empty catalog, no bogus replay) — the node is now
+    // a state-sync bootstrap candidate.
+    assert_eq!(chain.height(), BlockId(0), "no checkpoint ⇒ total loss");
+    assert!(
+        chain.engine().list_tables().is_empty(),
+        "no tables must survive a checkpoint-less crash"
+    );
+    // A replica with the genesis state can still reproduce the chain:
     let mut fresh = OeChain::in_memory(ChainConfig {
         checkpoint_every: 1_000,
         ..ChainConfig::in_memory()

@@ -10,9 +10,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use harmony_crypto::CryptoCost;
+use harmony_crypto::{CryptoCost, Digest};
 
-use crate::net::{ConsensusReport, EventLoop, LatencyModel, NetCtx, SimNode};
+use crate::net::{ConsensusReport, DeliveryLog, EventLoop, LatencyModel, NetCtx, SimNode};
 
 /// HotStuff configuration.
 #[derive(Clone, Debug)]
@@ -105,8 +105,21 @@ pub struct HsNode {
     new_views: HashMap<u64, usize>,
     proposal_born: HashMap<u64, u64>,
     last_event: u64,
-    /// Committed blocks: (view, commit latency ns).
+    /// Committed blocks: (view, commit latency ns). Recorded only at the
+    /// node that formed the committing QC (for latency measurement).
     pub committed: Vec<(u64, u64)>,
+    /// Verified delivery log of this node: every view it learned committed
+    /// (via its own QC or a successor proposal's justify), with the
+    /// block's content digest. Honest nodes' logs must agree pairwise.
+    pub delivery_log: DeliveryLog,
+}
+
+/// Content digest of the synthetic block proposed in `view`.
+#[must_use]
+pub fn view_digest(view: u64) -> Digest {
+    let mut bytes = *b"hotstuff-blk\0\0\0\0\0\0\0\0";
+    bytes[12..20].copy_from_slice(&view.to_le_bytes());
+    harmony_crypto::sha256(&bytes)
 }
 
 impl HsNode {
@@ -121,6 +134,7 @@ impl HsNode {
             proposal_born: HashMap::new(),
             last_event: 0,
             committed: Vec::new(),
+            delivery_log: DeliveryLog::default(),
         }
     }
 
@@ -172,6 +186,8 @@ impl HsNode {
                         .unwrap_or(ctx.now()),
                 );
                 self.committed.push((committed_view, latency));
+                self.delivery_log
+                    .observe(committed_view, view_digest(committed_view));
             }
             // Pipelined: immediately lead the next view.
             let next = view + 1;
@@ -190,9 +206,20 @@ impl SimNode<HsMsg> for HsNode {
         }
         self.last_event = ctx.now();
         match msg {
-            HsMsg::Proposal { view, born_at, .. } => {
+            HsMsg::Proposal {
+                view,
+                justify,
+                born_at,
+            } => {
                 if view < self.view {
                     return;
+                }
+                // The embedded QC certifies `justify`; under the 3-chain
+                // rule that commits `justify − 2` at this replica — the
+                // delivery every node records, leader or not.
+                if justify >= 2 {
+                    self.delivery_log
+                        .observe(justify - 2, view_digest(justify - 2));
                 }
                 self.view = view;
                 self.proposal_born.entry(view).or_insert(born_at);
@@ -360,6 +387,42 @@ mod tests {
             report.committed_blocks > 0,
             "view change must restore progress: {report:?}"
         );
+    }
+
+    #[test]
+    fn honest_nodes_agree_on_delivery_logs() {
+        let config = HotStuffConfig {
+            nodes: 4,
+            ..HotStuffConfig::default()
+        };
+        let nodes: Vec<HsNode> = (0..config.nodes)
+            .map(|i| HsNode::new(i, config.clone()))
+            .collect();
+        let mut el = EventLoop::new(nodes, LatencyModel::lan_1g(), 0xB0B);
+        for i in 0..config.nodes {
+            el.seed_timer(i, 0, 0);
+            el.seed_timer(i, config.timeout_ns, TIMER_PACEMAKER);
+        }
+        el.run_until(3_000_000_000);
+        let reference = &el.node(0).delivery_log;
+        assert!(reference.len() > 100, "{}", reference.len());
+        for i in 0..config.nodes {
+            let log = &el.node(i).delivery_log;
+            assert_eq!(log.mismatches(), 0);
+            assert!(
+                log.agrees_with(reference),
+                "node {i}'s committed sequence diverged"
+            );
+            // Nodes may trail by the views still in flight at cutoff, but
+            // never by more than the 3-chain pipeline depth.
+            assert!(
+                (log.len() as i64 - reference.len() as i64).abs() <= 3,
+                "node {i}: {} vs {} commits",
+                log.len(),
+                reference.len()
+            );
+            assert_eq!(log.digest_at(1), Some(view_digest(1)));
+        }
     }
 
     #[test]

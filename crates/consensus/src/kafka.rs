@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 
-use crate::net::{ConsensusReport, EventLoop, LatencyModel, NetCtx, SimNode};
+use harmony_crypto::Digest;
+
+use crate::net::{ConsensusReport, DeliveryLog, EventLoop, LatencyModel, NetCtx, SimNode};
 
 /// Kafka orderer configuration.
 #[derive(Clone, Debug)]
@@ -68,10 +70,12 @@ pub enum KMsg {
         /// Batch creation time.
         born_at: u64,
     },
-    /// Leader → chain replica: sealed block.
+    /// Leader → chain replica: sealed block (sequence + content digest).
     Deliver {
         /// Batch sequence number.
         seq: u64,
+        /// Digest of the sealed block's contents.
+        digest: Digest,
     },
 }
 
@@ -85,8 +89,19 @@ pub struct KNode {
     in_flight: usize,
     /// Committed batches at the leader: (seq, latency ns).
     pub committed: Vec<(u64, u64)>,
-    /// Blocks received by this chain replica.
-    pub delivered: u64,
+    /// Verified delivery log of this chain replica: every sealed block it
+    /// received, in order, with its content digest. Replicas fed the same
+    /// ordering must hold identical logs.
+    pub delivery_log: DeliveryLog,
+}
+
+/// Content digest of the leader's synthetic batch `seq` — what the sealed
+/// block's hash would be. Replicas recompute it to verify deliveries.
+#[must_use]
+pub fn batch_digest(seq: u64) -> Digest {
+    let mut bytes = *b"kafka-batch-\0\0\0\0\0\0\0\0";
+    bytes[12..20].copy_from_slice(&seq.to_le_bytes());
+    harmony_crypto::sha256(&bytes)
 }
 
 impl KNode {
@@ -98,7 +113,7 @@ impl KNode {
             next_seq: 0,
             in_flight: 0,
             committed: Vec::new(),
-            delivered: 0,
+            delivery_log: DeliveryLog::default(),
         }
     }
 
@@ -140,10 +155,11 @@ impl SimNode<KMsg> for KNode {
                         .push((seq, ctx.now().saturating_sub(born_at)));
                     // Deliver the sealed block to every chain replica.
                     let bytes = self.config.block_bytes();
+                    let digest = batch_digest(seq);
                     for r in 0..self.config.replicas {
                         let node = self.config.brokers + r;
                         ctx.charge_cpu(bytes * self.config.tx_ns_per_byte);
-                        ctx.send(node, KMsg::Deliver { seq }, bytes);
+                        ctx.send(node, KMsg::Deliver { seq, digest }, bytes);
                     }
                     self.in_flight -= 1;
                     while self.in_flight < self.config.window {
@@ -151,8 +167,11 @@ impl SimNode<KMsg> for KNode {
                     }
                 }
             }
-            KMsg::Deliver { .. } => {
-                self.delivered += 1;
+            KMsg::Deliver { seq, digest } => {
+                // Verify the delivered block against the recomputable
+                // content digest before admitting it to the log.
+                debug_assert_eq!(digest, batch_digest(seq), "tampered delivery");
+                self.delivery_log.observe(seq, digest);
             }
         }
     }
@@ -252,7 +271,7 @@ mod tests {
     }
 
     #[test]
-    fn replicas_receive_blocks() {
+    fn replicas_observe_identical_delivery_sequences() {
         let config = KafkaConfig {
             replicas: 3,
             ..KafkaConfig::default()
@@ -262,8 +281,22 @@ mod tests {
         let mut el = EventLoop::new(nodes, LatencyModel::lan_1g(), 1);
         el.seed_timer(0, 0, 0);
         el.run_until(1_000_000_000);
+        let reference = &el.node(config.brokers).delivery_log;
+        assert!(reference.len() > 100, "{}", reference.len());
         for r in 0..3 {
-            assert!(el.node(config.brokers + r).delivered > 100);
+            let log = &el.node(config.brokers + r).delivery_log;
+            assert!(log.is_gap_free(), "replica {r} has delivery gaps");
+            assert_eq!(log.mismatches(), 0);
+            // Identical sequences, modulo the last delivery that may still
+            // be in flight to some replicas at the simulation cutoff.
+            assert!(
+                log.agrees_with(reference)
+                    && (log.len() as i64 - reference.len() as i64).abs() <= 1,
+                "replica {r} diverged: {} vs {} entries",
+                log.len(),
+                reference.len()
+            );
+            assert_eq!(log.digest_at(0), Some(batch_digest(0)));
         }
     }
 

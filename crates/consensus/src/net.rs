@@ -7,9 +7,82 @@
 //! HotStuff's crypto overhead caps its rate.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use harmony_common::DetRng;
+use harmony_crypto::Digest;
+
+/// Verified per-replica record of delivered blocks: sequence number →
+/// content digest, with duplicate-divergence tracking. Replicas fed the
+/// same ordering service must end up with identical logs — the assertion
+/// the consensus tests and the node runtime's divergence detection share.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryLog {
+    entries: BTreeMap<u64, Digest>,
+    mismatches: u64,
+}
+
+impl DeliveryLog {
+    /// Record a delivery. A repeat of an already-logged sequence with a
+    /// *different* digest is counted as a mismatch (equivocation evidence);
+    /// identical repeats are idempotent.
+    pub fn observe(&mut self, seq: u64, digest: Digest) {
+        match self.entries.get(&seq) {
+            Some(prev) if *prev != digest => self.mismatches += 1,
+            Some(_) => {}
+            None => {
+                self.entries.insert(seq, digest);
+            }
+        }
+    }
+
+    /// Number of distinct sequences delivered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been delivered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Digest logged for `seq`, if delivered.
+    #[must_use]
+    pub fn digest_at(&self, seq: u64) -> Option<Digest> {
+        self.entries.get(&seq).copied()
+    }
+
+    /// Conflicting re-deliveries observed (must be 0 for honest orderers).
+    #[must_use]
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    /// Whether the logged sequences form one contiguous range (no gaps).
+    #[must_use]
+    pub fn is_gap_free(&self) -> bool {
+        match (self.entries.keys().next(), self.entries.keys().last()) {
+            (Some(first), Some(last)) => last - first + 1 == self.entries.len() as u64,
+            _ => true,
+        }
+    }
+
+    /// Whether every sequence both logs contain carries the same digest —
+    /// the pairwise replica-consistency check.
+    #[must_use]
+    pub fn agrees_with(&self, other: &DeliveryLog) -> bool {
+        self.entries
+            .iter()
+            .all(|(seq, d)| other.entries.get(seq).is_none_or(|o| o == d))
+    }
+
+    /// The log's `(seq, digest)` entries in sequence order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, Digest)> + '_ {
+        self.entries.iter().map(|(s, d)| (*s, *d))
+    }
+}
 
 /// Placement region of a node (the paper's 4-continent WAN).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -238,6 +311,25 @@ impl<M, N: SimNode<M>> EventLoop<M, N> {
     #[must_use]
     pub fn node(&self, i: usize) -> &N {
         &self.nodes[i]
+    }
+
+    /// Mutable access to a node — for harnesses that inject faults or
+    /// drain results between simulation phases.
+    #[must_use]
+    pub fn node_mut(&mut self, i: usize) -> &mut N {
+        &mut self.nodes[i]
+    }
+
+    /// Number of nodes in the loop.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the loop has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
     }
 
     /// Inject an initial timer for node `to` at absolute time `at`.

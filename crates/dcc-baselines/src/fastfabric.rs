@@ -57,10 +57,21 @@ impl FastFabric {
     /// New engine starting at block 1.
     #[must_use]
     pub fn new(store: Arc<SnapshotStore>, config: FastFabricConfig) -> FastFabric {
+        FastFabric::starting_at(store, config, BlockId(1))
+    }
+
+    /// Resume at an arbitrary block (recovery). The dependency graph is
+    /// per-block, so no cross-block state needs reseeding.
+    #[must_use]
+    pub fn starting_at(
+        store: Arc<SnapshotStore>,
+        config: FastFabricConfig,
+        next: BlockId,
+    ) -> FastFabric {
         FastFabric {
             store,
             config,
-            next_block: Mutex::new(BlockId(1)),
+            next_block: Mutex::new(next),
         }
     }
 }

@@ -1,0 +1,867 @@
+//! The cluster harness: a full Order-Execute deployment on the
+//! deterministic discrete-event network.
+//!
+//! Node layout: one open-loop **client bank** (Poisson arrivals over N
+//! sessions, per-session nonces), one **ordering service** (mempool
+//! admission → deterministic batching → sealing → replication/voting →
+//! delivery), optional Kafka follower brokers, and R **replicas**
+//! ([`ReplicaNode`]) applying sealed blocks in order.
+//!
+//! Scenario hooks: a [`CrashPlan`] takes one replica down mid-run and
+//! brings it back later — local checkpoint recovery, then state-sync
+//! catch-up from a peer ([`crate::statesync`]) while new deliveries are
+//! buffered. Every replica gossips its state root every few blocks and
+//! raises divergence alarms on mismatch.
+//!
+//! [`Cluster::run`] returns a [`ClusterReport`] whose `metrics` is a real
+//! [`RunMetrics`] measured from the replica runtime — the same shape the
+//! analytic `ClusterModel` composition produces, now driven end-to-end.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use harmony_chain::ChainBlock;
+use harmony_common::{BlockId, Result};
+use harmony_consensus::net::{EventLoop, LatencyModel, NetCtx, SimNode};
+use harmony_crypto::{CryptoCost, Digest, KeyPair};
+use harmony_sim::RunMetrics;
+use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_txn::{encode_contract, Contract, ContractCodec};
+use harmony_workloads::{
+    OpenLoopClients, OpenLoopConfig, Smallbank, SmallbankCodec, SmallbankConfig, Workload, Ycsb,
+    YcsbCodec, YcsbConfig,
+};
+
+use crate::mempool::{Mempool, MempoolConfig, MempoolStats};
+use crate::replica::{ReplicaConfig, ReplicaNode};
+use crate::statesync::{apply_sync, serve_sync, SyncPolicy, SyncResponse};
+
+/// Workload selector for a cluster run (workload + its contract codec).
+#[derive(Clone, Debug)]
+pub enum ClusterWorkload {
+    /// Smallbank with the given configuration.
+    Smallbank(SmallbankConfig),
+    /// YCSB with the given configuration.
+    Ycsb(YcsbConfig),
+}
+
+impl ClusterWorkload {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterWorkload::Smallbank(_) => "Smallbank",
+            ClusterWorkload::Ycsb(_) => "YCSB",
+        }
+    }
+
+    /// Load genesis state into a replica's engine and return the codec
+    /// that decodes this workload's contracts.
+    pub fn setup_node(&self, engine: &Arc<StorageEngine>) -> Result<Arc<dyn ContractCodec>> {
+        match self {
+            ClusterWorkload::Smallbank(c) => {
+                let mut w = Smallbank::new(c.clone());
+                w.setup(engine)?;
+                let (checking, savings) = w.tables();
+                Ok(Arc::new(SmallbankCodec { checking, savings }))
+            }
+            ClusterWorkload::Ycsb(c) => {
+                let mut w = Ycsb::new(c.clone());
+                w.setup(engine)?;
+                Ok(Arc::new(YcsbCodec { table: w.table() }))
+            }
+        }
+    }
+
+    /// A transaction generator for the client bank (set up against a
+    /// scratch engine so table ids match the replicas').
+    pub fn generator(&self) -> Result<Box<dyn Workload>> {
+        let engine = StorageEngine::open(&StorageConfig::memory())?;
+        match self {
+            ClusterWorkload::Smallbank(c) => {
+                let mut w = Smallbank::new(c.clone());
+                w.setup(&engine)?;
+                Ok(Box::new(w))
+            }
+            ClusterWorkload::Ycsb(c) => {
+                let mut w = Ycsb::new(c.clone());
+                w.setup(&engine)?;
+                Ok(Box::new(w))
+            }
+        }
+    }
+}
+
+/// How the ordering service reaches agreement before delivering.
+#[derive(Clone, Copy, Debug)]
+pub enum OrderingMode {
+    /// Crash-fault-tolerant leader + follower brokers, majority ack.
+    Kafka {
+        /// Replication factor (leader + followers).
+        brokers: usize,
+    },
+    /// BFT: the replicas themselves vote in three chained rounds.
+    HotStuff,
+}
+
+/// Take one replica down at `at_ns` and bring it back at `recover_at_ns`
+/// (local checkpoint recovery + state-sync catch-up from a peer).
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPlan {
+    /// Replica index (0-based among replicas) to crash.
+    pub replica: usize,
+    /// Crash time (virtual ns).
+    pub at_ns: u64,
+    /// Recovery time (virtual ns).
+    pub recover_at_ns: u64,
+}
+
+/// Cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Per-replica configuration (engine, workers, chain, gossip).
+    pub replica: ReplicaConfig,
+    /// The workload and its codec.
+    pub workload: ClusterWorkload,
+    /// Ordering service style.
+    pub ordering: OrderingMode,
+    /// Network model.
+    pub latency: LatencyModel,
+    /// Mempool admission bounds.
+    pub mempool: MempoolConfig,
+    /// Open-loop client arrival process.
+    pub open_loop: OpenLoopConfig,
+    /// Arrivals stop after this much virtual time.
+    pub load_ns: u64,
+    /// Extra virtual time to drain the pipeline.
+    pub drain_ns: u64,
+    /// Transactions per sealed block (batch ceiling).
+    pub block_txns: usize,
+    /// Batching tick interval.
+    pub batch_interval_ns: u64,
+    /// Max unacknowledged blocks in the ordering pipeline.
+    pub window: usize,
+    /// State-sync serving policy.
+    pub sync: SyncPolicy,
+    /// Optional crash/rejoin scenario.
+    pub crash: Option<CrashPlan>,
+    /// Simulation seed (network jitter + client stream).
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replicas: 4,
+            replica: ReplicaConfig::default(),
+            workload: ClusterWorkload::Smallbank(SmallbankConfig {
+                accounts: 1_000,
+                theta: 0.6,
+                ..SmallbankConfig::default()
+            }),
+            ordering: OrderingMode::Kafka { brokers: 3 },
+            latency: LatencyModel::lan_1g(),
+            mempool: MempoolConfig::default(),
+            open_loop: OpenLoopConfig::default(),
+            load_ns: 40_000_000,
+            drain_ns: 400_000_000,
+            block_txns: 32,
+            batch_interval_ns: 500_000,
+            window: 4,
+            sync: SyncPolicy::default(),
+            crash: None,
+            seed: 0xC10C,
+        }
+    }
+}
+
+// ── Messages and timers ─────────────────────────────────────────────────
+
+#[derive(Clone)]
+enum Msg {
+    Submit {
+        client: u64,
+        nonce: u64,
+        submitted_ns: u64,
+        contract: Arc<dyn Contract>,
+    },
+    /// Leader → follower broker (Kafka replication).
+    Replicate { seq: u64 },
+    /// Follower → leader.
+    Ack { seq: u64 },
+    /// Leader → replica voter (HotStuff round `round` of 3).
+    Prepare { seq: u64, round: u8 },
+    /// Voter → leader.
+    Vote { seq: u64, round: u8 },
+    /// Orderer → replica: the sealed block.
+    Deliver {
+        block: Arc<ChainBlock>,
+        born_ns: u64,
+        mean_submit_ns: u64,
+    },
+    /// Replica → replica: state root at a gossip height.
+    RootGossip { height: u64, root: Digest },
+    /// Lagging replica → peer.
+    SyncRequest { from: u64 },
+    /// Peer → lagging replica.
+    SyncReply { response: Arc<SyncResponse> },
+}
+
+const TIMER_CLIENT: u64 = 1;
+const TIMER_BATCH: u64 = 2;
+const TIMER_CRASH: u64 = 3;
+const TIMER_RECOVER: u64 = 4;
+
+/// Per-admission CPU cost at the orderer (signature + nonce check).
+const ADMIT_NS: u64 = 1_000;
+/// CPU cost of serving one block in a sync response.
+const SYNC_SERVE_NS_PER_BLOCK: u64 = 10_000;
+/// CPU cost of replaying one block during catch-up.
+const SYNC_REPLAY_NS_PER_BLOCK: u64 = 300_000;
+/// CPU cost of local checkpoint recovery.
+const RECOVERY_NS: u64 = 1_000_000;
+
+// ── Client bank ─────────────────────────────────────────────────────────
+
+struct ClientBank {
+    stream: OpenLoopClients,
+    generator: Box<dyn Workload>,
+    rng: harmony_common::DetRng,
+    pending: Option<harmony_workloads::Arrival>,
+    load_ns: u64,
+    orderer: usize,
+    submitted: u64,
+}
+
+impl ClientBank {
+    fn fire(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+        let Some(arrival) = self.pending.take() else {
+            return;
+        };
+        let contract = self.generator.next_txn(&mut self.rng);
+        let bytes = encode_contract(contract.as_ref()).len() as u64 + 24;
+        ctx.charge_cpu(500);
+        ctx.send(
+            self.orderer,
+            Msg::Submit {
+                client: arrival.client,
+                nonce: arrival.nonce,
+                submitted_ns: ctx.now(),
+                contract,
+            },
+            bytes,
+        );
+        self.submitted += 1;
+        let next = self.stream.next_arrival();
+        if next.at_ns <= self.load_ns {
+            ctx.set_timer(next.at_ns.saturating_sub(ctx.now()), TIMER_CLIENT);
+            self.pending = Some(next);
+        }
+    }
+}
+
+// ── Ordering service ────────────────────────────────────────────────────
+
+struct InFlight {
+    block: Arc<ChainBlock>,
+    /// Wire size of the sealed block (computed once at seal time).
+    bytes: u64,
+    born_ns: u64,
+    mean_submit_ns: u64,
+    acks: usize,
+    round: u8,
+}
+
+struct Orderer {
+    mempool: Mempool,
+    keypair: KeyPair,
+    crypto: CryptoCost,
+    next_id: u64,
+    prev_hash: Digest,
+    in_flight: HashMap<u64, InFlight>,
+    mode: OrderingMode,
+    followers: Vec<usize>,
+    replicas: Vec<usize>,
+    block_txns: usize,
+    window: usize,
+    batch_interval_ns: u64,
+    tx_ns_per_byte: u64,
+    timer_armed: bool,
+    last_seal_ns: u64,
+    sealed_blocks: u64,
+}
+
+impl Orderer {
+    fn quorum(&self) -> usize {
+        match self.mode {
+            // Leader's own log append counts; majority of brokers.
+            OrderingMode::Kafka { brokers } => brokers / 2 + 1,
+            // 2/3 of the replica voters (rounded up), leader implicit.
+            OrderingMode::HotStuff => (self.replicas.len() * 2).div_ceil(3).max(1),
+        }
+    }
+
+    fn launch_batches(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+        while self.in_flight.len() < self.window && !self.mempool.is_empty() {
+            // Batching discipline: seal a full block, or a partial one
+            // only after a full batch interval has passed since the last
+            // seal — otherwise a fast ack loop would seal slivers.
+            let full = self.mempool.len() >= self.block_txns;
+            let ripe = ctx.now().saturating_sub(self.last_seal_ns) >= self.batch_interval_ns;
+            if !full && !ripe {
+                break;
+            }
+            self.last_seal_ns = ctx.now();
+            let batch = self.mempool.next_batch(self.block_txns);
+            let mean_submit_ns =
+                batch.iter().map(|t| t.submitted_ns).sum::<u64>() / batch.len() as u64;
+            let encoded: Vec<Vec<u8>> = batch
+                .iter()
+                .map(|t| encode_contract(t.contract.as_ref()))
+                .collect();
+            let sealed = Arc::new(ChainBlock::seal(
+                BlockId(self.next_id),
+                self.prev_hash,
+                encoded,
+                &self.keypair,
+            ));
+            ctx.charge_cpu(self.crypto.hash_ns + self.crypto.sign_ns);
+            self.next_id += 1;
+            self.prev_hash = sealed.header.hash();
+            self.sealed_blocks += 1;
+            let seq = sealed.header.id.0;
+            let bytes = sealed.encode().len() as u64;
+            self.in_flight.insert(
+                seq,
+                InFlight {
+                    block: sealed,
+                    bytes,
+                    born_ns: ctx.now(),
+                    mean_submit_ns,
+                    acks: 1,
+                    round: 0,
+                },
+            );
+            match self.mode {
+                OrderingMode::Kafka { .. } => {
+                    if self.followers.is_empty() {
+                        self.commit(seq, ctx);
+                    } else {
+                        for &f in &self.followers.clone() {
+                            ctx.charge_cpu(bytes * self.tx_ns_per_byte);
+                            ctx.send(f, Msg::Replicate { seq }, bytes);
+                        }
+                    }
+                }
+                OrderingMode::HotStuff => {
+                    ctx.charge_cpu(self.crypto.sign_ns);
+                    for &r in &self.replicas.clone() {
+                        ctx.charge_cpu(bytes * self.tx_ns_per_byte);
+                        ctx.send(r, Msg::Prepare { seq, round: 0 }, bytes);
+                    }
+                }
+            }
+        }
+        if !self.mempool.is_empty() && !self.timer_armed {
+            ctx.set_timer(self.batch_interval_ns, TIMER_BATCH);
+            self.timer_armed = true;
+        }
+    }
+
+    fn on_quorum(&mut self, seq: u64, ctx: &mut NetCtx<'_, Msg>) {
+        match self.mode {
+            OrderingMode::Kafka { .. } => self.commit(seq, ctx),
+            OrderingMode::HotStuff => {
+                let Some(entry) = self.in_flight.get_mut(&seq) else {
+                    return;
+                };
+                if entry.round < 2 {
+                    entry.round += 1;
+                    entry.acks = 0;
+                    let round = entry.round;
+                    ctx.charge_cpu(self.crypto.sign_ns);
+                    for &r in &self.replicas.clone() {
+                        ctx.send(r, Msg::Prepare { seq, round }, 256);
+                    }
+                } else {
+                    self.commit(seq, ctx);
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self, seq: u64, ctx: &mut NetCtx<'_, Msg>) {
+        let Some(entry) = self.in_flight.remove(&seq) else {
+            return;
+        };
+        let bytes = entry.bytes;
+        for &r in &self.replicas {
+            ctx.charge_cpu(bytes * self.tx_ns_per_byte);
+            ctx.send(
+                r,
+                Msg::Deliver {
+                    block: Arc::clone(&entry.block),
+                    born_ns: entry.born_ns,
+                    mean_submit_ns: entry.mean_submit_ns,
+                },
+                bytes,
+            );
+        }
+        // A freed window slot can immediately seal the next batch.
+        self.launch_batches(ctx);
+    }
+}
+
+// ── Replica wrapper ─────────────────────────────────────────────────────
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReplicaState {
+    Up,
+    Down,
+    Syncing,
+}
+
+struct ReplicaWrap {
+    node: ReplicaNode,
+    state: ReplicaState,
+    meta: HashMap<u64, (u64, u64)>,
+    peers: Vec<usize>,
+    sync_peer: usize,
+    sync_policy: SyncPolicy,
+    window: usize,
+    // Measurement.
+    committed_weighted_e2e_ns: f64,
+    committed_weighted_order_ns: f64,
+    committed_txns: u64,
+    last_apply_ns: u64,
+    recoveries: u64,
+    sync_blocks: u64,
+}
+
+impl ReplicaWrap {
+    fn on_applied(&mut self, applied: &[crate::replica::Applied], ctx: &mut NetCtx<'_, Msg>) {
+        for a in applied {
+            ctx.charge_cpu(a.cost_ns);
+            self.last_apply_ns = self.last_apply_ns.max(ctx.now());
+            if let Some((born, submit)) = self.meta.remove(&a.block.0) {
+                let c = a.committed as f64;
+                self.committed_weighted_e2e_ns += c * ctx.now().saturating_sub(submit) as f64;
+                self.committed_weighted_order_ns += c * ctx.now().saturating_sub(born) as f64;
+            }
+            self.committed_txns += a.committed as u64;
+            if let Some(root) = a.gossip_root {
+                ctx.charge_cpu(100_000); // root computation
+                for &p in &self.peers {
+                    ctx.send(
+                        p,
+                        Msg::RootGossip {
+                            height: a.block.0,
+                            root,
+                        },
+                        40,
+                    );
+                }
+            }
+        }
+    }
+
+    fn request_sync(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+        self.state = ReplicaState::Syncing;
+        ctx.send(
+            self.sync_peer,
+            Msg::SyncRequest {
+                from: self.node.height().0,
+            },
+            64,
+        );
+    }
+}
+
+// ── The node enum ───────────────────────────────────────────────────────
+
+enum ClusterNode {
+    Client(ClientBank),
+    Orderer(Box<Orderer>),
+    Follower,
+    Replica(Box<ReplicaWrap>),
+}
+
+impl SimNode<Msg> for ClusterNode {
+    fn on_message(&mut self, from: usize, msg: Msg, ctx: &mut NetCtx<'_, Msg>) {
+        match self {
+            ClusterNode::Client(_) => {}
+            ClusterNode::Follower => {
+                if let Msg::Replicate { seq } = msg {
+                    // Append to the local broker log and ack.
+                    ctx.charge_cpu(50_000);
+                    ctx.send(from, Msg::Ack { seq }, 64);
+                }
+            }
+            ClusterNode::Orderer(o) => match msg {
+                Msg::Submit {
+                    client,
+                    nonce,
+                    submitted_ns,
+                    contract,
+                } => {
+                    ctx.charge_cpu(ADMIT_NS);
+                    let _ = o.mempool.submit(client, nonce, submitted_ns, contract);
+                    if !o.timer_armed {
+                        ctx.set_timer(o.batch_interval_ns, TIMER_BATCH);
+                        o.timer_armed = true;
+                    }
+                }
+                Msg::Ack { seq } => {
+                    if let Some(entry) = o.in_flight.get_mut(&seq) {
+                        entry.acks += 1;
+                        if entry.acks == o.quorum() {
+                            o.on_quorum(seq, ctx);
+                        }
+                    }
+                }
+                Msg::Vote { seq, round } => {
+                    ctx.charge_cpu(o.crypto.verify_ns / 16);
+                    if let Some(entry) = o.in_flight.get_mut(&seq) {
+                        if entry.round == round {
+                            entry.acks += 1;
+                            if entry.acks == o.quorum() {
+                                o.on_quorum(seq, ctx);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            },
+            ClusterNode::Replica(r) => match msg {
+                Msg::Prepare { seq, round } if r.state != ReplicaState::Down => {
+                    // Verify the proposal, sign a vote share.
+                    ctx.charge_cpu(10_000);
+                    ctx.send(from, Msg::Vote { seq, round }, 128);
+                }
+                Msg::Deliver {
+                    block,
+                    born_ns,
+                    mean_submit_ns,
+                } => {
+                    if r.state == ReplicaState::Down {
+                        return;
+                    }
+                    r.meta.insert(block.header.id.0, (born_ns, mean_submit_ns));
+                    let applied = r.node.deliver(block).expect("delivery");
+                    r.on_applied(&applied, ctx);
+                    // A persistent gap (beyond ordinary jitter reordering)
+                    // means deliveries were missed: self-heal via sync.
+                    if r.state == ReplicaState::Up && r.node.pending_gap() > 2 * r.window {
+                        r.request_sync(ctx);
+                    }
+                }
+                Msg::RootGossip { height, root } if r.state != ReplicaState::Down => {
+                    r.node.on_peer_root(height, root);
+                }
+                Msg::SyncRequest { from: height } if r.state == ReplicaState::Up => {
+                    let response =
+                        serve_sync(&r.node, BlockId(height), r.sync_policy).expect("serve");
+                    ctx.charge_cpu(SYNC_SERVE_NS_PER_BLOCK * response.block_count() as u64);
+                    let bytes = response.transfer_bytes();
+                    ctx.send(
+                        from,
+                        Msg::SyncReply {
+                            response: Arc::new(response),
+                        },
+                        bytes,
+                    );
+                }
+                Msg::SyncReply { response } => {
+                    if r.state != ReplicaState::Syncing {
+                        return;
+                    }
+                    let applied = apply_sync(&mut r.node, &response).expect("catch-up");
+                    ctx.charge_cpu(SYNC_REPLAY_NS_PER_BLOCK * applied);
+                    r.sync_blocks += applied;
+                    r.last_apply_ns = r.last_apply_ns.max(ctx.now());
+                    if r.node.pending_gap() == 0 {
+                        r.state = ReplicaState::Up;
+                    } else {
+                        // Still gapped (peer advanced meanwhile): go again.
+                        r.request_sync(ctx);
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut NetCtx<'_, Msg>) {
+        match (self, id) {
+            (ClusterNode::Client(c), TIMER_CLIENT) => c.fire(ctx),
+            (ClusterNode::Orderer(o), TIMER_BATCH) => {
+                o.timer_armed = false;
+                o.launch_batches(ctx);
+            }
+            (ClusterNode::Replica(r), TIMER_CRASH) => {
+                r.node.crash();
+                r.state = ReplicaState::Down;
+            }
+            (ClusterNode::Replica(r), TIMER_RECOVER) => {
+                ctx.charge_cpu(RECOVERY_NS);
+                r.node.recover_local().expect("local recovery");
+                r.recoveries += 1;
+                r.request_sync(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ── The harness ─────────────────────────────────────────────────────────
+
+/// Summary of one replica at the end of a run.
+#[derive(Clone, Debug)]
+pub struct ReplicaSummary {
+    /// Replica index (0-based).
+    pub replica: usize,
+    /// Final chain height.
+    pub height: BlockId,
+    /// Final full-state root.
+    pub root: Digest,
+    /// Blocks in its verified delivery log.
+    pub delivered: usize,
+    /// Divergence alarms it raised.
+    pub alarms: u64,
+    /// Crash recoveries it performed.
+    pub recoveries: u64,
+    /// Blocks it obtained via state-sync.
+    pub sync_blocks: u64,
+}
+
+/// End-of-run report.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Node-runtime metrics measured at a never-crashed observer replica.
+    pub metrics: RunMetrics,
+    /// Mean ordering+execution latency (seal → apply), ms.
+    pub order_latency_ms: f64,
+    /// Per-replica summaries.
+    pub replicas: Vec<ReplicaSummary>,
+    /// All replicas ended at the same height with identical roots and
+    /// pairwise-consistent delivery logs.
+    pub consistent: bool,
+    /// Total divergence alarms across replicas (0 on honest runs).
+    pub divergence_alarms: u64,
+    /// Mempool admission counters.
+    pub mempool: MempoolStats,
+    /// Blocks the orderer sealed.
+    pub sealed_blocks: u64,
+    /// Transactions the client bank submitted.
+    pub submitted_txns: u64,
+}
+
+/// The runnable cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Build a cluster from its configuration.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Cluster {
+        Cluster { config }
+    }
+
+    /// Run the scenario to quiescence and report.
+    pub fn run(&self) -> Result<ClusterReport> {
+        let cfg = &self.config;
+        let followers = match cfg.ordering {
+            OrderingMode::Kafka { brokers } => brokers.saturating_sub(1),
+            OrderingMode::HotStuff => 0,
+        };
+        let orderer_idx = 1usize;
+        let replica_base = 2 + followers;
+        let replica_idx: Vec<usize> = (0..cfg.replicas).map(|r| replica_base + r).collect();
+        let crash_replica = cfg.crash.map(|c| c.replica);
+        // The observer (metrics + sync serving) never crashes.
+        let observer = (0..cfg.replicas)
+            .find(|r| Some(*r) != crash_replica)
+            .expect("at least one stable replica");
+
+        let mut nodes: Vec<ClusterNode> = Vec::with_capacity(replica_base + cfg.replicas);
+        let mut stream = OpenLoopClients::new(cfg.open_loop, cfg.seed ^ 0xA11);
+        let first = stream.next_arrival();
+        nodes.push(ClusterNode::Client(ClientBank {
+            stream,
+            generator: cfg.workload.generator()?,
+            rng: harmony_common::DetRng::new(cfg.seed ^ 0x7C5),
+            pending: Some(first),
+            load_ns: cfg.load_ns,
+            orderer: orderer_idx,
+            submitted: 0,
+        }));
+        let chain_cfg = &cfg.replica.chain;
+        nodes.push(ClusterNode::Orderer(Box::new(Orderer {
+            mempool: Mempool::new(cfg.mempool),
+            keypair: KeyPair::derive(&chain_cfg.provision, chain_cfg.orderer_id, chain_cfg.crypto),
+            crypto: chain_cfg.crypto,
+            next_id: 1,
+            prev_hash: Digest::ZERO,
+            in_flight: HashMap::new(),
+            mode: cfg.ordering,
+            followers: (0..followers).map(|f| 2 + f).collect(),
+            replicas: replica_idx.clone(),
+            block_txns: cfg.block_txns.max(1),
+            window: cfg.window.max(1),
+            batch_interval_ns: cfg.batch_interval_ns.max(1),
+            tx_ns_per_byte: 1,
+            timer_armed: false,
+            last_seal_ns: 0,
+            sealed_blocks: 0,
+        })));
+        for _ in 0..followers {
+            nodes.push(ClusterNode::Follower);
+        }
+        for r in 0..cfg.replicas {
+            let node = ReplicaNode::new(&cfg.replica, |engine| cfg.workload.setup_node(engine))?;
+            let peers = replica_idx
+                .iter()
+                .copied()
+                .filter(|&p| p != replica_idx[r])
+                .collect();
+            // Everyone syncs from the stable observer; the observer itself
+            // falls back to the next stable replica (it should never need
+            // to, but a self-request would deadlock).
+            let sync_peer = if r == observer {
+                (0..cfg.replicas)
+                    .find(|x| *x != r && Some(*x) != crash_replica)
+                    .map_or(replica_idx[r], |x| replica_idx[x])
+            } else {
+                replica_idx[observer]
+            };
+            nodes.push(ClusterNode::Replica(Box::new(ReplicaWrap {
+                node,
+                state: ReplicaState::Up,
+                meta: HashMap::new(),
+                peers,
+                sync_peer,
+                sync_policy: cfg.sync,
+                window: cfg.window.max(1),
+                committed_weighted_e2e_ns: 0.0,
+                committed_weighted_order_ns: 0.0,
+                committed_txns: 0,
+                last_apply_ns: 0,
+                recoveries: 0,
+                sync_blocks: 0,
+            })));
+        }
+
+        let mut el = EventLoop::new(nodes, cfg.latency.clone(), cfg.seed);
+        let ClusterNode::Client(c) = el.node(0) else {
+            unreachable!("node 0 is the client bank");
+        };
+        let first_at = c.pending.as_ref().map_or(0, |a| a.at_ns);
+        el.seed_timer(0, first_at, TIMER_CLIENT);
+        if let Some(plan) = cfg.crash {
+            assert!(plan.replica < cfg.replicas, "crash target out of range");
+            assert!(plan.at_ns < plan.recover_at_ns, "recover after crash");
+            el.seed_timer(replica_idx[plan.replica], plan.at_ns, TIMER_CRASH);
+            el.seed_timer(replica_idx[plan.replica], plan.recover_at_ns, TIMER_RECOVER);
+        }
+        el.run_until(cfg.load_ns + cfg.drain_ns);
+
+        // ── Collect ──
+        let mut replicas = Vec::with_capacity(cfg.replicas);
+        let mut divergence_alarms = 0;
+        for (r, &idx) in replica_idx.iter().enumerate() {
+            let ClusterNode::Replica(w) = el.node(idx) else {
+                unreachable!("replica index");
+            };
+            divergence_alarms += w.node.divergence_alarms();
+            replicas.push(ReplicaSummary {
+                replica: r,
+                height: w.node.height(),
+                root: w.node.state_root()?,
+                delivered: w.node.delivery_log().len(),
+                alarms: w.node.divergence_alarms(),
+                recoveries: w.recoveries,
+                sync_blocks: w.sync_blocks,
+            });
+        }
+        let consistent = replicas
+            .windows(2)
+            .all(|p| p[0].height == p[1].height && p[0].root == p[1].root)
+            && replica_idx.iter().enumerate().all(|(i, &a)| {
+                replica_idx.iter().skip(i + 1).all(|&b| {
+                    let (ClusterNode::Replica(wa), ClusterNode::Replica(wb)) =
+                        (el.node(a), el.node(b))
+                    else {
+                        unreachable!("replica index");
+                    };
+                    wa.node.delivery_log().agrees_with(wb.node.delivery_log())
+                })
+            });
+
+        let ClusterNode::Replica(obs) = el.node(replica_idx[observer]) else {
+            unreachable!("observer index");
+        };
+        let stats = *obs.node.stats();
+        let wall_ns = obs.last_apply_ns.max(1);
+        let committed = obs.committed_txns;
+        let latency_ms = if committed == 0 {
+            0.0
+        } else {
+            obs.committed_weighted_e2e_ns / committed as f64 / 1e6
+        };
+        let order_latency_ms = if committed == 0 {
+            0.0
+        } else {
+            obs.committed_weighted_order_ns / committed as f64 / 1e6
+        };
+        let io = obs.node.chain().engine().io_snapshot();
+        let metrics = RunMetrics {
+            system: Cow::Owned(format!(
+                "{}·node×{}{}",
+                cfg.replica.engine.name(),
+                cfg.replicas,
+                match cfg.ordering {
+                    OrderingMode::Kafka { .. } => "·kafka",
+                    OrderingMode::HotStuff => "·hotstuff",
+                }
+            )),
+            throughput_tps: committed as f64 / (wall_ns as f64 / 1e9),
+            latency_ms,
+            abort_rate: stats.abort_rate(),
+            cpu_utilization: (stats.sim_ns_total + stats.commit_ns_total) as f64
+                / (cfg.replica.workers as f64 * wall_ns as f64),
+            stats,
+            disk_reads: io.disk_reads,
+            disk_writes: io.disk_writes,
+            buffer_hit_rate: {
+                let total = io.pool.hits + io.pool.misses;
+                if total == 0 {
+                    0.0
+                } else {
+                    io.pool.hits as f64 / total as f64
+                }
+            },
+            wall_ns,
+        };
+
+        let ClusterNode::Orderer(o) = el.node(orderer_idx) else {
+            unreachable!("orderer index");
+        };
+        let ClusterNode::Client(c) = el.node(0) else {
+            unreachable!("client index");
+        };
+        Ok(ClusterReport {
+            metrics,
+            order_latency_ms,
+            replicas,
+            consistent,
+            divergence_alarms,
+            mempool: o.mempool.stats(),
+            sealed_blocks: o.sealed_blocks,
+            submitted_txns: c.submitted,
+        })
+    }
+}

@@ -1,0 +1,37 @@
+//! End-to-end replica runtime — where the ordering service and the
+//! deterministic database finally meet.
+//!
+//! The paper's thesis is that an Order-Execute private blockchain is
+//! "consensus delivers an ordered block; deterministic execution does the
+//! rest." This crate closes that loop as a running system:
+//!
+//! * [`mempool`] — the client-facing frontend: sessions, per-session
+//!   nonces, duplicate/gap rejection, bounded-queue backpressure, and
+//!   deterministic FIFO batching.
+//! * [`replica`] — [`ReplicaNode`]: an [`harmony_chain::OeChain`]
+//!   (storage + snapshots + any of the five DCC engines) consuming sealed
+//!   blocks with ordered delivery (gap buffering), a verified delivery
+//!   log, pipeline-aware virtual-time cost accounting, and state-root
+//!   gossip for divergence detection.
+//! * [`statesync`] — how a lagging replica catches up: checkpoint
+//!   manifest transfer and/or verified block-range replay from a peer.
+//! * [`cluster`] — [`Cluster`]: N replicas + orderer (+ brokers) + an
+//!   open-loop client bank on the deterministic discrete-event network,
+//!   with crash/rejoin scenarios, producing node-runtime
+//!   [`harmony_sim::RunMetrics`] instead of the analytic composition.
+//!
+//! The invariant every scenario must uphold: replicas fed the same
+//! ordered blocks reach **bit-identical state roots**, whatever the
+//! engine, worker count, crash points, or sync path.
+
+pub mod cluster;
+pub mod mempool;
+pub mod replica;
+pub mod statesync;
+
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, OrderingMode, ReplicaSummary,
+};
+pub use mempool::{AdmitError, Mempool, MempoolConfig, MempoolStats, PendingTxn};
+pub use replica::{Applied, ReplicaConfig, ReplicaNode};
+pub use statesync::{apply_sync, serve_sync, SyncPolicy, SyncResponse};

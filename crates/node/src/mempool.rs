@@ -1,0 +1,357 @@
+//! The mempool frontend of a replica cluster's ordering service.
+//!
+//! Client sessions submit transactions tagged with a per-session nonce;
+//! the mempool performs **admission control** before anything reaches
+//! consensus:
+//!
+//! * **backpressure** — a bounded queue; submissions beyond capacity are
+//!   rejected so an open-loop overload cannot grow state without bound,
+//! * **duplicate rejection** — a nonce at or below the session's
+//!   watermark (or already held) is a replay and is dropped,
+//! * **reorder hold-back** — the network may reorder two submissions
+//!   from the same session, so a nonce slightly ahead of the watermark
+//!   is *held* and admitted once the gap closes; only nonces beyond the
+//!   per-session reorder window are refused outright.
+//!
+//! Admission to the batch queue is strictly in nonce order per session,
+//! and batching is FIFO in admission order — so every honest orderer
+//! draining the same submission stream seals identical blocks.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use harmony_txn::Contract;
+
+/// Mempool configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MempoolConfig {
+    /// Maximum queued transactions before backpressure rejects.
+    pub capacity: usize,
+    /// Per-session hold-back window for out-of-order nonces.
+    pub reorder_window: usize,
+}
+
+impl Default for MempoolConfig {
+    fn default() -> Self {
+        MempoolConfig {
+            capacity: 4_096,
+            reorder_window: 64,
+        }
+    }
+}
+
+/// Why a submission was refused admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is full; the client must back off and resubmit.
+    Backpressure,
+    /// The (client, nonce) pair was already admitted or held — a replay.
+    Duplicate {
+        /// Submitting session.
+        client: u64,
+        /// The replayed nonce.
+        nonce: u64,
+    },
+    /// The nonce is beyond the session's reorder window.
+    NonceGap {
+        /// Submitting session.
+        client: u64,
+        /// Next admissible nonce.
+        expected: u64,
+        /// The too-far-ahead nonce received.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Backpressure => write!(f, "mempool full (backpressure)"),
+            AdmitError::Duplicate { client, nonce } => {
+                write!(f, "duplicate nonce {nonce} from client {client}")
+            }
+            AdmitError::NonceGap {
+                client,
+                expected,
+                got,
+            } => write!(
+                f,
+                "nonce {got} from client {client} exceeds the reorder window (expected {expected})"
+            ),
+        }
+    }
+}
+
+/// One admitted transaction awaiting ordering.
+#[derive(Clone)]
+pub struct PendingTxn {
+    /// Submitting client session.
+    pub client: u64,
+    /// The session nonce.
+    pub nonce: u64,
+    /// Submission time (virtual ns) — end-to-end latency anchor.
+    pub submitted_ns: u64,
+    /// The executable contract.
+    pub contract: Arc<dyn Contract>,
+}
+
+/// Admission counters (exposed in the cluster report).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Transactions admitted to the queue.
+    pub admitted: u64,
+    /// Submissions held out-of-order, then admitted when the gap closed.
+    pub reordered: u64,
+    /// Rejections due to a full queue.
+    pub rejected_backpressure: u64,
+    /// Rejections due to replayed nonces.
+    pub rejected_duplicate: u64,
+    /// Rejections due to nonces beyond the reorder window.
+    pub rejected_gap: u64,
+}
+
+#[derive(Default)]
+struct Session {
+    next_nonce: u64,
+    held: BTreeMap<u64, PendingTxn>,
+}
+
+/// Bounded, nonce-checked, FIFO transaction queue.
+pub struct Mempool {
+    config: MempoolConfig,
+    queue: VecDeque<PendingTxn>,
+    sessions: HashMap<u64, Session>,
+    stats: MempoolStats,
+}
+
+impl Mempool {
+    /// Build an empty mempool.
+    #[must_use]
+    pub fn new(config: MempoolConfig) -> Mempool {
+        Mempool {
+            config,
+            queue: VecDeque::new(),
+            sessions: HashMap::new(),
+            stats: MempoolStats::default(),
+        }
+    }
+
+    /// Admit (or reject) one submission.
+    pub fn submit(
+        &mut self,
+        client: u64,
+        nonce: u64,
+        submitted_ns: u64,
+        contract: Arc<dyn Contract>,
+    ) -> Result<(), AdmitError> {
+        let session = self.sessions.entry(client).or_default();
+        if nonce < session.next_nonce || session.held.contains_key(&nonce) {
+            self.stats.rejected_duplicate += 1;
+            return Err(AdmitError::Duplicate { client, nonce });
+        }
+        if self.queue.len() >= self.config.capacity {
+            self.stats.rejected_backpressure += 1;
+            return Err(AdmitError::Backpressure);
+        }
+        let txn = PendingTxn {
+            client,
+            nonce,
+            submitted_ns,
+            contract,
+        };
+        if nonce > session.next_nonce {
+            // Out of order (network reordering): hold within the window.
+            if session.held.len() >= self.config.reorder_window
+                || nonce - session.next_nonce > self.config.reorder_window as u64
+            {
+                self.stats.rejected_gap += 1;
+                return Err(AdmitError::NonceGap {
+                    client,
+                    expected: session.next_nonce,
+                    got: nonce,
+                });
+            }
+            session.held.insert(nonce, txn);
+            self.stats.reordered += 1;
+            return Ok(());
+        }
+        // In order: enqueue, then drain ALL held successors. The drain
+        // ignores the capacity bound on purpose: stopping mid-drain would
+        // strand the remaining held transactions forever (nothing
+        // re-triggers the drain, and a resubmission of a held nonce is a
+        // duplicate). Held transactions were admitted under capacity, so
+        // the queue can overshoot by at most `reorder_window`.
+        session.next_nonce = nonce + 1;
+        self.queue.push_back(txn);
+        self.stats.admitted += 1;
+        while let Some(held) = session.held.remove(&session.next_nonce) {
+            session.next_nonce += 1;
+            self.queue.push_back(held);
+            self.stats.admitted += 1;
+        }
+        Ok(())
+    }
+
+    /// Drain up to `max` transactions in admission (FIFO) order — the
+    /// deterministic batch the orderer seals into the next block.
+    pub fn next_batch(&mut self, max: usize) -> Vec<PendingTxn> {
+        let n = max.min(self.queue.len());
+        self.queue.drain(..n).collect()
+    }
+
+    /// Queued transactions (excluding held-back out-of-order ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submission time of the oldest queued transaction — drives the
+    /// orderer's partial-batch timeout.
+    #[must_use]
+    pub fn oldest_submitted_ns(&self) -> Option<u64> {
+        self.queue.front().map(|t| t.submitted_ns)
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the queue is at capacity (submissions will be rejected).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.config.capacity
+    }
+
+    /// Admission counters so far.
+    #[must_use]
+    pub fn stats(&self) -> MempoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_txn::{FnContract, TxnCtx};
+
+    fn nop() -> Arc<dyn Contract> {
+        Arc::new(FnContract::new("nop", |_: &mut TxnCtx<'_>| Ok(())))
+    }
+
+    fn pool(capacity: usize) -> Mempool {
+        Mempool::new(MempoolConfig {
+            capacity,
+            reorder_window: 4,
+        })
+    }
+
+    #[test]
+    fn fifo_admission_and_batching() {
+        let mut m = pool(10);
+        for n in 0..5 {
+            m.submit(1, n, n * 10, nop()).unwrap();
+        }
+        assert_eq!(m.len(), 5);
+        let batch = m.next_batch(3);
+        assert_eq!(batch.iter().map(|t| t.nonce).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(m.next_batch(10).len(), 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn reordered_submissions_are_held_then_admitted_in_order() {
+        // Nonces 2 and 1 arrive before 0 (network reordering): they are
+        // held, then the whole run drains in nonce order once 0 lands.
+        let mut m = pool(10);
+        m.submit(5, 2, 0, nop()).unwrap();
+        m.submit(5, 1, 0, nop()).unwrap();
+        assert!(m.is_empty(), "held txns are not yet batchable");
+        m.submit(5, 0, 0, nop()).unwrap();
+        let batch = m.next_batch(10);
+        assert_eq!(batch.iter().map(|t| t.nonce).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(m.stats().reordered, 2);
+        assert_eq!(m.stats().admitted, 3);
+    }
+
+    #[test]
+    fn duplicate_and_window_rejection() {
+        let mut m = pool(10);
+        m.submit(7, 0, 0, nop()).unwrap();
+        m.submit(7, 1, 0, nop()).unwrap();
+        assert_eq!(
+            m.submit(7, 1, 0, nop()),
+            Err(AdmitError::Duplicate {
+                client: 7,
+                nonce: 1
+            })
+        );
+        // A held nonce is also a duplicate when replayed.
+        m.submit(7, 3, 0, nop()).unwrap();
+        assert_eq!(
+            m.submit(7, 3, 0, nop()),
+            Err(AdmitError::Duplicate {
+                client: 7,
+                nonce: 3
+            })
+        );
+        // Beyond the reorder window (4): rejected.
+        assert_eq!(
+            m.submit(7, 9, 0, nop()),
+            Err(AdmitError::NonceGap {
+                client: 7,
+                expected: 2,
+                got: 9
+            })
+        );
+        // Independent sessions do not interfere.
+        m.submit(8, 0, 0, nop()).unwrap();
+        assert_eq!(m.stats().rejected_duplicate, 2);
+        assert_eq!(m.stats().rejected_gap, 1);
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        let mut m = pool(2);
+        m.submit(1, 0, 0, nop()).unwrap();
+        m.submit(1, 1, 0, nop()).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.submit(1, 2, 0, nop()), Err(AdmitError::Backpressure));
+        // The rejected nonce was not consumed: after draining, the client
+        // can resubmit the same nonce successfully.
+        m.next_batch(2);
+        m.submit(1, 2, 0, nop()).unwrap();
+        assert_eq!(m.stats().rejected_backpressure, 1);
+    }
+
+    #[test]
+    fn held_drain_completes_past_capacity() {
+        // Regression: nonces 0, 2 (held), 1 against capacity 2. The drain
+        // triggered by nonce 1 must admit held nonce 2 even though the
+        // queue is at capacity — otherwise it is stranded forever (a
+        // resubmit would be a duplicate and nothing re-runs the drain).
+        let mut m = pool(2);
+        m.submit(1, 0, 0, nop()).unwrap();
+        m.submit(1, 2, 0, nop()).unwrap(); // held
+        m.submit(1, 1, 0, nop()).unwrap(); // fills queue, drains the hold
+        let batch = m.next_batch(10);
+        assert_eq!(batch.iter().map(|t| t.nonce).collect::<Vec<_>>(), [0, 1, 2]);
+        // The session keeps working afterwards.
+        m.submit(1, 3, 0, nop()).unwrap();
+        assert_eq!(m.next_batch(10).len(), 1);
+    }
+
+    #[test]
+    fn nonces_survive_batching() {
+        // The watermark lives with the session, not the queue: a drained
+        // nonce can never be replayed.
+        let mut m = pool(10);
+        m.submit(3, 0, 0, nop()).unwrap();
+        m.next_batch(1);
+        assert!(matches!(
+            m.submit(3, 0, 0, nop()),
+            Err(AdmitError::Duplicate { .. })
+        ));
+    }
+}

@@ -113,6 +113,9 @@ impl ShardEngine {
 impl FromStr for ShardEngine {
     type Err = harmony_common::Error;
 
+    /// Case-insensitive parse accepting the paper names and their short
+    /// forms. On failure the error enumerates every valid spelling, so a
+    /// typo in `HARMONY_ENGINES` tells the user exactly what is accepted.
     fn from_str(s: &str) -> Result<ShardEngine, Self::Err> {
         match s.trim().to_ascii_lowercase().as_str() {
             "harmony" | "harmonybc" => Ok(ShardEngine::Harmony),
@@ -121,8 +124,9 @@ impl FromStr for ShardEngine {
             "fabric" => Ok(ShardEngine::Fabric),
             "fastfabric" | "fastfabric#" => Ok(ShardEngine::FastFabric),
             other => Err(harmony_common::Error::InvalidArgument(format!(
-                "unknown engine {other:?} (expected one of: harmony, aria, rbc, \
-                 fabric, fastfabric)"
+                "unknown engine {other:?}; valid engines (case-insensitive): \
+                 HarmonyBC (harmony), AriaBC (aria), RBC (rbc), \
+                 Fabric (fabric), FastFabric# (fastfabric)"
             ))),
         }
     }
@@ -139,6 +143,32 @@ mod tests {
             assert_eq!(e.name().parse::<ShardEngine>().unwrap(), e);
         }
         assert!("postgres".parse::<ShardEngine>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        for s in [
+            "HARMONY",
+            "HarMoNyBc",
+            " ariabc ",
+            "Rbc",
+            "FABRIC",
+            "FastFabric#",
+        ] {
+            assert!(s.parse::<ShardEngine>().is_ok(), "{s:?} must parse");
+        }
+    }
+
+    #[test]
+    fn parse_error_enumerates_valid_engines() {
+        let err = "mysql".parse::<ShardEngine>().unwrap_err().to_string();
+        for name in ["HarmonyBC", "AriaBC", "RBC", "Fabric", "FastFabric#"] {
+            assert!(err.contains(name), "error must list {name}: {err}");
+        }
+        assert!(
+            err.contains("mysql"),
+            "error must echo the bad input: {err}"
+        );
     }
 
     #[test]

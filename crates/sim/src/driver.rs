@@ -73,27 +73,49 @@ impl EngineKind {
     /// Instantiate over a snapshot store.
     #[must_use]
     pub fn build(&self, store: Arc<SnapshotStore>, workers: usize) -> Arc<dyn DccEngine> {
+        self.build_at(store, workers, BlockId(1), None)
+    }
+
+    /// Instantiate positioned at an arbitrary next block — the recovery /
+    /// state-sync entry point. `prev_summary` seeds Harmony's Rule-3
+    /// inter-block validation (ignored by the other engines, whose rules
+    /// are per-block).
+    #[must_use]
+    pub fn build_at(
+        &self,
+        store: Arc<SnapshotStore>,
+        workers: usize,
+        next_block: BlockId,
+        prev_summary: Option<harmony_core::executor::BlockSummary>,
+    ) -> Arc<dyn DccEngine> {
         match self {
             EngineKind::Harmony(config) => {
                 let config = HarmonyConfig { workers, ..*config };
-                Arc::new(HarmonyEngine::new(store, config))
+                Arc::new(HarmonyEngine::starting_at(
+                    store,
+                    config,
+                    next_block,
+                    prev_summary,
+                ))
             }
-            EngineKind::Aria => Arc::new(Aria::new(
+            EngineKind::Aria => Arc::new(Aria::starting_at(
                 store,
                 AriaConfig {
                     workers,
                     reordering: true,
                 },
+                next_block,
             )),
-            EngineKind::Rbc => Arc::new(Rbc::new(store, workers)),
-            EngineKind::Fabric => Arc::new(Fabric::new(
+            EngineKind::Rbc => Arc::new(Rbc::starting_at(store, workers, next_block)),
+            EngineKind::Fabric => Arc::new(Fabric::starting_at(
                 store,
                 FabricConfig {
                     workers,
                     ..FabricConfig::default()
                 },
+                next_block,
             )),
-            EngineKind::FastFabric => Arc::new(FastFabric::new(
+            EngineKind::FastFabric => Arc::new(FastFabric::starting_at(
                 store,
                 FastFabricConfig {
                     fabric: FabricConfig {
@@ -102,6 +124,7 @@ impl EngineKind {
                     },
                     ..FastFabricConfig::default()
                 },
+                next_block,
             )),
         }
     }
@@ -571,7 +594,16 @@ mod tests {
             "fastfabric".parse::<EngineKind>().unwrap(),
             EngineKind::FastFabric
         );
-        assert!("mysql".parse::<EngineKind>().is_err());
+        // Case-insensitive, whitespace-tolerant (HARMONY_ENGINES DX).
+        assert_eq!(
+            " HARMONYBC ".parse::<EngineKind>().unwrap(),
+            EngineKind::Harmony(HarmonyConfig::default())
+        );
+        assert_eq!("Aria".parse::<EngineKind>().unwrap(), EngineKind::Aria);
+        let err = "mysql".parse::<EngineKind>().unwrap_err().to_string();
+        for name in ["HarmonyBC", "AriaBC", "RBC", "Fabric", "FastFabric#"] {
+            assert!(err.contains(name), "error must enumerate {name}: {err}");
+        }
     }
 
     fn sharded_config(shards: usize, blocks: usize, block_size: usize) -> ShardRunConfig {

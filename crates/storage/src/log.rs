@@ -32,6 +32,9 @@ pub trait LogSink: Send + Sync {
     fn read_all(&self) -> Result<Vec<Vec<u8>>>;
     /// Number of records appended so far.
     fn record_count(&self) -> u64;
+    /// Discard every record — a node bootstrapping from a transferred
+    /// state snapshot drops its stale local history first.
+    fn truncate(&self) -> Result<()>;
 }
 
 /// In-memory log with a modelled sync latency. The backing store survives
@@ -91,6 +94,13 @@ impl LogSink for MemLog {
     fn record_count(&self) -> u64 {
         let inner = self.inner.lock();
         (inner.durable.len() + inner.pending.len()) as u64
+    }
+
+    fn truncate(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.durable.clear();
+        inner.pending.clear();
+        Ok(())
     }
 }
 
@@ -169,6 +179,14 @@ impl LogSink for FileLog {
 
     fn record_count(&self) -> u64 {
         *self.count.lock()
+    }
+
+    fn truncate(&self) -> Result<()> {
+        let file = self.file.lock();
+        file.set_len(0)?;
+        file.sync_data()?;
+        *self.count.lock() = 0;
+        Ok(())
     }
 }
 
@@ -259,6 +277,31 @@ mod tests {
         log.append(b"lost").unwrap();
         log.crash();
         assert_eq!(log.read_all().unwrap(), vec![b"durable".to_vec()]);
+    }
+
+    #[test]
+    fn truncate_discards_everything() {
+        let log = MemLog::new(0);
+        log.append(b"a").unwrap();
+        log.sync().unwrap();
+        log.append(b"b").unwrap();
+        log.truncate().unwrap();
+        assert_eq!(log.record_count(), 0);
+        assert!(log.read_all().unwrap().is_empty());
+        log.append(b"fresh").unwrap();
+        assert_eq!(log.read_all().unwrap(), vec![b"fresh".to_vec()]);
+
+        let path = temp_path("truncate.log");
+        let _ = std::fs::remove_file(&path);
+        let flog = FileLog::open(&path).unwrap();
+        flog.append(b"stale").unwrap();
+        flog.sync().unwrap();
+        flog.truncate().unwrap();
+        assert_eq!(flog.record_count(), 0);
+        flog.append(b"fresh").unwrap();
+        flog.sync().unwrap();
+        assert_eq!(flog.read_all().unwrap(), vec![b"fresh".to_vec()]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -12,22 +12,29 @@ use harmony_common::Result;
 
 use crate::contract::Contract;
 
+/// Serialize a contract in the default wire format
+/// `[name_len u16][name][payload]` — usable without a codec instance
+/// (ordering services encode; only replay needs the decoding registry).
+#[must_use]
+pub fn encode_contract(contract: &dyn Contract) -> Vec<u8> {
+    let name = contract.name().as_bytes();
+    let payload = contract.payload();
+    let mut out = Vec::with_capacity(2 + name.len() + payload.len());
+    out.extend_from_slice(
+        &u16::try_from(name.len())
+            .expect("name length")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(name);
+    out.extend_from_slice(&payload);
+    out
+}
+
 /// Encodes/decodes contracts for the logical block log.
 pub trait ContractCodec: Send + Sync {
-    /// Serialize a contract. The default wire format is
-    /// `[name_len u16][name][payload]`.
+    /// Serialize a contract (default wire format: [`encode_contract`]).
     fn encode(&self, contract: &dyn Contract) -> Vec<u8> {
-        let name = contract.name().as_bytes();
-        let payload = contract.payload();
-        let mut out = Vec::with_capacity(2 + name.len() + payload.len());
-        out.extend_from_slice(
-            &u16::try_from(name.len())
-                .expect("name length")
-                .to_le_bytes(),
-        );
-        out.extend_from_slice(name);
-        out.extend_from_slice(&payload);
-        out
+        encode_contract(contract)
     }
 
     /// Reconstruct an executable contract from its serialized form.

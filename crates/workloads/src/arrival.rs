@@ -1,0 +1,174 @@
+//! Open-loop client arrival process.
+//!
+//! Closed-loop drivers (the experiment driver's block-filling loop) always
+//! have the next transaction ready; a real deployment's mempool instead
+//! sees an *open-loop* stream — clients fire at their own rate whether or
+//! not the system keeps up, which is what exposes admission-control and
+//! backpressure behavior. This module generates that stream
+//! deterministically: Poisson arrivals (exponential inter-arrival times
+//! from the deterministic RNG) multiplexed over a fixed population of
+//! client sessions, each stamping its submissions with a monotonically
+//! increasing nonce.
+
+use harmony_common::DetRng;
+
+/// Open-loop generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// Number of client sessions the stream multiplexes.
+    pub clients: u64,
+    /// Offered load in transactions per second (aggregate over clients).
+    pub rate_tps: f64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            clients: 16,
+            rate_tps: 10_000.0,
+        }
+    }
+}
+
+/// One client submission event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Absolute arrival time in virtual nanoseconds.
+    pub at_ns: u64,
+    /// Submitting client session.
+    pub client: u64,
+    /// The client's session nonce (0, 1, 2, … per client).
+    pub nonce: u64,
+}
+
+/// Deterministic Poisson arrival stream over a population of clients.
+pub struct OpenLoopClients {
+    config: OpenLoopConfig,
+    rng: DetRng,
+    now_ns: u64,
+    next_nonce: Vec<u64>,
+}
+
+impl OpenLoopClients {
+    /// Build a stream. Identical `(config, seed)` pairs yield identical
+    /// streams — the property the replica-determinism tests rely on.
+    #[must_use]
+    pub fn new(config: OpenLoopConfig, seed: u64) -> OpenLoopClients {
+        assert!(config.clients > 0, "need at least one client");
+        assert!(config.rate_tps > 0.0, "offered load must be positive");
+        OpenLoopClients {
+            rng: DetRng::new(seed),
+            now_ns: 0,
+            next_nonce: vec![0; config.clients as usize],
+            config,
+        }
+    }
+
+    /// Mean inter-arrival gap in nanoseconds.
+    #[must_use]
+    pub fn mean_gap_ns(&self) -> f64 {
+        1e9 / self.config.rate_tps
+    }
+
+    /// Draw the next arrival: an exponential inter-arrival gap (clamped to
+    /// ≥ 1 ns so virtual time always advances) and a uniformly chosen
+    /// client, whose nonce advances.
+    pub fn next_arrival(&mut self) -> Arrival {
+        // Inverse-CDF sampling; keep u away from 0 so ln is finite.
+        let u = self.rng.gen_f64().max(1e-12);
+        let gap = (-u.ln() * self.mean_gap_ns()).max(1.0);
+        self.now_ns += gap as u64;
+        let client = self.rng.gen_range(self.config.clients);
+        let nonce = self.next_nonce[client as usize];
+        self.next_nonce[client as usize] += 1;
+        Arrival {
+            at_ns: self.now_ns,
+            client,
+            nonce,
+        }
+    }
+
+    /// All arrivals up to (and including) `until_ns`, in time order.
+    pub fn arrivals_until(&mut self, until_ns: u64) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        loop {
+            let save_rng = self.rng.clone();
+            let save_now = self.now_ns;
+            let a = self.next_arrival();
+            if a.at_ns > until_ns {
+                // Roll back the overshoot so the stream can be resumed.
+                self.rng = save_rng;
+                self.now_ns = save_now;
+                self.next_nonce[a.client as usize] -= 1;
+                return out;
+            }
+            out.push(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(rate_tps: f64) -> OpenLoopClients {
+        OpenLoopClients::new(
+            OpenLoopConfig {
+                clients: 4,
+                rate_tps,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn rate_is_approximately_honored() {
+        let mut s = stream(100_000.0);
+        let arrivals = s.arrivals_until(1_000_000_000);
+        let n = arrivals.len() as f64;
+        assert!(
+            (n - 100_000.0).abs() < 5_000.0,
+            "expected ~100k arrivals/s, got {n}"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_time_ordered() {
+        let a: Vec<Arrival> = (0..500).map(|_| stream(50_000.0).next_arrival()).collect();
+        let mut s1 = stream(50_000.0);
+        let mut s2 = stream(50_000.0);
+        let r1: Vec<Arrival> = (0..500).map(|_| s1.next_arrival()).collect();
+        let r2: Vec<Arrival> = (0..500).map(|_| s2.next_arrival()).collect();
+        assert_eq!(r1, r2, "same seed ⇒ same stream");
+        assert!(r1.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        drop(a);
+    }
+
+    #[test]
+    fn nonces_are_dense_per_client() {
+        let mut s = stream(50_000.0);
+        let arrivals: Vec<Arrival> = (0..1000).map(|_| s.next_arrival()).collect();
+        for c in 0..4u64 {
+            let nonces: Vec<u64> = arrivals
+                .iter()
+                .filter(|a| a.client == c)
+                .map(|a| a.nonce)
+                .collect();
+            assert!(!nonces.is_empty());
+            assert!(
+                nonces.iter().copied().eq(0..nonces.len() as u64),
+                "client {c} nonces must be 0..n in order: {nonces:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_until_resumes_without_loss() {
+        let mut split = stream(20_000.0);
+        let mut whole = stream(20_000.0);
+        let mut merged = split.arrivals_until(500_000);
+        merged.extend(split.arrivals_until(1_000_000));
+        let reference = whole.arrivals_until(1_000_000);
+        assert_eq!(merged, reference, "windowed draw must equal one draw");
+    }
+}

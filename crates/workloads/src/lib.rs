@@ -14,12 +14,18 @@
 //!
 //! All workloads implement [`Workload`], so the benchmark harness drives
 //! any (engine × workload) pair uniformly and deterministically.
+//!
+//! [`arrival`] adds the *open-loop* client dimension: a deterministic
+//! Poisson stream of (time, client, nonce) submission events that the node
+//! runtime's mempool consumes — offered load decoupled from service rate.
 
+pub mod arrival;
 pub mod smallbank;
 pub mod tpcc;
 pub mod workload;
 pub mod ycsb;
 
+pub use arrival::{Arrival, OpenLoopClients, OpenLoopConfig};
 pub use smallbank::{Smallbank, SmallbankCodec, SmallbankConfig};
 pub use tpcc::{Tpcc, TpccConfig};
 pub use workload::Workload;
