@@ -43,6 +43,7 @@ fn cluster_config(
 ) -> ClusterConfig {
     ClusterConfig {
         replicas: REPLICAS,
+        topology: None,
         replica: ReplicaConfig {
             chain: ChainConfig {
                 storage: StorageConfig::default(),

@@ -57,6 +57,49 @@ fn number_after(text: &str, from: usize, field: &str) -> f64 {
         .unwrap_or_else(|e| panic!("bad number for {field}: {e}"))
 }
 
+/// Schema check for the bench-smoke artifact `fig24_sharded_node.json`
+/// (written by the `fig24_sharded_node` binary earlier in the CI job).
+/// Skips when the artifact has not been generated locally — the figure
+/// binary is the generator, this test is the gate.
+#[test]
+fn fig24_json_matches_schema_when_present() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../EXPERIMENTS-results/fig24_sharded_node.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!("fig24_sharded_node.json not generated; skipping schema check");
+        return;
+    };
+    check_balanced(&text);
+    assert!(
+        text.contains("\"schema\": \"harmonybc-fig24/v1\""),
+        "schema tag"
+    );
+    assert!(text.contains("\"points\""), "points array");
+    assert!(
+        !text.contains("\"roots_identical\": false"),
+        "every point must report identical replica roots"
+    );
+    // Every point carries positive throughput on both runtimes and a
+    // scaling shape that stayed inside the figure's acceptance band.
+    let mut checked = 0;
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"node_tps\":") {
+        let entry = from + at;
+        let node_tps = number_after(&text, entry, "node_tps");
+        let fig22_tps = number_after(&text, entry, "fig22_tps");
+        let shape = number_after(&text, entry, "shape_ratio");
+        assert!(node_tps > 0.0 && fig22_tps > 0.0, "positive throughput");
+        assert!(
+            (0.85..=1.15).contains(&shape),
+            "shape_ratio {shape} outside the acceptance band"
+        );
+        checked += 1;
+        from = entry + "\"node_tps\":".len();
+    }
+    // At least one engine × three shard counts.
+    assert!(checked >= 3, "expected >= 3 points, found {checked}");
+}
+
 #[test]
 fn bench_pr3_json_matches_schema_and_floors() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json");

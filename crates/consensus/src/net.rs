@@ -9,7 +9,6 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
-use harmony_common::DetRng;
 use harmony_crypto::Digest;
 
 /// Verified per-replica record of delivered blocks: sequence number →
@@ -216,13 +215,34 @@ impl<M> Ord for Pending<M> {
     }
 }
 
+/// Network jitter as a pure function of (seed, sender, sender's send
+/// index) — splitmix64-style mixing. Keeping jitter *per-sender* rather
+/// than drawing from one shared stream isolates faults: a crashed or
+/// syncing node sending more (or fewer) messages cannot perturb the
+/// delivery times of unrelated links, so a crash/rejoin scenario leaves
+/// the rest of the cluster's schedule — and hence the sealed block
+/// stream — bit-identical to a no-crash run. The determinism test
+/// battery pins exactly that equivalence.
+fn link_jitter_ns(seed: u64, sender: usize, count: u64) -> u64 {
+    let mut x = seed
+        ^ (sender as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ count.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % 50_000 // ≤50 µs
+}
+
 /// Handle the event loop hands to node logic for sending/scheduling.
 pub struct NetCtx<'a, M> {
     now: u64,
     node: usize,
     latency: &'a LatencyModel,
     out: Vec<(u64, usize, EventKind<M>)>,
-    jitter: &'a mut DetRng,
+    jitter_seed: u64,
+    send_count: &'a mut u64,
     /// CPU nanoseconds the handler consumed (extends the node's busy time).
     pub cpu_ns: u64,
 }
@@ -242,7 +262,8 @@ impl<M> NetCtx<'_, M> {
 
     /// Send `msg` of `bytes` size to node `to`.
     pub fn send(&mut self, to: usize, msg: M, bytes: u64) {
-        let jitter = self.jitter.gen_range(50_000); // ≤50 µs deterministic jitter
+        *self.send_count += 1;
+        let jitter = link_jitter_ns(self.jitter_seed, self.node, *self.send_count);
         let at = self.now + self.latency.delay_ns(self.node, to, bytes) + jitter;
         self.out.push((
             at,
@@ -282,7 +303,8 @@ pub struct EventLoop<M, N: SimNode<M>> {
     latency: LatencyModel,
     now: u64,
     seq: u64,
-    jitter: DetRng,
+    jitter_seed: u64,
+    send_counts: Vec<u64>,
 }
 
 impl<M, N: SimNode<M>> EventLoop<M, N> {
@@ -297,7 +319,8 @@ impl<M, N: SimNode<M>> EventLoop<M, N> {
             latency,
             now: 0,
             seq: 0,
-            jitter: DetRng::new(seed),
+            jitter_seed: seed,
+            send_counts: vec![0; n],
         }
     }
 
@@ -360,7 +383,8 @@ impl<M, N: SimNode<M>> EventLoop<M, N> {
                 node: ev.to,
                 latency: &self.latency,
                 out: Vec::new(),
-                jitter: &mut self.jitter,
+                jitter_seed: self.jitter_seed,
+                send_count: &mut self.send_counts[ev.to],
                 cpu_ns: 0,
             };
             match ev.kind {

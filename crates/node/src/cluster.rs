@@ -5,13 +5,18 @@
 //! sessions, per-session nonces), one **ordering service** (mempool
 //! admission → deterministic batching → sealing → replication/voting →
 //! delivery), optional Kafka follower brokers, and R **replicas**
-//! ([`ReplicaNode`]) applying sealed blocks in order.
+//! applying sealed blocks in order. A replica is either flat
+//! ([`ReplicaNode`]) or — when a [`ShardTopology`] is configured — a
+//! [`ShardedReplicaNode`] hosting M shards behind the same ordered
+//! stream, making the harness an N×M deployment.
 //!
 //! Scenario hooks: a [`CrashPlan`] takes one replica down mid-run and
 //! brings it back later — local checkpoint recovery, then state-sync
-//! catch-up from a peer ([`crate::statesync`]) while new deliveries are
-//! buffered. Every replica gossips its state root every few blocks and
-//! raises divergence alarms on mismatch.
+//! catch-up from a peer ([`crate::statesync`]; per shard on sharded
+//! replicas, where one shard may take the manifest path while another
+//! replays a block range) while new deliveries are buffered. Every
+//! replica gossips its state root (the sharded Merkle fold on N×M runs)
+//! every few blocks and raises divergence alarms on mismatch.
 //!
 //! [`Cluster::run`] returns a [`ClusterReport`] whose `metrics` is a real
 //! [`RunMetrics`] measured from the replica runtime — the same shape the
@@ -23,19 +28,24 @@ use std::sync::Arc;
 
 use harmony_chain::ChainBlock;
 use harmony_common::{BlockId, Result};
-use harmony_consensus::net::{EventLoop, LatencyModel, NetCtx, SimNode};
+use harmony_consensus::net::{DeliveryLog, EventLoop, LatencyModel, NetCtx, SimNode};
+use harmony_core::BlockStats;
 use harmony_crypto::{CryptoCost, Digest, KeyPair};
 use harmony_sim::RunMetrics;
-use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_storage::{IoSnapshot, StorageConfig, StorageEngine};
 use harmony_txn::{encode_contract, Contract, ContractCodec};
 use harmony_workloads::{
-    OpenLoopClients, OpenLoopConfig, Smallbank, SmallbankCodec, SmallbankConfig, Workload, Ycsb,
-    YcsbCodec, YcsbConfig,
+    OpenLoopClients, OpenLoopConfig, Smallbank, SmallbankCodec, SmallbankConfig, Tpcc, TpccCodec,
+    TpccConfig, Workload, Ycsb, YcsbCodec, YcsbConfig,
 };
 
 use crate::mempool::{Mempool, MempoolConfig, MempoolStats};
-use crate::replica::{ReplicaConfig, ReplicaNode};
-use crate::statesync::{apply_sync, serve_sync, SyncPolicy, SyncResponse};
+use crate::replica::{Applied, ReplicaConfig, ReplicaNode};
+use crate::sharded::{ShardedReplicaConfig, ShardedReplicaNode};
+use crate::statesync::{
+    apply_sharded_sync, apply_sync, serve_sharded_sync, serve_sync, ShardedSyncResponse,
+    SyncPolicy, SyncResponse,
+};
 
 /// Workload selector for a cluster run (workload + its contract codec).
 #[derive(Clone, Debug)]
@@ -44,6 +54,8 @@ pub enum ClusterWorkload {
     Smallbank(SmallbankConfig),
     /// YCSB with the given configuration.
     Ycsb(YcsbConfig),
+    /// TPC-C full mix with the given configuration.
+    Tpcc(TpccConfig),
 }
 
 impl ClusterWorkload {
@@ -53,6 +65,7 @@ impl ClusterWorkload {
         match self {
             ClusterWorkload::Smallbank(_) => "Smallbank",
             ClusterWorkload::Ycsb(_) => "YCSB",
+            ClusterWorkload::Tpcc(_) => "TPC-C",
         }
     }
 
@@ -70,6 +83,11 @@ impl ClusterWorkload {
                 let mut w = Ycsb::new(c.clone());
                 w.setup(engine)?;
                 Ok(Arc::new(YcsbCodec { table: w.table() }))
+            }
+            ClusterWorkload::Tpcc(c) => {
+                let mut w = Tpcc::new(c.clone());
+                w.setup(engine)?;
+                Ok(Arc::new(TpccCodec { tables: w.tables() }))
             }
         }
     }
@@ -89,6 +107,11 @@ impl ClusterWorkload {
                 w.setup(&engine)?;
                 Ok(Box::new(w))
             }
+            ClusterWorkload::Tpcc(c) => {
+                let mut w = Tpcc::new(c.clone());
+                w.setup(&engine)?;
+                Ok(Box::new(w))
+            }
         }
     }
 }
@@ -103,6 +126,32 @@ pub enum OrderingMode {
     },
     /// BFT: the replicas themselves vote in three chained rounds.
     HotStuff,
+}
+
+/// Sharded-execution topology of every replica: M shards over a fixed
+/// logical partition count. `None` in [`ClusterConfig::topology`] keeps
+/// the flat single-engine replica.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardTopology {
+    /// Physical shards hosted by every replica.
+    pub shards: usize,
+    /// Logical partitions (fixed across shard counts, so every commit
+    /// decision is shard-count-invariant). Should match the workload's
+    /// `partitions` knob.
+    pub partitions: u32,
+    /// Per-shard checkpoint-period stagger (see
+    /// [`ShardedReplicaConfig::checkpoint_stagger`]).
+    pub checkpoint_stagger: u64,
+}
+
+impl Default for ShardTopology {
+    fn default() -> Self {
+        ShardTopology {
+            shards: 4,
+            partitions: 16,
+            checkpoint_stagger: 0,
+        }
+    }
 }
 
 /// Take one replica down at `at_ns` and bring it back at `recover_at_ns`
@@ -124,6 +173,10 @@ pub struct ClusterConfig {
     pub replicas: usize,
     /// Per-replica configuration (engine, workers, chain, gossip).
     pub replica: ReplicaConfig,
+    /// Sharded execution topology: `Some` makes every replica a
+    /// [`ShardedReplicaNode`] with M shards (N×M deployment), `None`
+    /// keeps flat replicas.
+    pub topology: Option<ShardTopology>,
     /// The workload and its codec.
     pub workload: ClusterWorkload,
     /// Ordering service style.
@@ -157,6 +210,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             replicas: 4,
             replica: ReplicaConfig::default(),
+            topology: None,
             workload: ClusterWorkload::Smallbank(SmallbankConfig {
                 accounts: 1_000,
                 theta: 0.6,
@@ -204,10 +258,40 @@ enum Msg {
     },
     /// Replica → replica: state root at a gossip height.
     RootGossip { height: u64, root: Digest },
-    /// Lagging replica → peer.
-    SyncRequest { from: u64 },
+    /// Lagging replica → peer (flat: chain height; sharded: per-shard
+    /// heights).
+    SyncRequest { from: SyncFrom },
     /// Peer → lagging replica.
-    SyncReply { response: Arc<SyncResponse> },
+    SyncReply { response: Arc<SyncReplyBody> },
+}
+
+/// The requester's position in a sync request.
+#[derive(Clone, Debug)]
+enum SyncFrom {
+    Flat(u64),
+    Sharded(Vec<BlockId>),
+}
+
+/// The serving peer's answer, matching the cluster's replica kind.
+enum SyncReplyBody {
+    Flat(SyncResponse),
+    Sharded(ShardedSyncResponse),
+}
+
+impl SyncReplyBody {
+    fn transfer_bytes(&self) -> u64 {
+        match self {
+            SyncReplyBody::Flat(r) => r.transfer_bytes(),
+            SyncReplyBody::Sharded(r) => r.transfer_bytes(),
+        }
+    }
+
+    fn block_count(&self) -> usize {
+        match self {
+            SyncReplyBody::Flat(r) => r.block_count(),
+            SyncReplyBody::Sharded(r) => r.block_count(),
+        }
+    }
 }
 
 const TIMER_CLIENT: u64 = 1;
@@ -424,8 +508,120 @@ enum ReplicaState {
     Syncing,
 }
 
+/// A replica is either flat (one engine) or sharded (M per-shard chains).
+/// The wrapper drives both through one interface so the harness, crash
+/// plans, and measurement code are topology-agnostic.
+enum NodeKind {
+    Flat(Box<ReplicaNode>),
+    Sharded(Box<ShardedReplicaNode>),
+}
+
+impl NodeKind {
+    fn deliver(&mut self, block: Arc<ChainBlock>) -> Result<Vec<Applied>> {
+        match self {
+            NodeKind::Flat(n) => n.deliver(block),
+            NodeKind::Sharded(n) => n.deliver(block),
+        }
+    }
+
+    fn height(&self) -> BlockId {
+        match self {
+            NodeKind::Flat(n) => n.height(),
+            NodeKind::Sharded(n) => n.height(),
+        }
+    }
+
+    /// The root this replica's summary reports (and that consistency
+    /// checks compare): the full-state root on flat replicas, the sharded
+    /// Merkle fold on sharded ones.
+    fn report_root(&self) -> Result<Digest> {
+        match self {
+            NodeKind::Flat(n) => n.state_root(),
+            NodeKind::Sharded(n) => n.sharded_root(),
+        }
+    }
+
+    /// Shard-count-invariant digest of the logical database (equals the
+    /// full-state root on a flat replica).
+    fn logical_root(&self) -> Result<Digest> {
+        match self {
+            NodeKind::Flat(n) => n.state_root(),
+            NodeKind::Sharded(n) => n.logical_state_root(),
+        }
+    }
+
+    fn pending_gap(&self) -> usize {
+        match self {
+            NodeKind::Flat(n) => n.pending_gap(),
+            NodeKind::Sharded(n) => n.pending_gap(),
+        }
+    }
+
+    fn on_peer_root(&mut self, height: u64, root: Digest) {
+        match self {
+            NodeKind::Flat(n) => n.on_peer_root(height, root),
+            NodeKind::Sharded(n) => n.on_peer_root(height, root),
+        }
+    }
+
+    fn divergence_alarms(&self) -> u64 {
+        match self {
+            NodeKind::Flat(n) => n.divergence_alarms(),
+            NodeKind::Sharded(n) => n.divergence_alarms(),
+        }
+    }
+
+    fn delivery_log(&self) -> &DeliveryLog {
+        match self {
+            NodeKind::Flat(n) => n.delivery_log(),
+            NodeKind::Sharded(n) => n.delivery_log(),
+        }
+    }
+
+    fn stats(&self) -> &BlockStats {
+        match self {
+            NodeKind::Flat(n) => n.stats(),
+            NodeKind::Sharded(n) => n.stats(),
+        }
+    }
+
+    fn crash(&mut self) {
+        match self {
+            NodeKind::Flat(n) => n.crash(),
+            NodeKind::Sharded(n) => n.crash(),
+        }
+    }
+
+    fn recover_local(&mut self) -> Result<()> {
+        match self {
+            NodeKind::Flat(n) => n.recover_local(),
+            NodeKind::Sharded(n) => n.recover_local(),
+        }
+    }
+
+    fn sync_from(&self) -> SyncFrom {
+        match self {
+            NodeKind::Flat(n) => SyncFrom::Flat(n.height().0),
+            NodeKind::Sharded(n) => SyncFrom::Sharded(n.shard_heights()),
+        }
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        match self {
+            NodeKind::Flat(n) => n.chain().engine().io_snapshot(),
+            NodeKind::Sharded(n) => {
+                let mut io = IoSnapshot::default();
+                for s in 0..n.shards() {
+                    io.absorb(&n.shard_chain(s).engine().io_snapshot());
+                }
+                io
+            }
+        }
+    }
+}
+
 struct ReplicaWrap {
-    node: ReplicaNode,
+    node: NodeKind,
     state: ReplicaState,
     meta: HashMap<u64, (u64, u64)>,
     peers: Vec<usize>,
@@ -439,10 +635,12 @@ struct ReplicaWrap {
     last_apply_ns: u64,
     recoveries: u64,
     sync_blocks: u64,
+    sync_manifest_shards: u64,
+    sync_range_shards: u64,
 }
 
 impl ReplicaWrap {
-    fn on_applied(&mut self, applied: &[crate::replica::Applied], ctx: &mut NetCtx<'_, Msg>) {
+    fn on_applied(&mut self, applied: &[Applied], ctx: &mut NetCtx<'_, Msg>) {
         for a in applied {
             ctx.charge_cpu(a.cost_ns);
             self.last_apply_ns = self.last_apply_ns.max(ctx.now());
@@ -473,7 +671,7 @@ impl ReplicaWrap {
         ctx.send(
             self.sync_peer,
             Msg::SyncRequest {
-                from: self.node.height().0,
+                from: self.node.sync_from(),
             },
             64,
         );
@@ -561,9 +759,18 @@ impl SimNode<Msg> for ClusterNode {
                 Msg::RootGossip { height, root } if r.state != ReplicaState::Down => {
                     r.node.on_peer_root(height, root);
                 }
-                Msg::SyncRequest { from: height } if r.state == ReplicaState::Up => {
-                    let response =
-                        serve_sync(&r.node, BlockId(height), r.sync_policy).expect("serve");
+                Msg::SyncRequest { from: origin } if r.state == ReplicaState::Up => {
+                    let response = match (&r.node, origin) {
+                        (NodeKind::Flat(peer), SyncFrom::Flat(height)) => SyncReplyBody::Flat(
+                            serve_sync(peer, BlockId(height), r.sync_policy).expect("serve"),
+                        ),
+                        (NodeKind::Sharded(peer), SyncFrom::Sharded(heights)) => {
+                            SyncReplyBody::Sharded(
+                                serve_sharded_sync(peer, &heights, r.sync_policy).expect("serve"),
+                            )
+                        }
+                        _ => unreachable!("homogeneous cluster topology"),
+                    };
                     ctx.charge_cpu(SYNC_SERVE_NS_PER_BLOCK * response.block_count() as u64);
                     let bytes = response.transfer_bytes();
                     ctx.send(
@@ -578,7 +785,18 @@ impl SimNode<Msg> for ClusterNode {
                     if r.state != ReplicaState::Syncing {
                         return;
                     }
-                    let applied = apply_sync(&mut r.node, &response).expect("catch-up");
+                    let applied = match (&mut r.node, response.as_ref()) {
+                        (NodeKind::Flat(node), SyncReplyBody::Flat(resp)) => {
+                            apply_sync(node, resp).expect("catch-up")
+                        }
+                        (NodeKind::Sharded(node), SyncReplyBody::Sharded(resp)) => {
+                            let applied = apply_sharded_sync(node, resp).expect("catch-up");
+                            r.sync_manifest_shards += applied.manifest_shards;
+                            r.sync_range_shards += applied.range_shards;
+                            applied.blocks
+                        }
+                        _ => unreachable!("homogeneous cluster topology"),
+                    };
                     ctx.charge_cpu(SYNC_REPLAY_NS_PER_BLOCK * applied);
                     r.sync_blocks += applied;
                     r.last_apply_ns = r.last_apply_ns.max(ctx.now());
@@ -625,8 +843,12 @@ pub struct ReplicaSummary {
     pub replica: usize,
     /// Final chain height.
     pub height: BlockId,
-    /// Final full-state root.
+    /// Final root: full-state on flat replicas, the sharded Merkle fold
+    /// (`sharded_state_root`) on sharded ones.
     pub root: Digest,
+    /// Shard-count-invariant logical database digest (equals `root` on
+    /// flat replicas) — what cross-topology equivalence tests compare.
+    pub logical_root: Digest,
     /// Blocks in its verified delivery log.
     pub delivered: usize,
     /// Divergence alarms it raised.
@@ -635,6 +857,12 @@ pub struct ReplicaSummary {
     pub recoveries: u64,
     /// Blocks it obtained via state-sync.
     pub sync_blocks: u64,
+    /// Shards it re-bootstrapped via checkpoint-manifest install during
+    /// state-sync (sharded runs only).
+    pub sync_manifest_shards: u64,
+    /// Shards it caught up via block-range replay during state-sync
+    /// (sharded runs only).
+    pub sync_range_shards: u64,
 }
 
 /// End-of-run report.
@@ -722,7 +950,26 @@ impl Cluster {
             nodes.push(ClusterNode::Follower);
         }
         for r in 0..cfg.replicas {
-            let node = ReplicaNode::new(&cfg.replica, |engine| cfg.workload.setup_node(engine))?;
+            let node = match cfg.topology {
+                None => NodeKind::Flat(Box::new(ReplicaNode::new(&cfg.replica, |engine| {
+                    cfg.workload.setup_node(engine)
+                })?)),
+                Some(topology) => {
+                    let sharded_cfg = ShardedReplicaConfig {
+                        chain: cfg.replica.chain.clone(),
+                        engine: cfg.replica.engine,
+                        workers: cfg.replica.workers,
+                        shards: topology.shards.max(1),
+                        partitions: topology.partitions,
+                        checkpoint_stagger: topology.checkpoint_stagger,
+                        latency: cfg.latency.clone(),
+                        gossip_every: cfg.replica.gossip_every,
+                    };
+                    NodeKind::Sharded(Box::new(ShardedReplicaNode::new(&sharded_cfg, |engine| {
+                        cfg.workload.setup_node(engine)
+                    })?))
+                }
+            };
             let peers = replica_idx
                 .iter()
                 .copied()
@@ -752,6 +999,8 @@ impl Cluster {
                 last_apply_ns: 0,
                 recoveries: 0,
                 sync_blocks: 0,
+                sync_manifest_shards: 0,
+                sync_range_shards: 0,
             })));
         }
 
@@ -780,11 +1029,14 @@ impl Cluster {
             replicas.push(ReplicaSummary {
                 replica: r,
                 height: w.node.height(),
-                root: w.node.state_root()?,
+                root: w.node.report_root()?,
+                logical_root: w.node.logical_root()?,
                 delivered: w.node.delivery_log().len(),
                 alarms: w.node.divergence_alarms(),
                 recoveries: w.recoveries,
                 sync_blocks: w.sync_blocks,
+                sync_manifest_shards: w.sync_manifest_shards,
+                sync_range_shards: w.sync_range_shards,
             });
         }
         let consistent = replicas
@@ -817,12 +1069,16 @@ impl Cluster {
         } else {
             obs.committed_weighted_order_ns / committed as f64 / 1e6
         };
-        let io = obs.node.chain().engine().io_snapshot();
+        let io = obs.node.io_snapshot();
         let metrics = RunMetrics {
             system: Cow::Owned(format!(
-                "{}·node×{}{}",
+                "{}·node×{}{}{}",
                 cfg.replica.engine.name(),
                 cfg.replicas,
+                match cfg.topology {
+                    Some(t) => format!("×{}shards", t.shards),
+                    None => String::new(),
+                },
                 match cfg.ordering {
                     OrderingMode::Kafka { .. } => "·kafka",
                     OrderingMode::HotStuff => "·hotstuff",

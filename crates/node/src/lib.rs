@@ -27,11 +27,17 @@
 pub mod cluster;
 pub mod mempool;
 pub mod replica;
+pub mod sharded;
 pub mod statesync;
 
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, OrderingMode, ReplicaSummary,
+    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, OrderingMode,
+    ReplicaSummary, ShardTopology,
 };
 pub use mempool::{AdmitError, Mempool, MempoolConfig, MempoolStats, PendingTxn};
 pub use replica::{Applied, ReplicaConfig, ReplicaNode};
-pub use statesync::{apply_sync, serve_sync, SyncPolicy, SyncResponse};
+pub use sharded::{ShardedReplicaConfig, ShardedReplicaNode};
+pub use statesync::{
+    apply_sharded_sync, apply_sync, serve_sharded_sync, serve_sync, ShardedSyncApplied,
+    ShardedSyncResponse, SyncPolicy, SyncResponse,
+};

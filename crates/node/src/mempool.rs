@@ -343,6 +343,127 @@ mod tests {
     }
 
     #[test]
+    fn nonce_exactly_at_window_edge_is_held_one_past_is_dropped() {
+        // Window 4, watermark 0: nonce 4 sits exactly at the edge
+        // (gap == window) and must be HELD; nonce 5 is one past and must
+        // take the window-overflow drop path.
+        let mut m = pool(10);
+        m.submit(1, 4, 0, nop()).unwrap();
+        assert_eq!(m.stats().reordered, 1);
+        assert_eq!(m.stats().rejected_gap, 0);
+        assert_eq!(
+            m.submit(1, 5, 0, nop()),
+            Err(AdmitError::NonceGap {
+                client: 1,
+                expected: 0,
+                got: 5
+            })
+        );
+        assert_eq!(m.stats().rejected_gap, 1);
+        // The edge nonce is not lost: filling the run drains through it.
+        for n in [0, 1, 2, 3] {
+            m.submit(1, n, 0, nop()).unwrap();
+        }
+        let batch = m.next_batch(10);
+        assert_eq!(
+            batch.iter().map(|t| t.nonce).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
+        // After the watermark advanced past the drop, the session
+        // continues: 5 is now in-order.
+        m.submit(1, 5, 0, nop()).unwrap();
+        assert_eq!(m.next_batch(10).len(), 1);
+    }
+
+    #[test]
+    fn full_hold_back_window_admits_only_the_in_order_nonce() {
+        // All four hold slots occupied (nonces 1–4 held, window 4): every
+        // in-window nonce is now either a duplicate or the in-order nonce
+        // 0 — the hold-back buffer can never exceed the window.
+        let mut m = pool(10);
+        for n in [1, 2, 3, 4] {
+            m.submit(9, n, 0, nop()).unwrap();
+        }
+        assert!(m.is_empty(), "all held, none batchable");
+        assert!(matches!(
+            m.submit(9, 3, 0, nop()),
+            Err(AdmitError::Duplicate { .. })
+        ));
+        assert!(matches!(
+            m.submit(9, 5, 0, nop()),
+            Err(AdmitError::NonceGap { .. })
+        ));
+        m.submit(9, 0, 0, nop()).unwrap();
+        assert_eq!(m.len(), 5, "nonce 0 drains the whole window");
+    }
+
+    #[test]
+    fn duplicate_straddling_a_batch_seal() {
+        // A nonce replayed *after* its original was sealed into a block
+        // must still be rejected (the watermark outlives the queue), and
+        // a held nonce replayed across a seal is likewise a duplicate.
+        let mut m = pool(10);
+        m.submit(2, 0, 0, nop()).unwrap();
+        m.submit(2, 1, 0, nop()).unwrap();
+        m.submit(2, 3, 0, nop()).unwrap(); // held (2 missing)
+        let sealed = m.next_batch(10);
+        assert_eq!(sealed.iter().map(|t| t.nonce).collect::<Vec<_>>(), [0, 1]);
+        // Replays straddling the seal: one drained, one still held.
+        assert_eq!(
+            m.submit(2, 1, 0, nop()),
+            Err(AdmitError::Duplicate {
+                client: 2,
+                nonce: 1
+            })
+        );
+        assert_eq!(
+            m.submit(2, 3, 0, nop()),
+            Err(AdmitError::Duplicate {
+                client: 2,
+                nonce: 3
+            })
+        );
+        // The straddled hold still drains once the gap closes.
+        m.submit(2, 2, 0, nop()).unwrap();
+        let batch = m.next_batch(10);
+        assert_eq!(batch.iter().map(|t| t.nonce).collect::<Vec<_>>(), [2, 3]);
+    }
+
+    #[test]
+    fn backpressure_rejects_held_submissions_without_consuming_them() {
+        // A full queue rejects out-of-order submissions too (holding them
+        // would let an attacker grow per-session state unboundedly), and
+        // the rejection must not consume the nonce: once the queue
+        // drains, the same nonce is admissible again.
+        let mut m = pool(2);
+        m.submit(1, 0, 0, nop()).unwrap();
+        m.submit(2, 0, 0, nop()).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.submit(3, 1, 0, nop()), Err(AdmitError::Backpressure));
+        m.next_batch(10);
+        m.submit(3, 1, 0, nop()).unwrap(); // held now
+        m.submit(3, 0, 0, nop()).unwrap();
+        assert_eq!(
+            m.next_batch(10).iter().map(|t| t.nonce).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        // Duplicate detection outranks backpressure: a replay against a
+        // full queue reports Duplicate (and burns no capacity either way).
+        let mut m = pool(1);
+        m.submit(7, 0, 0, nop()).unwrap();
+        assert!(m.is_full());
+        assert_eq!(
+            m.submit(7, 0, 0, nop()),
+            Err(AdmitError::Duplicate {
+                client: 7,
+                nonce: 0
+            })
+        );
+        assert_eq!(m.stats().rejected_duplicate, 1);
+        assert_eq!(m.stats().rejected_backpressure, 0);
+    }
+
+    #[test]
     fn nonces_survive_batching() {
         // The watermark lives with the session, not the queue: a drained
         // nonce can never be replayed.

@@ -75,6 +75,45 @@ pub struct Applied {
     pub gossip_root: Option<Digest>,
 }
 
+/// Gossiped-root bookkeeping shared by the flat and sharded replicas:
+/// remembers this node's own roots per gossip height, holds peer roots
+/// that arrive early, and counts disagreements.
+#[derive(Default)]
+pub(crate) struct RootTracker {
+    own: BTreeMap<u64, Digest>,
+    peers: BTreeMap<u64, Vec<Digest>>,
+    alarms: u64,
+}
+
+impl RootTracker {
+    /// Record this node's root at `height`, comparing against any peer
+    /// roots that arrived before the node got there.
+    pub(crate) fn note_own(&mut self, height: u64, root: Digest) {
+        if let Some(peers) = self.peers.remove(&height) {
+            self.alarms += peers.iter().filter(|p| **p != root).count() as u64;
+        }
+        self.own.insert(height, root);
+    }
+
+    /// Record a peer's gossiped root at `height` — compared now if this
+    /// node already has its own root there, or parked until it does.
+    pub(crate) fn note_peer(&mut self, height: u64, root: Digest) {
+        match self.own.get(&height) {
+            Some(own) => {
+                if *own != root {
+                    self.alarms += 1;
+                }
+            }
+            None => self.peers.entry(height).or_default().push(root),
+        }
+    }
+
+    /// Comparisons that disagreed so far.
+    pub(crate) fn alarms(&self) -> u64 {
+        self.alarms
+    }
+}
+
 /// A replica node: ordered delivery over an [`OeChain`].
 pub struct ReplicaNode {
     chain: OeChain,
@@ -88,9 +127,7 @@ pub struct ReplicaNode {
     schedules: Vec<BlockSchedule>,
     charged_ns: u64,
     stats: BlockStats,
-    own_roots: BTreeMap<u64, Digest>,
-    peer_roots: BTreeMap<u64, Vec<Digest>>,
-    divergence_alarms: u64,
+    roots: RootTracker,
 }
 
 impl ReplicaNode {
@@ -116,9 +153,7 @@ impl ReplicaNode {
             schedules: Vec::new(),
             charged_ns: 0,
             stats: BlockStats::default(),
-            own_roots: BTreeMap::new(),
-            peer_roots: BTreeMap::new(),
-            divergence_alarms: 0,
+            roots: RootTracker::default(),
         })
     }
 
@@ -166,7 +201,7 @@ impl ReplicaNode {
     /// Root-gossip comparisons that disagreed.
     #[must_use]
     pub fn divergence_alarms(&self) -> u64 {
-        self.divergence_alarms
+        self.roots.alarms()
     }
 
     /// Receive one sealed block from the ordering service. Buffers it if
@@ -219,7 +254,7 @@ impl ReplicaNode {
 
         let gossip_root = if block.header.id.0.is_multiple_of(self.gossip_every) {
             let root = self.chain.state_root()?;
-            self.note_own_root(block.header.id.0, root);
+            self.roots.note_own(block.header.id.0, root);
             Some(root)
         } else {
             None
@@ -232,24 +267,10 @@ impl ReplicaNode {
         })
     }
 
-    fn note_own_root(&mut self, height: u64, root: Digest) {
-        if let Some(peers) = self.peer_roots.remove(&height) {
-            self.divergence_alarms += peers.iter().filter(|p| **p != root).count() as u64;
-        }
-        self.own_roots.insert(height, root);
-    }
-
     /// Receive a peer's gossiped state root. Compares against this
     /// replica's own root at that height (now, or when it gets there).
     pub fn on_peer_root(&mut self, height: u64, root: Digest) {
-        match self.own_roots.get(&height) {
-            Some(own) => {
-                if *own != root {
-                    self.divergence_alarms += 1;
-                }
-            }
-            None => self.peer_roots.entry(height).or_default().push(root),
-        }
+        self.roots.note_peer(height, root);
     }
 
     /// Crash: lose the delivery buffer and in-memory execution state (the

@@ -1,0 +1,647 @@
+//! The sharded replica: N-replica replication × M-shard execution in one
+//! node — the composition of `harmony-shard`'s deterministic cross-shard
+//! commit with `harmony-node`'s ordered delivery and crash recovery.
+//!
+//! A [`ShardedReplicaNode`] hosts M **per-shard [`OeChain`]s** (any of the
+//! five engines in their sharded profile, rebuilt through a sharded
+//! `DccFactory` on recovery). A globally ordered block is consumed in four
+//! steps:
+//!
+//! 1. verify its linkage/signature against the replica's **global** hash
+//!    chain,
+//! 2. plan it through the shared cross-shard planner
+//!    ([`harmony_shard::plan_block`]): classify, simulate multi-partition
+//!    transactions against the shards' previous-block snapshots, reserve
+//!    the survivor set, split survivors into serializable fragments,
+//! 3. seal each shard's sub-block on that shard's chain and apply it —
+//!    so every shard owns a verifiable hash-chained block log (height ==
+//!    global height) with its own checkpoints and recovery sidecar,
+//! 4. fold per-shard state roots into the
+//!    [`harmony_chain::sharded_state_root`] gossiped for divergence
+//!    detection.
+//!
+//! Because fragments serialize their captured update commands, a shard's
+//! sub-block log replays **independently** of the other shards: crash
+//! recovery and state-sync never re-run the cross-shard simulation.
+//! That is what lets a rejoining replica bring one shard back via a
+//! checkpoint-manifest install while another replays a verified block
+//! range ([`crate::statesync::apply_sharded_sync`]).
+//!
+//! The replica's own position on the *global* chain (height + last block
+//! hash) lives in memory; after a crash it is re-anchored by the first
+//! state-sync response, and ordered delivery stays buffered until the
+//! anchor is known.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use harmony_chain::{sharded_state_root, state_root, ChainBlock, ChainConfig, OeChain};
+use harmony_common::{BlockId, Error, Result};
+use harmony_consensus::net::{DeliveryLog, LatencyModel};
+use harmony_core::BlockStats;
+use harmony_crypto::{Digest, Verifier};
+use harmony_shard::{
+    logical_state_root, plan_block, prune_to_owned, FragmentCodec, HashPartitioner, ShardRouter,
+};
+use harmony_sim::{makespan, schedule_block, EngineKind};
+use harmony_storage::StorageEngine;
+use harmony_txn::{ContractCodec, MultiCodec};
+
+use crate::replica::{Applied, RootTracker};
+
+/// Sharded replica configuration.
+#[derive(Clone, Debug)]
+pub struct ShardedReplicaConfig {
+    /// Per-shard chain template (storage profile, checkpoint period,
+    /// crypto, provisioning). Each shard clones it; see
+    /// `checkpoint_stagger` for the one knob varied per shard.
+    pub chain: ChainConfig,
+    /// Which DCC engine executes sub-blocks (sharded profile).
+    pub engine: EngineKind,
+    /// Worker cores per shard.
+    pub workers: usize,
+    /// Number of physical shards hosted by this replica.
+    pub shards: usize,
+    /// Logical partition count (fixed across shard counts, so transaction
+    /// classification — and hence every commit decision — is
+    /// shard-count-invariant).
+    pub partitions: u32,
+    /// Shard `s` checkpoints every `chain.checkpoint_every + s * stagger`
+    /// blocks. A non-zero stagger spreads checkpoint I/O bursts across
+    /// co-hosted shards — and means a crash can strand shards at
+    /// *different* recovery points, which the per-shard state-sync
+    /// protocol is built to handle (manifest for one shard, block-range
+    /// replay for another).
+    pub checkpoint_stagger: u64,
+    /// Network model for the cross-shard read-fragment exchange.
+    pub latency: LatencyModel,
+    /// Compute + gossip the sharded state root every this many blocks.
+    pub gossip_every: u64,
+}
+
+impl Default for ShardedReplicaConfig {
+    fn default() -> Self {
+        ShardedReplicaConfig {
+            chain: ChainConfig::in_memory(),
+            engine: EngineKind::Harmony(harmony_core::HarmonyConfig::default()),
+            workers: 4,
+            shards: 2,
+            partitions: 16,
+            checkpoint_stagger: 0,
+            latency: LatencyModel::lan_1g(),
+            gossip_every: 5,
+        }
+    }
+}
+
+impl ShardedReplicaConfig {
+    fn shard_chain_config(&self, shard: usize) -> ChainConfig {
+        let mut cfg = self.chain.clone();
+        // checkpoint_every = 0 means "never checkpoint" on a flat chain;
+        // preserve that rather than staggering it into "every block".
+        if cfg.checkpoint_every > 0 {
+            cfg.checkpoint_every = cfg
+                .checkpoint_every
+                .saturating_add(shard as u64 * self.checkpoint_stagger);
+        }
+        cfg
+    }
+}
+
+/// Open one shard's chain, wired to rebuild the sharded-profile engine on
+/// recovery and snapshot install.
+fn open_shard_chain(config: &ShardedReplicaConfig, shard: usize) -> Result<OeChain> {
+    let kind = config.engine;
+    let workers = config.workers;
+    OeChain::open_with_factory(
+        config.shard_chain_config(shard),
+        Arc::new(move |store, next, _summary| kind.build_sharded_at(store, workers, next)),
+    )
+}
+
+/// Whether the replica knows the hash of its latest global block — the
+/// value the next delivery's `prev_hash` must match. Lost on crash (it is
+/// in-memory state), restored by the first state-sync response.
+enum GlobalAnchor {
+    Known(Digest),
+    Unknown,
+}
+
+/// A replica hosting M shards behind one ordered global block stream.
+pub struct ShardedReplicaNode {
+    config: ShardedReplicaConfig,
+    router: ShardRouter,
+    shards: Vec<OeChain>,
+    codec: Arc<dyn ContractCodec>,
+    verifier: Verifier,
+    height: BlockId,
+    anchor: GlobalAnchor,
+    delivery_log: DeliveryLog,
+    pending: BTreeMap<u64, Arc<ChainBlock>>,
+    stats: BlockStats,
+    roots: RootTracker,
+}
+
+impl ShardedReplicaNode {
+    /// Build a sharded replica: open one chain per shard, run `setup` on
+    /// every shard's engine to load genesis state (table ids come out
+    /// identical because creation order is identical), prune each shard
+    /// down to the rows it owns, and compose the returned workload codec
+    /// with the fragment codec into the replica's decoding registry.
+    pub fn new(
+        config: &ShardedReplicaConfig,
+        mut setup: impl FnMut(&Arc<StorageEngine>) -> Result<Arc<dyn ContractCodec>>,
+    ) -> Result<ShardedReplicaNode> {
+        assert!(config.shards > 0, "need at least one shard");
+        let router = ShardRouter::new(
+            Arc::new(HashPartitioner::new(config.partitions)),
+            config.shards,
+        );
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workload_codec = None;
+        for s in 0..config.shards {
+            let chain = open_shard_chain(config, s)?;
+            workload_codec = Some(setup(chain.engine())?);
+            prune_to_owned(chain.engine(), &router, s)?;
+            shards.push(chain);
+        }
+        let codec: Arc<dyn ContractCodec> = Arc::new(MultiCodec::new(vec![
+            Arc::new(FragmentCodec),
+            workload_codec.expect("at least one shard"),
+        ]));
+        Ok(ShardedReplicaNode {
+            config: config.clone(),
+            router,
+            shards,
+            codec,
+            verifier: Verifier::new(&config.chain.provision, config.chain.crypto),
+            height: BlockId(0),
+            anchor: GlobalAnchor::Known(Digest::ZERO),
+            delivery_log: DeliveryLog::default(),
+            pending: BTreeMap::new(),
+            stats: BlockStats::default(),
+            roots: RootTracker::default(),
+        })
+    }
+
+    /// Number of shards hosted.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router placing transactions onto shards.
+    #[must_use]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// One shard's chain (inspection / sync serving).
+    #[must_use]
+    pub fn shard_chain(&self, shard: usize) -> &OeChain {
+        &self.shards[shard]
+    }
+
+    /// The decoding registry (fragments + workload contracts).
+    #[must_use]
+    pub fn codec(&self) -> &Arc<dyn ContractCodec> {
+        &self.codec
+    }
+
+    /// Global height (every shard chain sits at this height, except
+    /// mid-recovery).
+    #[must_use]
+    pub fn height(&self) -> BlockId {
+        self.height
+    }
+
+    /// Per-shard heights — unequal only after a crash recovery that lost
+    /// some shards' checkpoints (state-sync then evens them out).
+    #[must_use]
+    pub fn shard_heights(&self) -> Vec<BlockId> {
+        self.shards.iter().map(OeChain::height).collect()
+    }
+
+    /// The verified global delivery log.
+    #[must_use]
+    pub fn delivery_log(&self) -> &DeliveryLog {
+        &self.delivery_log
+    }
+
+    /// Aggregated execution counters.
+    #[must_use]
+    pub fn stats(&self) -> &BlockStats {
+        &self.stats
+    }
+
+    /// Blocks buffered ahead of the next applicable height.
+    #[must_use]
+    pub fn pending_gap(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Root-gossip comparisons that disagreed.
+    #[must_use]
+    pub fn divergence_alarms(&self) -> u64 {
+        self.roots.alarms()
+    }
+
+    /// Per-shard state roots and their Merkle fold — what this replica
+    /// gossips and what a sharded block header would carry.
+    pub fn sharded_root(&self) -> Result<Digest> {
+        let shard_roots: Vec<Digest> = self
+            .shards
+            .iter()
+            .map(|c| state_root(c.engine()))
+            .collect::<Result<_>>()?;
+        Ok(sharded_state_root(&shard_roots))
+    }
+
+    /// Shard-count-invariant digest of the logical database (the union of
+    /// the disjoint shard partitions) — comparable across deployments with
+    /// different M.
+    pub fn logical_state_root(&self) -> Result<Digest> {
+        logical_state_root(self.shards.iter().map(OeChain::engine))
+    }
+
+    /// Receive one globally ordered sealed block. Buffers it if it is
+    /// ahead of the next height, then applies every consecutively
+    /// available block. Returns the blocks applied by this call.
+    pub fn deliver(&mut self, block: Arc<ChainBlock>) -> Result<Vec<Applied>> {
+        let seq = block.header.id.0;
+        if seq > self.height.0 {
+            self.pending.entry(seq).or_insert(block);
+        }
+        self.drain_pending()
+    }
+
+    /// Apply every buffered block that now connects to the global tip.
+    /// No-op while the global anchor is unknown (post-crash, pre-sync):
+    /// linkage of a delivered block cannot be verified without it.
+    pub fn drain_pending(&mut self) -> Result<Vec<Applied>> {
+        let mut applied = Vec::new();
+        let tip = self.height.0;
+        self.pending.retain(|s, _| *s > tip);
+        if matches!(self.anchor, GlobalAnchor::Unknown) {
+            return Ok(applied);
+        }
+        loop {
+            let next = self.height.0 + 1;
+            let Some(block) = self.pending.remove(&next) else {
+                break;
+            };
+            applied.push(self.apply(&block)?);
+        }
+        Ok(applied)
+    }
+
+    fn apply(&mut self, block: &ChainBlock) -> Result<Applied> {
+        let id = block.header.id;
+        let GlobalAnchor::Known(prev) = &self.anchor else {
+            return Err(Error::InvalidArgument(
+                "cannot apply without a global anchor".into(),
+            ));
+        };
+        block.verify(prev, &self.verifier)?;
+
+        // Decode the global payloads, plan the block across shards, then
+        // seal + apply one sub-block per shard through its own chain (the
+        // sub-block hits the shard's logical block log before execution,
+        // exactly like a flat replica's blocks).
+        let txns: Result<Vec<_>> = block.txns.iter().map(|b| self.codec.decode(b)).collect();
+        let txns = txns?;
+        let stores: Vec<_> = self
+            .shards
+            .iter()
+            .map(|c| Arc::clone(c.snapshots()))
+            .collect();
+        let mut plan = plan_block(
+            &self.router,
+            &stores,
+            self.height,
+            &txns,
+            self.config.workers,
+            &self.config.latency,
+        );
+        let log_sync_ns = self.config.chain.storage.log_sync_ns;
+        let mut shard_results = Vec::with_capacity(self.shards.len());
+        let mut shard_stage_ns = 0u64;
+        for (s, chain) in self.shards.iter_mut().enumerate() {
+            let sub = std::mem::take(&mut plan.shard_txns[s]);
+            // submit_block seals (one codec encode, into the shard's
+            // logical log) and executes the already-decoded contracts —
+            // no per-shard re-decode on the hot path. Decode fidelity is
+            // separately pinned by the recovery/state-sync tests, which
+            // replay the logged bytes through the codec.
+            let (_sealed, result) = chain.submit_block(sub, self.codec.as_ref())?;
+            let commit_serial = chain.dcc().commit_is_serial();
+            shard_stage_ns = shard_stage_ns.max(
+                schedule_block(&result, self.config.workers, commit_serial).total_ns()
+                    + log_sync_ns,
+            );
+            shard_results.push(result);
+        }
+        let outcomes = plan.fold_outcomes(&shard_results)?;
+        self.stats
+            .absorb(&plan.accumulate_stats(&outcomes, &shard_results));
+
+        // Virtual-time charge: the cross stage (fragment exchange + the
+        // multi-partition re-simulation) runs in lockstep, then every
+        // shard executes its sub-block concurrently — the block costs the
+        // slowest shard. The sharded profile has no inter-block pipeline,
+        // so blocks are charged back-to-back.
+        let cost_ns =
+            plan.exchange_ns + makespan(&plan.cross_sim_ns, self.config.workers) + shard_stage_ns;
+
+        self.height = id;
+        self.anchor = GlobalAnchor::Known(block.header.hash());
+        self.delivery_log.observe(id.0, block.header.hash());
+
+        let committed = outcomes.iter().filter(|o| o.is_committed()).count();
+        let gossip_root = if id.0.is_multiple_of(self.config.gossip_every.max(1)) {
+            let root = self.sharded_root()?;
+            self.roots.note_own(id.0, root);
+            Some(root)
+        } else {
+            None
+        };
+        Ok(Applied {
+            block: id,
+            committed,
+            cost_ns,
+            gossip_root,
+        })
+    }
+
+    /// Receive a peer's gossiped sharded state root.
+    pub fn on_peer_root(&mut self, height: u64, root: Digest) {
+        self.roots.note_peer(height, root);
+    }
+
+    /// Crash: lose the delivery buffer and the in-memory global position
+    /// (shards' durable state is recovered separately).
+    pub fn crash(&mut self) {
+        self.pending.clear();
+        self.anchor = GlobalAnchor::Unknown;
+    }
+
+    /// Local recovery: every shard chain reloads its last checkpoint and
+    /// deterministically replays its own sub-block log. A shard that never
+    /// checkpointed honestly lands at height 0 with an empty catalog
+    /// (ready for a manifest install); the others replay back to the
+    /// height they had applied. The replica's global height drops to the
+    /// laggiest shard; the global anchor stays unknown until state-sync
+    /// re-establishes it.
+    pub fn recover_local(&mut self) -> Result<()> {
+        let codec = Arc::clone(&self.codec);
+        for chain in &mut self.shards {
+            chain.crash_and_recover(codec.as_ref())?;
+        }
+        self.height = self
+            .shards
+            .iter()
+            .map(OeChain::height)
+            .min()
+            .expect("at least one shard");
+        self.anchor = GlobalAnchor::Unknown;
+        Ok(())
+    }
+
+    /// Catch one shard up from a peer's verified sub-block range
+    /// (state-sync, per-shard phase 2). Returns the blocks applied.
+    pub fn catch_up_shard_from_blocks(
+        &mut self,
+        shard: usize,
+        blocks: &[ChainBlock],
+    ) -> Result<usize> {
+        let codec = Arc::clone(&self.codec);
+        self.shards[shard].replay_range(blocks, codec.as_ref())
+    }
+
+    /// Bootstrap one shard from a peer's checkpoint manifest, then replay
+    /// the accompanying sub-block tail (per-shard phases 1 + 2). A shard
+    /// holding any local state is wiped first — when a peer answers with a
+    /// manifest, the manifest is the complete truth for that shard's
+    /// partition.
+    pub fn bootstrap_shard_from_snapshot(
+        &mut self,
+        shard: usize,
+        snapshot: &harmony_chain::sync::StateSnapshot,
+        blocks: &[ChainBlock],
+    ) -> Result<usize> {
+        if snapshot.height > BlockId(0) && self.shards[shard].height() >= snapshot.height {
+            // Deliveries that drained while the response was in flight
+            // already carried this shard past the manifest point: its
+            // verified chain state is at least as new, so installing the
+            // older manifest would move backwards.
+            return Ok(0);
+        }
+        let fresh = self.shards[shard].height() == BlockId(0)
+            && self.shards[shard].engine().list_tables().is_empty();
+        if !fresh {
+            self.shards[shard] = open_shard_chain(&self.config, shard)?;
+        }
+        let before = self.shards[shard].height().0;
+        self.shards[shard].install_snapshot(snapshot)?;
+        let replayed = self.catch_up_shard_from_blocks(shard, blocks)?;
+        Ok((self.shards[shard].height().0 - before) as usize + replayed)
+    }
+
+    /// Finish a state-sync round: every shard must have landed on one
+    /// common height, at least the peer's served height. At exactly the
+    /// served height, the replica re-anchors on the peer's global block
+    /// hash; past it, the replica kept applying anchored deliveries while
+    /// the response was in flight and its own (newer) anchor stands.
+    /// Buffered deliveries beyond the tip drain immediately.
+    pub fn finish_sync(&mut self, height: BlockId, global_hash: Digest) -> Result<Vec<Applied>> {
+        let landed = self.shards[0].height();
+        for (s, chain) in self.shards.iter().enumerate() {
+            if chain.height() != landed {
+                return Err(Error::Corruption(format!(
+                    "shard {s} ended sync at {} (shard 0 at {landed})",
+                    chain.height()
+                )));
+            }
+        }
+        if landed < height {
+            return Err(Error::Corruption(format!(
+                "sync landed at {landed}, short of the served height {height}"
+            )));
+        }
+        if landed == height {
+            self.anchor = GlobalAnchor::Known(global_hash);
+        } else if matches!(self.anchor, GlobalAnchor::Unknown) {
+            return Err(Error::Corruption(format!(
+                "shards at {landed} past the served height {height} with no anchor"
+            )));
+        }
+        self.height = landed;
+        self.drain_pending()
+    }
+
+    /// The global block hash this replica is anchored at, if known —
+    /// served to syncing peers so they can re-anchor.
+    #[must_use]
+    pub fn global_hash(&self) -> Option<Digest> {
+        match &self.anchor {
+            GlobalAnchor::Known(h) => Some(*h),
+            GlobalAnchor::Unknown => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_crypto::KeyPair;
+    use harmony_txn::encode_contract;
+    use harmony_workloads::{Smallbank, SmallbankCodec, SmallbankConfig, Workload};
+
+    fn config(engine: EngineKind, shards: usize) -> ShardedReplicaConfig {
+        ShardedReplicaConfig {
+            chain: ChainConfig {
+                checkpoint_every: 3,
+                ..ChainConfig::in_memory()
+            },
+            engine,
+            workers: 2,
+            shards,
+            partitions: 8,
+            checkpoint_stagger: 0,
+            latency: LatencyModel::lan_1g(),
+            gossip_every: 2,
+        }
+    }
+
+    fn smallbank_cfg() -> SmallbankConfig {
+        SmallbankConfig {
+            accounts: 120,
+            theta: 0.5,
+            partitions: 8,
+            multi_partition_ratio: 0.4,
+        }
+    }
+
+    fn replica(engine: EngineKind, shards: usize) -> ShardedReplicaNode {
+        ShardedReplicaNode::new(&config(engine, shards), |eng| {
+            let mut w = Smallbank::new(smallbank_cfg());
+            w.setup(eng)?;
+            let (checking, savings) = w.tables();
+            Ok(Arc::new(SmallbankCodec { checking, savings }))
+        })
+        .unwrap()
+    }
+
+    /// Seal a deterministic global block stream the way the orderer does.
+    fn sealed_stream(n: usize, block_txns: usize) -> Vec<Arc<ChainBlock>> {
+        let chain_cfg = ChainConfig::in_memory();
+        let keypair = KeyPair::derive(&chain_cfg.provision, chain_cfg.orderer_id, chain_cfg.crypto);
+        let mut w = Smallbank::new(smallbank_cfg());
+        let scratch = StorageEngine::open(&harmony_storage::StorageConfig::memory()).unwrap();
+        w.setup(&scratch).unwrap();
+        let mut rng = harmony_common::DetRng::new(0x5A);
+        let mut prev = Digest::ZERO;
+        let mut blocks = Vec::with_capacity(n);
+        for b in 0..n {
+            let txns = w.next_block(&mut rng, block_txns);
+            let encoded: Vec<Vec<u8>> = txns.iter().map(|t| encode_contract(t.as_ref())).collect();
+            let sealed = ChainBlock::seal(BlockId(b as u64 + 1), prev, encoded, &keypair);
+            prev = sealed.header.hash();
+            blocks.push(Arc::new(sealed));
+        }
+        blocks
+    }
+
+    #[test]
+    fn shards_advance_in_lockstep_and_roots_agree_across_replicas() {
+        let blocks = sealed_stream(6, 10);
+        let run = |shards: usize| {
+            let mut r = replica(EngineKind::Rbc, shards);
+            for b in &blocks {
+                r.deliver(Arc::clone(b)).unwrap();
+            }
+            assert_eq!(r.height(), BlockId(6));
+            assert!(r.shard_heights().iter().all(|h| *h == BlockId(6)));
+            assert!(r.delivery_log().is_gap_free());
+            (r.sharded_root().unwrap(), r.logical_state_root().unwrap())
+        };
+        let (top_a, logical_a) = run(4);
+        let (top_b, logical_b) = run(4);
+        assert_eq!(top_a, top_b, "replicas diverged");
+        assert_eq!(logical_a, logical_b);
+        // Different shard counts change the physical fold but not the
+        // logical database.
+        let (top_one, logical_one) = run(1);
+        assert_ne!(top_a, top_one, "physical fold commits to the layout");
+        assert_eq!(logical_a, logical_one, "logical state is M-invariant");
+    }
+
+    #[test]
+    fn out_of_order_delivery_buffers_and_drains() {
+        let blocks = sealed_stream(4, 8);
+        let mut r = replica(EngineKind::Rbc, 2);
+        assert!(r.deliver(Arc::clone(&blocks[2])).unwrap().is_empty());
+        assert!(r.deliver(Arc::clone(&blocks[1])).unwrap().is_empty());
+        assert_eq!(r.pending_gap(), 2);
+        let applied = r.deliver(Arc::clone(&blocks[0])).unwrap();
+        assert_eq!(
+            applied.iter().map(|a| a.block.0).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        r.deliver(Arc::clone(&blocks[3])).unwrap();
+        assert_eq!(r.height(), BlockId(4));
+    }
+
+    #[test]
+    fn crash_recovery_replays_to_identical_root() {
+        let blocks = sealed_stream(7, 10);
+        for engine in [
+            EngineKind::Harmony(harmony_core::HarmonyConfig::default()),
+            EngineKind::Aria,
+            EngineKind::Fabric,
+        ] {
+            let mut reference = replica(engine, 3);
+            let mut crasher = replica(engine, 3);
+            for b in &blocks {
+                reference.deliver(Arc::clone(b)).unwrap();
+                crasher.deliver(Arc::clone(b)).unwrap();
+            }
+            let root = reference.sharded_root().unwrap();
+            crasher.crash();
+            crasher.recover_local().unwrap();
+            // Every shard checkpointed (period 3, height 7): full local
+            // replay, no sync needed.
+            assert_eq!(crasher.height(), BlockId(7));
+            assert_eq!(crasher.sharded_root().unwrap(), root, "{}", engine.name());
+            // Re-anchor and keep going.
+            let anchor = blocks[6].header.hash();
+            assert!(crasher.finish_sync(BlockId(7), anchor).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn staggered_checkpoints_strand_shards_at_different_heights() {
+        let blocks = sealed_stream(5, 10);
+        let mut cfg = config(EngineKind::Rbc, 2);
+        cfg.chain.checkpoint_every = 2;
+        cfg.checkpoint_stagger = 100; // shard 1 never checkpoints in 5 blocks
+        let mut r = ShardedReplicaNode::new(&cfg, |eng| {
+            let mut w = Smallbank::new(smallbank_cfg());
+            w.setup(eng)?;
+            let (checking, savings) = w.tables();
+            Ok(Arc::new(SmallbankCodec { checking, savings }))
+        })
+        .unwrap();
+        for b in &blocks {
+            r.deliver(Arc::clone(b)).unwrap();
+        }
+        r.crash();
+        r.recover_local().unwrap();
+        let heights = r.shard_heights();
+        assert_eq!(heights[0], BlockId(5), "checkpointed shard replays fully");
+        assert_eq!(heights[1], BlockId(0), "uncheckpointed shard lost all");
+        assert_eq!(r.height(), BlockId(0), "global position is the laggard");
+        // Deliveries stay buffered without an anchor.
+        assert!(r.deliver(Arc::clone(&blocks[0])).unwrap().is_empty());
+    }
+}

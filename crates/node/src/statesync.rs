@@ -12,14 +12,24 @@
 //!    block log after the requester's height and the requester replays it
 //!    deterministically.
 //!
-//! Both responses carry real serialized sizes so the discrete-event
+//! A **sharded** replica runs the same two-phase protocol *per shard*
+//! ([`serve_sharded_sync`] / [`apply_sharded_sync`]): each shard's
+//! position is judged independently, so one crashed shard can take the
+//! manifest path (its checkpoint never landed) while a sibling replays a
+//! verified sub-block range. The sharded response also carries the peer's
+//! global block hash, re-anchoring the requester's global chain position
+//! (which is in-memory state lost by a crash).
+//!
+//! All responses carry real serialized sizes so the discrete-event
 //! network charges honest transfer time.
 
 use harmony_chain::sync::StateSnapshot;
-use harmony_chain::ChainBlock;
-use harmony_common::{BlockId, Result};
+use harmony_chain::{ChainBlock, OeChain};
+use harmony_common::{BlockId, Error, Result};
+use harmony_crypto::Digest;
 
 use crate::replica::ReplicaNode;
+use crate::sharded::ShardedReplicaNode;
 
 /// Serving-side policy for sync requests.
 #[derive(Clone, Copy, Debug)]
@@ -69,22 +79,29 @@ impl SyncResponse {
     }
 }
 
-/// Serve a sync request against `peer`'s chain: decide manifest vs range
-/// per `policy` and the peer's own local history.
-pub fn serve_sync(peer: &ReplicaNode, from: BlockId, policy: SyncPolicy) -> Result<SyncResponse> {
-    let (base, _) = peer.chain().base();
-    let gap = peer.height().0.saturating_sub(from.0);
+/// Serve a sync request against one chain: decide manifest vs range per
+/// `policy` and the chain's own local history — shared by the flat path
+/// and each shard of the sharded path.
+fn serve_chain(chain: &OeChain, from: BlockId, policy: SyncPolicy) -> Result<SyncResponse> {
+    let (base, _) = chain.base();
+    let gap = chain.height().0.saturating_sub(from.0);
     if from.0 == 0 || from < base || gap > policy.snapshot_threshold {
         // A height-0 requester may have lost its genesis state entirely
         // (crash before the first checkpoint), the requester may predate
         // this peer's local history, or the gap is too wide: ship the
         // full manifest. No tail blocks are needed — the snapshot is at
         // the peer's current height.
-        let snapshot = peer.chain().export_snapshot()?;
+        let snapshot = chain.export_snapshot()?;
         Ok(SyncResponse::Snapshot(Box::new(snapshot), Vec::new()))
     } else {
-        Ok(SyncResponse::Range(peer.chain().blocks_after(from)?))
+        Ok(SyncResponse::Range(chain.blocks_after(from)?))
     }
+}
+
+/// Serve a sync request against `peer`'s chain: decide manifest vs range
+/// per `policy` and the peer's own local history.
+pub fn serve_sync(peer: &ReplicaNode, from: BlockId, policy: SyncPolicy) -> Result<SyncResponse> {
+    serve_chain(peer.chain(), from, policy)
 }
 
 /// Apply a sync response at the requesting replica. Returns the number of
@@ -98,6 +115,132 @@ pub fn apply_sync(replica: &mut ReplicaNode, response: &SyncResponse) -> Result<
             Ok(replica.height().0 - before)
         }
     }
+}
+
+// ── Sharded state-sync ──────────────────────────────────────────────────
+
+/// A sharded peer's answer to a per-shard sync request: one independently
+/// decided manifest-or-range part per shard, all ending at the peer's
+/// common height, plus the global-chain anchor the requester lost in the
+/// crash.
+#[derive(Clone, Debug)]
+pub struct ShardedSyncResponse {
+    /// The peer's global height every part catches the requester up to.
+    pub height: BlockId,
+    /// Hash of the global block at `height` (the requester's new anchor).
+    pub global_hash: Digest,
+    /// One part per shard, in shard order.
+    pub parts: Vec<SyncResponse>,
+}
+
+impl ShardedSyncResponse {
+    /// Modeled transfer size in bytes.
+    #[must_use]
+    pub fn transfer_bytes(&self) -> u64 {
+        64 + self
+            .parts
+            .iter()
+            .map(SyncResponse::transfer_bytes)
+            .sum::<u64>()
+    }
+
+    /// Number of sub-blocks shipped across all parts.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.parts.iter().map(SyncResponse::block_count).sum()
+    }
+
+    /// How many shards were served the checkpoint-manifest path.
+    #[must_use]
+    pub fn manifest_shards(&self) -> u64 {
+        self.parts
+            .iter()
+            .filter(|p| matches!(p, SyncResponse::Snapshot(..)))
+            .count() as u64
+    }
+
+    /// How many shards were served the block-range-replay path.
+    #[must_use]
+    pub fn range_shards(&self) -> u64 {
+        self.parts
+            .iter()
+            .filter(|p| matches!(p, SyncResponse::Range(_)))
+            .count() as u64
+    }
+}
+
+/// Serve a sharded sync request: judge every shard independently against
+/// the requester's per-shard heights. The peer must be fully caught up
+/// itself (anchored, shards level) — the cluster only routes sync
+/// requests to stable replicas.
+pub fn serve_sharded_sync(
+    peer: &ShardedReplicaNode,
+    from: &[BlockId],
+    policy: SyncPolicy,
+) -> Result<ShardedSyncResponse> {
+    if from.len() != peer.shards() {
+        return Err(Error::InvalidArgument(format!(
+            "sync request for {} shards against a {}-shard peer",
+            from.len(),
+            peer.shards()
+        )));
+    }
+    let global_hash = peer.global_hash().ok_or_else(|| {
+        Error::InvalidArgument("sync peer has no global anchor (still recovering?)".into())
+    })?;
+    let parts = (0..peer.shards())
+        .map(|s| serve_chain(peer.shard_chain(s), from[s], policy))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(ShardedSyncResponse {
+        height: peer.height(),
+        global_hash,
+        parts,
+    })
+}
+
+/// What a sharded sync application did at the requester.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedSyncApplied {
+    /// Sub-blocks applied (snapshot installs count as the height jump).
+    pub blocks: u64,
+    /// Shards brought up via checkpoint-manifest install.
+    pub manifest_shards: u64,
+    /// Shards brought up via block-range replay.
+    pub range_shards: u64,
+}
+
+/// Apply a sharded sync response: every shard takes its served path, then
+/// the replica's global position is re-anchored at the peer's height and
+/// buffered deliveries drain. Returns what happened per path (the
+/// crash-rejoin tests assert both paths were actually exercised).
+pub fn apply_sharded_sync(
+    replica: &mut ShardedReplicaNode,
+    response: &ShardedSyncResponse,
+) -> Result<ShardedSyncApplied> {
+    if response.parts.len() != replica.shards() {
+        return Err(Error::InvalidArgument(format!(
+            "sync response for {} shards against a {}-shard replica",
+            response.parts.len(),
+            replica.shards()
+        )));
+    }
+    let mut applied = ShardedSyncApplied::default();
+    for (s, part) in response.parts.iter().enumerate() {
+        match part {
+            SyncResponse::Range(blocks) => {
+                applied.blocks += replica.catch_up_shard_from_blocks(s, blocks)? as u64;
+                applied.range_shards += 1;
+            }
+            SyncResponse::Snapshot(snapshot, blocks) => {
+                applied.blocks +=
+                    replica.bootstrap_shard_from_snapshot(s, snapshot, blocks)? as u64;
+                applied.manifest_shards += 1;
+            }
+        }
+    }
+    let drained = replica.finish_sync(response.height, response.global_hash)?;
+    applied.blocks += drained.len() as u64;
+    Ok(applied)
 }
 
 #[cfg(test)]

@@ -233,6 +233,56 @@ fn cluster_runs_are_deterministic() {
 }
 
 #[test]
+fn tpcc_full_mix_on_the_node_runtime() {
+    // TPC-C rides the same replicated path as Smallbank/YCSB: generated
+    // contracts are serialized into sealed blocks, decoded through
+    // TpccCodec on every replica, and all replicas reach identical
+    // roots — including a crash/state-sync rejoin mid-run.
+    use harmony_workloads::TpccConfig;
+    let workload = || {
+        ClusterWorkload::Tpcc(TpccConfig {
+            warehouses: 2,
+            scale: 0.01,
+            ..TpccConfig::default()
+        })
+    };
+    let mut cfg = config(
+        EngineKind::Harmony(HarmonyConfig::default()),
+        workload(),
+        OrderingMode::Kafka { brokers: 3 },
+        None,
+    );
+    // TPC-C transactions are heavier: a lighter offered load keeps the
+    // smoke test quick while still sealing plenty of blocks.
+    cfg.open_loop = OpenLoopConfig {
+        clients: 6,
+        rate_tps: 20_000.0,
+    };
+    cfg.load_ns = 10_000_000;
+    let report = Cluster::new(cfg).run().unwrap();
+    assert_healthy(&report, "tpcc");
+    let mut crash_cfg = config(
+        EngineKind::Rbc,
+        workload(),
+        OrderingMode::Kafka { brokers: 3 },
+        Some(CrashPlan {
+            replica: 1,
+            at_ns: 5_000_000,
+            recover_at_ns: 10_000_000,
+        }),
+    );
+    crash_cfg.open_loop = OpenLoopConfig {
+        clients: 6,
+        rate_tps: 20_000.0,
+    };
+    crash_cfg.load_ns = 10_000_000;
+    let report = Cluster::new(crash_cfg).run().unwrap();
+    assert_healthy(&report, "tpcc + crash");
+    assert_eq!(report.replicas[1].recoveries, 1);
+    assert!(report.replicas[1].sync_blocks > 0);
+}
+
+#[test]
 fn backpressure_engages_under_overload() {
     // A tiny mempool against a fire-hose arrival rate must reject by
     // backpressure while the cluster stays consistent.

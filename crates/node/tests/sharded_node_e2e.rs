@@ -1,0 +1,276 @@
+//! End-to-end sharded replica-runtime scenarios: a 4-replica × 4-shard
+//! cluster (Kafka and HotStuff ordering) must reach bit-identical
+//! `sharded_state_root`s on every replica for all five engines —
+//! including runs where one replica crashes mid-run and rejoins with a
+//! **mixed** state-sync: staggered per-shard checkpoints mean at least
+//! one shard takes the checkpoint-manifest path while another replays a
+//! verified sub-block range.
+
+use harmony_chain::ChainConfig;
+use harmony_core::HarmonyConfig;
+use harmony_crypto::CryptoCost;
+use harmony_node::{
+    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, MempoolConfig, OrderingMode,
+    ReplicaConfig, ShardTopology, SyncPolicy,
+};
+use harmony_sim::EngineKind;
+use harmony_storage::StorageConfig;
+use harmony_workloads::{OpenLoopConfig, SmallbankConfig, YcsbConfig};
+
+const PARTITIONS: u32 = 16;
+
+fn all_engines() -> [EngineKind; 5] {
+    [
+        EngineKind::Harmony(HarmonyConfig::default()),
+        EngineKind::Aria,
+        EngineKind::Rbc,
+        EngineKind::Fabric,
+        EngineKind::FastFabric,
+    ]
+}
+
+fn smallbank() -> ClusterWorkload {
+    ClusterWorkload::Smallbank(SmallbankConfig {
+        accounts: 400,
+        theta: 0.6,
+        partitions: u64::from(PARTITIONS),
+        multi_partition_ratio: 0.2,
+    })
+}
+
+fn ycsb() -> ClusterWorkload {
+    ClusterWorkload::Ycsb(YcsbConfig {
+        keys: 400,
+        theta: 0.6,
+        partitions: u64::from(PARTITIONS),
+        multi_partition_ratio: 0.2,
+        ..YcsbConfig::default()
+    })
+}
+
+fn config(
+    engine: EngineKind,
+    workload: ClusterWorkload,
+    ordering: OrderingMode,
+    crash: Option<CrashPlan>,
+    shards: usize,
+) -> ClusterConfig {
+    ClusterConfig {
+        replicas: 4,
+        replica: ReplicaConfig {
+            chain: ChainConfig {
+                storage: StorageConfig::memory(),
+                crypto: CryptoCost::free(),
+                checkpoint_every: 3,
+                ..ChainConfig::default()
+            },
+            engine,
+            workers: 2,
+            gossip_every: 5,
+        },
+        topology: Some(ShardTopology {
+            shards,
+            partitions: PARTITIONS,
+            checkpoint_stagger: 0,
+        }),
+        workload,
+        ordering,
+        crash,
+        mempool: MempoolConfig {
+            capacity: 2_048,
+            ..MempoolConfig::default()
+        },
+        open_loop: OpenLoopConfig {
+            clients: 8,
+            rate_tps: 40_000.0,
+        },
+        load_ns: 15_000_000,
+        drain_ns: 600_000_000,
+        block_txns: 24,
+        batch_interval_ns: 500_000,
+        window: 4,
+        sync: SyncPolicy::default(),
+        seed: 0x5E2E,
+        ..ClusterConfig::default()
+    }
+}
+
+fn assert_healthy(report: &ClusterReport, label: &str) {
+    assert!(
+        report.consistent,
+        "{label}: replicas diverged: {:#?}",
+        report.replicas
+    );
+    assert_eq!(
+        report.divergence_alarms, 0,
+        "{label}: divergence alarms raised"
+    );
+    assert!(
+        report.metrics.stats.committed > 0,
+        "{label}: nothing committed"
+    );
+    assert!(report.sealed_blocks > 0, "{label}: nothing sealed");
+    let h0 = report.replicas[0].height;
+    assert!(h0.0 > 0, "{label}: replicas never advanced");
+    for r in &report.replicas {
+        assert_eq!(r.height, h0, "{label}: height mismatch");
+        assert_eq!(
+            r.root, report.replicas[0].root,
+            "{label}: sharded root mismatch"
+        );
+    }
+}
+
+#[test]
+fn all_engines_identical_sharded_roots_kafka_smallbank() {
+    for engine in all_engines() {
+        let report = Cluster::new(config(
+            engine,
+            smallbank(),
+            OrderingMode::Kafka { brokers: 3 },
+            None,
+            4,
+        ))
+        .run()
+        .unwrap();
+        assert_healthy(&report, &format!("{}×4shards kafka", engine.name()));
+        assert!(
+            report.metrics.system.contains("4shards"),
+            "metrics label: {}",
+            report.metrics.system
+        );
+    }
+}
+
+#[test]
+fn all_engines_identical_sharded_roots_hotstuff_ycsb() {
+    for engine in all_engines() {
+        let report = Cluster::new(config(engine, ycsb(), OrderingMode::HotStuff, None, 4))
+            .run()
+            .unwrap();
+        assert_healthy(&report, &format!("{}×4shards hotstuff", engine.name()));
+    }
+}
+
+#[test]
+fn crash_rejoin_mixes_manifest_and_range_paths_all_engines() {
+    // Checkpoint stagger 1000: shard 0 checkpoints every 3 blocks, shards
+    // 1–3 effectively never. Crashing after a few checkpoints therefore
+    // strands shard 0 at the full replayed height (block-range catch-up)
+    // while the rest lose everything (checkpoint-manifest install) — the
+    // acceptance scenario: one rejoin exercising BOTH sync paths.
+    for engine in all_engines() {
+        let mut cfg = config(
+            engine,
+            smallbank(),
+            OrderingMode::Kafka { brokers: 3 },
+            Some(CrashPlan {
+                replica: 2,
+                at_ns: 7_000_000,
+                recover_at_ns: 14_000_000,
+            }),
+            4,
+        );
+        cfg.topology = Some(ShardTopology {
+            shards: 4,
+            partitions: PARTITIONS,
+            checkpoint_stagger: 1_000,
+        });
+        let report = Cluster::new(cfg).run().unwrap();
+        let label = format!("{}×4shards crash", engine.name());
+        assert_healthy(&report, &label);
+        let crashed = &report.replicas[2];
+        assert_eq!(crashed.recoveries, 1, "{label}: no recovery ran");
+        assert!(
+            crashed.sync_blocks > 0,
+            "{label}: rejoin must use state-sync catch-up"
+        );
+        assert!(
+            crashed.sync_manifest_shards > 0,
+            "{label}: at least one shard must take the manifest path: {crashed:?}"
+        );
+        assert!(
+            crashed.sync_range_shards > 0,
+            "{label}: at least one shard must take the range-replay path: {crashed:?}"
+        );
+    }
+}
+
+#[test]
+fn crash_rejoin_under_hotstuff_ordering() {
+    let mut cfg = config(
+        EngineKind::Harmony(HarmonyConfig::default()),
+        ycsb(),
+        OrderingMode::HotStuff,
+        Some(CrashPlan {
+            replica: 3,
+            at_ns: 7_000_000,
+            recover_at_ns: 14_000_000,
+        }),
+        4,
+    );
+    cfg.topology = Some(ShardTopology {
+        shards: 4,
+        partitions: PARTITIONS,
+        checkpoint_stagger: 1_000,
+    });
+    let report = Cluster::new(cfg).run().unwrap();
+    assert_healthy(&report, "hotstuff sharded crash");
+    let crashed = &report.replicas[3];
+    assert_eq!(crashed.recoveries, 1);
+    assert!(crashed.sync_manifest_shards > 0 && crashed.sync_range_shards > 0);
+}
+
+#[test]
+fn sharded_cluster_runs_are_deterministic() {
+    let run = || {
+        Cluster::new(config(
+            EngineKind::Aria,
+            smallbank(),
+            OrderingMode::Kafka { brokers: 3 },
+            Some(CrashPlan {
+                replica: 0,
+                at_ns: 7_000_000,
+                recover_at_ns: 14_000_000,
+            }),
+            2,
+        ))
+        .run()
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.replicas[1].root, b.replicas[1].root);
+    assert_eq!(a.metrics.stats.committed, b.metrics.stats.committed);
+    assert_eq!(a.sealed_blocks, b.sealed_blocks);
+    assert_eq!(a.submitted_txns, b.submitted_txns);
+}
+
+#[test]
+fn logical_root_is_shard_count_invariant() {
+    // The same ordered workload through 1-, 2-, and 4-shard topologies
+    // commits the same logical database (physical folds differ).
+    let run = |shards: usize| {
+        Cluster::new(config(
+            EngineKind::Rbc,
+            smallbank(),
+            OrderingMode::Kafka { brokers: 3 },
+            None,
+            shards,
+        ))
+        .run()
+        .unwrap()
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    assert_healthy(&one, "1 shard");
+    assert_healthy(&two, "2 shards");
+    assert_healthy(&four, "4 shards");
+    assert_eq!(one.replicas[0].logical_root, two.replicas[0].logical_root);
+    assert_eq!(one.replicas[0].logical_root, four.replicas[0].logical_root);
+    assert_ne!(
+        one.replicas[0].root, four.replicas[0].root,
+        "physical fold commits to the shard layout"
+    );
+}

@@ -75,6 +75,21 @@ impl ShardEngine {
     /// profile described in the module docs.
     #[must_use]
     pub fn build(&self, store: Arc<SnapshotStore>, workers: usize) -> Arc<dyn DccEngine> {
+        self.build_at(store, workers, harmony_common::BlockId(1))
+    }
+
+    /// Instantiate the engine positioned at an arbitrary next block — the
+    /// crash-recovery / state-sync entry point of a sharded replica. No
+    /// previous-block summary is threaded: the sharded profile runs
+    /// Harmony without inter-block parallelism, so Rule 3 never consults
+    /// one.
+    #[must_use]
+    pub fn build_at(
+        &self,
+        store: Arc<SnapshotStore>,
+        workers: usize,
+        next_block: harmony_common::BlockId,
+    ) -> Arc<dyn DccEngine> {
         let sov = FabricConfig {
             workers,
             endorser_lag_prob: 0.0,
@@ -82,29 +97,33 @@ impl ShardEngine {
             ..FabricConfig::default()
         };
         match self {
-            ShardEngine::Harmony => Arc::new(HarmonyEngine::new(
+            ShardEngine::Harmony => Arc::new(HarmonyEngine::starting_at(
                 store,
                 HarmonyConfig {
                     workers,
                     inter_block_parallelism: false,
                     ..HarmonyConfig::default()
                 },
+                next_block,
+                None,
             )),
-            ShardEngine::Aria => Arc::new(Aria::new(
+            ShardEngine::Aria => Arc::new(Aria::starting_at(
                 store,
                 AriaConfig {
                     workers,
                     reordering: true,
                 },
+                next_block,
             )),
-            ShardEngine::Rbc => Arc::new(Rbc::new(store, workers)),
-            ShardEngine::Fabric => Arc::new(Fabric::new(store, sov)),
-            ShardEngine::FastFabric => Arc::new(FastFabric::new(
+            ShardEngine::Rbc => Arc::new(Rbc::starting_at(store, workers, next_block)),
+            ShardEngine::Fabric => Arc::new(Fabric::starting_at(store, sov, next_block)),
+            ShardEngine::FastFabric => Arc::new(FastFabric::starting_at(
                 store,
                 FastFabricConfig {
                     fabric: sov,
                     ..FastFabricConfig::default()
                 },
+                next_block,
             )),
         }
     }

@@ -44,20 +44,17 @@ use std::sync::Arc;
 
 use harmony_chain::{sharded_state_root, state_root};
 use harmony_common::error::AbortReason;
-use harmony_common::ids::TableId;
-use harmony_common::{vtime, BlockId, Error, Result};
+use harmony_common::{BlockId, Result};
 use harmony_consensus::net::LatencyModel;
 use harmony_core::executor::{ExecBlock, TxnOutcome};
-use harmony_core::par::run_indexed;
 use harmony_core::{BlockStats, SnapshotStore};
 use harmony_crypto::Digest;
 use harmony_dcc_baselines::{DccEngine, ProtocolBlockResult};
 use harmony_storage::{StorageConfig, StorageEngine};
-use harmony_txn::{
-    CommandSeq, Contract, Key, RangePredicate, RwSet, SnapshotView, TxnCtx, UserAbort, Value,
-};
+use harmony_txn::{Contract, Key, RangePredicate, RwSet};
 
-use crate::router::{Placement, ShardRouter};
+use crate::plan::{plan_block, Slot};
+use crate::router::ShardRouter;
 
 /// Shard-group configuration.
 #[derive(Clone, Debug)]
@@ -96,24 +93,6 @@ struct ShardNode {
     engine: Arc<StorageEngine>,
     store: Arc<SnapshotStore>,
     dcc: Arc<dyn DccEngine>,
-}
-
-/// What a sub-block slot maps back to in the global block.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Slot {
-    /// Fragment of the multi-partition transaction at this global index,
-    /// for the given logical partition.
-    Fragment {
-        /// Global index in the submitted block.
-        global: usize,
-        /// Logical partition the fragment covers.
-        partition: u32,
-    },
-    /// The single-partition transaction at this global index.
-    Local {
-        /// Global index in the submitted block.
-        global: usize,
-    },
 }
 
 /// Result of pushing one block through the group.
@@ -248,205 +227,49 @@ impl ShardGroup {
         assert_eq!(self.height, BlockId(0), "setup must precede execution");
         for (s, node) in self.nodes.iter().enumerate() {
             load(&node.engine)?;
-            for (_, table) in node.engine.list_tables() {
-                let mut foreign: Vec<Vec<u8>> = Vec::new();
-                node.engine.scan(table, b"", None, |k, _| {
-                    if self.router.shard_of_key(&Key::new(table, k.to_vec())) != s {
-                        foreign.push(k.to_vec());
-                    }
-                    true
-                })?;
-                for row in foreign {
-                    node.engine.delete(table, &row)?;
-                }
-            }
+            prune_to_owned(&node.engine, &self.router, s)?;
         }
         Ok(())
     }
 
-    /// Execute the next block of the global order.
+    /// Execute the next block of the global order: plan it through the
+    /// shared cross-shard planner ([`crate::plan::plan_block`]), run each
+    /// shard's sub-block through its engine, and fold the outcomes back
+    /// into global order.
     pub fn execute_block(&mut self, txns: Vec<Arc<dyn Contract>>) -> Result<ShardBlockResult> {
         let id = self.height.next();
         let snapshot = self.height;
-        let n = txns.len();
-
-        // ── 1. Route ───────────────────────────────────────────────────
-        let placements: Vec<Placement> = txns
-            .iter()
-            .map(|t| self.router.classify(t.as_ref()))
-            .collect();
-        let cross_idx: Vec<usize> = (0..n)
-            .filter(|&i| placements[i] == Placement::MultiPartition)
-            .collect();
-
-        // ── 2. Simulate multi-partition transactions globally ──────────
-        // Models each shard re-executing the full transaction after the
-        // read-fragment exchange: the assembled view reads every key from
-        // its owner shard's snapshot after the previous block.
-        let view_template = GroupView {
-            router: &self.router,
-            nodes: &self.nodes,
+        let stores: Vec<Arc<SnapshotStore>> =
+            self.nodes.iter().map(|n| Arc::clone(&n.store)).collect();
+        let mut plan = plan_block(
+            &self.router,
+            &stores,
             snapshot,
-        };
-        let sims: Vec<(Option<RwSet>, u64)> =
-            run_indexed(cross_idx.len(), self.cross_workers, |j| {
-                let txn = &txns[cross_idx[j]];
-                vtime::scope(|| {
-                    vtime::charge(txn.think_time_ns());
-                    let mut ctx = TxnCtx::new(&view_template);
-                    match txn.execute(&mut ctx) {
-                        Ok(()) => Some(ctx.into_rwset()),
-                        Err(_) => None,
-                    }
-                })
-            });
-        let (cross_rwsets, cross_sim_ns): (Vec<Option<RwSet>>, Vec<u64>) = sims.into_iter().unzip();
-
-        // ── 3. Decide: pure function of (global order, rwsets) ─────────
-        let decisions = decide_cross(&cross_rwsets);
-
-        // ── 4. Exchange model (read fragments, one synchronous round) ──
-        let exchange_ns = self.exchange_ns(&cross_rwsets);
-
-        // ── 5. Build and execute per-shard sub-blocks ──────────────────
-        let mut shard_txns: Vec<Vec<Arc<dyn Contract>>> =
-            (0..self.shards()).map(|_| Vec::new()).collect();
-        let mut slots: Vec<Vec<Slot>> = (0..self.shards()).map(|_| Vec::new()).collect();
-        // Fragments first, in (global order, partition) sub-order.
-        for (j, &g) in cross_idx.iter().enumerate() {
-            if decisions[j] != TxnOutcome::Committed {
-                continue;
-            }
-            let rwset = cross_rwsets[j].as_ref().expect("committed implies rwset");
-            for (partition, fragment) in split_fragments(&self.router, rwset, g) {
-                let shard = self.router.shard_of_partition(partition);
-                shard_txns[shard].push(Arc::new(fragment));
-                slots[shard].push(Slot::Fragment {
-                    global: g,
-                    partition,
-                });
-            }
-        }
-        // Then single-partition transactions, in global order.
-        for (i, placement) in placements.iter().enumerate() {
-            if let Placement::Single { shard, .. } = placement {
-                shard_txns[*shard].push(Arc::clone(&txns[i]));
-                slots[*shard].push(Slot::Local { global: i });
-            }
-        }
+            &txns,
+            self.cross_workers,
+            &self.latency,
+        );
         let mut shard_results = Vec::with_capacity(self.shards());
-        for (node, sub) in self.nodes.iter().zip(shard_txns) {
+        for (s, node) in self.nodes.iter().enumerate() {
+            let sub = std::mem::take(&mut plan.shard_txns[s]);
             shard_results.push(node.dcc.execute_block(&ExecBlock::new(id, sub))?);
         }
-
-        // ── 6. Fold outcomes back into global order ────────────────────
-        let mut outcomes: Vec<TxnOutcome> = vec![TxnOutcome::Committed; n];
-        for (j, &g) in cross_idx.iter().enumerate() {
-            outcomes[g] = decisions[j];
-        }
-        for (shard, shard_slots) in slots.iter().enumerate() {
-            for (pos, slot) in shard_slots.iter().enumerate() {
-                match slot {
-                    Slot::Local { global } => {
-                        outcomes[*global] = shard_results[shard].outcomes[pos];
-                    }
-                    Slot::Fragment { global, partition } => {
-                        // The coordination-free protocol's core invariant.
-                        let o = shard_results[shard].outcomes[pos];
-                        if o != TxnOutcome::Committed {
-                            return Err(Error::Corruption(format!(
-                                "shard {shard} aborted fragment of txn {global} \
-                                 (partition {partition}): {o:?} — engines must \
-                                 never abort reservation survivors"
-                            )));
-                        }
-                    }
-                }
-            }
-        }
-
-        // ── 7. Global stats (fragments excluded) ───────────────────────
-        let mut stats = BlockStats {
-            txns: n,
-            sim_ns_total: cross_sim_ns.iter().sum(),
-            ..BlockStats::default()
-        };
-        for r in &shard_results {
-            stats.sim_ns_total += r.stats.sim_ns_total;
-            stats.commit_ns_total += r.stats.commit_ns_total;
-            stats.apply_noop_commands += r.stats.apply_noop_commands;
-        }
-        for o in &outcomes {
-            match o {
-                TxnOutcome::Committed => stats.committed += 1,
-                TxnOutcome::Aborted(AbortReason::UserAbort) => stats.user_aborted += 1,
-                TxnOutcome::Aborted(AbortReason::CrossShardConflict) => {
-                    stats.aborted_cross_shard += 1;
-                }
-                TxnOutcome::Aborted(AbortReason::BackwardDangerousStructure) => {
-                    stats.aborted_rule1 += 1;
-                }
-                TxnOutcome::Aborted(AbortReason::InterBlockDangerousStructure) => {
-                    stats.aborted_interblock += 1;
-                }
-                TxnOutcome::Aborted(AbortReason::WwConflict) => stats.aborted_ww += 1,
-                TxnOutcome::Aborted(AbortReason::StaleRead) => stats.aborted_stale += 1,
-                TxnOutcome::Aborted(AbortReason::SsiDangerousStructure) => {
-                    stats.aborted_ssi += 1;
-                }
-                TxnOutcome::Aborted(AbortReason::EndorsementMismatch) => {
-                    stats.aborted_endorsement += 1;
-                }
-                TxnOutcome::Aborted(AbortReason::GraphCycle) => stats.aborted_graph += 1,
-            }
-        }
+        let outcomes = plan.fold_outcomes(&shard_results)?;
+        let stats = plan.accumulate_stats(&outcomes, &shard_results);
+        let cross_committed = plan.cross_committed();
 
         self.height = id;
-        let cross_committed = decisions
-            .iter()
-            .filter(|d| **d == TxnOutcome::Committed)
-            .count();
         Ok(ShardBlockResult {
             block: id,
             outcomes,
             shard_results,
-            slots,
-            cross_txns: cross_idx.len(),
+            slots: plan.slots,
+            cross_txns: plan.cross_idx.len(),
             cross_committed,
-            cross_sim_ns,
-            exchange_ns,
+            cross_sim_ns: plan.cross_sim_ns,
+            exchange_ns: plan.exchange_ns,
             stats,
         })
-    }
-
-    /// One synchronous broadcast round: every shard ships its owned read
-    /// fragments of the block's multi-partition transactions to the other
-    /// shards; the round completes when the slowest sender finishes fanning
-    /// out. Fragment sizes are estimated from the read/write-set shapes.
-    fn exchange_ns(&self, cross_rwsets: &[Option<RwSet>]) -> u64 {
-        let shards = self.shards();
-        if shards <= 1 || cross_rwsets.iter().all(Option::is_none) {
-            return 0;
-        }
-        let mut bytes_per_shard = vec![0u64; shards];
-        for rwset in cross_rwsets.iter().flatten() {
-            for r in &rwset.reads {
-                // Key + observed value (row-sized) + version tag.
-                bytes_per_shard[self.router.shard_of_key(&r.key)] += r.key.row().len() as u64 + 72;
-            }
-            for (key, seq) in &rwset.updates {
-                // Keys + encoded commands travel with the write fragment.
-                bytes_per_shard[self.router.shard_of_key(key)] +=
-                    key.row().len() as u64 + 24 * seq.len() as u64;
-            }
-        }
-        (0..shards)
-            .map(|s| {
-                let fan_out = bytes_per_shard[s] * (shards as u64 - 1);
-                self.latency.delay_ns(s, (s + 1) % shards, fan_out)
-            })
-            .max()
-            .unwrap_or(0)
     }
 
     /// Per-shard state roots and their Merkle fold. The fold commits to
@@ -463,31 +286,63 @@ impl ShardGroup {
         Ok(ShardedRoot { shard_roots, root })
     }
 
-    /// Hash of the *logical* database — the union of the disjoint shard
-    /// partitions, merged per table in key order, digested exactly like
-    /// `harmony_chain::state_root`. Independent of how many shards host
-    /// the data: a 1-shard group and an N-shard group fed the same blocks
-    /// produce the same logical root (the equivalence property tests pin).
+    /// Hash of the *logical* database — see [`logical_state_root`].
     pub fn logical_state_root(&self) -> Result<Digest> {
-        let mut h = harmony_crypto::Sha256::new();
-        for (name, id) in self.nodes[0].engine.list_tables() {
-            h.update(name.as_bytes());
-            let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-            for node in &self.nodes {
-                node.engine.scan(id, b"", None, |k, v| {
-                    merged.insert(k.to_vec(), v.to_vec());
-                    true
-                })?;
-            }
-            for (k, v) in &merged {
-                h.update(&(k.len() as u32).to_le_bytes());
-                h.update(k);
-                h.update(&(v.len() as u32).to_le_bytes());
-                h.update(v);
-            }
-        }
-        Ok(h.finalize())
+        logical_state_root(self.nodes.iter().map(|n| &n.engine))
     }
+}
+
+/// Delete every row `shard` does not own under `router` — the second
+/// phase of shard setup (after loading the full database on every
+/// shard's engine). One definition serves both shard hosts: the
+/// single-process [`ShardGroup`] and `harmony-node`'s sharded replica,
+/// so their genesis partitions can never drift apart.
+pub fn prune_to_owned(engine: &StorageEngine, router: &ShardRouter, shard: usize) -> Result<()> {
+    for (_, table) in engine.list_tables() {
+        let mut foreign: Vec<Vec<u8>> = Vec::new();
+        engine.scan(table, b"", None, |k, _| {
+            if router.shard_of_key(&Key::new(table, k.to_vec())) != shard {
+                foreign.push(k.to_vec());
+            }
+            true
+        })?;
+        for row in foreign {
+            engine.delete(table, &row)?;
+        }
+    }
+    Ok(())
+}
+
+/// Hash of the *logical* database hosted by a set of shard engines — the
+/// union of the disjoint shard partitions, merged per table in key order,
+/// digested exactly like `harmony_chain::state_root`. Independent of how
+/// many shards host the data: a 1-shard deployment and an N-shard one fed
+/// the same blocks produce the same logical root (the equivalence property
+/// tests pin this, for both the single-process group and the replicated
+/// sharded node runtime).
+pub fn logical_state_root<'a>(
+    engines: impl IntoIterator<Item = &'a Arc<StorageEngine>>,
+) -> Result<Digest> {
+    let engines: Vec<&Arc<StorageEngine>> = engines.into_iter().collect();
+    assert!(!engines.is_empty(), "need at least one shard engine");
+    let mut h = harmony_crypto::Sha256::new();
+    for (name, id) in engines[0].list_tables() {
+        h.update(name.as_bytes());
+        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for engine in &engines {
+            engine.scan(id, b"", None, |k, v| {
+                merged.insert(k.to_vec(), v.to_vec());
+                true
+            })?;
+        }
+        for (k, v) in &merged {
+            h.update(&(k.len() as u32).to_le_bytes());
+            h.update(k);
+            h.update(&(v.len() as u32).to_le_bytes());
+            h.update(v);
+        }
+    }
+    Ok(h.finalize())
 }
 
 /// The deterministic cross-shard commit decision (a pure function).
@@ -535,144 +390,14 @@ pub fn decide_cross(rwsets: &[Option<RwSet>]) -> Vec<TxnOutcome> {
     outcomes
 }
 
-/// Split a surviving multi-partition transaction's read-write set into one
-/// fragment per logical partition, ascending partition order.
-fn split_fragments(
-    router: &ShardRouter,
-    rwset: &RwSet,
-    global: usize,
-) -> Vec<(u32, FragmentContract)> {
-    let mut by_partition: BTreeMap<u32, FragmentContract> = BTreeMap::new();
-    for r in &rwset.reads {
-        by_partition
-            .entry(router.partition_of(&r.key))
-            .or_insert_with(|| FragmentContract::new(global))
-            .reads
-            .push(r.key.clone());
-    }
-    for (key, seq) in &rwset.updates {
-        by_partition
-            .entry(router.partition_of(key))
-            .or_insert_with(|| FragmentContract::new(global))
-            .updates
-            .push((key.clone(), seq.clone()));
-    }
-    by_partition.into_iter().collect()
-}
-
-/// A shard-local fragment of a multi-partition transaction: replays the
-/// owned point reads (so local dependency tracking sees them) and re-issues
-/// the owned update commands (which the engine evaluates against the same
-/// snapshot the global simulation read — deterministic equality).
-///
-/// Scan predicates are *not* replayed: the cross-shard reservation already
-/// serialized every surviving transaction against all predicate overlaps.
-struct FragmentContract {
-    global: usize,
-    reads: Vec<Key>,
-    updates: Vec<(Key, CommandSeq)>,
-}
-
-impl FragmentContract {
-    fn new(global: usize) -> FragmentContract {
-        FragmentContract {
-            global,
-            reads: Vec::new(),
-            updates: Vec::new(),
-        }
-    }
-}
-
-impl Contract for FragmentContract {
-    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<(), UserAbort> {
-        for key in &self.reads {
-            ctx.read(key).map_err(|e| UserAbort(e.to_string()))?;
-        }
-        for (key, seq) in &self.updates {
-            for cmd in seq.commands() {
-                ctx.update(key.clone(), cmd.clone());
-            }
-        }
-        Ok(())
-    }
-
-    fn name(&self) -> &str {
-        "xshard-fragment"
-    }
-
-    fn payload(&self) -> Vec<u8> {
-        let mut p = b"xsf".to_vec();
-        p.extend_from_slice(&(self.global as u64).to_le_bytes());
-        for key in &self.reads {
-            p.extend_from_slice(&key.table().0.to_le_bytes());
-            p.extend_from_slice(key.row());
-        }
-        for (key, _) in &self.updates {
-            p.extend_from_slice(&key.table().0.to_le_bytes());
-            p.extend_from_slice(key.row());
-        }
-        p
-    }
-}
-
-/// Snapshot view assembling the whole keyspace from the owner shards.
-struct GroupView<'a> {
-    router: &'a ShardRouter,
-    nodes: &'a [ShardNode],
-    snapshot: BlockId,
-}
-
-impl SnapshotView for GroupView<'_> {
-    fn get(&self, key: &Key) -> Result<Option<Value>> {
-        self.nodes[self.router.shard_of_key(key)]
-            .store
-            .read_at(self.snapshot, key)
-    }
-
-    fn scan(
-        &self,
-        table: TableId,
-        start: &[u8],
-        end: Option<&[u8]>,
-        f: &mut dyn FnMut(&[u8], &Value) -> bool,
-    ) -> Result<()> {
-        // Shards hold disjoint row sets: merge their snapshot scans into
-        // one ordered stream. The callback-based `scan_at` cannot be
-        // suspended for a streaming k-way merge, so the whole range is
-        // materialized before the caller's early-stop is honored — fine
-        // for the conservative cross path (declared-footprint workloads
-        // never scan), but a LIMIT-style scan over a huge table would pay
-        // for the full range.
-        let mut merged: BTreeMap<Vec<u8>, Value> = BTreeMap::new();
-        for node in self.nodes {
-            node.store
-                .scan_at(self.snapshot, table, start, end, &mut |k, v| {
-                    merged.insert(k.to_vec(), v.clone());
-                    true
-                })?;
-        }
-        for (k, v) in &merged {
-            if !f(k, v) {
-                break;
-            }
-        }
-        Ok(())
-    }
-
-    fn version_of(&self, key: &Key) -> Option<u64> {
-        self.nodes[self.router.shard_of_key(key)]
-            .store
-            .version_at(self.snapshot, key)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::partition::HashPartitioner;
+    use harmony_common::ids::TableId;
     use harmony_core::HarmonyConfig;
     use harmony_dcc_baselines::HarmonyEngine;
-    use harmony_txn::{FnContract, UpdateCommand};
+    use harmony_txn::{FnContract, TxnCtx, UpdateCommand, UserAbort};
 
     const TABLE: TableId = TableId(0);
 

@@ -45,9 +45,14 @@
 pub mod engines;
 pub mod group;
 pub mod partition;
+pub mod plan;
 pub mod router;
 
 pub use engines::ShardEngine;
-pub use group::{decide_cross, ShardBlockResult, ShardGroup, ShardGroupConfig, ShardedRoot, Slot};
+pub use group::{
+    decide_cross, logical_state_root, prune_to_owned, ShardBlockResult, ShardGroup,
+    ShardGroupConfig, ShardedRoot,
+};
 pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use plan::{plan_block, BlockPlan, FragmentCodec, FragmentContract, Slot, FRAGMENT_NAME};
 pub use router::{Placement, ShardRouter};

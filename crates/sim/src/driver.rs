@@ -70,6 +70,37 @@ impl EngineKind {
         }
     }
 
+    /// The sharded profile positioned at an arbitrary next block — what a
+    /// sharded replica's per-shard chain factory uses on open, crash
+    /// recovery, and snapshot install. Harmony keeps its ablation toggles
+    /// (minus the inter-block parallelism the profile forbids, which also
+    /// makes a previous-block summary moot); the other engines delegate to
+    /// [`ShardEngine::build_at`].
+    #[must_use]
+    pub fn build_sharded_at(
+        &self,
+        store: Arc<SnapshotStore>,
+        workers: usize,
+        next_block: BlockId,
+    ) -> Arc<dyn DccEngine> {
+        match self {
+            EngineKind::Harmony(config) => Arc::new(HarmonyEngine::starting_at(
+                store,
+                HarmonyConfig {
+                    workers,
+                    inter_block_parallelism: false,
+                    ..*config
+                },
+                next_block,
+                None,
+            )),
+            EngineKind::Aria => ShardEngine::Aria.build_at(store, workers, next_block),
+            EngineKind::Rbc => ShardEngine::Rbc.build_at(store, workers, next_block),
+            EngineKind::Fabric => ShardEngine::Fabric.build_at(store, workers, next_block),
+            EngineKind::FastFabric => ShardEngine::FastFabric.build_at(store, workers, next_block),
+        }
+    }
+
     /// Instantiate over a snapshot store.
     #[must_use]
     pub fn build(&self, store: Arc<SnapshotStore>, workers: usize) -> Arc<dyn DccEngine> {
@@ -442,11 +473,7 @@ pub fn run_sharded_experiment(
 
     let mut io = harmony_storage::IoSnapshot::default();
     for (s, before) in io_before.iter().enumerate() {
-        let delta = group.engine(s).io_snapshot().delta_since(before);
-        io.disk_reads += delta.disk_reads;
-        io.disk_writes += delta.disk_writes;
-        io.pool.hits += delta.pool.hits;
-        io.pool.misses += delta.pool.misses;
+        io.absorb(&group.engine(s).io_snapshot().delta_since(before));
     }
     let mean_block_ns = wall_ns as f64 / config.base.blocks as f64;
     let latency_ms = mean_latency_ms(&committed_block_spans, mean_block_ns);

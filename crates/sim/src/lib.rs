@@ -23,4 +23,4 @@ pub use cluster::{ClusterMetrics, ClusterModel};
 pub use driver::{
     run_experiment, run_sharded_experiment, EngineKind, RunConfig, RunMetrics, ShardRunConfig,
 };
-pub use sched::{pipeline_total_ns, schedule_block, BlockSchedule};
+pub use sched::{makespan, pipeline_total_ns, schedule_block, BlockSchedule};

@@ -103,6 +103,22 @@ pub struct IoSnapshot {
 }
 
 impl IoSnapshot {
+    /// Counter-wise accumulation (`self += other`) — aggregating several
+    /// engines' activity (e.g. the shards of one replica). Lives next to
+    /// the struct so a new counter cannot be silently dropped by a
+    /// hand-rolled merge at a call site.
+    pub fn absorb(&mut self, other: &IoSnapshot) {
+        self.pool.hits += other.pool.hits;
+        self.pool.misses += other.pool.misses;
+        self.pool.evict_writebacks += other.pool.evict_writebacks;
+        self.pool.flush_writebacks += other.pool.flush_writebacks;
+        self.disk_reads += other.disk_reads;
+        self.disk_writes += other.disk_writes;
+        self.disk_syncs += other.disk_syncs;
+        self.wal_records += other.wal_records;
+        self.block_records += other.block_records;
+    }
+
     /// Counter-wise difference (`self - earlier`), for measuring a phase.
     #[must_use]
     pub fn delta_since(&self, earlier: &IoSnapshot) -> IoSnapshot {

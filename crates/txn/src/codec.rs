@@ -41,6 +41,41 @@ pub trait ContractCodec: Send + Sync {
     fn decode(&self, bytes: &[u8]) -> Result<Arc<dyn Contract>>;
 }
 
+/// A decoding registry composed of several codecs tried in order — how a
+/// replica whose blocks mix workload contracts with protocol-synthesized
+/// ones (e.g. cross-shard fragments) reconstructs every transaction kind.
+/// The first codec that decodes wins; if none does, the last error is
+/// returned.
+pub struct MultiCodec {
+    codecs: Vec<Arc<dyn ContractCodec>>,
+}
+
+impl MultiCodec {
+    /// Build from the codecs to try, in priority order.
+    ///
+    /// # Panics
+    /// Panics when `codecs` is empty — an empty registry could decode
+    /// nothing and would turn every replay into an error.
+    #[must_use]
+    pub fn new(codecs: Vec<Arc<dyn ContractCodec>>) -> MultiCodec {
+        assert!(!codecs.is_empty(), "MultiCodec needs at least one codec");
+        MultiCodec { codecs }
+    }
+}
+
+impl ContractCodec for MultiCodec {
+    fn decode(&self, bytes: &[u8]) -> Result<Arc<dyn Contract>> {
+        let mut last_err = None;
+        for codec in &self.codecs {
+            match codec.decode(bytes) {
+                Ok(contract) => return Ok(contract),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one codec"))
+    }
+}
+
 /// Split the default wire format into `(name, payload)`.
 pub fn split_encoded(bytes: &[u8]) -> Result<(&str, &[u8])> {
     if bytes.len() < 2 {
@@ -93,5 +128,42 @@ mod tests {
         let codec = NopCodec;
         assert!(codec.decode(&[5]).is_err());
         assert!(codec.decode(&[9, 0, b'x']).is_err());
+    }
+
+    struct PickyCodec {
+        prefix: &'static str,
+    }
+
+    impl ContractCodec for PickyCodec {
+        fn decode(&self, bytes: &[u8]) -> Result<Arc<dyn Contract>> {
+            let (name, _) = split_encoded(bytes)?;
+            if !name.starts_with(self.prefix) {
+                return Err(harmony_common::Error::Corruption(format!(
+                    "not a {} contract: {name}",
+                    self.prefix
+                )));
+            }
+            let name = name.to_string();
+            Ok(Arc::new(FnContract::new(
+                name,
+                move |_: &mut TxnCtx<'_>| Ok(()),
+            )))
+        }
+    }
+
+    #[test]
+    fn multi_codec_dispatches_by_first_success() {
+        let multi = MultiCodec::new(vec![
+            Arc::new(PickyCodec { prefix: "aa-" }),
+            Arc::new(PickyCodec { prefix: "bb-" }),
+        ]);
+        let enc = |name: &str| encode_contract(&FnContract::new(name, |_: &mut TxnCtx<'_>| Ok(())));
+        assert_eq!(multi.decode(&enc("aa-x")).unwrap().name(), "aa-x");
+        assert_eq!(multi.decode(&enc("bb-y")).unwrap().name(), "bb-y");
+        let Err(err) = multi.decode(&enc("cc-z")) else {
+            panic!("cc-z must not decode");
+        };
+        let err = err.to_string();
+        assert!(err.contains("bb-"), "last error surfaces: {err}");
     }
 }

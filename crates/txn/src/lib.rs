@@ -21,7 +21,7 @@ pub mod row;
 pub mod rwset;
 pub mod update;
 
-pub use codec::{encode_contract, split_encoded, ContractCodec};
+pub use codec::{encode_contract, split_encoded, ContractCodec, MultiCodec};
 pub use contract::{Contract, FnContract, UserAbort};
 pub use ctx::{SnapshotView, TxnCtx};
 pub use key::{Key, Value};

@@ -27,6 +27,6 @@ pub mod ycsb;
 
 pub use arrival::{Arrival, OpenLoopClients, OpenLoopConfig};
 pub use smallbank::{Smallbank, SmallbankCodec, SmallbankConfig};
-pub use tpcc::{Tpcc, TpccConfig};
+pub use tpcc::{Tpcc, TpccCodec, TpccConfig, TpccTables};
 pub use workload::Workload;
 pub use ycsb::{Ycsb, YcsbCodec, YcsbConfig};

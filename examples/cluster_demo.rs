@@ -22,6 +22,9 @@ use harmonybc::workloads::{OpenLoopConfig, SmallbankConfig};
 fn main() {
     let config = ClusterConfig {
         replicas: 4,
+        // Flat replicas; see `ShardTopology` + the sharded_node_e2e tests
+        // for the N-replica × M-shard deployment.
+        topology: None,
         replica: ReplicaConfig {
             chain: ChainConfig {
                 storage: StorageConfig::memory(),
