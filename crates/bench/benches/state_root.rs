@@ -1,0 +1,76 @@
+//! State-root benchmarks: full-scan oracle vs incremental commitment.
+//!
+//! The numbers behind `BENCH_PR6.json`: on a 100k-row store, computing
+//! the root by full rescan (`harmony_chain::state_root`, the pre-PR6
+//! behaviour after every block) against folding a 100-key block
+//! write-set into an already-built [`StateCommitment`] (the apply-time
+//! path) and reading the cached root (the warm `OeChain::state_root`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harmony_chain::{state_root, StateCommitment};
+use harmony_common::ids::TableId;
+use harmony_storage::{StorageConfig, StorageEngine};
+use harmony_txn::Key;
+
+const KEYS: u64 = 100_000;
+const DELTA: u64 = 100;
+
+/// Engine with one table preloaded with `KEYS` rows of 24-byte values.
+fn loaded_engine() -> (Arc<StorageEngine>, TableId) {
+    let engine = Arc::new(StorageEngine::open(&StorageConfig::memory()).unwrap());
+    let t = engine.create_table("accounts").unwrap();
+    for i in 0..KEYS {
+        engine
+            .put(t, &i.to_be_bytes(), format!("balance-{i:016}").as_bytes())
+            .unwrap();
+    }
+    (engine, t)
+}
+
+fn bench_state_root(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_root");
+    let (engine, t) = loaded_engine();
+
+    // Pre-PR6 behaviour: every root query rescans and rehashes the whole
+    // store (O(n) sha256 leaves + treap build).
+    group.sample_size(10);
+    group.bench_function("full_rescan_100k", |b| {
+        b.iter(|| state_root(&engine).unwrap());
+    });
+
+    // Apply-time fold: a 100-key block write-set upserted into the live
+    // commitment, then the root recomputed along the touched spines —
+    // O(Δ·log n) instead of O(n).
+    let mut commit = StateCommitment::build(&engine).unwrap();
+    let mut epoch = 0u64;
+    group.sample_size(200);
+    group.bench_function("incremental_delta100_100k", |b| {
+        b.iter(|| {
+            epoch += 1;
+            let lo = (epoch * DELTA) % KEYS;
+            let mut keys = Vec::with_capacity(DELTA as usize);
+            for i in lo..lo + DELTA {
+                let k = (i % KEYS).to_be_bytes();
+                engine
+                    .put(t, &k, format!("balance-{epoch:08}-{i:07}").as_bytes())
+                    .unwrap();
+                keys.push(Key::new(t, k.to_vec()));
+            }
+            commit.apply_writes(&engine, &keys).unwrap();
+            commit.root()
+        });
+    });
+
+    // Warm cached root: what `OeChain::state_root` costs between blocks.
+    group.sample_size(100_000);
+    group.bench_function("cached_root_100k", |b| {
+        b.iter(|| commit.root());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_root);
+criterion_main!(benches);

@@ -144,3 +144,50 @@ fn bench_pr3_json_matches_schema_and_floors() {
         );
     }
 }
+
+#[test]
+fn bench_pr6_json_matches_schema_and_floors() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_PR6.json committed at the repo root");
+    check_balanced(&text);
+    assert!(
+        text.contains("\"schema\": \"harmonybc-bench/v1\""),
+        "schema tag"
+    );
+    assert!(text.contains("\"suite\": \"state_root\""), "suite tag");
+    assert!(text.contains("\"benches\""), "benches array");
+
+    let mut checked = 0;
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"before_ns\":") {
+        let entry = from + at;
+        let before = number_after(&text, entry, "before_ns");
+        let after = number_after(&text, entry, "after_ns");
+        let speedup = number_after(&text, entry, "speedup");
+        assert!(before > 0.0 && after > 0.0, "positive timings");
+        let actual = before / after;
+        assert!(
+            (actual - speedup).abs() / actual < 0.05,
+            "speedup field {speedup} inconsistent with {before}/{after} = {actual:.2}"
+        );
+        checked += 1;
+        from = entry + "\"before_ns\":".len();
+    }
+    assert!(checked >= 3, "expected >= 3 bench entries, found {checked}");
+
+    // PR6 acceptance floor: >= 10x on root-after-block at 100k keys (the
+    // measured fold is ~300x; the floor leaves room for slower hosts).
+    for name in [
+        "state_root/root_after_block_100k_delta100",
+        "state_root/warm_root_query_100k",
+    ] {
+        let at = text
+            .find(&format!("\"{name}\""))
+            .unwrap_or_else(|| panic!("missing required bench {name}"));
+        let speedup = number_after(&text, at, "speedup");
+        assert!(
+            speedup >= 10.0,
+            "{name} speedup {speedup} below the 10x floor"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Incrementally maintained authenticated state commitment.
+//!
+//! Every replica-consistency check in the system — root gossip, state-sync
+//! verification, the N-shard ≡ 1-shard proptests — needs a digest of the
+//! full database. Rescanning every table per check is O(n) and was the
+//! single hottest non-execution path; instead the chain keeps one
+//! [`AuthMap`] per table and folds each block's write-set into it at apply
+//! time: O(Δ·log n) per block, O(1) to read the root.
+//!
+//! The commitment is **history independent** (the treap shape is a pure
+//! function of the key set), so the same structure serves both paths:
+//! [`StateCommitment::build`] from a full scan is the audit oracle, and the
+//! incrementally folded instance a replica maintains must equal it bit for
+//! bit. Table names enter the top-level fold length-prefixed — fixing the
+//! boundary ambiguity the old flat digest had — and each table's root is an
+//! [`AuthMap`] root, so any row has an O(log n) inclusion proof against its
+//! table root plus the table head list ([`StateCommitment::table_heads`])
+//! to reach the state root: the proof surface for light-client queries.
+
+use harmony_common::ids::TableId;
+use harmony_common::Result;
+use harmony_crypto::{AuthMap, Digest, MapProof, Sha256};
+use harmony_storage::StorageEngine;
+use harmony_txn::Key;
+
+struct TableCommit {
+    name: String,
+    id: TableId,
+    map: AuthMap,
+}
+
+/// Per-table authenticated maps plus a cached top-level root.
+pub struct StateCommitment {
+    /// Sorted by [`TableId`] — the catalog enumeration order, which is what
+    /// the top-level fold commits to.
+    tables: Vec<TableCommit>,
+    root: Option<Digest>,
+}
+
+/// Fold `(name, root)` table heads into the state root. Names are
+/// length-prefixed so adjacent name/digest boundaries are unambiguous.
+pub fn fold_table_roots<N: AsRef<str>>(heads: &[(N, Digest)]) -> Digest {
+    let mut h = Sha256::new();
+    for (name, root) in heads {
+        let name = name.as_ref().as_bytes();
+        h.update(&u32::try_from(name.len()).unwrap_or(u32::MAX).to_le_bytes());
+        h.update(name);
+        h.update(&root.0);
+    }
+    h.finalize()
+}
+
+impl StateCommitment {
+    /// Build the commitment from a full scan of every table — the audit
+    /// oracle, and the bootstrap path the first time a chain needs a root.
+    pub fn build(engine: &StorageEngine) -> Result<StateCommitment> {
+        let mut c = StateCommitment {
+            tables: Vec::new(),
+            root: None,
+        };
+        c.refresh_catalog(engine);
+        for table in &mut c.tables {
+            engine.scan(table.id, b"", None, |k, v| {
+                table.map.upsert(k, v);
+                true
+            })?;
+        }
+        Ok(c)
+    }
+
+    /// Fold one block's write-set: re-read each written key from the engine
+    /// (post-state) and upsert or remove it. O(Δ·log n).
+    pub fn apply_writes(&mut self, engine: &StorageEngine, keys: &[Key]) -> Result<()> {
+        for key in keys {
+            let idx = match self.table_index(key.table()) {
+                Some(idx) => idx,
+                None => {
+                    // A table created since the last catalog refresh.
+                    self.refresh_catalog(engine);
+                    self.table_index(key.table()).ok_or_else(|| {
+                        harmony_common::Error::InvalidArgument(format!(
+                            "write to unknown table {:?}",
+                            key.table()
+                        ))
+                    })?
+                }
+            };
+            let map = &mut self.tables[idx].map;
+            match engine.get(key.table(), key.row())? {
+                Some(value) => map.upsert(key.row(), &value),
+                None => map.remove(key.row()),
+            };
+        }
+        if !keys.is_empty() {
+            self.root = None;
+        }
+        Ok(())
+    }
+
+    /// The state root. O(T) fold over cached per-table roots when dirty,
+    /// O(1) otherwise.
+    pub fn root(&mut self) -> Digest {
+        if let Some(root) = self.root {
+            return root;
+        }
+        let heads: Vec<(&str, Digest)> = self
+            .tables
+            .iter()
+            .map(|t| (t.name.as_str(), t.map.root()))
+            .collect();
+        let root = fold_table_roots(&heads);
+        self.root = Some(root);
+        root
+    }
+
+    /// `(name, root)` per table in catalog order — what a light client needs
+    /// to tie a table root to the state root via [`fold_table_roots`].
+    #[must_use]
+    pub fn table_heads(&self) -> Vec<(String, Digest)> {
+        self.tables
+            .iter()
+            .map(|t| (t.name.clone(), t.map.root()))
+            .collect()
+    }
+
+    /// Inclusion proof for a row against its table's root, or None if the
+    /// table or row is absent. Verify with [`AuthMap::verify`] against the
+    /// matching entry of [`StateCommitment::table_heads`].
+    #[must_use]
+    pub fn prove_row(&self, table: TableId, row: &[u8]) -> Option<MapProof> {
+        let idx = self.table_index(table)?;
+        self.tables[idx].map.prove(row)
+    }
+
+    /// Total number of committed rows across all tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.iter().map(|t| t.map.len()).sum()
+    }
+
+    /// True when no rows are committed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn table_index(&self, id: TableId) -> Option<usize> {
+        self.tables.binary_search_by_key(&id, |t| t.id).ok()
+    }
+
+    /// Register any catalog tables not yet tracked (empty maps); keeps
+    /// `tables` sorted by id. Existing maps are untouched.
+    fn refresh_catalog(&mut self, engine: &StorageEngine) {
+        for (name, id) in engine.list_tables() {
+            if self.table_index(id).is_none() {
+                let at = self.tables.partition_point(|t| t.id < id);
+                self.tables.insert(
+                    at,
+                    TableCommit {
+                        name,
+                        id,
+                        map: AuthMap::new(),
+                    },
+                );
+                self.root = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_storage::StorageConfig;
+
+    fn engine() -> StorageEngine {
+        StorageEngine::open(&StorageConfig::memory()).unwrap()
+    }
+
+    #[test]
+    fn build_matches_incremental_folding() {
+        let e = engine();
+        let t = e.create_table("accounts").unwrap();
+        let u = e.create_table("orders").unwrap();
+        for i in 0..200u64 {
+            e.put(t, format!("a{i}").as_bytes(), b"0").unwrap();
+        }
+        let mut inc = StateCommitment::build(&e).unwrap();
+
+        // Mutate: updates, an insert, a delete, and a write to the other table.
+        let mut keys = Vec::new();
+        for i in (0..200u64).step_by(7) {
+            let row = format!("a{i}").into_bytes();
+            e.put(t, &row, b"1").unwrap();
+            keys.push(Key::new(t, row));
+        }
+        e.put(t, b"a-new", b"x").unwrap();
+        keys.push(Key::new(t, b"a-new".to_vec()));
+        e.delete(t, b"a3").unwrap();
+        keys.push(Key::new(t, b"a3".to_vec()));
+        e.put(u, b"o1", b"y").unwrap();
+        keys.push(Key::new(u, b"o1".to_vec()));
+        inc.apply_writes(&e, &keys).unwrap();
+
+        let mut oracle = StateCommitment::build(&e).unwrap();
+        assert_eq!(inc.root(), oracle.root());
+        assert_eq!(inc.len(), oracle.len());
+    }
+
+    #[test]
+    fn apply_writes_registers_tables_created_after_build() {
+        let e = engine();
+        e.create_table("t0").unwrap();
+        let mut inc = StateCommitment::build(&e).unwrap();
+        let late = e.create_table("late").unwrap();
+        e.put(late, b"k", b"v").unwrap();
+        inc.apply_writes(&e, &[Key::new(late, b"k".to_vec())])
+            .unwrap();
+        let mut oracle = StateCommitment::build(&e).unwrap();
+        assert_eq!(inc.root(), oracle.root());
+    }
+
+    #[test]
+    fn table_names_are_length_prefixed_in_fold() {
+        // ("ab" table containing row c=…) vs ("a" table containing row bc=…)
+        // style boundary shifts must not collide at the top-level fold.
+        let r = Digest([7; 32]);
+        let a = fold_table_roots(&[("ab", r), ("c", r)]);
+        let b = fold_table_roots(&[("a", r), ("bc", r)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_table_still_contributes_its_name() {
+        let e = engine();
+        e.create_table("empty").unwrap();
+        let mut with = StateCommitment::build(&e).unwrap();
+        let f = engine();
+        let mut without = StateCommitment::build(&f).unwrap();
+        assert_ne!(with.root(), without.root());
+    }
+
+    #[test]
+    fn row_proofs_verify_against_table_heads() {
+        let e = engine();
+        let t = e.create_table("accounts").unwrap();
+        for i in 0..64u64 {
+            e.put(t, format!("a{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let mut c = StateCommitment::build(&e).unwrap();
+        let root = c.root();
+        let heads = c.table_heads();
+        assert_eq!(fold_table_roots(&heads), root);
+        let proof = c.prove_row(t, b"a17").unwrap();
+        let table_root = heads
+            .iter()
+            .find(|(n, _)| n == "accounts")
+            .map(|(_, r)| *r)
+            .unwrap();
+        assert!(AuthMap::verify(&table_root, b"a17", b"v17", &proof));
+        assert!(!AuthMap::verify(&table_root, b"a17", b"v18", &proof));
+        assert!(c.prove_row(t, b"absent").is_none());
+    }
+}

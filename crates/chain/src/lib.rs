@@ -19,11 +19,15 @@
 //! equal roots on every replica, whatever the thread counts.
 
 pub mod block;
+pub mod commit;
 pub mod oe;
 pub mod sov;
 pub mod sync;
 
 pub use block::{BlockHeader, ChainBlock};
-pub use oe::{sharded_state_root, state_root, BlockUndo, ChainConfig, DccFactory, OeChain};
+pub use commit::{fold_table_roots, StateCommitment};
+pub use oe::{
+    sharded_state_root, state_root, BlockUndo, ChainConfig, DccFactory, OeChain, RowProof,
+};
 pub use sov::SovChain;
 pub use sync::{StateSnapshot, TableDump};

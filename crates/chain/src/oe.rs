@@ -15,18 +15,19 @@
 //! persisted blocks, and re-executes everything after the checkpoint.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use harmony_common::codec::{Reader, Writer};
 use harmony_common::{BlockId, Error, Result};
 use harmony_core::executor::{BlockSummary, ExecBlock, WriterInfo};
 use harmony_core::{HarmonyConfig, SnapshotStore};
-use harmony_crypto::{CryptoCost, Digest, KeyPair, MerkleTree, Sha256, Verifier};
+use harmony_crypto::{CryptoCost, Digest, KeyPair, MapProof, MerkleTree, Verifier};
 use harmony_dcc_baselines::{DccEngine, HarmonyEngine, ProtocolBlockResult};
 use harmony_storage::{StorageConfig, StorageEngine};
 use harmony_txn::{Contract, ContractCodec, Key, RangePredicate, Value};
 
 use crate::block::ChainBlock;
+use crate::commit::StateCommitment;
 
 /// Chain configuration.
 #[derive(Clone, Debug)]
@@ -80,19 +81,15 @@ impl ChainConfig {
 
 /// Hash of the full database state — replicas fed the same blocks must
 /// produce identical roots (replica consistency).
+///
+/// This is the **audit oracle**: it rebuilds the authenticated commitment
+/// from a full scan of every table (names length-prefixed in the top-level
+/// fold, rows committed through per-table [`harmony_crypto::AuthMap`]s).
+/// A live [`OeChain`] never pays this scan on the hot path — its
+/// [`OeChain::state_root`] returns the incrementally maintained root, which
+/// history independence guarantees equals this oracle bit for bit.
 pub fn state_root(engine: &StorageEngine) -> Result<Digest> {
-    let mut h = Sha256::new();
-    for (name, id) in engine.list_tables() {
-        h.update(name.as_bytes());
-        engine.scan(id, b"", None, |k, v| {
-            h.update(&(k.len() as u32).to_le_bytes());
-            h.update(k);
-            h.update(&(v.len() as u32).to_le_bytes());
-            h.update(v);
-            true
-        })?;
-    }
-    Ok(h.finalize())
+    Ok(StateCommitment::build(engine)?.root())
 }
 
 /// Fold per-shard state roots into one tamper-evident top-level root.
@@ -118,6 +115,11 @@ pub type DccFactory = Arc<
     dyn Fn(Arc<SnapshotStore>, BlockId, Option<BlockSummary>) -> Arc<dyn DccEngine> + Send + Sync,
 >;
 
+/// A row inclusion proof plus the `(table name, table root)` heads that
+/// fold to the state root — what [`OeChain::prove_row`] hands a light
+/// client.
+pub type RowProof = (MapProof, Vec<(String, Digest)>);
+
 /// An Order-Execute private blockchain node.
 pub struct OeChain {
     config: ChainConfig,
@@ -130,6 +132,12 @@ pub struct OeChain {
     height: BlockId,
     last_hash: Digest,
     last_summary: Option<BlockSummary>,
+    /// Incrementally maintained authenticated state commitment. `None`
+    /// until the first root is needed (genesis workload loading writes to
+    /// the engine directly, so an eager build at open would go stale);
+    /// once built, every applied block folds its write-set in and
+    /// [`OeChain::state_root`] is O(1).
+    commitment: Mutex<Option<StateCommitment>>,
     /// Earliest state this node holds locally: `(height, hash)` of the
     /// block its history starts after. `(0, ZERO)` for a genesis-born
     /// node; the snapshot point for a node bootstrapped via state-sync
@@ -175,6 +183,7 @@ impl OeChain {
             height: BlockId(0),
             last_hash: Digest::ZERO,
             last_summary: None,
+            commitment: Mutex::new(None),
             base: (BlockId(0), Digest::ZERO),
         })
     }
@@ -292,6 +301,7 @@ impl OeChain {
         self.engine.block_log().sync()?;
 
         let result = self.dcc.execute_block(&ExecBlock { id, txns })?;
+        self.fold_commitment(id)?;
         self.height = id;
         self.last_hash = sealed.header.hash();
         self.last_summary = result.summary.clone();
@@ -300,6 +310,17 @@ impl OeChain {
             self.checkpoint()?;
         }
         Ok(result)
+    }
+
+    /// Fold block `id`'s write-set into the commitment (if one is built).
+    /// Must run during apply of `id` itself: the per-shard block logs that
+    /// record the write-set are GC'd once the *next* block executes.
+    fn fold_commitment(&self, id: BlockId) -> Result<()> {
+        let mut guard = self.commitment.lock().expect("commitment lock");
+        if let Some(c) = guard.as_mut() {
+            c.apply_writes(&self.engine, &self.snapshots.keys_written_in(id))?;
+        }
+        Ok(())
     }
 
     /// Replay a verified range of sealed blocks in order — the catch-up
@@ -322,26 +343,61 @@ impl OeChain {
         Ok(applied)
     }
 
-    /// Force a checkpoint now.
+    /// Force a checkpoint now. Also the point where the commitment is
+    /// first materialized: a checkpointed chain always records its state
+    /// root in the sidecar, so recovery can verify the rebuilt state.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let root = self.state_root()?;
         self.engine.checkpoint(self.height)?;
         // Recovery sidecar: chain position + the trailing blocks' undo
-        // images / version history + Rule-3 summary.
+        // images / version history + Rule-3 summary + state root.
         let undo = export_recent_undo(&self.snapshots, self.height, self.config.sidecar_depth);
         let sidecar = encode_sidecar(
             self.height,
             &self.last_hash,
             &undo,
             self.last_summary.as_ref(),
+            Some(&root),
         );
         self.engine.wal().append(&sidecar)?;
         self.engine.wal().sync()?;
         Ok(())
     }
 
-    /// Hash of the full database state.
+    /// Hash of the full database state — the cached root of the
+    /// incrementally maintained commitment. O(1) on a warm chain; the
+    /// first call (or the first after recovery reset) pays one full scan
+    /// to build the per-table maps. Bit-identical to the full-scan oracle
+    /// [`state_root`].
     pub fn state_root(&self) -> Result<Digest> {
-        state_root(&self.engine)
+        let mut guard = self.commitment.lock().expect("commitment lock");
+        if guard.is_none() {
+            *guard = Some(StateCommitment::build(&self.engine)?);
+        }
+        Ok(guard.as_mut().expect("just built").root())
+    }
+
+    /// True when the commitment is already materialized, i.e. the next
+    /// [`OeChain::state_root`] is O(1). Callers folding many shards use
+    /// this to decide whether building is worth parallelizing.
+    #[must_use]
+    pub fn root_is_cached(&self) -> bool {
+        self.commitment.lock().expect("commitment lock").is_some()
+    }
+
+    /// Inclusion proof for one row against the current commitment, plus
+    /// the `(table name, table root)` heads tying it to the state root —
+    /// the light-client query surface. Returns `None` if the row is
+    /// absent.
+    pub fn prove_row(
+        &self,
+        table: harmony_common::ids::TableId,
+        row: &[u8],
+    ) -> Result<Option<RowProof>> {
+        self.state_root()?; // ensure the commitment is built
+        let guard = self.commitment.lock().expect("commitment lock");
+        let c = guard.as_ref().expect("built above");
+        Ok(c.prove_row(table, row).map(|p| (p, c.table_heads())))
     }
 
     /// Verify the persisted chain: decode every logged block and walk the
@@ -394,6 +450,7 @@ impl OeChain {
         // Rebuild the snapshot overlay and Rule-3 state from the sidecar.
         self.snapshots = Arc::new(SnapshotStore::new(Arc::clone(&self.engine)));
         self.last_summary = None;
+        *self.commitment.lock().expect("commitment lock") = None;
         let Some(checkpoint) = checkpoint else {
             // Total loss: no manifest survived the crash, so the catalog
             // (genesis load included) is gone. Drop the stale block log —
@@ -407,19 +464,38 @@ impl OeChain {
             return Ok(());
         };
         let mut checkpoint_hash = None;
+        let mut checkpoint_root = None;
         if checkpoint.0 > 0 {
             let sidecars = self.engine.wal().read_all()?;
             let latest = sidecars.iter().rev().find_map(|s| {
                 decode_sidecar(s)
                     .ok()
-                    .filter(|(b, _, _, _)| *b == checkpoint)
+                    .filter(|(b, _, _, _, _)| *b == checkpoint)
             });
-            if let Some((_, hash, undo, summary)) = latest {
+            if let Some((_, hash, undo, summary, root)) = latest {
                 import_recent_undo(&self.snapshots, &undo);
                 self.last_summary = summary;
                 checkpoint_hash = Some(hash);
+                checkpoint_root = root;
             }
         }
+
+        // Rebuild the state commitment over the recovered checkpoint state
+        // and verify it against the root the sidecar recorded: a mismatch
+        // means the recovered pages do not hold the state the checkpoint
+        // committed to.
+        let mut commitment = StateCommitment::build(&self.engine)?;
+        if let Some(expected) = checkpoint_root {
+            let rebuilt = commitment.root();
+            if rebuilt != expected {
+                return Err(Error::Corruption(format!(
+                    "recovered state root {} != checkpointed {}",
+                    rebuilt.to_hex(),
+                    expected.to_hex()
+                )));
+            }
+        }
+        *self.commitment.lock().expect("commitment lock") = Some(commitment);
 
         // Re-create the DCC engine positioned after the checkpoint.
         self.dcc = (self.factory)(
@@ -447,6 +523,7 @@ impl OeChain {
                 id: block.header.id,
                 txns: txns?,
             })?;
+            self.fold_commitment(block.header.id)?;
             self.height = block.header.id;
             self.last_hash = block.header.hash();
             self.last_summary = result.summary.clone();
@@ -486,6 +563,9 @@ impl OeChain {
         self.last_hash = snapshot.last_hash;
         self.base = (snapshot.height, snapshot.last_hash);
         self.last_summary = snapshot.summary.clone();
+        // The trailing checkpoint() rebuilds the commitment over the
+        // installed tables (and records its root in the sidecar).
+        *self.commitment.lock().expect("commitment lock") = None;
         import_recent_undo(&self.snapshots, &snapshot.undo);
         self.dcc = (self.factory)(
             Arc::clone(&self.snapshots),
@@ -682,16 +762,30 @@ fn encode_sidecar(
     last_hash: &Digest,
     undo: &[BlockUndo],
     summary: Option<&BlockSummary>,
+    state_root: Option<&Digest>,
 ) -> Vec<u8> {
     let mut w = Writer::with_capacity(256);
     w.put_u64(block.0);
     w.put_raw(&last_hash.0);
     put_block_undo(&mut w, undo);
     put_summary(&mut w, summary);
+    match state_root {
+        Some(root) => {
+            w.put_u8(1);
+            w.put_raw(&root.0);
+        }
+        None => w.put_u8(0),
+    }
     w.finish().to_vec()
 }
 
-type Sidecar = (BlockId, Digest, Vec<BlockUndo>, Option<BlockSummary>);
+type Sidecar = (
+    BlockId,
+    Digest,
+    Vec<BlockUndo>,
+    Option<BlockSummary>,
+    Option<Digest>,
+);
 
 fn decode_sidecar(bytes: &[u8]) -> Result<Sidecar> {
     let mut r = Reader::new(bytes);
@@ -699,7 +793,12 @@ fn decode_sidecar(bytes: &[u8]) -> Result<Sidecar> {
     let last_hash = Digest(r.get_raw(32)?.try_into().expect("32 bytes"));
     let undo = get_block_undo(&mut r)?;
     let summary = get_summary(&mut r)?;
-    Ok((block, last_hash, undo, summary))
+    let state_root = match r.get_u8()? {
+        0 => None,
+        1 => Some(Digest(r.get_raw(32)?.try_into().expect("32 bytes"))),
+        t => return Err(Error::Corruption(format!("bad root tag {t}"))),
+    };
+    Ok((block, last_hash, undo, summary, state_root))
 }
 
 #[cfg(test)]
@@ -734,12 +833,14 @@ mod tests {
             },
         ));
         let hash = Digest([9; 32]);
+        let root = Digest([5; 32]);
         let undo = vec![(BlockId(6), Vec::new()), (BlockId(7), undo)];
-        let enc = encode_sidecar(BlockId(7), &hash, &undo, Some(&summary));
-        let (block, hash2, undo2, summary2) = decode_sidecar(&enc).unwrap();
+        let enc = encode_sidecar(BlockId(7), &hash, &undo, Some(&summary), Some(&root));
+        let (block, hash2, undo2, summary2, root2) = decode_sidecar(&enc).unwrap();
         assert_eq!(block, BlockId(7));
         assert_eq!(hash2, hash);
         assert_eq!(undo2, undo);
+        assert_eq!(root2, Some(root));
         let s2 = summary2.unwrap();
         assert_eq!(s2.block, BlockId(7));
         assert_eq!(s2.committed_writes.len(), 1);
@@ -763,11 +864,12 @@ mod tests {
 
     #[test]
     fn sidecar_without_summary() {
-        let enc = encode_sidecar(BlockId(3), &Digest::ZERO, &[], None);
-        let (block, hash, undo, summary) = decode_sidecar(&enc).unwrap();
+        let enc = encode_sidecar(BlockId(3), &Digest::ZERO, &[], None, None);
+        let (block, hash, undo, summary, root) = decode_sidecar(&enc).unwrap();
         assert_eq!(block, BlockId(3));
         assert_eq!(hash, Digest::ZERO);
         assert!(undo.is_empty());
         assert!(summary.is_none());
+        assert!(root.is_none());
     }
 }

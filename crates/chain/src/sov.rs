@@ -5,7 +5,7 @@
 //! overhead Table 1 contrasts with logical logging).
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use harmony_common::{BlockId, Result};
 use harmony_core::executor::ExecBlock;
@@ -17,7 +17,7 @@ use harmony_storage::{StorageConfig, StorageEngine};
 use harmony_txn::{Contract, ContractCodec};
 
 use crate::block::ChainBlock;
-use crate::oe::state_root;
+use crate::commit::StateCommitment;
 
 /// A Simulate-Order-Validate blockchain node (Fabric-style).
 pub struct SovChain {
@@ -29,6 +29,9 @@ pub struct SovChain {
     height: BlockId,
     last_hash: Digest,
     checkpoint_every: u64,
+    /// Incrementally maintained state commitment, folded from the same
+    /// committed write-sets the WAL records. Lazily built on first root.
+    commitment: Mutex<Option<StateCommitment>>,
 }
 
 impl SovChain {
@@ -46,6 +49,7 @@ impl SovChain {
             height: BlockId(0),
             last_hash: Digest::ZERO,
             checkpoint_every,
+            commitment: Mutex::new(None),
         })
     }
 
@@ -113,6 +117,15 @@ impl SovChain {
             .append(&WalRecord { block: id, writes }.encode())?;
         self.engine.wal().sync()?;
 
+        // Fold the same committed write-set into the state commitment.
+        {
+            let mut guard = self.commitment.lock().expect("commitment lock");
+            if let Some(c) = guard.as_mut() {
+                let keys: Vec<_> = seen.into_iter().collect();
+                c.apply_writes(&self.engine, &keys)?;
+            }
+        }
+
         self.height = id;
         self.last_hash = sealed.header.hash();
         if id.0.is_multiple_of(self.checkpoint_every) {
@@ -121,9 +134,15 @@ impl SovChain {
         Ok((sealed, result))
     }
 
-    /// Hash of the full database state.
+    /// Hash of the full database state — the cached commitment root,
+    /// O(1) on a warm chain and bit-identical to the full-scan oracle
+    /// [`crate::oe::state_root`].
     pub fn state_root(&self) -> Result<Digest> {
-        state_root(&self.engine)
+        let mut guard = self.commitment.lock().expect("commitment lock");
+        if guard.is_none() {
+            *guard = Some(StateCommitment::build(&self.engine)?);
+        }
+        Ok(guard.as_mut().expect("just built").root())
     }
 
     /// Verify the persisted hash chain.
@@ -147,6 +166,7 @@ impl SovChain {
         self.engine.crash_and_recover()?;
         let checkpoint = self.engine.last_checkpoint().unwrap_or(BlockId(0));
         self.snapshots = Arc::new(SnapshotStore::new(Arc::clone(&self.engine)));
+        *self.commitment.lock().expect("commitment lock") = None;
         let mut height = checkpoint;
         for rec in self.engine.wal().read_all()? {
             let rec = WalRecord::decode(&rec)?;

@@ -519,6 +519,29 @@ impl SnapshotStore {
         out
     }
 
+    /// The write-set of block `block`: every key it wrote, sorted and
+    /// deduplicated. This is what the chain layer folds into the incremental
+    /// state commitment at apply time — the per-shard block logs record
+    /// exactly one entry per (key, block), and the log for `block` survives
+    /// until GC advances past it, so the fold must happen before the *next*
+    /// block's GC runs (i.e. during apply of `block` itself).
+    #[must_use]
+    pub fn keys_written_in(&self, block: BlockId) -> Vec<Key> {
+        let mut out = Vec::new();
+        for cell in &self.shards {
+            if cell.undo_entries.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let shard = cell.shard.read();
+            if let Some(keys) = shard.by_block.get(&block) {
+                out.extend(keys.iter().cloned());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Re-install before-images exported by [`Self::export_undo_for`]
     /// (recovery path). Also restores the version history entry for the
     /// writing block.
@@ -605,6 +628,28 @@ mod tests {
             s.read_at(BlockId(9), &key(t, "x")).unwrap(),
             Some(val("v2"))
         );
+    }
+
+    #[test]
+    fn keys_written_in_exports_sorted_per_block_write_set() {
+        let (s, t) = store();
+        s.apply_write(BlockId(1), 1, &key(t, "b"), Some(&val("b1")))
+            .unwrap();
+        s.apply_write(BlockId(1), 2, &key(t, "a"), Some(&val("a1")))
+            .unwrap();
+        s.apply_write(BlockId(1), 3, &key(t, "c"), None).unwrap(); // delete counts
+        s.apply_write(BlockId(2), 4, &key(t, "a"), Some(&val("a2")))
+            .unwrap();
+        assert_eq!(
+            s.keys_written_in(BlockId(1)),
+            vec![key(t, "a"), key(t, "b"), key(t, "c")]
+        );
+        assert_eq!(s.keys_written_in(BlockId(2)), vec![key(t, "a")]);
+        assert!(s.keys_written_in(BlockId(3)).is_empty());
+        // GC past block 1 drops its log but keeps block 2's.
+        s.gc(BlockId(1));
+        assert!(s.keys_written_in(BlockId(1)).is_empty());
+        assert_eq!(s.keys_written_in(BlockId(2)), vec![key(t, "a")]);
     }
 
     #[test]

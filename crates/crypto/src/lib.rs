@@ -8,12 +8,14 @@
 //! exactly how crypto enters the paper's evaluation (a per-transaction CPU
 //! term; see [`CryptoCost`]).
 
+pub mod authmap;
 pub mod cost;
 pub mod hmac;
 pub mod merkle;
 pub mod sha256;
 pub mod signer;
 
+pub use authmap::{AuthMap, MapProof, MapProofStep};
 pub use cost::CryptoCost;
 pub use hmac::hmac_sha256;
 pub use merkle::MerkleTree;

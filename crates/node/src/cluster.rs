@@ -550,6 +550,16 @@ impl NodeKind {
         }
     }
 
+    /// Full-scan audit recomputation of [`NodeKind::report_root`]: builds
+    /// the commitment from the engines rather than reading the cached
+    /// fold. Must always equal `report_root` — the e2e suites assert it.
+    fn oracle_root(&self) -> Result<Digest> {
+        match self {
+            NodeKind::Flat(n) => harmony_chain::state_root(n.chain().engine()),
+            NodeKind::Sharded(n) => n.sharded_root_oracle(),
+        }
+    }
+
     fn pending_gap(&self) -> usize {
         match self {
             NodeKind::Flat(n) => n.pending_gap(),
@@ -849,6 +859,9 @@ pub struct ReplicaSummary {
     /// Shard-count-invariant logical database digest (equals `root` on
     /// flat replicas) — what cross-topology equivalence tests compare.
     pub logical_root: Digest,
+    /// Full-scan audit recomputation of `root` (oracle path). Always equal
+    /// to `root` — gossiping a cached root never drifts from the state.
+    pub oracle_root: Digest,
     /// Blocks in its verified delivery log.
     pub delivered: usize,
     /// Divergence alarms it raised.
@@ -1031,6 +1044,7 @@ impl Cluster {
                 height: w.node.height(),
                 root: w.node.report_root()?,
                 logical_root: w.node.logical_root()?,
+                oracle_root: w.node.oracle_root()?,
                 delivered: w.node.delivery_log().len(),
                 alarms: w.node.divergence_alarms(),
                 recoveries: w.recoveries,

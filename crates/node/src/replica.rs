@@ -78,39 +78,80 @@ pub struct Applied {
 /// Gossiped-root bookkeeping shared by the flat and sharded replicas:
 /// remembers this node's own roots per gossip height, holds peer roots
 /// that arrive early, and counts disagreements.
+///
+/// Memory is bounded: advancing past a gossip height drops every peer
+/// root buffered at or below it, the ahead-buffer holds at most
+/// [`RootTracker::AHEAD_CAP`] future heights (farthest dropped first),
+/// and own roots are kept for the trailing [`RootTracker::OWN_KEEP`]
+/// gossip heights only. A long-running replica therefore holds O(1)
+/// tracker state regardless of chain length or how far ahead peers rush.
 #[derive(Default)]
 pub(crate) struct RootTracker {
     own: BTreeMap<u64, Digest>,
     peers: BTreeMap<u64, Vec<Digest>>,
+    /// Highest height this node has gossiped at — anything at or below it
+    /// has been compared (or missed for good) and is stale.
+    passed: u64,
     alarms: u64,
 }
 
 impl RootTracker {
+    /// Own roots retained, in trailing gossip heights.
+    const OWN_KEEP: usize = 32;
+    /// Future gossip heights buffered from peers.
+    const AHEAD_CAP: usize = 64;
+
     /// Record this node's root at `height`, comparing against any peer
-    /// roots that arrived before the node got there.
+    /// roots that arrived before the node got there. Prunes everything
+    /// the comparison point leaves behind.
     pub(crate) fn note_own(&mut self, height: u64, root: Digest) {
         if let Some(peers) = self.peers.remove(&height) {
             self.alarms += peers.iter().filter(|p| **p != root).count() as u64;
         }
+        // Buffered peer roots below the compared height can never be
+        // compared anymore — drop them.
+        self.peers = self.peers.split_off(&(height + 1));
+        self.passed = self.passed.max(height);
         self.own.insert(height, root);
+        while self.own.len() > Self::OWN_KEEP {
+            self.own.pop_first();
+        }
     }
 
     /// Record a peer's gossiped root at `height` — compared now if this
-    /// node already has its own root there, or parked until it does.
+    /// node already has its own root there, parked until it does if it is
+    /// ahead, dropped if the node has already gossiped past it.
     pub(crate) fn note_peer(&mut self, height: u64, root: Digest) {
-        match self.own.get(&height) {
-            Some(own) => {
-                if *own != root {
-                    self.alarms += 1;
-                }
+        if let Some(own) = self.own.get(&height) {
+            if *own != root {
+                self.alarms += 1;
             }
-            None => self.peers.entry(height).or_default().push(root),
+            return;
+        }
+        if height <= self.passed {
+            return; // stale: this node already gossiped past it
+        }
+        self.peers.entry(height).or_default().push(root);
+        while self.peers.len() > Self::AHEAD_CAP {
+            self.peers.pop_last(); // farthest-future height loses first
         }
     }
 
     /// Comparisons that disagreed so far.
     pub(crate) fn alarms(&self) -> u64 {
         self.alarms
+    }
+
+    /// Buffered future gossip heights (bound checked by tests).
+    #[cfg(test)]
+    pub(crate) fn buffered_heights(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Retained own gossip heights (bound checked by tests).
+    #[cfg(test)]
+    pub(crate) fn own_heights(&self) -> usize {
+        self.own.len()
     }
 }
 
@@ -439,6 +480,41 @@ mod tests {
             early.deliver(Arc::clone(b)).unwrap();
         }
         assert_eq!(early.divergence_alarms(), 1);
+    }
+
+    #[test]
+    fn root_tracker_memory_is_bounded() {
+        let mut t = RootTracker::default();
+        let root = Digest([1; 32]);
+        // Peers rushing arbitrarily far ahead cannot grow the buffer past
+        // the cap; the farthest heights are the ones shed.
+        for h in 1..=10_000u64 {
+            t.note_peer(h, root);
+        }
+        assert_eq!(t.buffered_heights(), RootTracker::AHEAD_CAP);
+        // Advancing compares the matching height and drops everything at
+        // or below it.
+        t.note_own(5, root);
+        assert_eq!(t.alarms(), 0);
+        assert!(t.buffered_heights() < RootTracker::AHEAD_CAP);
+        t.note_own(RootTracker::AHEAD_CAP as u64 + 10, root);
+        assert_eq!(t.buffered_heights(), 0);
+        // Own roots are a sliding window however long the chain runs.
+        for h in 100..10_000u64 {
+            t.note_own(h, root);
+        }
+        assert_eq!(t.own_heights(), RootTracker::OWN_KEEP);
+        // Stale peer gossip (at/below the compared frontier) is dropped,
+        // not buffered forever.
+        t.note_peer(50, Digest([9; 32]));
+        assert_eq!(t.buffered_heights(), 0);
+        assert_eq!(t.alarms(), 0);
+        // Comparisons still work at retained heights — in both orders.
+        t.note_peer(9_999, Digest([9; 32]));
+        assert_eq!(t.alarms(), 1);
+        t.note_peer(10_005, Digest([9; 32]));
+        t.note_own(10_005, root);
+        assert_eq!(t.alarms(), 2);
     }
 
     #[test]

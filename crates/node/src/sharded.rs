@@ -38,6 +38,7 @@ use std::sync::Arc;
 use harmony_chain::{sharded_state_root, state_root, ChainBlock, ChainConfig, OeChain};
 use harmony_common::{BlockId, Error, Result};
 use harmony_consensus::net::{DeliveryLog, LatencyModel};
+use harmony_core::par::run_indexed;
 use harmony_core::BlockStats;
 use harmony_crypto::{Digest, Verifier};
 use harmony_shard::{
@@ -247,8 +248,29 @@ impl ShardedReplicaNode {
     }
 
     /// Per-shard state roots and their Merkle fold — what this replica
-    /// gossips and what a sharded block header would carry.
+    /// gossips and what a sharded block header would carry. O(M) over the
+    /// shards' cached commitment roots once warm; when any shard still
+    /// needs its one-time commitment build (first gossip, post-recovery),
+    /// the builds run in parallel across shards.
     pub fn sharded_root(&self) -> Result<Digest> {
+        let shard_roots: Vec<Digest> = if self.shards.iter().all(OeChain::root_is_cached) {
+            self.shards
+                .iter()
+                .map(OeChain::state_root)
+                .collect::<Result<_>>()?
+        } else {
+            run_indexed(self.shards.len(), self.config.workers.max(1), |s| {
+                self.shards[s].state_root()
+            })
+            .into_iter()
+            .collect::<Result<_>>()?
+        };
+        Ok(sharded_state_root(&shard_roots))
+    }
+
+    /// Audit-oracle counterpart of [`Self::sharded_root`]: rebuilds every
+    /// shard's root from a full scan. Must always equal the cached fold.
+    pub fn sharded_root_oracle(&self) -> Result<Digest> {
         let shard_roots: Vec<Digest> = self
             .shards
             .iter()

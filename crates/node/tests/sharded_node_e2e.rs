@@ -118,6 +118,10 @@ fn assert_healthy(report: &ClusterReport, label: &str) {
             r.root, report.replicas[0].root,
             "{label}: sharded root mismatch"
         );
+        assert_eq!(
+            r.root, r.oracle_root,
+            "{label}: cached commitment root diverged from full-scan oracle"
+        );
     }
 }
 

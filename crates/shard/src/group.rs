@@ -39,16 +39,17 @@
 //! decision atomic across shards. The group enforces this invariant and
 //! fails loudly if an engine ever violates it.
 
-use std::collections::{BTreeMap, HashSet};
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
-use harmony_chain::{sharded_state_root, state_root};
+use harmony_chain::{fold_table_roots, sharded_state_root, StateCommitment};
 use harmony_common::error::AbortReason;
 use harmony_common::{BlockId, Result};
 use harmony_consensus::net::LatencyModel;
 use harmony_core::executor::{ExecBlock, TxnOutcome};
+use harmony_core::par::run_indexed;
 use harmony_core::{BlockStats, SnapshotStore};
-use harmony_crypto::Digest;
+use harmony_crypto::{AuthMap, Digest};
 use harmony_dcc_baselines::{DccEngine, ProtocolBlockResult};
 use harmony_storage::{StorageConfig, StorageEngine};
 use harmony_txn::{Contract, Key, RangePredicate, RwSet};
@@ -93,6 +94,19 @@ struct ShardNode {
     engine: Arc<StorageEngine>,
     store: Arc<SnapshotStore>,
     dcc: Arc<dyn DccEngine>,
+    /// Incrementally maintained state commitment of this shard's
+    /// partition. Lazily built on the first [`ShardGroup::state_roots`];
+    /// thereafter each executed sub-block folds its write-set in.
+    commit: Mutex<Option<StateCommitment>>,
+}
+
+/// This shard's cached state root, building the commitment if needed.
+fn shard_state_root(node: &ShardNode) -> Result<Digest> {
+    let mut guard = node.commit.lock().expect("commit lock");
+    if guard.is_none() {
+        *guard = Some(StateCommitment::build(&node.engine)?);
+    }
+    Ok(guard.as_mut().expect("just built").root())
 }
 
 /// Result of pushing one block through the group.
@@ -170,7 +184,12 @@ impl ShardGroup {
             let engine = Arc::new(StorageEngine::open(&config.storage)?);
             let store = Arc::new(SnapshotStore::new(Arc::clone(&engine)));
             let dcc = build(Arc::clone(&store));
-            nodes.push(ShardNode { engine, store, dcc });
+            nodes.push(ShardNode {
+                engine,
+                store,
+                dcc,
+                commit: Mutex::new(None),
+            });
         }
         Ok(ShardGroup {
             router,
@@ -253,6 +272,12 @@ impl ShardGroup {
         for (s, node) in self.nodes.iter().enumerate() {
             let sub = std::mem::take(&mut plan.shard_txns[s]);
             shard_results.push(node.dcc.execute_block(&ExecBlock::new(id, sub))?);
+            // Fold this sub-block's write-set into the shard commitment
+            // (now — the per-shard block log is GC'd by the next block).
+            let mut guard = node.commit.lock().expect("commit lock");
+            if let Some(c) = guard.as_mut() {
+                c.apply_writes(&node.engine, &node.store.keys_written_in(id))?;
+            }
         }
         let outcomes = plan.fold_outcomes(&shard_results)?;
         let stats = plan.accumulate_stats(&outcomes, &shard_results);
@@ -276,12 +301,26 @@ impl ShardGroup {
     /// the physical layout (leaf = shard), so it is what a sharded block
     /// header carries but is *not* comparable across shard counts — use
     /// [`Self::logical_state_root`] for that.
+    /// O(M) over cached per-shard commitment roots on a warm group; when
+    /// any shard still needs its one-time commitment build (first call, or
+    /// after recovery), the builds run in parallel across shards.
     pub fn state_roots(&self) -> Result<ShardedRoot> {
-        let shard_roots: Vec<Digest> = self
+        let all_cached = self
             .nodes
             .iter()
-            .map(|node| state_root(&node.engine))
-            .collect::<Result<_>>()?;
+            .all(|n| n.commit.lock().expect("commit lock").is_some());
+        let shard_roots: Vec<Digest> = if all_cached {
+            self.nodes
+                .iter()
+                .map(shard_state_root)
+                .collect::<Result<_>>()?
+        } else {
+            run_indexed(self.nodes.len(), self.cross_workers, |s| {
+                shard_state_root(&self.nodes[s])
+            })
+            .into_iter()
+            .collect::<Result<_>>()?
+        };
         let root = sharded_state_root(&shard_roots);
         Ok(ShardedRoot { shard_roots, root })
     }
@@ -325,24 +364,22 @@ pub fn logical_state_root<'a>(
 ) -> Result<Digest> {
     let engines: Vec<&Arc<StorageEngine>> = engines.into_iter().collect();
     assert!(!engines.is_empty(), "need at least one shard engine");
-    let mut h = harmony_crypto::Sha256::new();
+    let mut heads: Vec<(String, Digest)> = Vec::new();
     for (name, id) in engines[0].list_tables() {
-        h.update(name.as_bytes());
-        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        // The authenticated map is history independent, so upserting the
+        // disjoint shard partitions in any order commits to exactly the
+        // merged table — the same digest `harmony_chain::state_root` gives
+        // a 1-shard deployment of the same logical database.
+        let mut merged = AuthMap::new();
         for engine in &engines {
             engine.scan(id, b"", None, |k, v| {
-                merged.insert(k.to_vec(), v.to_vec());
+                merged.upsert(k, v);
                 true
             })?;
         }
-        for (k, v) in &merged {
-            h.update(&(k.len() as u32).to_le_bytes());
-            h.update(k);
-            h.update(&(v.len() as u32).to_le_bytes());
-            h.update(v);
-        }
+        heads.push((name, merged.root()));
     }
-    Ok(h.finalize())
+    Ok(fold_table_roots(&heads))
 }
 
 /// The deterministic cross-shard commit decision (a pure function).
@@ -394,6 +431,7 @@ pub fn decide_cross(rwsets: &[Option<RwSet>]) -> Vec<TxnOutcome> {
 mod tests {
     use super::*;
     use crate::partition::HashPartitioner;
+    use harmony_chain::state_root;
     use harmony_common::ids::TableId;
     use harmony_core::HarmonyConfig;
     use harmony_dcc_baselines::HarmonyEngine;
