@@ -75,6 +75,7 @@ fn cluster_config(
         batch_interval_ns: 250_000,
         window: 8,
         sync: SyncPolicy::default(),
+        metrics_every_ns: 5_000_000,
         seed: 0xF123,
     }
 }

@@ -87,6 +87,7 @@ fn node_run(engine: EngineKind, shards: usize) -> harmony_node::ClusterReport {
         window: 8,
         sync: SyncPolicy::default(),
         crash: None,
+        metrics_every_ns: 5_000_000,
         seed: 0xF124,
     })
     .run()

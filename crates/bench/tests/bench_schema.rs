@@ -100,6 +100,64 @@ fn fig24_json_matches_schema_when_present() {
     assert!(checked >= 3, "expected >= 3 points, found {checked}");
 }
 
+/// Schema check for the metrics-smoke timeline artifact
+/// `metrics_timeline.json` (written by the `metrics_smoke` binary
+/// earlier in the CI job). Skips when not generated locally.
+#[test]
+fn metrics_timeline_json_matches_schema_when_present() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../EXPERIMENTS-results/metrics_timeline.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!("metrics_timeline.json not generated; skipping schema check");
+        return;
+    };
+    check_balanced(&text);
+    assert!(
+        text.contains("\"schema\": \"harmonybc-timeline/v1\""),
+        "schema tag"
+    );
+    for field in [
+        "\"system\":",
+        "\"seed\":",
+        "\"interval_ns\":",
+        "\"snapshots\":",
+    ] {
+        assert!(text.contains(field), "missing top-level field {field}");
+    }
+    // Snapshots are stamped in virtual time and strictly increasing.
+    let mut last = -1.0;
+    let mut snapshots = 0;
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"t_ns\":") {
+        let entry = from + at;
+        let t = number_after(&text, entry, "t_ns");
+        assert!(
+            t > last,
+            "timeline not strictly increasing: {t} after {last}"
+        );
+        last = t;
+        snapshots += 1;
+        from = entry + "\"t_ns\":".len();
+    }
+    assert!(snapshots >= 2, "expected >= 2 snapshots, found {snapshots}");
+    // Sampled metric values are integers (determinism contract: no
+    // floats anywhere in the timeline).
+    assert!(!text.contains("\"value\": -0"), "negative-zero value");
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"value\":") {
+        let entry = from + at;
+        let rest = text[entry + "\"value\":".len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '-'))
+            .unwrap_or(rest.len());
+        assert!(
+            !rest[..end].is_empty() && !rest[..end.min(rest.len())].contains('.'),
+            "non-integer sample value near byte {entry}"
+        );
+        from = entry + "\"value\":".len();
+    }
+}
+
 #[test]
 fn bench_pr3_json_matches_schema_and_floors() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json");

@@ -64,6 +64,40 @@ impl BlockStats {
         }
     }
 
+    /// Static metric labels for every abort cause, in the order
+    /// [`Self::abort_counts`] reports them — the full label set of the
+    /// `..._aborted_txns_total{reason=...}` families.
+    pub const ABORT_REASONS: [&'static str; 9] = [
+        "rule1",
+        "interblock",
+        "ww",
+        "stale",
+        "ssi",
+        "endorsement",
+        "graph",
+        "cross_shard",
+        "user",
+    ];
+
+    /// Every abort counter paired with its static metric label (order of
+    /// [`Self::ABORT_REASONS`]). Deriving labels here keeps the
+    /// per-field counters and any labeled metric view in permanent
+    /// agreement.
+    #[must_use]
+    pub fn abort_counts(&self) -> [(&'static str, usize); 9] {
+        [
+            (Self::ABORT_REASONS[0], self.aborted_rule1),
+            (Self::ABORT_REASONS[1], self.aborted_interblock),
+            (Self::ABORT_REASONS[2], self.aborted_ww),
+            (Self::ABORT_REASONS[3], self.aborted_stale),
+            (Self::ABORT_REASONS[4], self.aborted_ssi),
+            (Self::ABORT_REASONS[5], self.aborted_endorsement),
+            (Self::ABORT_REASONS[6], self.aborted_graph),
+            (Self::ABORT_REASONS[7], self.aborted_cross_shard),
+            (Self::ABORT_REASONS[8], self.user_aborted),
+        ]
+    }
+
     /// Accumulate another block's counters.
     pub fn absorb(&mut self, other: &BlockStats) {
         self.txns += other.txns;

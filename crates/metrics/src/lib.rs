@@ -1,0 +1,50 @@
+//! **harmony-metrics** — the production observability plane.
+//!
+//! A system meant for heavy traffic is blind if its only output is an
+//! end-of-run struct: overload, resharding dips, and state-sync storms
+//! are invisible until the run ends. This crate provides the missing
+//! while-running view as three small pieces:
+//!
+//! * [`Registry`] — a lock-cheap catalog of [`Counter`]s, [`Gauge`]s,
+//!   and fixed-bucket [`Histogram`]s with **static label sets**. Handles
+//!   are interned once at registration time; the hot increment path is a
+//!   single relaxed atomic operation with **no allocation** and no lock.
+//! * **Prometheus text exposition** ([`Registry::render_prometheus`]) —
+//!   the standard `# HELP`/`# TYPE` text format with correct label-value
+//!   escaping, cumulative histogram buckets (including the implicit
+//!   `+Inf` bucket), and `_sum`/`_count` series.
+//! * [`Timeline`] — a per-run JSON time series: periodic snapshots of
+//!   every registered metric, stamped in **virtual time** so that two
+//!   runs of the same seed produce byte-identical timelines. The schema
+//!   is versioned ([`TIMELINE_SCHEMA`]) like the `harmonybc-bench/v1`
+//!   artifacts it sits next to.
+//!
+//! Determinism is a hard requirement, not an aspiration: nothing in this
+//! crate reads a wall clock, samples are integers only (no float
+//! formatting jitter), and both render paths emit metrics in a canonical
+//! sorted order. The cells themselves are plain atomics, so the registry
+//! is also safe to share across real threads when the simulator is
+//! replaced by a live transport.
+
+pub mod registry;
+pub mod timeline;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry, Sample, SampleValue,
+};
+pub use timeline::{Timeline, TIMELINE_SCHEMA};
+
+/// Build `count` exponentially growing histogram bucket bounds starting
+/// at `start` and doubling each step — the standard shape for latency
+/// histograms in virtual nanoseconds.
+///
+/// ```
+/// assert_eq!(harmony_metrics::doubling_buckets(1_000, 4), [1_000, 2_000, 4_000, 8_000]);
+/// ```
+#[must_use]
+pub fn doubling_buckets(start: u64, count: usize) -> Vec<u64> {
+    assert!(start > 0, "bucket bounds must be positive");
+    (0..count as u32)
+        .map(|i| start.saturating_mul(1u64 << i))
+        .collect()
+}

@@ -1,0 +1,595 @@
+//! The metric registry: interned handles over atomic cells.
+//!
+//! Registration (name, help, label set) happens once at setup time and
+//! takes a lock; the returned handle is an `Arc` around the atomic cell,
+//! so every subsequent increment/observe is lock-free and allocation-free.
+//! Registering the same `(name, label values)` twice returns a handle to
+//! the **same** cell — which is what lets legacy stats structs (e.g. the
+//! mempool's `MempoolStats`) become thin views over the registry instead
+//! of a second, disagreement-prone set of counters.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (still fully functional —
+    /// used by components constructed without an observability plane).
+    #[must_use]
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, buffer size).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    #[must_use]
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if it is larger than the current value —
+    /// high-water-mark semantics.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    /// Strictly increasing upper bounds; an implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: Box<[u64]>,
+    /// One count per bound plus the overflow (`+Inf`) bucket.
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` observations (virtual
+/// nanoseconds, sizes, set cardinalities). Buckets are fixed at
+/// registration, so observation is a short bound scan plus three relaxed
+/// atomic adds — no allocation, no lock.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    /// A histogram with the given bucket bounds, not attached to any
+    /// registry. Bounds must be strictly increasing.
+    #[must_use]
+    pub fn detached(bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCell {
+            bounds: bounds.into(),
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Record `n` identical observations (one bucket update instead of a
+    /// loop — used when a block's mean latency stands in for its
+    /// transactions).
+    pub fn observe_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let cell = &self.0;
+        let idx = cell
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(cell.bounds.len());
+        cell.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        cell.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        cell.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let cell = &self.0;
+        let mut cumulative = 0u64;
+        let mut buckets = Vec::with_capacity(cell.bounds.len());
+        for (i, bound) in cell.bounds.iter().enumerate() {
+            cumulative += cell.buckets[i].load(Ordering::Relaxed);
+            buckets.push((*bound, cumulative));
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time view of one histogram: cumulative bucket counts (the
+/// Prometheus `le` convention; the `+Inf` bucket is `count`), plus sum
+/// and count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(upper_bound, cumulative_count)` per configured bucket.
+    pub buckets: Vec<(u64, u64)>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Total observations (== the implicit `+Inf` cumulative count).
+    pub count: u64,
+}
+
+/// What kind of metric a family holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Cell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Child {
+    /// Label values, parallel to the family's `label_names`.
+    values: Vec<String>,
+    cell: Cell,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    label_names: Vec<String>,
+    /// Histogram families share one bound set across children.
+    bounds: Vec<u64>,
+    children: Vec<Child>,
+}
+
+/// One sampled series, as emitted into the timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric (family) name.
+    pub name: String,
+    /// `(label name, label value)` pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// The value part of a [`Sample`]. Integers only — float formatting is a
+/// determinism hazard the timeline refuses to take.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// The metric catalog: families of counters, gauges, and histograms,
+/// shareable across threads behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register (or fetch) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a counter with the given static label set.
+    /// Re-registering the same `(name, values)` returns the same cell.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different kind or with
+    /// different label names — a programming error in the catalog.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let cell = self.intern(name, help, MetricKind::Counter, labels, &[], || {
+            Cell::Counter(Counter::detached())
+        });
+        match cell {
+            Cell::Counter(c) => c,
+            _ => unreachable!("interned kind checked"),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge with the given static label set.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let cell = self.intern(name, help, MetricKind::Gauge, labels, &[], || {
+            Cell::Gauge(Gauge::detached())
+        });
+        match cell {
+            Cell::Gauge(g) => g,
+            _ => unreachable!("interned kind checked"),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled histogram with fixed bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Register (or fetch) a histogram with fixed bounds and a static
+    /// label set. All children of one family share the bound set.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        let cell = self.intern(name, help, MetricKind::Histogram, labels, bounds, || {
+            Cell::Histogram(Histogram::detached(bounds))
+        });
+        match cell {
+            Cell::Histogram(h) => h,
+            _ => unreachable!("interned kind checked"),
+        }
+    }
+
+    fn intern(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        make: impl FnOnce() -> Cell,
+    ) -> Cell {
+        let label_names: Vec<&str> = labels.iter().map(|(k, _)| *k).collect();
+        let values: Vec<String> = labels.iter().map(|(_, v)| (*v).to_string()).collect();
+        let mut families = self.inner.lock().expect("registry lock");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(f.kind, kind, "metric {name} re-registered as another kind");
+                assert_eq!(
+                    f.label_names, label_names,
+                    "metric {name} re-registered with different label names"
+                );
+                assert_eq!(
+                    f.bounds, bounds,
+                    "histogram {name} re-registered with different bounds"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    label_names: label_names.iter().map(|s| (*s).to_string()).collect(),
+                    bounds: bounds.to_vec(),
+                    children: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(child) = family.children.iter().find(|c| c.values == values) {
+            return child.cell.clone();
+        }
+        let cell = make();
+        family.children.push(Child {
+            values,
+            cell: cell.clone(),
+        });
+        cell
+    }
+
+    /// Sample every registered series, sorted by `(name, label values)` —
+    /// the canonical order both render paths share, so two registries
+    /// built by identical runs emit identical bytes.
+    #[must_use]
+    pub fn samples(&self) -> Vec<Sample> {
+        let families = self.inner.lock().expect("registry lock");
+        let mut out = Vec::new();
+        for f in families.iter() {
+            for c in &f.children {
+                let labels = f
+                    .label_names
+                    .iter()
+                    .zip(&c.values)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                let value = match &c.cell {
+                    Cell::Counter(cell) => SampleValue::Counter(cell.get()),
+                    Cell::Gauge(cell) => SampleValue::Gauge(cell.get()),
+                    Cell::Histogram(cell) => SampleValue::Histogram(cell.snapshot()),
+                };
+                out.push(Sample {
+                    name: f.name.clone(),
+                    labels,
+                    value,
+                });
+            }
+        }
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+
+    /// Render the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4): `# HELP`/`# TYPE` headers, escaped label
+    /// values, cumulative histogram buckets with the implicit `+Inf`,
+    /// and `_sum`/`_count` series. An empty registry renders as an empty
+    /// string. Families are sorted by name, children by label values.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let families = self.inner.lock().expect("registry lock");
+        let mut order: Vec<&Family> = families.iter().collect();
+        order.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out = String::new();
+        for f in order {
+            let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(&f.help));
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.exposition_name());
+            let mut children: Vec<&Child> = f.children.iter().collect();
+            children.sort_by(|a, b| a.values.cmp(&b.values));
+            for c in children {
+                let base = render_labels(&f.label_names, &c.values, None);
+                match &c.cell {
+                    Cell::Counter(cell) => {
+                        let _ = writeln!(out, "{}{} {}", f.name, base, cell.get());
+                    }
+                    Cell::Gauge(cell) => {
+                        let _ = writeln!(out, "{}{} {}", f.name, base, cell.get());
+                    }
+                    Cell::Histogram(cell) => {
+                        let snap = cell.snapshot();
+                        for (bound, cumulative) in &snap.buckets {
+                            let le =
+                                render_labels(&f.label_names, &c.values, Some(&bound.to_string()));
+                            let _ = writeln!(out, "{}_bucket{} {}", f.name, le, cumulative);
+                        }
+                        let inf = render_labels(&f.label_names, &c.values, Some("+Inf"));
+                        let _ = writeln!(out, "{}_bucket{} {}", f.name, inf, snap.count);
+                        let _ = writeln!(out, "{}_sum{} {}", f.name, base, snap.sum);
+                        let _ = writeln!(out, "{}_count{} {}", f.name, base, snap.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and line feed.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape HELP text: backslash and line feed (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Render a `{k="v",...}` label block, optionally with a trailing `le`
+/// label (histogram buckets). Empty label set renders as nothing.
+fn render_labels(names: &[String], values: &[String], le: Option<&str>) -> String {
+    if names.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = names
+        .iter()
+        .zip(values)
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let r = Registry::new();
+        assert_eq!(r.render_prometheus(), "");
+        assert!(r.samples().is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_expose_help_type_and_values() {
+        let r = Registry::new();
+        let c = r.counter_with("requests_total", "Requests served.", &[("path", "range")]);
+        c.add(3);
+        let g = r.gauge("depth", "Queue depth.");
+        g.set(7);
+        g.add(-2);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP requests_total Requests served."));
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{path=\"range\"} 3"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("\ndepth 5\n"));
+    }
+
+    #[test]
+    fn interning_returns_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter_with("x_total", "X.", &[("cause", "gap")]);
+        let b = r.counter_with("x_total", "X.", &[("cause", "gap")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "both handles hit one cell");
+        let other = r.counter_with("x_total", "X.", &[("cause", "dup")]);
+        assert_eq!(other.get(), 0, "different label values are distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered as another kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "M.");
+        r.gauge("m", "M.");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("esc_total", "Esc.", &[("v", "a\\b\"c\nd")])
+            .inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("esc_total{v=\"a\\\\b\\\"c\\nd\"} 1"),
+            "escaping: {text}"
+        );
+        // The rendered line must stay a single line.
+        assert!(text.lines().any(|l| l.starts_with("esc_total{")));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf_sum_count() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ns", "Latency.", &[10, 100, 1_000]);
+        for v in [5, 7, 50, 5_000] {
+            h.observe(v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{le=\"10\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"100\"} 3"));
+        assert!(text.contains("lat_ns_bucket{le=\"1000\"} 3"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_ns_sum 5062"));
+        assert!(text.contains("lat_ns_count 4"));
+        // Invariants: +Inf == count, buckets monotone.
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5062);
+    }
+
+    #[test]
+    fn histogram_boundary_observation_lands_in_its_bucket() {
+        let h = Histogram::detached(&[10, 20]);
+        h.observe(10); // exactly on the bound: le="10" includes it
+        h.observe_n(21, 3); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(10, 1), (20, 1)]);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 10 + 3 * 21);
+    }
+
+    #[test]
+    fn samples_are_sorted_canonically() {
+        let r = Registry::new();
+        r.counter_with("b_total", "B.", &[("i", "1")]).inc();
+        r.counter_with("a_total", "A.", &[("i", "2")]).inc();
+        r.counter_with("a_total", "A.", &[("i", "10")]).inc();
+        let names: Vec<String> = r
+            .samples()
+            .iter()
+            .map(|s| format!("{}{}", s.name, s.labels[0].1))
+            .collect();
+        // Lexicographic on label values: "1" < "10" < "2".
+        assert_eq!(names, ["a_total10", "a_total2", "b_total1"]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-run JSON timelines: periodic snapshots of a [`Registry`] in
+//! virtual time.
+//!
+//! A timeline is the while-running counterpart to the end-of-run bench
+//! artifacts: every `interval_ns` of **simulator virtual time** the
+//! cluster records a snapshot of every registered metric, and the result
+//! is serialized as one schema-versioned JSON document written next to
+//! the `BENCH_*.json` files. Because timestamps come from virtual time
+//! and every sampled value is an integer, two runs of the same seed
+//! produce **byte-identical** timeline documents — pinned by test.
+
+use crate::registry::{Registry, SampleValue};
+
+/// Schema tag of the timeline JSON document, versioned alongside
+/// `harmonybc-bench/v1` and `harmonybc-fig24/v1`.
+pub const TIMELINE_SCHEMA: &str = "harmonybc-timeline/v1";
+
+struct Snapshot {
+    t_ns: u64,
+    /// Pre-rendered JSON array of sample objects (rendered eagerly so a
+    /// snapshot reflects the registry at `t_ns`, not at serialization).
+    samples_json: String,
+}
+
+/// A deterministic per-run metric time series.
+pub struct Timeline {
+    system: String,
+    seed: u64,
+    interval_ns: u64,
+    snapshots: Vec<Snapshot>,
+}
+
+impl Timeline {
+    /// Start a timeline for one run of `system` with the given RNG seed
+    /// and snapshot interval (virtual nanoseconds).
+    #[must_use]
+    pub fn new(system: &str, seed: u64, interval_ns: u64) -> Timeline {
+        Timeline {
+            system: system.to_string(),
+            seed,
+            interval_ns,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Record one snapshot of `registry` at virtual time `t_ns`. A
+    /// second record at the same timestamp is ignored, so callers can
+    /// unconditionally take a final snapshot at drain end without
+    /// worrying about colliding with the last periodic tick.
+    pub fn record(&mut self, t_ns: u64, registry: &Registry) {
+        if self.snapshots.last().is_some_and(|s| s.t_ns == t_ns) {
+            return;
+        }
+        self.snapshots.push(Snapshot {
+            t_ns,
+            samples_json: render_samples(registry),
+        });
+    }
+
+    /// Number of snapshots recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True if no snapshot has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Serialize the whole timeline as one JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "harmonybc-timeline/v1",
+    ///   "system": "harmony",
+    ///   "seed": 24078,
+    ///   "interval_ns": 5000000,
+    ///   "snapshots": [
+    ///     {"t_ns": 5000000,
+    ///      "samples": [
+    ///        {"name": "harmony_mempool_depth", "labels": {}, "type": "gauge", "value": 12},
+    ///        {"name": "harmony_replica_commit_latency_ns", "labels": {"replica": "0"},
+    ///         "type": "histogram", "count": 96, "sum": 480000000,
+    ///         "buckets": [{"le": 250000, "n": 0}, ...]}
+    ///      ]}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// All values are integers; the document ends with a newline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", TIMELINE_SCHEMA);
+        let _ = writeln!(out, "  \"system\": \"{}\",", escape_json(&self.system));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"interval_ns\": {},", self.interval_ns);
+        out.push_str("  \"snapshots\": [\n");
+        for (i, snap) in self.snapshots.iter().enumerate() {
+            let comma = if i + 1 < self.snapshots.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"t_ns\": {}, \"samples\": [{}]}}{comma}",
+                snap.t_ns, snap.samples_json
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn render_samples(registry: &Registry) -> String {
+    use std::fmt::Write as _;
+    let samples = registry.samples();
+    let mut out = String::new();
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"labels\": {{",
+            escape_json(&s.name)
+        );
+        for (j, (k, v)) in s.labels.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": \"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("}, ");
+        match &s.value {
+            SampleValue::Counter(v) => {
+                let _ = write!(out, "\"type\": \"counter\", \"value\": {v}");
+            }
+            SampleValue::Gauge(v) => {
+                let _ = write!(out, "\"type\": \"gauge\", \"value\": {v}");
+            }
+            SampleValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                    h.count, h.sum
+                );
+                for (j, (bound, n)) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{{\"le\": {bound}, \"n\": {n}}}");
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+    }
+    out
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_registry() -> Registry {
+        let r = Registry::new();
+        r.counter_with("admits_total", "Admits.", &[("cause", "ok")])
+            .add(5);
+        r.gauge("depth", "Depth.").set(3);
+        let h = r.histogram("lat_ns", "Latency.", &[10, 100]);
+        h.observe(7);
+        h.observe(500);
+        r
+    }
+
+    #[test]
+    fn timeline_json_has_schema_and_snapshots() {
+        let r = populated_registry();
+        let mut t = Timeline::new("harmony", 42, 1_000);
+        t.record(1_000, &r);
+        t.record(2_000, &r);
+        let json = t.to_json();
+        assert!(json.contains("\"schema\": \"harmonybc-timeline/v1\""));
+        assert!(json.contains("\"system\": \"harmony\""));
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"t_ns\": 1000"));
+        assert!(json.contains("\"t_ns\": 2000"));
+        assert!(json.contains(
+            "{\"name\": \"admits_total\", \"labels\": {\"cause\": \"ok\"}, \
+             \"type\": \"counter\", \"value\": 5}"
+        ));
+        assert!(json.contains("\"type\": \"gauge\", \"value\": 3"));
+        assert!(json.contains(
+            "\"type\": \"histogram\", \"count\": 2, \"sum\": 507, \
+             \"buckets\": [{\"le\": 10, \"n\": 1}, {\"le\": 100, \"n\": 1}]"
+        ));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_timestamp_is_ignored() {
+        let r = populated_registry();
+        let mut t = Timeline::new("harmony", 1, 500);
+        t.record(500, &r);
+        t.record(500, &r);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn snapshots_capture_values_at_record_time() {
+        let r = Registry::new();
+        let c = r.counter("x_total", "X.");
+        let mut t = Timeline::new("s", 0, 1);
+        c.inc();
+        t.record(1, &r);
+        c.add(10);
+        t.record(2, &r);
+        let json = t.to_json();
+        assert!(json.contains("\"value\": 1"));
+        assert!(json.contains("\"value\": 11"));
+    }
+
+    #[test]
+    fn same_content_renders_identical_bytes() {
+        let build = || {
+            let r = populated_registry();
+            let mut t = Timeline::new("harmony", 7, 1_000);
+            t.record(1_000, &r);
+            t.to_json()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn empty_timeline_is_valid_json_shape() {
+        let t = Timeline::new("s", 0, 1);
+        assert!(t.is_empty());
+        let json = t.to_json();
+        assert!(json.contains("\"snapshots\": [\n  ]"));
+    }
+}

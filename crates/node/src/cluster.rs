@@ -31,6 +31,8 @@ use harmony_common::{BlockId, Result};
 use harmony_consensus::net::{DeliveryLog, EventLoop, LatencyModel, NetCtx, SimNode};
 use harmony_core::BlockStats;
 use harmony_crypto::{CryptoCost, Digest, KeyPair};
+use harmony_metrics::{doubling_buckets, Counter, Histogram, Registry, Timeline};
+use harmony_shard::PlannerMetrics;
 use harmony_sim::RunMetrics;
 use harmony_storage::{IoSnapshot, StorageConfig, StorageEngine};
 use harmony_txn::{encode_contract, Contract, ContractCodec};
@@ -39,7 +41,8 @@ use harmony_workloads::{
     TpccConfig, Workload, Ycsb, YcsbCodec, YcsbConfig,
 };
 
-use crate::mempool::{Mempool, MempoolConfig, MempoolStats};
+use crate::mempool::{Mempool, MempoolConfig, MempoolMetrics, MempoolStats};
+use crate::metrics::{shard_txn_counters, ReplicaMetrics, ROOT_FOLD_NS};
 use crate::replica::{Applied, ReplicaConfig, ReplicaNode};
 use crate::sharded::{ShardedReplicaConfig, ShardedReplicaNode};
 use crate::statesync::{
@@ -201,6 +204,10 @@ pub struct ClusterConfig {
     pub sync: SyncPolicy,
     /// Optional crash/rejoin scenario.
     pub crash: Option<CrashPlan>,
+    /// Metric-timeline snapshot interval (virtual ns). Snapshots are
+    /// taken in virtual time, so same-seed runs produce byte-identical
+    /// timelines.
+    pub metrics_every_ns: u64,
     /// Simulation seed (network jitter + client stream).
     pub seed: u64,
 }
@@ -227,6 +234,7 @@ impl Default for ClusterConfig {
             window: 4,
             sync: SyncPolicy::default(),
             crash: None,
+            metrics_every_ns: 5_000_000,
             seed: 0xC10C,
         }
     }
@@ -286,6 +294,25 @@ impl SyncReplyBody {
         }
     }
 
+    /// Bytes attributable to checkpoint-manifest installs. Together with
+    /// [`SyncReplyBody::range_bytes`] this partitions `transfer_bytes`
+    /// exactly, so per-path accounting never double-counts.
+    fn manifest_bytes(&self) -> u64 {
+        match self {
+            SyncReplyBody::Flat(r) => r.manifest_bytes(),
+            SyncReplyBody::Sharded(r) => r.manifest_bytes(),
+        }
+    }
+
+    /// Bytes attributable to block-range replay (the remainder of
+    /// `transfer_bytes` after manifests).
+    fn range_bytes(&self) -> u64 {
+        match self {
+            SyncReplyBody::Flat(r) => r.range_bytes(),
+            SyncReplyBody::Sharded(r) => r.range_bytes(),
+        }
+    }
+
     fn block_count(&self) -> usize {
         match self {
             SyncReplyBody::Flat(r) => r.block_count(),
@@ -298,6 +325,9 @@ const TIMER_CLIENT: u64 = 1;
 const TIMER_BATCH: u64 = 2;
 const TIMER_CRASH: u64 = 3;
 const TIMER_RECOVER: u64 = 4;
+/// Periodic metrics-timeline snapshot (fires on the orderer, which owns
+/// the shared registry).
+const TIMER_METRICS: u64 = 5;
 
 /// Per-admission CPU cost at the orderer (signature + nonce check).
 const ADMIT_NS: u64 = 1_000;
@@ -359,8 +389,30 @@ struct InFlight {
     round: u8,
 }
 
+/// The observability plane of one run: the shared metric registry every
+/// node's handles point into, plus the virtual-time snapshot timeline.
+/// Owned by the orderer (the one node guaranteed alive for the whole
+/// run), ticked by [`TIMER_METRICS`].
+struct MetricsHub {
+    registry: Arc<Registry>,
+    timeline: Timeline,
+    every_ns: u64,
+    /// Last virtual instant a snapshot may be scheduled at (run end).
+    deadline_ns: u64,
+}
+
+impl MetricsHub {
+    fn tick(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+        self.timeline.record(ctx.now(), &self.registry);
+        if ctx.now() + self.every_ns <= self.deadline_ns {
+            ctx.set_timer(self.every_ns, TIMER_METRICS);
+        }
+    }
+}
+
 struct Orderer {
     mempool: Mempool,
+    hub: MetricsHub,
     keypair: KeyPair,
     crypto: CryptoCost,
     next_id: u64,
@@ -630,9 +682,65 @@ impl NodeKind {
     }
 }
 
+/// Cluster-level per-replica metric handles: commit/order latency
+/// histograms (virtual ns) and state-sync path counters. Registered per
+/// replica in [`Cluster::run`]; the underlying cells live in the shared
+/// registry, so the timeline and exposition see them automatically.
+struct WrapMetrics {
+    /// End-to-end latency (client submit → apply), weighted by committed
+    /// txns per block.
+    commit_latency_ns: Histogram,
+    /// Ordering latency (block seal → apply), same weighting.
+    order_latency_ns: Histogram,
+    /// Sync parts served via checkpoint manifest vs block-range replay:
+    /// `[manifest, range]`.
+    sync_requests: [Counter; 2],
+    /// Sync bytes received, split the same way: `[manifest, range]`.
+    sync_bytes: [Counter; 2],
+}
+
+impl WrapMetrics {
+    fn register(registry: &Registry, replica: usize) -> WrapMetrics {
+        let id = replica.to_string();
+        let base = [("replica", id.as_str())];
+        let by_path = |name: &str, help: &str, path: &str| {
+            registry.counter_with(name, help, &[("replica", id.as_str()), ("path", path)])
+        };
+        WrapMetrics {
+            commit_latency_ns: registry.histogram_with(
+                "harmony_replica_commit_latency_ns",
+                "End-to-end commit latency (client submit to apply), virtual ns.",
+                &doubling_buckets(250_000, 15),
+                &base,
+            ),
+            order_latency_ns: registry.histogram_with(
+                "harmony_replica_order_latency_ns",
+                "Ordering latency (block seal to apply), virtual ns.",
+                &doubling_buckets(250_000, 15),
+                &base,
+            ),
+            sync_requests: ["manifest", "range"].map(|p| {
+                by_path(
+                    "harmony_statesync_requests_total",
+                    "State-sync parts applied, by transfer path.",
+                    p,
+                )
+            }),
+            sync_bytes: ["manifest", "range"].map(|p| {
+                by_path(
+                    "harmony_statesync_transfer_bytes_total",
+                    "State-sync bytes received, by transfer path.",
+                    p,
+                )
+            }),
+        }
+    }
+}
+
 struct ReplicaWrap {
     node: NodeKind,
     state: ReplicaState,
+    metrics: WrapMetrics,
     meta: HashMap<u64, (u64, u64)>,
     peers: Vec<usize>,
     sync_peer: usize,
@@ -656,12 +764,20 @@ impl ReplicaWrap {
             self.last_apply_ns = self.last_apply_ns.max(ctx.now());
             if let Some((born, submit)) = self.meta.remove(&a.block.0) {
                 let c = a.committed as f64;
-                self.committed_weighted_e2e_ns += c * ctx.now().saturating_sub(submit) as f64;
-                self.committed_weighted_order_ns += c * ctx.now().saturating_sub(born) as f64;
+                let e2e = ctx.now().saturating_sub(submit);
+                let order = ctx.now().saturating_sub(born);
+                self.committed_weighted_e2e_ns += c * e2e as f64;
+                self.committed_weighted_order_ns += c * order as f64;
+                self.metrics
+                    .commit_latency_ns
+                    .observe_n(e2e, a.committed as u64);
+                self.metrics
+                    .order_latency_ns
+                    .observe_n(order, a.committed as u64);
             }
             self.committed_txns += a.committed as u64;
             if let Some(root) = a.gossip_root {
-                ctx.charge_cpu(100_000); // root computation
+                ctx.charge_cpu(ROOT_FOLD_NS); // root computation
                 for &p in &self.peers {
                     ctx.send(
                         p,
@@ -797,16 +913,26 @@ impl SimNode<Msg> for ClusterNode {
                     }
                     let applied = match (&mut r.node, response.as_ref()) {
                         (NodeKind::Flat(node), SyncReplyBody::Flat(resp)) => {
+                            // One flat response is one part; which path it
+                            // took is visible from its byte split.
+                            let path = usize::from(resp.manifest_bytes() == 0);
+                            r.metrics.sync_requests[path].inc();
                             apply_sync(node, resp).expect("catch-up")
                         }
                         (NodeKind::Sharded(node), SyncReplyBody::Sharded(resp)) => {
                             let applied = apply_sharded_sync(node, resp).expect("catch-up");
                             r.sync_manifest_shards += applied.manifest_shards;
                             r.sync_range_shards += applied.range_shards;
+                            r.metrics.sync_requests[0].add(applied.manifest_shards);
+                            r.metrics.sync_requests[1].add(applied.range_shards);
                             applied.blocks
                         }
                         _ => unreachable!("homogeneous cluster topology"),
                     };
+                    // Satellite fix: transfer bytes split exactly by path
+                    // instead of one aggregate counter for both.
+                    r.metrics.sync_bytes[0].add(response.manifest_bytes());
+                    r.metrics.sync_bytes[1].add(response.range_bytes());
                     ctx.charge_cpu(SYNC_REPLAY_NS_PER_BLOCK * applied);
                     r.sync_blocks += applied;
                     r.last_apply_ns = r.last_apply_ns.max(ctx.now());
@@ -829,6 +955,7 @@ impl SimNode<Msg> for ClusterNode {
                 o.timer_armed = false;
                 o.launch_batches(ctx);
             }
+            (ClusterNode::Orderer(o), TIMER_METRICS) => o.hub.tick(ctx),
             (ClusterNode::Replica(r), TIMER_CRASH) => {
                 r.node.crash();
                 r.state = ReplicaState::Down;
@@ -876,6 +1003,12 @@ pub struct ReplicaSummary {
     /// Shards it caught up via block-range replay during state-sync
     /// (sharded runs only).
     pub sync_range_shards: u64,
+    /// State-sync bytes received via the checkpoint-manifest path.
+    pub sync_manifest_bytes: u64,
+    /// State-sync bytes received via the block-range-replay path.
+    /// `sync_manifest_bytes + sync_range_bytes` is the exact total
+    /// transfer — the two paths partition it.
+    pub sync_range_bytes: u64,
 }
 
 /// End-of-run report.
@@ -898,6 +1031,11 @@ pub struct ClusterReport {
     pub sealed_blocks: u64,
     /// Transactions the client bank submitted.
     pub submitted_txns: u64,
+    /// Prometheus text exposition of the final registry state.
+    pub exposition: String,
+    /// Per-run JSON metrics timeline (`harmonybc-timeline/v1`), snapshots
+    /// taken in virtual time — byte-identical across same-seed runs.
+    pub timeline: String,
 }
 
 /// The runnable cluster.
@@ -927,6 +1065,24 @@ impl Cluster {
         let observer = (0..cfg.replicas)
             .find(|r| Some(*r) != crash_replica)
             .expect("at least one stable replica");
+        let system = format!(
+            "{}·node×{}{}{}",
+            cfg.replica.engine.name(),
+            cfg.replicas,
+            match cfg.topology {
+                Some(t) => format!("×{}shards", t.shards),
+                None => String::new(),
+            },
+            match cfg.ordering {
+                OrderingMode::Kafka { .. } => "·kafka",
+                OrderingMode::HotStuff => "·hotstuff",
+            }
+        );
+        // One registry for the whole cluster; every node holds interned
+        // handles into it, the orderer snapshots it on the metrics timer.
+        let registry = Arc::new(Registry::new());
+        let deadline_ns = cfg.load_ns + cfg.drain_ns;
+        let metrics_every_ns = cfg.metrics_every_ns.max(1);
 
         let mut nodes: Vec<ClusterNode> = Vec::with_capacity(replica_base + cfg.replicas);
         let mut stream = OpenLoopClients::new(cfg.open_loop, cfg.seed ^ 0xA11);
@@ -942,7 +1098,13 @@ impl Cluster {
         }));
         let chain_cfg = &cfg.replica.chain;
         nodes.push(ClusterNode::Orderer(Box::new(Orderer {
-            mempool: Mempool::new(cfg.mempool),
+            mempool: Mempool::with_metrics(cfg.mempool, MempoolMetrics::register(&registry)),
+            hub: MetricsHub {
+                registry: Arc::clone(&registry),
+                timeline: Timeline::new(&system, cfg.seed, metrics_every_ns),
+                every_ns: metrics_every_ns,
+                deadline_ns,
+            },
             keypair: KeyPair::derive(&chain_cfg.provision, chain_cfg.orderer_id, chain_cfg.crypto),
             crypto: chain_cfg.crypto,
             next_id: 1,
@@ -964,9 +1126,12 @@ impl Cluster {
         }
         for r in 0..cfg.replicas {
             let node = match cfg.topology {
-                None => NodeKind::Flat(Box::new(ReplicaNode::new(&cfg.replica, |engine| {
-                    cfg.workload.setup_node(engine)
-                })?)),
+                None => {
+                    let mut n =
+                        ReplicaNode::new(&cfg.replica, |engine| cfg.workload.setup_node(engine))?;
+                    n.set_metrics(ReplicaMetrics::register(&registry, r));
+                    NodeKind::Flat(Box::new(n))
+                }
                 Some(topology) => {
                     let sharded_cfg = ShardedReplicaConfig {
                         chain: cfg.replica.chain.clone(),
@@ -978,9 +1143,19 @@ impl Cluster {
                         latency: cfg.latency.clone(),
                         gossip_every: cfg.replica.gossip_every,
                     };
-                    NodeKind::Sharded(Box::new(ShardedReplicaNode::new(&sharded_cfg, |engine| {
+                    let mut n = ShardedReplicaNode::new(&sharded_cfg, |engine| {
                         cfg.workload.setup_node(engine)
-                    })?))
+                    })?;
+                    let shards = topology.shards.max(1);
+                    let id = r.to_string();
+                    n.set_metrics(
+                        ReplicaMetrics::register(&registry, r),
+                        (0..shards)
+                            .map(|s| shard_txn_counters(&registry, r, s))
+                            .collect(),
+                        PlannerMetrics::register(&registry, &[("replica", id.as_str())]),
+                    );
+                    NodeKind::Sharded(Box::new(n))
                 }
             };
             let peers = replica_idx
@@ -1001,6 +1176,7 @@ impl Cluster {
             nodes.push(ClusterNode::Replica(Box::new(ReplicaWrap {
                 node,
                 state: ReplicaState::Up,
+                metrics: WrapMetrics::register(&registry, r),
                 meta: HashMap::new(),
                 peers,
                 sync_peer,
@@ -1023,13 +1199,24 @@ impl Cluster {
         };
         let first_at = c.pending.as_ref().map_or(0, |a| a.at_ns);
         el.seed_timer(0, first_at, TIMER_CLIENT);
+        el.seed_timer(orderer_idx, metrics_every_ns, TIMER_METRICS);
         if let Some(plan) = cfg.crash {
             assert!(plan.replica < cfg.replicas, "crash target out of range");
             assert!(plan.at_ns < plan.recover_at_ns, "recover after crash");
             el.seed_timer(replica_idx[plan.replica], plan.at_ns, TIMER_CRASH);
             el.seed_timer(replica_idx[plan.replica], plan.recover_at_ns, TIMER_RECOVER);
         }
-        el.run_until(cfg.load_ns + cfg.drain_ns);
+        el.run_until(deadline_ns);
+
+        // Final timeline snapshot at the deadline (record dedupes if the
+        // last timer already fired exactly there).
+        {
+            let ClusterNode::Orderer(o) = el.node_mut(orderer_idx) else {
+                unreachable!("orderer index");
+            };
+            let registry = Arc::clone(&o.hub.registry);
+            o.hub.timeline.record(deadline_ns, &registry);
+        }
 
         // ── Collect ──
         let mut replicas = Vec::with_capacity(cfg.replicas);
@@ -1051,6 +1238,8 @@ impl Cluster {
                 sync_blocks: w.sync_blocks,
                 sync_manifest_shards: w.sync_manifest_shards,
                 sync_range_shards: w.sync_range_shards,
+                sync_manifest_bytes: w.metrics.sync_bytes[0].get(),
+                sync_range_bytes: w.metrics.sync_bytes[1].get(),
             });
         }
         let consistent = replicas
@@ -1085,19 +1274,7 @@ impl Cluster {
         };
         let io = obs.node.io_snapshot();
         let metrics = RunMetrics {
-            system: Cow::Owned(format!(
-                "{}·node×{}{}{}",
-                cfg.replica.engine.name(),
-                cfg.replicas,
-                match cfg.topology {
-                    Some(t) => format!("×{}shards", t.shards),
-                    None => String::new(),
-                },
-                match cfg.ordering {
-                    OrderingMode::Kafka { .. } => "·kafka",
-                    OrderingMode::HotStuff => "·hotstuff",
-                }
-            )),
+            system: Cow::Owned(system),
             throughput_tps: committed as f64 / (wall_ns as f64 / 1e9),
             latency_ms,
             abort_rate: stats.abort_rate(),
@@ -1132,6 +1309,8 @@ impl Cluster {
             mempool: o.mempool.stats(),
             sealed_blocks: o.sealed_blocks,
             submitted_txns: c.submitted,
+            exposition: registry.render_prometheus(),
+            timeline: o.hub.timeline.to_json(),
         })
     }
 }

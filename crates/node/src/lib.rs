@@ -26,6 +26,7 @@
 
 pub mod cluster;
 pub mod mempool;
+pub mod metrics;
 pub mod replica;
 pub mod sharded;
 pub mod statesync;
@@ -34,7 +35,8 @@ pub use cluster::{
     Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, OrderingMode,
     ReplicaSummary, ShardTopology,
 };
-pub use mempool::{AdmitError, Mempool, MempoolConfig, MempoolStats, PendingTxn};
+pub use mempool::{AdmitError, Mempool, MempoolConfig, MempoolMetrics, MempoolStats, PendingTxn};
+pub use metrics::{shard_txn_counters, ReplicaMetrics, TxnCounters, ROOT_FOLD_NS};
 pub use replica::{Applied, ReplicaConfig, ReplicaNode};
 pub use sharded::{ShardedReplicaConfig, ShardedReplicaNode};
 pub use statesync::{

@@ -20,6 +20,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
+use harmony_metrics::{Counter, Gauge, Registry};
 use harmony_txn::Contract;
 
 /// Mempool configuration.
@@ -63,6 +64,25 @@ pub enum AdmitError {
     },
 }
 
+impl AdmitError {
+    /// Every rejection cause label, in declaration order — the full
+    /// label set of `harmony_mempool_rejected_total{cause=...}`.
+    pub const CAUSES: [&'static str; 3] = ["backpressure", "duplicate", "nonce_gap"];
+
+    /// The static metric label for this rejection cause. Rejection
+    /// accounting is derived from this single mapping, so the
+    /// [`MempoolStats`] view and the registry counters can never
+    /// disagree.
+    #[must_use]
+    pub fn cause_label(&self) -> &'static str {
+        match self {
+            AdmitError::Backpressure => Self::CAUSES[0],
+            AdmitError::Duplicate { .. } => Self::CAUSES[1],
+            AdmitError::NonceGap { .. } => Self::CAUSES[2],
+        }
+    }
+}
+
 impl std::fmt::Display for AdmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -96,6 +116,10 @@ pub struct PendingTxn {
 }
 
 /// Admission counters (exposed in the cluster report).
+///
+/// This is a point-in-time *view* read out of [`MempoolMetrics`] — the
+/// registry counters are the single source of truth, so the stats and
+/// any Prometheus scrape always agree.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MempoolStats {
     /// Transactions admitted to the queue.
@@ -110,6 +134,74 @@ pub struct MempoolStats {
     pub rejected_gap: u64,
 }
 
+/// The mempool's metric handles: queue depth gauge, admit/reorder
+/// counters, and one rejection counter per [`AdmitError`] cause.
+#[derive(Clone)]
+pub struct MempoolMetrics {
+    /// `harmony_mempool_depth` — currently queued transactions.
+    pub depth: Gauge,
+    /// `harmony_mempool_admitted_total`.
+    pub admitted: Counter,
+    /// `harmony_mempool_reordered_total` — held out-of-order, admitted
+    /// later when the gap closed.
+    pub reordered: Counter,
+    /// `harmony_mempool_rejected_total{cause=...}`, indexed like
+    /// [`AdmitError::CAUSES`].
+    pub rejected: [Counter; 3],
+}
+
+impl MempoolMetrics {
+    /// Register the mempool metric family in `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> MempoolMetrics {
+        MempoolMetrics {
+            depth: registry.gauge(
+                "harmony_mempool_depth",
+                "Transactions currently queued for batching (held-back out-of-order ones excluded).",
+            ),
+            admitted: registry.counter(
+                "harmony_mempool_admitted_total",
+                "Transactions admitted to the batch queue.",
+            ),
+            reordered: registry.counter(
+                "harmony_mempool_reordered_total",
+                "Out-of-order submissions held back, then admitted once the nonce gap closed.",
+            ),
+            rejected: AdmitError::CAUSES.map(|cause| {
+                registry.counter_with(
+                    "harmony_mempool_rejected_total",
+                    "Submissions refused admission, by cause.",
+                    &[("cause", cause)],
+                )
+            }),
+        }
+    }
+
+    /// Metric handles not attached to any registry (counting still
+    /// works — used when no observability plane is wired up).
+    #[must_use]
+    pub fn detached() -> MempoolMetrics {
+        MempoolMetrics {
+            depth: Gauge::detached(),
+            admitted: Counter::detached(),
+            reordered: Counter::detached(),
+            rejected: [
+                Counter::detached(),
+                Counter::detached(),
+                Counter::detached(),
+            ],
+        }
+    }
+
+    fn rejected_for(&self, err: &AdmitError) -> &Counter {
+        let idx = AdmitError::CAUSES
+            .iter()
+            .position(|c| *c == err.cause_label())
+            .expect("every cause is in CAUSES");
+        &self.rejected[idx]
+    }
+}
+
 #[derive(Default)]
 struct Session {
     next_nonce: u64,
@@ -121,18 +213,24 @@ pub struct Mempool {
     config: MempoolConfig,
     queue: VecDeque<PendingTxn>,
     sessions: HashMap<u64, Session>,
-    stats: MempoolStats,
+    metrics: MempoolMetrics,
 }
 
 impl Mempool {
-    /// Build an empty mempool.
+    /// Build an empty mempool with detached (registry-less) metrics.
     #[must_use]
     pub fn new(config: MempoolConfig) -> Mempool {
+        Mempool::with_metrics(config, MempoolMetrics::detached())
+    }
+
+    /// Build an empty mempool reporting into the given metric handles.
+    #[must_use]
+    pub fn with_metrics(config: MempoolConfig, metrics: MempoolMetrics) -> Mempool {
         Mempool {
             config,
             queue: VecDeque::new(),
             sessions: HashMap::new(),
-            stats: MempoolStats::default(),
+            metrics,
         }
     }
 
@@ -146,13 +244,12 @@ impl Mempool {
     ) -> Result<(), AdmitError> {
         let session = self.sessions.entry(client).or_default();
         if nonce < session.next_nonce || session.held.contains_key(&nonce) {
-            self.stats.rejected_duplicate += 1;
-            return Err(AdmitError::Duplicate { client, nonce });
+            return Err(self.reject(AdmitError::Duplicate { client, nonce }));
         }
         if self.queue.len() >= self.config.capacity {
-            self.stats.rejected_backpressure += 1;
-            return Err(AdmitError::Backpressure);
+            return Err(self.reject(AdmitError::Backpressure));
         }
+        let session = self.sessions.entry(client).or_default();
         let txn = PendingTxn {
             client,
             nonce,
@@ -164,15 +261,15 @@ impl Mempool {
             if session.held.len() >= self.config.reorder_window
                 || nonce - session.next_nonce > self.config.reorder_window as u64
             {
-                self.stats.rejected_gap += 1;
-                return Err(AdmitError::NonceGap {
+                let expected = session.next_nonce;
+                return Err(self.reject(AdmitError::NonceGap {
                     client,
-                    expected: session.next_nonce,
+                    expected,
                     got: nonce,
-                });
+                }));
             }
             session.held.insert(nonce, txn);
-            self.stats.reordered += 1;
+            self.metrics.reordered.inc();
             return Ok(());
         }
         // In order: enqueue, then drain ALL held successors. The drain
@@ -183,20 +280,30 @@ impl Mempool {
         // the queue can overshoot by at most `reorder_window`.
         session.next_nonce = nonce + 1;
         self.queue.push_back(txn);
-        self.stats.admitted += 1;
+        self.metrics.admitted.inc();
         while let Some(held) = session.held.remove(&session.next_nonce) {
             session.next_nonce += 1;
             self.queue.push_back(held);
-            self.stats.admitted += 1;
+            self.metrics.admitted.inc();
         }
+        self.metrics.depth.set(self.queue.len() as i64);
         Ok(())
+    }
+
+    /// Count a rejection against its cause counter and hand the error
+    /// back — the single choke point all reject paths flow through.
+    fn reject(&self, err: AdmitError) -> AdmitError {
+        self.metrics.rejected_for(&err).inc();
+        err
     }
 
     /// Drain up to `max` transactions in admission (FIFO) order — the
     /// deterministic batch the orderer seals into the next block.
     pub fn next_batch(&mut self, max: usize) -> Vec<PendingTxn> {
         let n = max.min(self.queue.len());
-        self.queue.drain(..n).collect()
+        let batch: Vec<PendingTxn> = self.queue.drain(..n).collect();
+        self.metrics.depth.set(self.queue.len() as i64);
+        batch
     }
 
     /// Queued transactions (excluding held-back out-of-order ones).
@@ -224,10 +331,17 @@ impl Mempool {
         self.queue.len() >= self.config.capacity
     }
 
-    /// Admission counters so far.
+    /// Admission counters so far, read out of the metric cells.
     #[must_use]
     pub fn stats(&self) -> MempoolStats {
-        self.stats
+        let m = &self.metrics;
+        MempoolStats {
+            admitted: m.admitted.get(),
+            reordered: m.reordered.get(),
+            rejected_backpressure: m.rejected[0].get(),
+            rejected_duplicate: m.rejected[1].get(),
+            rejected_gap: m.rejected[2].get(),
+        }
     }
 }
 

@@ -23,9 +23,12 @@ use harmony_common::{BlockId, Result};
 use harmony_consensus::net::DeliveryLog;
 use harmony_core::BlockStats;
 use harmony_crypto::Digest;
+use harmony_metrics::Gauge;
 use harmony_sim::{pipeline_total_ns, schedule_block, BlockSchedule, EngineKind};
 use harmony_storage::StorageEngine;
 use harmony_txn::ContractCodec;
+
+use crate::metrics::{ReplicaMetrics, ROOT_FOLD_NS};
 
 /// Replica configuration.
 #[derive(Clone, Debug)]
@@ -93,6 +96,11 @@ pub(crate) struct RootTracker {
     /// has been compared (or missed for good) and is stale.
     passed: u64,
     alarms: u64,
+    /// High-water mark of the own-root window (gauge, detached unless
+    /// wired to a registry).
+    own_hwm: Gauge,
+    /// High-water mark of the buffered ahead-of-us peer heights.
+    peer_hwm: Gauge,
 }
 
 impl RootTracker {
@@ -116,6 +124,13 @@ impl RootTracker {
         while self.own.len() > Self::OWN_KEEP {
             self.own.pop_first();
         }
+        self.own_hwm.set_max(self.own.len() as i64);
+    }
+
+    /// Report buffer high-water marks through the given gauges.
+    pub(crate) fn set_metrics(&mut self, own_hwm: Gauge, peer_hwm: Gauge) {
+        self.own_hwm = own_hwm;
+        self.peer_hwm = peer_hwm;
     }
 
     /// Record a peer's gossiped root at `height` — compared now if this
@@ -135,6 +150,7 @@ impl RootTracker {
         while self.peers.len() > Self::AHEAD_CAP {
             self.peers.pop_last(); // farthest-future height loses first
         }
+        self.peer_hwm.set_max(self.peers.len() as i64);
     }
 
     /// Comparisons that disagreed so far.
@@ -169,6 +185,7 @@ pub struct ReplicaNode {
     charged_ns: u64,
     stats: BlockStats,
     roots: RootTracker,
+    metrics: ReplicaMetrics,
 }
 
 impl ReplicaNode {
@@ -195,7 +212,16 @@ impl ReplicaNode {
             charged_ns: 0,
             stats: BlockStats::default(),
             roots: RootTracker::default(),
+            metrics: ReplicaMetrics::detached(),
         })
+    }
+
+    /// Report into the given metric handles (the default handles are
+    /// detached). Also wires the root tracker's buffer gauges.
+    pub fn set_metrics(&mut self, metrics: ReplicaMetrics) {
+        self.roots
+            .set_metrics(metrics.root_own_hwm.clone(), metrics.root_peer_hwm.clone());
+        self.metrics = metrics;
     }
 
     /// The underlying chain.
@@ -276,6 +302,7 @@ impl ReplicaNode {
         self.delivery_log
             .observe(block.header.id.0, block.header.hash());
         self.stats.absorb(&result.stats);
+        self.metrics.txns.observe(&result.stats);
 
         // Virtual-time charge: extend the pipeline-aware makespan exactly
         // as the experiment driver schedules blocks (group-commit log sync
@@ -292,10 +319,12 @@ impl ReplicaNode {
         );
         let cost_ns = total.saturating_sub(self.charged_ns);
         self.charged_ns = total;
+        self.metrics.block_cost_ns.observe(cost_ns);
 
         let gossip_root = if block.header.id.0.is_multiple_of(self.gossip_every) {
             let root = self.chain.state_root()?;
             self.roots.note_own(block.header.id.0, root);
+            self.metrics.root_fold_ns.observe(ROOT_FOLD_NS);
             Some(root)
         } else {
             None
@@ -515,6 +544,30 @@ mod tests {
         t.note_peer(10_005, Digest([9; 32]));
         t.note_own(10_005, root);
         assert_eq!(t.alarms(), 2);
+    }
+
+    #[test]
+    fn root_tracker_reports_buffer_high_water_marks() {
+        let mut t = RootTracker::default();
+        let own_hwm = Gauge::detached();
+        let peer_hwm = Gauge::detached();
+        t.set_metrics(own_hwm.clone(), peer_hwm.clone());
+        let root = Digest([1; 32]);
+        // Peers rushing far ahead: the gauge records the peak, and the
+        // peak never exceeds the cap the buffer enforces.
+        for h in 1..=1_000u64 {
+            t.note_peer(h, root);
+        }
+        assert_eq!(peer_hwm.get(), RootTracker::AHEAD_CAP as i64);
+        // Draining the buffer does not lower a high-water mark.
+        t.note_own(2_000, root);
+        assert_eq!(t.buffered_heights(), 0);
+        assert_eq!(peer_hwm.get(), RootTracker::AHEAD_CAP as i64);
+        // Own-root window: the mark tracks the retained window size.
+        for h in 2_001..2_200u64 {
+            t.note_own(h, root);
+        }
+        assert_eq!(own_hwm.get(), RootTracker::OWN_KEEP as i64);
     }
 
     #[test]

@@ -42,12 +42,14 @@ use harmony_core::par::run_indexed;
 use harmony_core::BlockStats;
 use harmony_crypto::{Digest, Verifier};
 use harmony_shard::{
-    logical_state_root, plan_block, prune_to_owned, FragmentCodec, HashPartitioner, ShardRouter,
+    logical_state_root, plan_block, prune_to_owned, FragmentCodec, HashPartitioner, PlannerMetrics,
+    ShardRouter,
 };
 use harmony_sim::{makespan, schedule_block, EngineKind};
 use harmony_storage::StorageEngine;
 use harmony_txn::{ContractCodec, MultiCodec};
 
+use crate::metrics::{ReplicaMetrics, TxnCounters, ROOT_FOLD_NS};
 use crate::replica::{Applied, RootTracker};
 
 /// Sharded replica configuration.
@@ -141,6 +143,9 @@ pub struct ShardedReplicaNode {
     pending: BTreeMap<u64, Arc<ChainBlock>>,
     stats: BlockStats,
     roots: RootTracker,
+    metrics: ReplicaMetrics,
+    shard_metrics: Vec<TxnCounters>,
+    planner_metrics: PlannerMetrics,
 }
 
 impl ShardedReplicaNode {
@@ -182,7 +187,34 @@ impl ShardedReplicaNode {
             pending: BTreeMap::new(),
             stats: BlockStats::default(),
             roots: RootTracker::default(),
+            metrics: ReplicaMetrics::detached(),
+            shard_metrics: (0..config.shards)
+                .map(|_| TxnCounters::detached())
+                .collect(),
+            planner_metrics: PlannerMetrics::detached(),
         })
+    }
+
+    /// Report into the given metric handles: replica-level counters and
+    /// histograms, one committed/aborted counter pair per hosted shard
+    /// (`per_shard`, in shard order), and the planner's classification
+    /// metrics. The defaults are detached handles.
+    pub fn set_metrics(
+        &mut self,
+        metrics: ReplicaMetrics,
+        per_shard: Vec<TxnCounters>,
+        planner: PlannerMetrics,
+    ) {
+        assert_eq!(
+            per_shard.len(),
+            self.shards.len(),
+            "one counter pair per shard"
+        );
+        self.roots
+            .set_metrics(metrics.root_own_hwm.clone(), metrics.root_peer_hwm.clone());
+        self.metrics = metrics;
+        self.shard_metrics = per_shard;
+        self.planner_metrics = planner;
     }
 
     /// Number of shards hosted.
@@ -345,6 +377,7 @@ impl ShardedReplicaNode {
             self.config.workers,
             &self.config.latency,
         );
+        self.planner_metrics.observe(&plan);
         let log_sync_ns = self.config.chain.storage.log_sync_ns;
         let mut shard_results = Vec::with_capacity(self.shards.len());
         let mut shard_stage_ns = 0u64;
@@ -361,11 +394,13 @@ impl ShardedReplicaNode {
                 schedule_block(&result, self.config.workers, commit_serial).total_ns()
                     + log_sync_ns,
             );
+            self.shard_metrics[s].observe(&result.stats);
             shard_results.push(result);
         }
         let outcomes = plan.fold_outcomes(&shard_results)?;
-        self.stats
-            .absorb(&plan.accumulate_stats(&outcomes, &shard_results));
+        let block_stats = plan.accumulate_stats(&outcomes, &shard_results);
+        self.stats.absorb(&block_stats);
+        self.metrics.txns.observe(&block_stats);
 
         // Virtual-time charge: the cross stage (fragment exchange + the
         // multi-partition re-simulation) runs in lockstep, then every
@@ -374,6 +409,7 @@ impl ShardedReplicaNode {
         // so blocks are charged back-to-back.
         let cost_ns =
             plan.exchange_ns + makespan(&plan.cross_sim_ns, self.config.workers) + shard_stage_ns;
+        self.metrics.block_cost_ns.observe(cost_ns);
 
         self.height = id;
         self.anchor = GlobalAnchor::Known(block.header.hash());
@@ -383,6 +419,7 @@ impl ShardedReplicaNode {
         let gossip_root = if id.0.is_multiple_of(self.config.gossip_every.max(1)) {
             let root = self.sharded_root()?;
             self.roots.note_own(id.0, root);
+            self.metrics.root_fold_ns.observe(ROOT_FOLD_NS);
             Some(root)
         } else {
             None

@@ -70,6 +70,26 @@ impl SyncResponse {
         }
     }
 
+    /// Bytes of this response that are checkpoint-manifest payload (the
+    /// serialized [`StateSnapshot`] plus the response header). Zero on
+    /// the range path; [`Self::range_bytes`] is the exact complement, so
+    /// `manifest_bytes() + range_bytes() == transfer_bytes()` always.
+    #[must_use]
+    pub fn manifest_bytes(&self) -> u64 {
+        match self {
+            SyncResponse::Range(_) => 0,
+            SyncResponse::Snapshot(snap, _) => snap.encode().len() as u64 + 64,
+        }
+    }
+
+    /// Bytes of this response that are replayable-block payload (plus
+    /// the response header on the range path). Complement of
+    /// [`Self::manifest_bytes`].
+    #[must_use]
+    pub fn range_bytes(&self) -> u64 {
+        self.transfer_bytes() - self.manifest_bytes()
+    }
+
     /// Number of blocks shipped.
     #[must_use]
     pub fn block_count(&self) -> usize {
@@ -142,6 +162,22 @@ impl ShardedSyncResponse {
             .iter()
             .map(SyncResponse::transfer_bytes)
             .sum::<u64>()
+    }
+
+    /// Checkpoint-manifest bytes summed over every part that took the
+    /// manifest path. With [`Self::range_bytes`] this exactly partitions
+    /// [`Self::transfer_bytes`] (the top-level anchor header rides with
+    /// the range share).
+    #[must_use]
+    pub fn manifest_bytes(&self) -> u64 {
+        self.parts.iter().map(SyncResponse::manifest_bytes).sum()
+    }
+
+    /// Block-replay bytes summed over every part, plus the top-level
+    /// anchor header. Complement of [`Self::manifest_bytes`].
+    #[must_use]
+    pub fn range_bytes(&self) -> u64 {
+        self.transfer_bytes() - self.manifest_bytes()
     }
 
     /// Number of sub-blocks shipped across all parts.
@@ -310,6 +346,29 @@ mod tests {
         let resp = serve_sync(&peer, BlockId(0), policy).unwrap();
         assert!(matches!(resp, SyncResponse::Snapshot(..)));
         assert!(resp.transfer_bytes() > 0);
+    }
+
+    #[test]
+    fn transfer_bytes_split_exactly_by_path() {
+        let mut peer = ycsb_replica(5);
+        let mut rng = harmony_common::DetRng::new(3);
+        advance(&mut peer, 12, &mut rng);
+        let policy = SyncPolicy {
+            snapshot_threshold: 8,
+        };
+        // Range path: all bytes are range bytes.
+        let range = serve_sync(&peer, BlockId(8), policy).unwrap();
+        assert_eq!(range.manifest_bytes(), 0);
+        assert_eq!(range.range_bytes(), range.transfer_bytes());
+        assert!(range.range_bytes() > 64, "blocks plus header");
+        // Manifest path: the manifest dominates, and the two shares
+        // partition the total exactly.
+        let snap = serve_sync(&peer, BlockId(0), policy).unwrap();
+        assert!(snap.manifest_bytes() > 0);
+        assert_eq!(
+            snap.manifest_bytes() + snap.range_bytes(),
+            snap.transfer_bytes()
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@ use harmony_dcc_baselines::{DccEngine, ProtocolBlockResult};
 use harmony_storage::{StorageConfig, StorageEngine};
 use harmony_txn::{Contract, Key, RangePredicate, RwSet};
 
+use crate::metrics::PlannerMetrics;
 use crate::plan::{plan_block, Slot};
 use crate::router::ShardRouter;
 
@@ -168,6 +169,7 @@ pub struct ShardGroup {
     latency: LatencyModel,
     cross_workers: usize,
     height: BlockId,
+    metrics: PlannerMetrics,
 }
 
 impl ShardGroup {
@@ -197,7 +199,14 @@ impl ShardGroup {
             latency: config.latency.clone(),
             cross_workers: config.cross_workers.max(1),
             height: BlockId(0),
+            metrics: PlannerMetrics::detached(),
         })
+    }
+
+    /// Report planner decisions into the given metric handles (the
+    /// default handles are detached — counting but unregistered).
+    pub fn set_metrics(&mut self, metrics: PlannerMetrics) {
+        self.metrics = metrics;
     }
 
     /// The router.
@@ -268,6 +277,7 @@ impl ShardGroup {
             self.cross_workers,
             &self.latency,
         );
+        self.metrics.observe(&plan);
         let mut shard_results = Vec::with_capacity(self.shards());
         for (s, node) in self.nodes.iter().enumerate() {
             let sub = std::mem::take(&mut plan.shard_txns[s]);

@@ -44,6 +44,7 @@
 
 pub mod engines;
 pub mod group;
+pub mod metrics;
 pub mod partition;
 pub mod plan;
 pub mod router;
@@ -53,6 +54,7 @@ pub use group::{
     decide_cross, logical_state_root, prune_to_owned, ShardBlockResult, ShardGroup,
     ShardGroupConfig, ShardedRoot,
 };
+pub use metrics::PlannerMetrics;
 pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
 pub use plan::{plan_block, BlockPlan, FragmentCodec, FragmentContract, Slot, FRAGMENT_NAME};
 pub use router::{Placement, ShardRouter};

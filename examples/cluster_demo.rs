@@ -62,6 +62,7 @@ fn main() {
         window: 4,
         sync: SyncPolicy::default(),
         latency: harmonybc::consensus::net::LatencyModel::lan_1g(),
+        metrics_every_ns: 5_000_000,
         seed: 0xDE30,
     };
 

@@ -25,6 +25,7 @@ pub use harmony_consensus as consensus;
 pub use harmony_core as core;
 pub use harmony_crypto as crypto;
 pub use harmony_dcc_baselines as baselines;
+pub use harmony_metrics as metrics;
 pub use harmony_node as node;
 pub use harmony_shard as shard;
 pub use harmony_sim as sim;
@@ -38,6 +39,7 @@ pub mod prelude {
     pub use harmony_common::{BlockId, TableId, TxnId};
     pub use harmony_core::{BlockExecutor, ChainPipeline, HarmonyConfig, SnapshotStore};
     pub use harmony_dcc_baselines::{DccEngine, HarmonyEngine};
+    pub use harmony_metrics::{Registry, Timeline};
     pub use harmony_node::{Cluster, ClusterConfig, ClusterWorkload, Mempool, ReplicaNode};
     pub use harmony_shard::{
         HashPartitioner, Partitioner, RangePartitioner, ShardGroup, ShardGroupConfig, ShardRouter,
