@@ -24,8 +24,8 @@ use harmony_consensus::net::LatencyModel;
 use harmony_crypto::CryptoCost;
 use harmony_dcc_baselines::Architecture;
 use harmony_node::{
-    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, MempoolConfig, OrderingMode,
-    ReplicaConfig, SyncPolicy,
+    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, FaultSchedule,
+    MempoolConfig, OrderingMode, ReplicaConfig, SyncPolicy,
 };
 use harmony_sim::{ClusterModel, EngineKind, RunConfig};
 use harmony_storage::StorageConfig;
@@ -57,7 +57,7 @@ fn cluster_config(
         },
         workload,
         ordering,
-        crash,
+        faults: crash.map(FaultSchedule::from).unwrap_or_default(),
         latency: LatencyModel::lan_1g(),
         mempool: MempoolConfig {
             capacity: 4_096,
@@ -68,6 +68,7 @@ fn cluster_config(
         open_loop: OpenLoopConfig {
             clients: 16,
             rate_tps: 120_000.0,
+            hot_share: 0.0,
         },
         load_ns: 60_000_000,
         drain_ns: 4_000_000_000,
@@ -77,6 +78,7 @@ fn cluster_config(
         sync: SyncPolicy::default(),
         metrics_every_ns: 5_000_000,
         seed: 0xF123,
+        ..ClusterConfig::default()
     }
 }
 

@@ -79,6 +79,7 @@ fn node_run(engine: EngineKind, shards: usize) -> harmony_node::ClusterReport {
         open_loop: OpenLoopConfig {
             clients: 16,
             rate_tps: 150_000.0,
+            hot_share: 0.0,
         },
         load_ns: 30_000_000,
         drain_ns: 4_000_000_000,
@@ -86,9 +87,10 @@ fn node_run(engine: EngineKind, shards: usize) -> harmony_node::ClusterReport {
         batch_interval_ns: 250_000,
         window: 8,
         sync: SyncPolicy::default(),
-        crash: None,
+        faults: Default::default(),
         metrics_every_ns: 5_000_000,
         seed: 0xF124,
+        ..ClusterConfig::default()
     })
     .run()
     .expect("sharded cluster run")

@@ -58,6 +58,7 @@ fn main() {
         open_loop: OpenLoopConfig {
             clients: 8,
             rate_tps: 40_000.0,
+            hot_share: 0.0,
         },
         load_ns: 15_000_000,
         drain_ns: 600_000_000,

@@ -100,6 +100,58 @@ fn fig24_json_matches_schema_when_present() {
     assert!(checked >= 3, "expected >= 3 points, found {checked}");
 }
 
+/// Schema check for the chaos-smoke artifact `fig25_overload.json`
+/// (written by the `chaos_smoke` binary earlier in the CI job). Skips
+/// when not generated locally.
+#[test]
+fn fig25_json_matches_schema_when_present() {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS-results/fig25_overload.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!("fig25_overload.json not generated; skipping schema check");
+        return;
+    };
+    check_balanced(&text);
+    assert!(
+        text.contains("\"schema\": \"harmonybc-fig25/v1\""),
+        "schema tag"
+    );
+    // The chaos leg converged on the no-fault reference and exercised
+    // the recovery machinery.
+    assert!(
+        text.contains("\"roots_identical\": true"),
+        "chaos leg must report identical roots"
+    );
+    let chaos_at = text.find("\"chaos\"").expect("chaos leg object");
+    assert!(
+        number_after(&text, chaos_at, "observer_committed") > 0.0,
+        "observer starved"
+    );
+    assert!(
+        number_after(&text, chaos_at, "quarantines") >= 1.0,
+        "no self-quarantine recorded"
+    );
+    // The overload sweep: goodput rises to a knee, then holds — the
+    // deepest-overload point keeps at least 70% of peak goodput.
+    let mut goodputs = Vec::new();
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"offered_tps\":") {
+        let entry = from + at;
+        let offered = number_after(&text, entry, "offered_tps");
+        let goodput = number_after(&text, entry, "goodput_tps");
+        assert!(offered > 0.0 && goodput > 0.0, "positive rates");
+        goodputs.push(goodput);
+        from = entry + "\"offered_tps\":".len();
+    }
+    assert!(goodputs.len() >= 4, "expected >= 4 sweep points");
+    let peak = goodputs.iter().fold(0.0f64, |a, &b| a.max(b));
+    let deepest = *goodputs.last().unwrap();
+    assert!(
+        deepest >= 0.7 * peak,
+        "goodput collapsed past saturation: {deepest} vs peak {peak}"
+    );
+}
+
 /// Schema check for the metrics-smoke timeline artifact
 /// `metrics_timeline.json` (written by the `metrics_smoke` binary
 /// earlier in the CI job). Skips when not generated locally.

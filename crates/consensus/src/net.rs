@@ -10,6 +10,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use harmony_crypto::Digest;
+use harmony_metrics::Counter;
 
 /// Verified per-replica record of delivered blocks: sequence number →
 /// content digest, with duplicate-divergence tracking. Replicas fed the
@@ -235,11 +236,192 @@ fn link_jitter_ns(seed: u64, sender: usize, count: u64) -> u64 {
     x % 50_000 // ≤50 µs
 }
 
+/// Per-mille fate roll for fault injection: a pure function of (seed,
+/// sender, the sender's send index, and the fault's position in the
+/// table). Like [`link_jitter_ns`], the roll depends only on *per-sender*
+/// state, so whether one link's fault fires can never perturb the fate or
+/// timing of traffic between unrelated nodes — and a run whose fault
+/// table is empty is bit-identical to a run on a fault-free network.
+fn fault_roll(seed: u64, sender: usize, count: u64, fault_idx: u64) -> u64 {
+    let mut x = seed
+        ^ 0xC2B2_AE3D_27D4_EB4F
+        ^ (sender as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ count.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ fault_idx.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % 1000
+}
+
+/// What a matching [`LinkFault`] does to a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// Drop the message with probability `per_mille`/1000 (1000 = always).
+    Drop {
+        /// Drop probability in per-mille (0..=1000).
+        per_mille: u16,
+    },
+    /// Deliver the message *and*, with probability `per_mille`/1000, a
+    /// duplicate copy `echo_delay_ns` later — the classic at-least-once
+    /// network that exercises idempotent delivery paths.
+    Duplicate {
+        /// Duplication probability in per-mille (0..=1000).
+        per_mille: u16,
+        /// Extra delay of the duplicate copy relative to the original.
+        echo_delay_ns: u64,
+    },
+    /// Add `extra_ns` of one-way delay (a congestion spike).
+    Delay {
+        /// Extra one-way delay in nanoseconds.
+        extra_ns: u64,
+    },
+}
+
+/// Which traffic a [`LinkFault`] applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Every message sent *or* received by this node (a partitioned /
+    /// flaky host).
+    Node(usize),
+    /// Only messages flowing `from → to` (one direction of one link).
+    Directed {
+        /// Sending node index.
+        from: usize,
+        /// Receiving node index.
+        to: usize,
+    },
+}
+
+impl FaultScope {
+    fn matches(self, from: usize, to: usize) -> bool {
+        match self {
+            FaultScope::Node(n) => from == n || to == n,
+            FaultScope::Directed { from: f, to: t } => from == f && to == t,
+        }
+    }
+}
+
+/// One scheduled network fault: an effect applied to matching traffic
+/// during `[from_ns, until_ns)` of virtual time.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFault {
+    /// Window start (inclusive), virtual ns.
+    pub from_ns: u64,
+    /// Window end (exclusive), virtual ns.
+    pub until_ns: u64,
+    /// Traffic the fault applies to.
+    pub scope: FaultScope,
+    /// What happens to matching messages.
+    pub effect: FaultEffect,
+}
+
+impl LinkFault {
+    fn active(&self, now: u64, from: usize, to: usize) -> bool {
+        now >= self.from_ns && now < self.until_ns && self.scope.matches(from, to)
+    }
+}
+
+/// The fault table an [`EventLoop`] consults on every send, plus live
+/// counters of what it injected. An empty table (the default) leaves the
+/// network bit-identical to the pre-fault-plane model; the counters are
+/// detached unless a harness wires registered ones in via
+/// [`NetFaults::set_counters`].
+#[derive(Clone, Debug, Default)]
+pub struct NetFaults {
+    faults: Vec<LinkFault>,
+    /// Messages dropped by `Drop` faults.
+    pub dropped: Counter,
+    /// Duplicate copies injected by `Duplicate` faults.
+    pub duplicated: Counter,
+    /// Messages delayed by `Delay` faults.
+    pub delayed: Counter,
+}
+
+impl NetFaults {
+    /// A fault table over the given fault list (detached counters).
+    #[must_use]
+    pub fn new(faults: Vec<LinkFault>) -> NetFaults {
+        NetFaults {
+            faults,
+            ..NetFaults::default()
+        }
+    }
+
+    /// Add one fault to the table.
+    pub fn push(&mut self, fault: LinkFault) {
+        self.faults.push(fault);
+    }
+
+    /// Whether the table has no faults (the fast path: zero per-send cost).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Replace the injection counters with registered handles so fault
+    /// activity shows up in an exposition / timeline.
+    pub fn set_counters(&mut self, dropped: Counter, duplicated: Counter, delayed: Counter) {
+        self.dropped = dropped;
+        self.duplicated = duplicated;
+        self.delayed = delayed;
+    }
+
+    /// Decide the fate of one message: `None` to drop it, otherwise the
+    /// (possibly delayed) arrival time plus an optional duplicate-copy
+    /// arrival time. Pure in (seed, sender, send index) — see
+    /// [`fault_roll`].
+    fn fate(
+        &self,
+        now: u64,
+        from: usize,
+        to: usize,
+        at: u64,
+        seed: u64,
+        send_count: u64,
+    ) -> Option<(u64, Option<u64>)> {
+        let mut arrive = at;
+        let mut echo = None;
+        for (idx, f) in self.faults.iter().enumerate() {
+            if !f.active(now, from, to) {
+                continue;
+            }
+            match f.effect {
+                FaultEffect::Drop { per_mille } => {
+                    if fault_roll(seed, from, send_count, idx as u64) < u64::from(per_mille) {
+                        self.dropped.inc();
+                        return None;
+                    }
+                }
+                FaultEffect::Duplicate {
+                    per_mille,
+                    echo_delay_ns,
+                } => {
+                    if fault_roll(seed, from, send_count, idx as u64) < u64::from(per_mille) {
+                        self.duplicated.inc();
+                        echo = Some(arrive + echo_delay_ns);
+                    }
+                }
+                FaultEffect::Delay { extra_ns } => {
+                    self.delayed.inc();
+                    arrive += extra_ns;
+                }
+            }
+        }
+        // A Delay fault also shifts any duplicate rolled before it; keep
+        // the echo no earlier than the original.
+        Some((arrive, echo.map(|e| e.max(arrive))))
+    }
+}
+
 /// Handle the event loop hands to node logic for sending/scheduling.
 pub struct NetCtx<'a, M> {
     now: u64,
     node: usize,
     latency: &'a LatencyModel,
+    faults: &'a NetFaults,
     out: Vec<(u64, usize, EventKind<M>)>,
     jitter_seed: u64,
     send_count: &'a mut u64,
@@ -261,10 +443,43 @@ impl<M> NetCtx<'_, M> {
     }
 
     /// Send `msg` of `bytes` size to node `to`.
-    pub fn send(&mut self, to: usize, msg: M, bytes: u64) {
+    ///
+    /// The send *always* advances this sender's send counter — even when
+    /// an active [`NetFaults`] entry swallows the message — so the jitter
+    /// stream of every other message stays exactly where it would be on a
+    /// healthy network.
+    pub fn send(&mut self, to: usize, msg: M, bytes: u64)
+    where
+        M: Clone,
+    {
         *self.send_count += 1;
         let jitter = link_jitter_ns(self.jitter_seed, self.node, *self.send_count);
         let at = self.now + self.latency.delay_ns(self.node, to, bytes) + jitter;
+        let (at, echo) = if self.faults.is_empty() {
+            (at, None)
+        } else {
+            match self.faults.fate(
+                self.now,
+                self.node,
+                to,
+                at,
+                self.jitter_seed,
+                *self.send_count,
+            ) {
+                None => return, // dropped on the wire
+                Some(fate) => fate,
+            }
+        };
+        if let Some(echo_at) = echo {
+            self.out.push((
+                echo_at,
+                to,
+                EventKind::Message {
+                    from: self.node,
+                    msg: msg.clone(),
+                },
+            ));
+        }
         self.out.push((
             at,
             to,
@@ -301,6 +516,7 @@ pub struct EventLoop<M, N: SimNode<M>> {
     busy_until: Vec<u64>,
     queue: BinaryHeap<Reverse<Pending<M>>>,
     latency: LatencyModel,
+    faults: NetFaults,
     now: u64,
     seq: u64,
     jitter_seed: u64,
@@ -317,11 +533,24 @@ impl<M, N: SimNode<M>> EventLoop<M, N> {
             busy_until: vec![0; n],
             queue: BinaryHeap::new(),
             latency,
+            faults: NetFaults::default(),
             now: 0,
             seq: 0,
             jitter_seed: seed,
             send_counts: vec![0; n],
         }
+    }
+
+    /// Install a fault table. The default (empty) table leaves every
+    /// schedule bit-identical to the pre-fault network model.
+    pub fn set_faults(&mut self, faults: NetFaults) {
+        self.faults = faults;
+    }
+
+    /// The installed fault table (and its injection counters).
+    #[must_use]
+    pub fn faults(&self) -> &NetFaults {
+        &self.faults
     }
 
     /// Current simulated time.
@@ -382,6 +611,7 @@ impl<M, N: SimNode<M>> EventLoop<M, N> {
                 now: start,
                 node: ev.to,
                 latency: &self.latency,
+                faults: &self.faults,
                 out: Vec::new(),
                 jitter_seed: self.jitter_seed,
                 send_count: &mut self.send_counts[ev.to],
@@ -489,6 +719,169 @@ mod tests {
     fn bandwidth_term_scales_with_size() {
         let m = LatencyModel::lan_1g();
         assert!(m.delay_ns(0, 1, 1_000_000) > m.delay_ns(0, 1, 100) + 7_000_000);
+    }
+
+    #[test]
+    fn empty_fault_table_is_bit_identical_to_no_table() {
+        let run = |install: bool| {
+            let mut el = two_node_loop();
+            if install {
+                el.set_faults(NetFaults::default());
+            }
+            el.seed_timer(0, 0, 1);
+            el.run_until(500_000_000);
+            (
+                el.now(),
+                el.node(0).received.clone(),
+                el.node(1).received.clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn total_drop_window_blocks_the_link() {
+        let mut el = two_node_loop();
+        el.set_faults(NetFaults::new(vec![LinkFault {
+            from_ns: 0,
+            until_ns: u64::MAX,
+            scope: FaultScope::Directed { from: 0, to: 1 },
+            effect: FaultEffect::Drop { per_mille: 1000 },
+        }]));
+        el.seed_timer(0, 0, 1);
+        el.run_until(1_000_000_000);
+        assert!(
+            el.node(1).received.is_empty(),
+            "0→1 traffic must be dropped"
+        );
+        assert_eq!(el.faults().dropped.get(), 1);
+    }
+
+    #[test]
+    fn drop_window_boundaries_are_honored() {
+        // The ping fires at t=0; a window that opens later must not touch it.
+        let mut el = two_node_loop();
+        el.set_faults(NetFaults::new(vec![LinkFault {
+            from_ns: 400_000_000,
+            until_ns: 500_000_000,
+            scope: FaultScope::Node(0),
+            effect: FaultEffect::Drop { per_mille: 1000 },
+        }]));
+        el.seed_timer(0, 0, 1);
+        el.run_until(1_000_000_000);
+        assert_eq!(el.node(1).received.len(), 2, "window inactive at send time");
+        assert_eq!(el.faults().dropped.get(), 0);
+    }
+
+    #[test]
+    fn duplicate_fault_injects_an_echo_copy() {
+        let mut el = two_node_loop();
+        el.set_faults(NetFaults::new(vec![LinkFault {
+            from_ns: 0,
+            until_ns: u64::MAX,
+            scope: FaultScope::Directed { from: 0, to: 1 },
+            effect: FaultEffect::Duplicate {
+                per_mille: 1000,
+                echo_delay_ns: 1_000_000,
+            },
+        }]));
+        el.seed_timer(0, 0, 1);
+        el.run_until(1_000_000_000);
+        // Ping-pong: node 1 normally sees msgs [0, 2]; each 0→1 send now
+        // arrives twice, and each duplicate re-triggers the reply chain.
+        let ones = el.node(1).received.iter().filter(|r| r.1 == 0).count();
+        assert!(ones >= 2, "echo copy of msg 0 must arrive");
+        assert!(el.faults().duplicated.get() >= 1);
+    }
+
+    #[test]
+    fn delay_spike_defers_delivery_without_loss() {
+        let base = {
+            let mut el = two_node_loop();
+            el.seed_timer(0, 0, 1);
+            el.run_until(1_000_000_000);
+            el.node(1).received.clone()
+        };
+        let mut el = two_node_loop();
+        el.set_faults(NetFaults::new(vec![LinkFault {
+            from_ns: 0,
+            until_ns: u64::MAX,
+            scope: FaultScope::Node(1),
+            effect: FaultEffect::Delay {
+                extra_ns: 7_000_000,
+            },
+        }]));
+        el.seed_timer(0, 0, 1);
+        el.run_until(1_000_000_000);
+        assert_eq!(el.node(1).received, base, "delay must not lose or reorder");
+        assert!(
+            el.faults().delayed.get() >= 2,
+            "both directions touch node 1"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let mut el = two_node_loop();
+            el.set_faults(NetFaults::new(vec![LinkFault {
+                from_ns: 0,
+                until_ns: u64::MAX,
+                scope: FaultScope::Directed { from: 0, to: 1 },
+                effect: FaultEffect::Drop { per_mille: 500 },
+            }]));
+            el.seed_timer(0, 0, 1);
+            el.run_until(500_000_000);
+            (
+                el.node(0).received.clone(),
+                el.node(1).received.clone(),
+                el.faults().dropped.get(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_fate_is_per_sender_pure() {
+        // A fault scoped to an unrelated link must not perturb this link's
+        // delivery schedule: same receptions, because jitter and fate are
+        // pure functions of (seed, sender, send index).
+        struct Stamp {
+            got: Vec<(u64, u32)>,
+        }
+        impl SimNode<u32> for Stamp {
+            fn on_message(&mut self, _f: usize, m: u32, ctx: &mut NetCtx<'_, u32>) {
+                self.got.push((ctx.now(), m));
+                if m < 5 {
+                    ctx.send(1, m + 1, 64);
+                }
+            }
+            fn on_timer(&mut self, _id: u64, ctx: &mut NetCtx<'_, u32>) {
+                ctx.send(1, 0, 64);
+            }
+        }
+        let run = |faults: Option<NetFaults>| {
+            let nodes = vec![
+                Stamp { got: vec![] },
+                Stamp { got: vec![] },
+                Stamp { got: vec![] },
+            ];
+            let mut el = EventLoop::new(nodes, LatencyModel::lan_1g(), 99);
+            if let Some(f) = faults {
+                el.set_faults(f);
+            }
+            el.seed_timer(0, 0, 1);
+            el.run_until(1_000_000_000);
+            el.node(1).got.clone()
+        };
+        let clean = run(None);
+        let faulted = run(Some(NetFaults::new(vec![LinkFault {
+            from_ns: 0,
+            until_ns: u64::MAX,
+            scope: FaultScope::Directed { from: 2, to: 0 },
+            effect: FaultEffect::Drop { per_mille: 1000 },
+        }])));
+        assert_eq!(clean, faulted, "unrelated fault must not move deliveries");
     }
 
     #[test]

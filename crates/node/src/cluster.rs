@@ -10,24 +10,34 @@
 //! [`ShardedReplicaNode`] hosting M shards behind the same ordered
 //! stream, making the harness an N×M deployment.
 //!
-//! Scenario hooks: a [`CrashPlan`] takes one replica down mid-run and
-//! brings it back later — local checkpoint recovery, then state-sync
-//! catch-up from a peer ([`crate::statesync`]; per shard on sharded
-//! replicas, where one shard may take the manifest path while another
-//! replays a block range) while new deliveries are buffered. Every
-//! replica gossips its state root (the sharded Merkle fold on N×M runs)
-//! every few blocks and raises divergence alarms on mismatch.
+//! Scenario hooks: a [`FaultSchedule`] (see [`crate::fault`]) injects
+//! typed faults mid-run — multiple crash/rejoin cycles ([`CrashPlan`] is
+//! the one-crash compat constructor), partition windows, per-link
+//! drop/duplication/delay faults lowered onto the deterministic net
+//! model, sync-serve refusals, and root poisoning. Recovery is
+//! policy-driven: state-sync requests carry an epoch and time out
+//! ([`RetryPolicy`] — bounded retries, exponential backoff with
+//! deterministic jitter, failover around a candidate ring), a liveness
+//! watchdog re-arms catch-up on replicas that went quiet, and a replica
+//! whose gossiped root a quorum of peers dispute self-quarantines,
+//! wipes, and re-syncs from scratch. On the client side, retryable
+//! admission rejects (backpressure, tenant quota, nonce gaps) can be
+//! resubmitted with the same backoff discipline, closing the overload
+//! loop end-to-end. All of it is armed only when faults (or client
+//! retry) are configured — no-fault runs schedule the exact same events
+//! as before the chaos plane existed.
 //!
 //! [`Cluster::run`] returns a [`ClusterReport`] whose `metrics` is a real
 //! [`RunMetrics`] measured from the replica runtime — the same shape the
 //! analytic `ClusterModel` composition produces, now driven end-to-end.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use harmony_chain::ChainBlock;
-use harmony_common::{BlockId, Result};
+use harmony_common::{BlockId, Error, Result};
 use harmony_consensus::net::{DeliveryLog, EventLoop, LatencyModel, NetCtx, SimNode};
 use harmony_core::BlockStats;
 use harmony_crypto::{CryptoCost, Digest, KeyPair};
@@ -41,13 +51,14 @@ use harmony_workloads::{
     TpccConfig, Workload, Ycsb, YcsbCodec, YcsbConfig,
 };
 
+use crate::fault::{FaultEvent, FaultSchedule};
 use crate::mempool::{Mempool, MempoolConfig, MempoolMetrics, MempoolStats};
 use crate::metrics::{shard_txn_counters, ReplicaMetrics, ROOT_FOLD_NS};
 use crate::replica::{Applied, ReplicaConfig, ReplicaNode};
 use crate::sharded::{ShardedReplicaConfig, ShardedReplicaNode};
 use crate::statesync::{
-    apply_sharded_sync, apply_sync, serve_sharded_sync, serve_sync, ShardedSyncResponse,
-    SyncPolicy, SyncResponse,
+    apply_sharded_sync, apply_sync, serve_sharded_sync, serve_sync, RetryPolicy,
+    ShardedSyncResponse, SyncPolicy, SyncResponse,
 };
 
 /// Workload selector for a cluster run (workload + its contract codec).
@@ -159,6 +170,10 @@ impl Default for ShardTopology {
 
 /// Take one replica down at `at_ns` and bring it back at `recover_at_ns`
 /// (local checkpoint recovery + state-sync catch-up from a peer).
+///
+/// Compat constructor over the general [`FaultSchedule`]: the original
+/// one-crash scenario is now just a schedule with a single
+/// [`FaultEvent::Crash`] — convert with `.into()`.
 #[derive(Clone, Copy, Debug)]
 pub struct CrashPlan {
     /// Replica index (0-based among replicas) to crash.
@@ -167,6 +182,16 @@ pub struct CrashPlan {
     pub at_ns: u64,
     /// Recovery time (virtual ns).
     pub recover_at_ns: u64,
+}
+
+impl From<CrashPlan> for FaultSchedule {
+    fn from(plan: CrashPlan) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultEvent::Crash {
+            replica: plan.replica,
+            at_ns: plan.at_ns,
+            recover_at_ns: plan.recover_at_ns,
+        }])
+    }
 }
 
 /// Cluster configuration.
@@ -202,8 +227,24 @@ pub struct ClusterConfig {
     pub window: usize,
     /// State-sync serving policy.
     pub sync: SyncPolicy,
-    /// Optional crash/rejoin scenario.
-    pub crash: Option<CrashPlan>,
+    /// Fault-injection schedule. Empty = healthy run: none of the chaos
+    /// machinery (watchdog timers, sync timeouts, net-fault table) is
+    /// armed, so the event schedule is bit-identical to a build without
+    /// the chaos plane.
+    pub faults: FaultSchedule,
+    /// State-sync timeout/retry/backoff/failover policy (active on
+    /// fault runs only).
+    pub sync_retry: RetryPolicy,
+    /// Client resubmission policy for retryable admission rejects
+    /// (backpressure, tenant quota, nonce gap). `None` disables
+    /// resubmission — rejected transactions are simply lost, the
+    /// pre-chaos behavior.
+    pub client_retry: Option<RetryPolicy>,
+    /// Peers that must dispute this replica's root at one gossip height
+    /// before it self-quarantines and re-syncs from scratch.
+    pub quarantine_quorum: u32,
+    /// Liveness-watchdog period (virtual ns); armed on fault runs only.
+    pub watchdog_ns: u64,
     /// Metric-timeline snapshot interval (virtual ns). Snapshots are
     /// taken in virtual time, so same-seed runs produce byte-identical
     /// timelines.
@@ -233,10 +274,38 @@ impl Default for ClusterConfig {
             batch_interval_ns: 500_000,
             window: 4,
             sync: SyncPolicy::default(),
-            crash: None,
+            faults: FaultSchedule::default(),
+            sync_retry: RetryPolicy::default(),
+            client_retry: None,
+            quarantine_quorum: 2,
+            watchdog_ns: 5_000_000,
             metrics_every_ns: 5_000_000,
             seed: 0xC10C,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Check the configuration before running: sane shape parameters and
+    /// a well-formed fault schedule (indices in range, windows ordered,
+    /// non-overlapping crash cycles, an observer left standing).
+    /// [`Cluster::run`] calls this; harnesses building schedules
+    /// programmatically can call it early for a better error site.
+    pub fn validate(&self) -> Result<()> {
+        if self.replicas == 0 {
+            return Err(Error::InvalidArgument("cluster needs ≥ 1 replica".into()));
+        }
+        if self.quarantine_quorum == 0 {
+            return Err(Error::InvalidArgument(
+                "quarantine quorum must be ≥ 1".into(),
+            ));
+        }
+        if self.watchdog_ns == 0 {
+            return Err(Error::InvalidArgument(
+                "watchdog period must be non-zero".into(),
+            ));
+        }
+        self.faults.validate(self.replicas)
     }
 }
 
@@ -267,10 +336,29 @@ enum Msg {
     /// Replica → replica: state root at a gossip height.
     RootGossip { height: u64, root: Digest },
     /// Lagging replica → peer (flat: chain height; sharded: per-shard
-    /// heights).
-    SyncRequest { from: SyncFrom },
+    /// heights). `epoch` tags the requester's sync attempt so stale
+    /// replies (late after a timeout-driven failover) are discarded.
+    SyncRequest { from: SyncFrom, epoch: u64 },
     /// Peer → lagging replica.
-    SyncReply { response: Arc<SyncReplyBody> },
+    SyncReply {
+        response: Arc<SyncReplyBody>,
+        epoch: u64,
+    },
+    /// Peer → lagging replica: explicit serve refusal (the peer is
+    /// itself syncing, or shedding serve work under a refusal-fault
+    /// window). The requester fails over immediately instead of waiting
+    /// out its timeout.
+    SyncRefused { epoch: u64 },
+    /// Orderer → client bank: a retryable admission reject (cause in
+    /// [`crate::mempool::AdmitError::cause_label`] terms). Carries the
+    /// contract so the client can resubmit after backoff with its
+    /// original submission timestamp.
+    Reject {
+        client: u64,
+        nonce: u64,
+        submitted_ns: u64,
+        contract: Arc<dyn Contract>,
+    },
 }
 
 /// The requester's position in a sync request.
@@ -328,6 +416,15 @@ const TIMER_RECOVER: u64 = 4;
 /// Periodic metrics-timeline snapshot (fires on the orderer, which owns
 /// the shared registry).
 const TIMER_METRICS: u64 = 5;
+/// Per-replica liveness watchdog (armed on fault runs only).
+const TIMER_WATCHDOG: u64 = 6;
+/// Root-poison injection point ([`FaultEvent::PoisonRoot`]).
+const TIMER_POISON: u64 = 7;
+/// Client-bank resubmission wakeup.
+const TIMER_RETRY: u64 = 8;
+/// State-sync request timeout; the sync epoch is added so a late timer
+/// from a superseded attempt can be told apart from the live one.
+const TIMER_SYNC_BASE: u64 = 1 << 32;
 
 /// Per-admission CPU cost at the orderer (signature + nonce check).
 const ADMIT_NS: u64 = 1_000;
@@ -348,6 +445,16 @@ struct ClientBank {
     load_ns: u64,
     orderer: usize,
     submitted: u64,
+    /// Resubmission policy (`None` = rejects are final).
+    retry: Option<RetryPolicy>,
+    retry_seed: u64,
+    /// Attempts already burned per (client, nonce) session slot.
+    attempts: HashMap<(u64, u64), u32>,
+    /// Resubmissions waiting out their backoff, keyed by due time.
+    retry_heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    retry_pending: HashMap<(u64, u64), (u64, Arc<dyn Contract>)>,
+    retries: Counter,
+    retry_drops: Counter,
 }
 
 impl ClientBank {
@@ -373,6 +480,64 @@ impl ClientBank {
         if next.at_ns <= self.load_ns {
             ctx.set_timer(next.at_ns.saturating_sub(ctx.now()), TIMER_CLIENT);
             self.pending = Some(next);
+        }
+    }
+
+    /// A retryable admission reject bounced back: schedule a
+    /// resubmission after exponential backoff (deterministic jitter, the
+    /// original submission timestamp preserved so latency accounting
+    /// keeps charging the queueing delay), or drop the transaction once
+    /// its retry budget is spent.
+    fn on_reject(
+        &mut self,
+        client: u64,
+        nonce: u64,
+        submitted_ns: u64,
+        contract: Arc<dyn Contract>,
+        ctx: &mut NetCtx<'_, Msg>,
+    ) {
+        let Some(policy) = self.retry else {
+            return;
+        };
+        let attempt = self.attempts.entry((client, nonce)).or_insert(0);
+        *attempt += 1;
+        if *attempt > policy.max_retries {
+            self.attempts.remove(&(client, nonce));
+            self.retry_drops.inc();
+            return;
+        }
+        let salt = client.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ nonce;
+        let wait = policy.backoff_ns(*attempt - 1, self.retry_seed, salt);
+        self.retry_heap
+            .push(Reverse((ctx.now() + wait, client, nonce)));
+        self.retry_pending
+            .insert((client, nonce), (submitted_ns, contract));
+        ctx.set_timer(wait, TIMER_RETRY);
+    }
+
+    /// Resubmit every transaction whose backoff has elapsed.
+    fn fire_retries(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+        while let Some(&Reverse((due, client, nonce))) = self.retry_heap.peek() {
+            if due > ctx.now() {
+                break;
+            }
+            self.retry_heap.pop();
+            let Some((submitted_ns, contract)) = self.retry_pending.remove(&(client, nonce)) else {
+                continue;
+            };
+            let bytes = encode_contract(contract.as_ref()).len() as u64 + 24;
+            ctx.charge_cpu(500);
+            ctx.send(
+                self.orderer,
+                Msg::Submit {
+                    client,
+                    nonce,
+                    submitted_ns,
+                    contract,
+                },
+                bytes,
+            );
+            self.retries.inc();
         }
     }
 }
@@ -428,6 +593,8 @@ struct Orderer {
     timer_armed: bool,
     last_seal_ns: u64,
     sealed_blocks: u64,
+    /// Bounce retryable admission rejects back to the client bank.
+    client_retry: bool,
 }
 
 impl Orderer {
@@ -619,6 +786,41 @@ impl NodeKind {
         }
     }
 
+    /// Highest root-gossip height heard from any peer.
+    fn peer_frontier(&self) -> u64 {
+        match self {
+            NodeKind::Flat(n) => n.peer_frontier(),
+            NodeKind::Sharded(n) => n.peer_frontier(),
+        }
+    }
+
+    /// Lowest gossip height at which ≥ `quorum` peers dispute this
+    /// replica's own root, if any.
+    fn quarantine_signal(&self, quorum: u32) -> Option<u64> {
+        match self {
+            NodeKind::Flat(n) => n.quarantine_signal(quorum),
+            NodeKind::Sharded(n) => n.quarantine_signal(quorum),
+        }
+    }
+
+    /// Corrupt the next gossiped (and self-tracked) root — fault
+    /// injection for the quarantine path; chain state stays intact.
+    fn poison_next_gossip(&mut self) {
+        match self {
+            NodeKind::Flat(n) => n.poison_next_gossip(),
+            NodeKind::Sharded(n) => n.poison_next_gossip(),
+        }
+    }
+
+    /// Drop all local state back to genesis (pending deliveries kept)
+    /// so the next state-sync re-bootstraps from a peer's manifest.
+    fn wipe_for_resync(&mut self) -> Result<()> {
+        match self {
+            NodeKind::Flat(n) => n.wipe_for_resync(),
+            NodeKind::Sharded(n) => n.wipe_for_resync(),
+        }
+    }
+
     fn on_peer_root(&mut self, height: u64, root: Digest) {
         match self {
             NodeKind::Flat(n) => n.on_peer_root(height, root),
@@ -697,6 +899,16 @@ struct WrapMetrics {
     sync_requests: [Counter; 2],
     /// Sync bytes received, split the same way: `[manifest, range]`.
     sync_bytes: [Counter; 2],
+    /// Sync attempts that timed out or were refused and were retried
+    /// (or failed over to another peer).
+    sync_retries: Counter,
+    /// Explicit serve refusals received while syncing.
+    sync_refusals: Counter,
+    /// Times this replica self-quarantined after a quorum of peers
+    /// disputed its root.
+    quarantine_enters: Counter,
+    /// Quarantines resolved by a completed from-scratch re-sync.
+    quarantine_exits: Counter,
 }
 
 impl WrapMetrics {
@@ -733,6 +945,26 @@ impl WrapMetrics {
                     p,
                 )
             }),
+            sync_retries: registry.counter_with(
+                "harmony_statesync_retries_total",
+                "Sync attempts retried after a timeout or refusal.",
+                &base,
+            ),
+            sync_refusals: registry.counter_with(
+                "harmony_statesync_refusals_total",
+                "Explicit serve refusals received while syncing.",
+                &base,
+            ),
+            quarantine_enters: registry.counter_with(
+                "harmony_replica_quarantine_enters_total",
+                "Self-quarantines after a root-divergence quorum.",
+                &base,
+            ),
+            quarantine_exits: registry.counter_with(
+                "harmony_replica_quarantine_exits_total",
+                "Quarantines resolved by a completed re-sync.",
+                &base,
+            ),
         }
     }
 }
@@ -743,9 +975,33 @@ struct ReplicaWrap {
     metrics: WrapMetrics,
     meta: HashMap<u64, (u64, u64)>,
     peers: Vec<usize>,
-    sync_peer: usize,
     sync_policy: SyncPolicy,
     window: usize,
+    /// Whether a fault schedule is active: arms sync timeouts, the
+    /// watchdog re-arm, and quarantine checks. Off on healthy runs so
+    /// their event schedule is untouched.
+    chaos: bool,
+    /// Sync timeout/retry/backoff policy.
+    retry: RetryPolicy,
+    retry_seed: u64,
+    /// Candidate peers to sync from (node ids), tried round-robin on
+    /// timeout/refusal.
+    sync_candidates: Vec<usize>,
+    sync_pos: usize,
+    /// Current sync attempt epoch: stale replies and timers carry an
+    /// older epoch and are discarded.
+    sync_epoch: u64,
+    sync_attempt: u32,
+    /// Windows during which this replica refuses to serve sync
+    /// ([`FaultEvent::SyncRefusal`]).
+    refusals: Vec<(u64, u64)>,
+    quarantine_quorum: u32,
+    watchdog_ns: u64,
+    /// Ignore gossip lag below this margin (one gossip period) so the
+    /// watchdog doesn't chase roots that are merely in flight.
+    frontier_slack: u64,
+    in_quarantine: bool,
+    quarantines: u64,
     // Measurement.
     committed_weighted_e2e_ns: f64,
     committed_weighted_order_ns: f64,
@@ -792,22 +1048,78 @@ impl ReplicaWrap {
         }
     }
 
+    /// Begin (or restart) a catch-up round: fresh attempt budget, next
+    /// request to the current candidate.
     fn request_sync(&mut self, ctx: &mut NetCtx<'_, Msg>) {
         self.state = ReplicaState::Syncing;
+        self.sync_attempt = 0;
+        self.send_sync_request(ctx);
+    }
+
+    fn send_sync_request(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+        if self.sync_candidates.is_empty() {
+            // Single-replica cluster: nobody to sync from.
+            self.state = ReplicaState::Up;
+            return;
+        }
+        self.sync_epoch += 1;
+        let peer = self.sync_candidates[self.sync_pos % self.sync_candidates.len()];
         ctx.send(
-            self.sync_peer,
+            peer,
             Msg::SyncRequest {
                 from: self.node.sync_from(),
+                epoch: self.sync_epoch,
             },
             64,
         );
+        if self.chaos {
+            // The timeout doubles as the backoff: attempt k waits the
+            // k-th backoff step before declaring the peer unresponsive.
+            let wait = self
+                .retry
+                .backoff_ns(self.sync_attempt, self.retry_seed, self.sync_epoch);
+            ctx.set_timer(wait, TIMER_SYNC_BASE + self.sync_epoch);
+        }
+    }
+
+    /// The current sync attempt failed (timeout or explicit refusal):
+    /// fail over to the next candidate, or park back Up once the retry
+    /// budget is spent (the watchdog re-arms catch-up later).
+    fn sync_setback(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+        self.metrics.sync_retries.inc();
+        self.sync_attempt += 1;
+        if self.sync_attempt > self.retry.max_retries {
+            self.state = ReplicaState::Up;
+        } else {
+            self.sync_pos += 1;
+            self.send_sync_request(ctx);
+        }
+    }
+
+    /// A quorum of peers disputes our root: wipe back to genesis and
+    /// re-bootstrap from a peer's checkpoint manifest.
+    fn enter_quarantine(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+        self.quarantines += 1;
+        self.in_quarantine = true;
+        self.metrics.quarantine_enters.inc();
+        self.node.wipe_for_resync().expect("quarantine wipe");
+        self.request_sync(ctx);
+    }
+
+    /// Catch-up finished with no remaining gap.
+    fn sync_complete(&mut self) {
+        self.state = ReplicaState::Up;
+        if self.in_quarantine {
+            self.in_quarantine = false;
+            self.metrics.quarantine_exits.inc();
+        }
     }
 }
 
 // ── The node enum ───────────────────────────────────────────────────────
 
 enum ClusterNode {
-    Client(ClientBank),
+    Client(Box<ClientBank>),
     Orderer(Box<Orderer>),
     Follower,
     Replica(Box<ReplicaWrap>),
@@ -816,7 +1128,17 @@ enum ClusterNode {
 impl SimNode<Msg> for ClusterNode {
     fn on_message(&mut self, from: usize, msg: Msg, ctx: &mut NetCtx<'_, Msg>) {
         match self {
-            ClusterNode::Client(_) => {}
+            ClusterNode::Client(c) => {
+                if let Msg::Reject {
+                    client,
+                    nonce,
+                    submitted_ns,
+                    contract,
+                } = msg
+                {
+                    c.on_reject(client, nonce, submitted_ns, contract, ctx);
+                }
+            }
             ClusterNode::Follower => {
                 if let Msg::Replicate { seq } = msg {
                     // Append to the local broker log and ack.
@@ -832,7 +1154,24 @@ impl SimNode<Msg> for ClusterNode {
                     contract,
                 } => {
                     ctx.charge_cpu(ADMIT_NS);
-                    let _ = o.mempool.submit(client, nonce, submitted_ns, contract);
+                    let bounce = o.client_retry.then(|| Arc::clone(&contract));
+                    match o.mempool.submit(client, nonce, submitted_ns, contract) {
+                        Err(e) if e.is_retryable() => {
+                            if let Some(contract) = bounce {
+                                ctx.send(
+                                    from,
+                                    Msg::Reject {
+                                        client,
+                                        nonce,
+                                        submitted_ns,
+                                        contract,
+                                    },
+                                    64,
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
                     if !o.timer_armed {
                         ctx.set_timer(o.batch_interval_ns, TIMER_BATCH);
                         o.timer_armed = true;
@@ -884,8 +1223,30 @@ impl SimNode<Msg> for ClusterNode {
                 }
                 Msg::RootGossip { height, root } if r.state != ReplicaState::Down => {
                     r.node.on_peer_root(height, root);
+                    // Divergence is actionable, not just an alarm: once a
+                    // quorum of peers disputes our root, wipe and re-sync.
+                    if r.chaos
+                        && r.state == ReplicaState::Up
+                        && r.node.quarantine_signal(r.quarantine_quorum).is_some()
+                    {
+                        r.enter_quarantine(ctx);
+                    }
                 }
-                Msg::SyncRequest { from: origin } if r.state == ReplicaState::Up => {
+                Msg::SyncRequest {
+                    from: origin,
+                    epoch,
+                } if r.state != ReplicaState::Down => {
+                    // A syncing peer, or one inside a refusal-fault
+                    // window, sheds serve work explicitly so the
+                    // requester fails over without waiting out a timeout.
+                    let refusing = r.state != ReplicaState::Up
+                        || r.refusals
+                            .iter()
+                            .any(|&(a, b)| ctx.now() >= a && ctx.now() < b);
+                    if refusing {
+                        ctx.send(from, Msg::SyncRefused { epoch }, 32);
+                        return;
+                    }
                     let response = match (&r.node, origin) {
                         (NodeKind::Flat(peer), SyncFrom::Flat(height)) => SyncReplyBody::Flat(
                             serve_sync(peer, BlockId(height), r.sync_policy).expect("serve"),
@@ -903,12 +1264,22 @@ impl SimNode<Msg> for ClusterNode {
                         from,
                         Msg::SyncReply {
                             response: Arc::new(response),
+                            epoch,
                         },
                         bytes,
                     );
                 }
-                Msg::SyncReply { response } => {
-                    if r.state != ReplicaState::Syncing {
+                Msg::SyncRefused { epoch } if r.state == ReplicaState::Syncing => {
+                    if epoch != r.sync_epoch {
+                        return;
+                    }
+                    r.metrics.sync_refusals.inc();
+                    r.sync_setback(ctx);
+                }
+                Msg::SyncReply { response, epoch } => {
+                    // Stale replies (a slow peer answering an attempt we
+                    // already failed over from) are discarded by epoch.
+                    if r.state != ReplicaState::Syncing || epoch != r.sync_epoch {
                         return;
                     }
                     let applied = match (&mut r.node, response.as_ref()) {
@@ -937,7 +1308,7 @@ impl SimNode<Msg> for ClusterNode {
                     r.sync_blocks += applied;
                     r.last_apply_ns = r.last_apply_ns.max(ctx.now());
                     if r.node.pending_gap() == 0 {
-                        r.state = ReplicaState::Up;
+                        r.sync_complete();
                     } else {
                         // Still gapped (peer advanced meanwhile): go again.
                         r.request_sync(ctx);
@@ -951,6 +1322,7 @@ impl SimNode<Msg> for ClusterNode {
     fn on_timer(&mut self, id: u64, ctx: &mut NetCtx<'_, Msg>) {
         match (self, id) {
             (ClusterNode::Client(c), TIMER_CLIENT) => c.fire(ctx),
+            (ClusterNode::Client(c), TIMER_RETRY) => c.fire_retries(ctx),
             (ClusterNode::Orderer(o), TIMER_BATCH) => {
                 o.timer_armed = false;
                 o.launch_batches(ctx);
@@ -965,6 +1337,34 @@ impl SimNode<Msg> for ClusterNode {
                 r.node.recover_local().expect("local recovery");
                 r.recoveries += 1;
                 r.request_sync(ctx);
+            }
+            (ClusterNode::Replica(r), TIMER_POISON) if r.state == ReplicaState::Up => {
+                r.node.poison_next_gossip();
+            }
+            (ClusterNode::Replica(r), TIMER_WATCHDOG) => {
+                // Liveness backstop on fault runs: a replica that is
+                // nominally Up but lost deliveries (partition, drops, a
+                // sync round that exhausted its retries) re-arms
+                // catch-up; a quorum-disputed root triggers quarantine.
+                if r.state == ReplicaState::Up {
+                    if r.node.quarantine_signal(r.quarantine_quorum).is_some() {
+                        r.enter_quarantine(ctx);
+                    } else if r.node.pending_gap() > 0
+                        || r.node.peer_frontier() > r.node.height().0 + r.frontier_slack
+                    {
+                        r.request_sync(ctx);
+                    }
+                }
+                ctx.set_timer(r.watchdog_ns, TIMER_WATCHDOG);
+            }
+            // Sync request timeout — only meaningful if we are still
+            // waiting on exactly this epoch.
+            (ClusterNode::Replica(r), id)
+                if id >= TIMER_SYNC_BASE
+                    && r.state == ReplicaState::Syncing
+                    && id == TIMER_SYNC_BASE + r.sync_epoch =>
+            {
+                r.sync_setback(ctx);
             }
             _ => {}
         }
@@ -995,6 +1395,11 @@ pub struct ReplicaSummary {
     pub alarms: u64,
     /// Crash recoveries it performed.
     pub recoveries: u64,
+    /// Times it self-quarantined after a quorum of peers disputed its
+    /// root, wiping and re-syncing from scratch.
+    pub quarantines: u64,
+    /// Sync attempts it retried after a timeout or serve refusal.
+    pub sync_retries: u64,
     /// Blocks it obtained via state-sync.
     pub sync_blocks: u64,
     /// Shards it re-bootstrapped via checkpoint-manifest install during
@@ -1027,10 +1432,19 @@ pub struct ClusterReport {
     pub divergence_alarms: u64,
     /// Mempool admission counters.
     pub mempool: MempoolStats,
+    /// Transactions sealed per tenant (one slot per configured tenant;
+    /// a single slot when tenancy is off).
+    pub tenant_sealed: Vec<u64>,
     /// Blocks the orderer sealed.
     pub sealed_blocks: u64,
-    /// Transactions the client bank submitted.
+    /// Transactions the client bank submitted (first attempts only).
     pub submitted_txns: u64,
+    /// Client-side resubmissions after retryable rejects.
+    pub client_retries: u64,
+    /// Transactions abandoned after exhausting their retry budget.
+    pub client_retry_drops: u64,
+    /// Total self-quarantines across replicas.
+    pub quarantines: u64,
     /// Prometheus text exposition of the final registry state.
     pub exposition: String,
     /// Per-run JSON metrics timeline (`harmonybc-timeline/v1`), snapshots
@@ -1053,6 +1467,10 @@ impl Cluster {
     /// Run the scenario to quiescence and report.
     pub fn run(&self) -> Result<ClusterReport> {
         let cfg = &self.config;
+        cfg.validate()?;
+        // Chaos machinery (watchdog, sync timeouts, net faults) is armed
+        // only when faults are scheduled.
+        let chaos = !cfg.faults.is_empty();
         let followers = match cfg.ordering {
             OrderingMode::Kafka { brokers } => brokers.saturating_sub(1),
             OrderingMode::HotStuff => 0,
@@ -1060,11 +1478,12 @@ impl Cluster {
         let orderer_idx = 1usize;
         let replica_base = 2 + followers;
         let replica_idx: Vec<usize> = (0..cfg.replicas).map(|r| replica_base + r).collect();
-        let crash_replica = cfg.crash.map(|c| c.replica);
-        // The observer (metrics + sync serving) never crashes.
-        let observer = (0..cfg.replicas)
-            .find(|r| Some(*r) != crash_replica)
-            .expect("at least one stable replica");
+        // The observer (run metrics, liveness reference) is never
+        // health-faulted; validate() guarantees one exists.
+        let observer = cfg
+            .faults
+            .healthy_replica(cfg.replicas)
+            .expect("validated schedule leaves an observer");
         let system = format!(
             "{}·node×{}{}{}",
             cfg.replica.engine.name(),
@@ -1087,7 +1506,21 @@ impl Cluster {
         let mut nodes: Vec<ClusterNode> = Vec::with_capacity(replica_base + cfg.replicas);
         let mut stream = OpenLoopClients::new(cfg.open_loop, cfg.seed ^ 0xA11);
         let first = stream.next_arrival();
-        nodes.push(ClusterNode::Client(ClientBank {
+        let (retries_ctr, retry_drops_ctr) = if cfg.client_retry.is_some() {
+            (
+                registry.counter(
+                    "harmony_client_retries_total",
+                    "Client resubmissions after retryable admission rejects.",
+                ),
+                registry.counter(
+                    "harmony_client_retry_drops_total",
+                    "Transactions abandoned after exhausting the retry budget.",
+                ),
+            )
+        } else {
+            (Counter::detached(), Counter::detached())
+        };
+        nodes.push(ClusterNode::Client(Box::new(ClientBank {
             stream,
             generator: cfg.workload.generator()?,
             rng: harmony_common::DetRng::new(cfg.seed ^ 0x7C5),
@@ -1095,10 +1528,20 @@ impl Cluster {
             load_ns: cfg.load_ns,
             orderer: orderer_idx,
             submitted: 0,
-        }));
+            retry: cfg.client_retry,
+            retry_seed: cfg.seed ^ 0xBACC_0FF5,
+            attempts: HashMap::new(),
+            retry_heap: BinaryHeap::new(),
+            retry_pending: HashMap::new(),
+            retries: retries_ctr,
+            retry_drops: retry_drops_ctr,
+        })));
         let chain_cfg = &cfg.replica.chain;
         nodes.push(ClusterNode::Orderer(Box::new(Orderer {
-            mempool: Mempool::with_metrics(cfg.mempool, MempoolMetrics::register(&registry)),
+            mempool: Mempool::with_metrics(
+                cfg.mempool,
+                MempoolMetrics::register(&registry, cfg.mempool.tenants),
+            ),
             hub: MetricsHub {
                 registry: Arc::clone(&registry),
                 timeline: Timeline::new(&system, cfg.seed, metrics_every_ns),
@@ -1120,6 +1563,7 @@ impl Cluster {
             timer_armed: false,
             last_seal_ns: 0,
             sealed_blocks: 0,
+            client_retry: cfg.client_retry.is_some(),
         })));
         for _ in 0..followers {
             nodes.push(ClusterNode::Follower);
@@ -1158,30 +1602,38 @@ impl Cluster {
                     NodeKind::Sharded(Box::new(n))
                 }
             };
-            let peers = replica_idx
+            let peers: Vec<usize> = replica_idx
                 .iter()
                 .copied()
                 .filter(|&p| p != replica_idx[r])
                 .collect();
-            // Everyone syncs from the stable observer; the observer itself
-            // falls back to the next stable replica (it should never need
-            // to, but a self-request would deadlock).
-            let sync_peer = if r == observer {
-                (0..cfg.replicas)
-                    .find(|x| *x != r && Some(*x) != crash_replica)
-                    .map_or(replica_idx[r], |x| replica_idx[x])
-            } else {
-                replica_idx[observer]
-            };
+            // Sync candidates: the other replicas, as a ring starting at
+            // the next index. Timeouts and refusals rotate through it, so
+            // a down or overloaded peer just costs one failover hop.
+            let sync_candidates: Vec<usize> = (1..cfg.replicas)
+                .map(|d| replica_idx[(r + d) % cfg.replicas])
+                .collect();
             nodes.push(ClusterNode::Replica(Box::new(ReplicaWrap {
                 node,
                 state: ReplicaState::Up,
                 metrics: WrapMetrics::register(&registry, r),
                 meta: HashMap::new(),
                 peers,
-                sync_peer,
                 sync_policy: cfg.sync,
                 window: cfg.window.max(1),
+                chaos,
+                retry: cfg.sync_retry,
+                retry_seed: cfg.seed ^ 0x5E7B_ACC0 ^ (r as u64) << 40,
+                sync_candidates,
+                sync_pos: 0,
+                sync_epoch: 0,
+                sync_attempt: 0,
+                refusals: cfg.faults.refusal_windows(r),
+                quarantine_quorum: cfg.quarantine_quorum,
+                watchdog_ns: cfg.watchdog_ns.max(1),
+                frontier_slack: cfg.replica.gossip_every.max(1),
+                in_quarantine: false,
+                quarantines: 0,
                 committed_weighted_e2e_ns: 0.0,
                 committed_weighted_order_ns: 0.0,
                 committed_txns: 0,
@@ -1200,11 +1652,32 @@ impl Cluster {
         let first_at = c.pending.as_ref().map_or(0, |a| a.at_ns);
         el.seed_timer(0, first_at, TIMER_CLIENT);
         el.seed_timer(orderer_idx, metrics_every_ns, TIMER_METRICS);
-        if let Some(plan) = cfg.crash {
-            assert!(plan.replica < cfg.replicas, "crash target out of range");
-            assert!(plan.at_ns < plan.recover_at_ns, "recover after crash");
-            el.seed_timer(replica_idx[plan.replica], plan.at_ns, TIMER_CRASH);
-            el.seed_timer(replica_idx[plan.replica], plan.recover_at_ns, TIMER_RECOVER);
+        if chaos {
+            // Lower the link-visible faults onto the net model, with
+            // injection counters in the shared registry.
+            let mut table = cfg.faults.net_faults(|r| replica_idx[r]);
+            let kind = |k: &str| {
+                registry.counter_with(
+                    "harmony_net_faults_injected_total",
+                    "Messages perturbed by the injected link faults.",
+                    &[("kind", k)],
+                )
+            };
+            table.set_counters(kind("dropped"), kind("duplicated"), kind("delayed"));
+            el.set_faults(table);
+            for (r, at_ns, recover_at_ns) in cfg.faults.crash_cycles() {
+                el.seed_timer(replica_idx[r], at_ns, TIMER_CRASH);
+                el.seed_timer(replica_idx[r], recover_at_ns, TIMER_RECOVER);
+            }
+            for (r, at_ns) in cfg.faults.poison_events() {
+                el.seed_timer(replica_idx[r], at_ns, TIMER_POISON);
+            }
+            // Liveness watchdog on every replica, staggered so the herd
+            // doesn't fire on one instant.
+            for (r, &idx) in replica_idx.iter().enumerate() {
+                let at = cfg.watchdog_ns.max(1) + (r as u64 + 1) * 1_000;
+                el.seed_timer(idx, at, TIMER_WATCHDOG);
+            }
         }
         el.run_until(deadline_ns);
 
@@ -1221,11 +1694,13 @@ impl Cluster {
         // ── Collect ──
         let mut replicas = Vec::with_capacity(cfg.replicas);
         let mut divergence_alarms = 0;
+        let mut quarantines = 0;
         for (r, &idx) in replica_idx.iter().enumerate() {
             let ClusterNode::Replica(w) = el.node(idx) else {
                 unreachable!("replica index");
             };
             divergence_alarms += w.node.divergence_alarms();
+            quarantines += w.quarantines;
             replicas.push(ReplicaSummary {
                 replica: r,
                 height: w.node.height(),
@@ -1235,6 +1710,8 @@ impl Cluster {
                 delivered: w.node.delivery_log().len(),
                 alarms: w.node.divergence_alarms(),
                 recoveries: w.recoveries,
+                quarantines: w.quarantines,
+                sync_retries: w.metrics.sync_retries.get(),
                 sync_blocks: w.sync_blocks,
                 sync_manifest_shards: w.sync_manifest_shards,
                 sync_range_shards: w.sync_range_shards,
@@ -1307,8 +1784,12 @@ impl Cluster {
             consistent,
             divergence_alarms,
             mempool: o.mempool.stats(),
+            tenant_sealed: o.mempool.tenant_sealed(),
             sealed_blocks: o.sealed_blocks,
             submitted_txns: c.submitted,
+            client_retries: c.retries.get(),
+            client_retry_drops: c.retry_drops.get(),
+            quarantines,
             exposition: registry.render_prometheus(),
             timeline: o.hub.timeline.to_json(),
         })

@@ -14,10 +14,16 @@
 //!   log, pipeline-aware virtual-time cost accounting, and state-root
 //!   gossip for divergence detection.
 //! * [`statesync`] — how a lagging replica catches up: checkpoint
-//!   manifest transfer and/or verified block-range replay from a peer.
+//!   manifest transfer and/or verified block-range replay from a peer,
+//!   with a timeout/retry/backoff policy ([`RetryPolicy`]) for peers
+//!   that never answer.
+//! * [`fault`] — the chaos plane: a typed [`FaultSchedule`] of crash
+//!   cycles, partitions, link drop/duplication/delay windows, sync
+//!   refusals, and root poisoning, lowered onto the deterministic net.
 //! * [`cluster`] — [`Cluster`]: N replicas + orderer (+ brokers) + an
 //!   open-loop client bank on the deterministic discrete-event network,
-//!   with crash/rejoin scenarios, producing node-runtime
+//!   with fault schedules, watchdog-driven recovery, divergence
+//!   quarantine, and client resubmission, producing node-runtime
 //!   [`harmony_sim::RunMetrics`] instead of the analytic composition.
 //!
 //! The invariant every scenario must uphold: replicas fed the same
@@ -25,6 +31,7 @@
 //! engine, worker count, crash points, or sync path.
 
 pub mod cluster;
+pub mod fault;
 pub mod mempool;
 pub mod metrics;
 pub mod replica;
@@ -35,11 +42,12 @@ pub use cluster::{
     Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, OrderingMode,
     ReplicaSummary, ShardTopology,
 };
+pub use fault::{FaultEvent, FaultSchedule};
 pub use mempool::{AdmitError, Mempool, MempoolConfig, MempoolMetrics, MempoolStats, PendingTxn};
 pub use metrics::{shard_txn_counters, ReplicaMetrics, TxnCounters, ROOT_FOLD_NS};
 pub use replica::{Applied, ReplicaConfig, ReplicaNode};
 pub use sharded::{ShardedReplicaConfig, ShardedReplicaNode};
 pub use statesync::{
-    apply_sharded_sync, apply_sync, serve_sharded_sync, serve_sync, ShardedSyncApplied,
-    ShardedSyncResponse, SyncPolicy, SyncResponse,
+    apply_sharded_sync, apply_sync, serve_sharded_sync, serve_sync, RetryPolicy,
+    ShardedSyncApplied, ShardedSyncResponse, SyncPolicy, SyncResponse,
 };

@@ -30,6 +30,17 @@ pub struct MempoolConfig {
     pub capacity: usize,
     /// Per-session hold-back window for out-of-order nonces.
     pub reorder_window: usize,
+    /// Number of admission tenants. Client sessions map to tenants by
+    /// `client % tenants`; 1 (the default) disables multi-tenancy.
+    pub tenants: usize,
+    /// Per-tenant cap on *queued* transactions. `None` (the default)
+    /// means tenants share the queue freely; `Some(q)` rejects a
+    /// tenant's submissions once it has `q` transactions queued, so one
+    /// hot tenant cannot starve the rest of the capacity. Held-back
+    /// out-of-order transactions do not count against the quota until
+    /// they drain into the queue (the drain, like the capacity drain,
+    /// never strands a held transaction).
+    pub tenant_quota: Option<usize>,
 }
 
 impl Default for MempoolConfig {
@@ -37,6 +48,8 @@ impl Default for MempoolConfig {
         MempoolConfig {
             capacity: 4_096,
             reorder_window: 64,
+            tenants: 1,
+            tenant_quota: None,
         }
     }
 }
@@ -62,12 +75,21 @@ pub enum AdmitError {
         /// The too-far-ahead nonce received.
         got: u64,
     },
+    /// The client's tenant is at its admission quota; the client must
+    /// back off and resubmit (the nonce is not consumed).
+    TenantQuota {
+        /// Submitting session.
+        client: u64,
+        /// The tenant (`client % tenants`) that is over quota.
+        tenant: u64,
+    },
 }
 
 impl AdmitError {
     /// Every rejection cause label, in declaration order — the full
     /// label set of `harmony_mempool_rejected_total{cause=...}`.
-    pub const CAUSES: [&'static str; 3] = ["backpressure", "duplicate", "nonce_gap"];
+    pub const CAUSES: [&'static str; 4] =
+        ["backpressure", "duplicate", "nonce_gap", "tenant_quota"];
 
     /// The static metric label for this rejection cause. Rejection
     /// accounting is derived from this single mapping, so the
@@ -79,7 +101,16 @@ impl AdmitError {
             AdmitError::Backpressure => Self::CAUSES[0],
             AdmitError::Duplicate { .. } => Self::CAUSES[1],
             AdmitError::NonceGap { .. } => Self::CAUSES[2],
+            AdmitError::TenantQuota { .. } => Self::CAUSES[3],
         }
+    }
+
+    /// Whether the submission may be retried later with the same nonce:
+    /// true for load-induced rejections (the nonce was not consumed),
+    /// false for replays. This is the client-side resubmission filter.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, AdmitError::Duplicate { .. })
     }
 }
 
@@ -98,6 +129,9 @@ impl std::fmt::Display for AdmitError {
                 f,
                 "nonce {got} from client {client} exceeds the reorder window (expected {expected})"
             ),
+            AdmitError::TenantQuota { client, tenant } => {
+                write!(f, "tenant {tenant} at admission quota (client {client})")
+            }
         }
     }
 }
@@ -132,6 +166,8 @@ pub struct MempoolStats {
     pub rejected_duplicate: u64,
     /// Rejections due to nonces beyond the reorder window.
     pub rejected_gap: u64,
+    /// Rejections due to a tenant exceeding its admission quota.
+    pub rejected_tenant_quota: u64,
 }
 
 /// The mempool's metric handles: queue depth gauge, admit/reorder
@@ -147,13 +183,18 @@ pub struct MempoolMetrics {
     pub reordered: Counter,
     /// `harmony_mempool_rejected_total{cause=...}`, indexed like
     /// [`AdmitError::CAUSES`].
-    pub rejected: [Counter; 3],
+    pub rejected: [Counter; 4],
+    /// `harmony_mempool_tenant_sealed_total{tenant=...}` — transactions
+    /// drained into blocks, per tenant (the admission-plane goodput the
+    /// overload figure plots). Empty when multi-tenancy is off.
+    pub tenant_sealed: Vec<Counter>,
 }
 
 impl MempoolMetrics {
-    /// Register the mempool metric family in `registry`.
+    /// Register the mempool metric family in `registry`. `tenants` > 1
+    /// additionally registers one per-tenant sealed counter.
     #[must_use]
-    pub fn register(registry: &Registry) -> MempoolMetrics {
+    pub fn register(registry: &Registry, tenants: usize) -> MempoolMetrics {
         MempoolMetrics {
             depth: registry.gauge(
                 "harmony_mempool_depth",
@@ -174,6 +215,19 @@ impl MempoolMetrics {
                     &[("cause", cause)],
                 )
             }),
+            tenant_sealed: if tenants > 1 {
+                (0..tenants)
+                    .map(|t| {
+                        registry.counter_with(
+                            "harmony_mempool_tenant_sealed_total",
+                            "Transactions sealed into blocks, per admission tenant.",
+                            &[("tenant", &t.to_string())],
+                        )
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -189,7 +243,9 @@ impl MempoolMetrics {
                 Counter::detached(),
                 Counter::detached(),
                 Counter::detached(),
+                Counter::detached(),
             ],
+            tenant_sealed: Vec::new(),
         }
     }
 
@@ -213,6 +269,8 @@ pub struct Mempool {
     config: MempoolConfig,
     queue: VecDeque<PendingTxn>,
     sessions: HashMap<u64, Session>,
+    /// Queued (not held) transactions per tenant — the quota ledger.
+    tenant_queued: Vec<usize>,
     metrics: MempoolMetrics,
 }
 
@@ -225,13 +283,26 @@ impl Mempool {
 
     /// Build an empty mempool reporting into the given metric handles.
     #[must_use]
-    pub fn with_metrics(config: MempoolConfig, metrics: MempoolMetrics) -> Mempool {
+    pub fn with_metrics(config: MempoolConfig, mut metrics: MempoolMetrics) -> Mempool {
+        let tenants = config.tenants.max(1);
+        // Pad the per-tenant counters so sealed accounting works even
+        // with detached metrics.
+        while metrics.tenant_sealed.len() < tenants {
+            metrics.tenant_sealed.push(Counter::detached());
+        }
         Mempool {
             config,
             queue: VecDeque::new(),
             sessions: HashMap::new(),
+            tenant_queued: vec![0; tenants],
             metrics,
         }
+    }
+
+    /// The tenant a client session maps to.
+    #[must_use]
+    pub fn tenant_of(&self, client: u64) -> u64 {
+        client % self.config.tenants.max(1) as u64
     }
 
     /// Admit (or reject) one submission.
@@ -242,9 +313,19 @@ impl Mempool {
         submitted_ns: u64,
         contract: Arc<dyn Contract>,
     ) -> Result<(), AdmitError> {
+        let tenant = self.tenant_of(client);
         let session = self.sessions.entry(client).or_default();
         if nonce < session.next_nonce || session.held.contains_key(&nonce) {
             return Err(self.reject(AdmitError::Duplicate { client, nonce }));
+        }
+        // Tenant quota outranks global backpressure: a tenant over its
+        // share gets the tenant-specific (actionable) cause even when the
+        // queue is also full. Like backpressure, the rejection never
+        // consumes the nonce.
+        if let Some(quota) = self.config.tenant_quota {
+            if self.tenant_queued[tenant as usize] >= quota {
+                return Err(self.reject(AdmitError::TenantQuota { client, tenant }));
+            }
         }
         if self.queue.len() >= self.config.capacity {
             return Err(self.reject(AdmitError::Backpressure));
@@ -280,10 +361,15 @@ impl Mempool {
         // the queue can overshoot by at most `reorder_window`.
         session.next_nonce = nonce + 1;
         self.queue.push_back(txn);
+        self.tenant_queued[tenant as usize] += 1;
         self.metrics.admitted.inc();
         while let Some(held) = session.held.remove(&session.next_nonce) {
             session.next_nonce += 1;
             self.queue.push_back(held);
+            // The drain, like the capacity drain above, ignores the
+            // tenant quota: stopping would strand the held transactions.
+            // All drained txns belong to this session, hence this tenant.
+            self.tenant_queued[tenant as usize] += 1;
             self.metrics.admitted.inc();
         }
         self.metrics.depth.set(self.queue.len() as i64);
@@ -302,8 +388,23 @@ impl Mempool {
     pub fn next_batch(&mut self, max: usize) -> Vec<PendingTxn> {
         let n = max.min(self.queue.len());
         let batch: Vec<PendingTxn> = self.queue.drain(..n).collect();
+        for t in &batch {
+            let tenant = self.tenant_of(t.client) as usize;
+            self.tenant_queued[tenant] = self.tenant_queued[tenant].saturating_sub(1);
+            self.metrics.tenant_sealed[tenant].inc();
+        }
         self.metrics.depth.set(self.queue.len() as i64);
         batch
+    }
+
+    /// Transactions sealed into blocks so far, per tenant.
+    #[must_use]
+    pub fn tenant_sealed(&self) -> Vec<u64> {
+        self.metrics
+            .tenant_sealed
+            .iter()
+            .map(harmony_metrics::Counter::get)
+            .collect()
     }
 
     /// Queued transactions (excluding held-back out-of-order ones).
@@ -341,6 +442,7 @@ impl Mempool {
             rejected_backpressure: m.rejected[0].get(),
             rejected_duplicate: m.rejected[1].get(),
             rejected_gap: m.rejected[2].get(),
+            rejected_tenant_quota: m.rejected[3].get(),
         }
     }
 }
@@ -358,6 +460,7 @@ mod tests {
         Mempool::new(MempoolConfig {
             capacity,
             reorder_window: 4,
+            ..MempoolConfig::default()
         })
     }
 
@@ -575,6 +678,101 @@ mod tests {
         );
         assert_eq!(m.stats().rejected_duplicate, 1);
         assert_eq!(m.stats().rejected_backpressure, 0);
+    }
+
+    fn tenant_pool(capacity: usize, tenants: usize, quota: usize) -> Mempool {
+        Mempool::new(MempoolConfig {
+            capacity,
+            reorder_window: 4,
+            tenants,
+            tenant_quota: Some(quota),
+        })
+    }
+
+    #[test]
+    fn tenant_quota_rejects_without_consuming_the_nonce() {
+        // Mirror of `backpressure_bounds_the_queue`: a quota-rejected
+        // nonce must remain admissible after the tenant drains.
+        let mut m = tenant_pool(10, 2, 1);
+        m.submit(2, 0, 0, nop()).unwrap(); // tenant 0 at quota
+        assert_eq!(
+            m.submit(4, 0, 0, nop()),
+            Err(AdmitError::TenantQuota {
+                client: 4,
+                tenant: 0
+            })
+        );
+        // The other tenant is unaffected by tenant 0's saturation.
+        m.submit(3, 0, 0, nop()).unwrap();
+        // Draining frees the quota; the same (client, nonce) is admitted.
+        m.next_batch(10);
+        m.submit(4, 0, 0, nop()).unwrap();
+        assert_eq!(m.stats().rejected_tenant_quota, 1);
+        assert_eq!(m.stats().rejected_backpressure, 0);
+    }
+
+    #[test]
+    fn tenant_quota_isolates_a_hot_tenant() {
+        // Tenant 1 (odd clients) floods; tenant 0 must still get its
+        // share even though the hot tenant alone could fill capacity.
+        let mut m = tenant_pool(8, 2, 4);
+        for n in 0..20 {
+            let _ = m.submit(1, n, 0, nop());
+        }
+        assert_eq!(m.len(), 4, "hot tenant capped at its quota");
+        for n in 0..4 {
+            m.submit(0, n, 0, nop()).unwrap();
+        }
+        let sealed = m.tenant_sealed();
+        assert_eq!(sealed, vec![0, 0], "nothing sealed yet");
+        m.next_batch(100);
+        assert_eq!(m.tenant_sealed(), vec![4, 4], "fair share per tenant");
+        assert!(m.stats().rejected_tenant_quota > 0);
+    }
+
+    #[test]
+    fn duplicate_outranks_tenant_quota() {
+        let mut m = tenant_pool(10, 2, 1);
+        m.submit(2, 0, 0, nop()).unwrap();
+        assert!(matches!(
+            m.submit(2, 0, 0, nop()),
+            Err(AdmitError::Duplicate { .. })
+        ));
+        assert_eq!(m.stats().rejected_tenant_quota, 0);
+    }
+
+    #[test]
+    fn held_drain_ignores_tenant_quota() {
+        // Quota 1: nonce 1 held, nonce 0 lands → the drain pushes the
+        // tenant to 2 queued (quota overshoot, like the capacity drain)
+        // rather than stranding the held transaction.
+        let mut m = tenant_pool(10, 2, 1);
+        m.submit(2, 1, 0, nop()).unwrap(); // held (out of order)
+        m.submit(2, 0, 0, nop()).unwrap();
+        assert_eq!(m.len(), 2);
+        let batch = m.next_batch(10);
+        assert_eq!(batch.iter().map(|t| t.nonce).collect::<Vec<_>>(), [0, 1]);
+    }
+
+    #[test]
+    fn retryable_causes_exclude_replays() {
+        assert!(AdmitError::Backpressure.is_retryable());
+        assert!(AdmitError::TenantQuota {
+            client: 0,
+            tenant: 0
+        }
+        .is_retryable());
+        assert!(AdmitError::NonceGap {
+            client: 0,
+            expected: 0,
+            got: 9
+        }
+        .is_retryable());
+        assert!(!AdmitError::Duplicate {
+            client: 0,
+            nonce: 0
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -92,6 +92,12 @@ pub struct Applied {
 pub(crate) struct RootTracker {
     own: BTreeMap<u64, Digest>,
     peers: BTreeMap<u64, Vec<Digest>>,
+    /// Disagreeing comparisons per gossip height (pruned with `own`) —
+    /// the evidence base for the self-quarantine quorum check.
+    mismatched: BTreeMap<u64, u32>,
+    /// Highest gossip height seen from any peer — evidence that the
+    /// cluster is ahead of this node (drives the liveness watchdog).
+    peer_frontier: u64,
     /// Highest height this node has gossiped at — anything at or below it
     /// has been compared (or missed for good) and is stale.
     passed: u64,
@@ -114,7 +120,11 @@ impl RootTracker {
     /// the comparison point leaves behind.
     pub(crate) fn note_own(&mut self, height: u64, root: Digest) {
         if let Some(peers) = self.peers.remove(&height) {
-            self.alarms += peers.iter().filter(|p| **p != root).count() as u64;
+            let disagreed = peers.iter().filter(|p| **p != root).count() as u64;
+            if disagreed > 0 {
+                self.alarms += disagreed;
+                *self.mismatched.entry(height).or_insert(0) += disagreed as u32;
+            }
         }
         // Buffered peer roots below the compared height can never be
         // compared anymore — drop them.
@@ -122,7 +132,8 @@ impl RootTracker {
         self.passed = self.passed.max(height);
         self.own.insert(height, root);
         while self.own.len() > Self::OWN_KEEP {
-            self.own.pop_first();
+            let (h, _) = self.own.pop_first().expect("len checked");
+            self.mismatched.remove(&h);
         }
         self.own_hwm.set_max(self.own.len() as i64);
     }
@@ -137,9 +148,11 @@ impl RootTracker {
     /// node already has its own root there, parked until it does if it is
     /// ahead, dropped if the node has already gossiped past it.
     pub(crate) fn note_peer(&mut self, height: u64, root: Digest) {
+        self.peer_frontier = self.peer_frontier.max(height);
         if let Some(own) = self.own.get(&height) {
             if *own != root {
                 self.alarms += 1;
+                *self.mismatched.entry(height).or_insert(0) += 1;
             }
             return;
         }
@@ -156,6 +169,33 @@ impl RootTracker {
     /// Comparisons that disagreed so far.
     pub(crate) fn alarms(&self) -> u64 {
         self.alarms
+    }
+
+    /// Highest gossip height seen from any peer.
+    pub(crate) fn peer_frontier(&self) -> u64 {
+        self.peer_frontier
+    }
+
+    /// The lowest gossip height where at least `quorum` comparisons
+    /// disagreed with this node's own root — the self-quarantine
+    /// trigger: when a quorum of the cluster disputes our root, *we* are
+    /// the diverged one.
+    pub(crate) fn quarantine_signal(&self, quorum: u32) -> Option<u64> {
+        self.mismatched
+            .iter()
+            .find(|(_, n)| **n >= quorum)
+            .map(|(h, _)| *h)
+    }
+
+    /// Forget all comparison state ahead of a full re-sync: own roots,
+    /// buffered peers, and mismatch evidence. Gossip at or below
+    /// `passed` is stale afterwards. Cumulative `alarms` survive — they
+    /// are the report's forensic record.
+    pub(crate) fn reset_for_resync(&mut self, passed: u64) {
+        self.own.clear();
+        self.peers.clear();
+        self.mismatched.clear();
+        self.passed = self.passed.max(passed);
     }
 
     /// Buffered future gossip heights (bound checked by tests).
@@ -185,6 +225,10 @@ pub struct ReplicaNode {
     charged_ns: u64,
     stats: BlockStats,
     roots: RootTracker,
+    /// Fault-injection hook: corrupt the next gossiped (and self-tracked)
+    /// root so the divergence/quarantine machinery fires without actually
+    /// corrupting chain state.
+    poison_next_gossip: bool,
     metrics: ReplicaMetrics,
 }
 
@@ -212,6 +256,7 @@ impl ReplicaNode {
             charged_ns: 0,
             stats: BlockStats::default(),
             roots: RootTracker::default(),
+            poison_next_gossip: false,
             metrics: ReplicaMetrics::detached(),
         })
     }
@@ -322,7 +367,14 @@ impl ReplicaNode {
         self.metrics.block_cost_ns.observe(cost_ns);
 
         let gossip_root = if block.header.id.0.is_multiple_of(self.gossip_every) {
-            let root = self.chain.state_root()?;
+            let mut root = self.chain.state_root()?;
+            if self.poison_next_gossip {
+                // Corrupt the *observed* root (gossip + own tracking), not
+                // the chain: peers will dispute it, and so will this node's
+                // own tracker once their true roots arrive.
+                root.0[0] ^= 0xFF;
+                self.poison_next_gossip = false;
+            }
             self.roots.note_own(block.header.id.0, root);
             self.metrics.root_fold_ns.observe(ROOT_FOLD_NS);
             Some(root)
@@ -341,6 +393,42 @@ impl ReplicaNode {
     /// replica's own root at that height (now, or when it gets there).
     pub fn on_peer_root(&mut self, height: u64, root: Digest) {
         self.roots.note_peer(height, root);
+    }
+
+    /// Highest gossip height seen from any peer — evidence the cluster
+    /// is ahead of this node.
+    #[must_use]
+    pub fn peer_frontier(&self) -> u64 {
+        self.roots.peer_frontier()
+    }
+
+    /// The lowest gossip height where at least `quorum` root comparisons
+    /// disagreed with this replica's own root, if any — the signal that
+    /// *this* replica has diverged and should quarantine + re-sync.
+    #[must_use]
+    pub fn quarantine_signal(&self, quorum: u32) -> Option<u64> {
+        self.roots.quarantine_signal(quorum)
+    }
+
+    /// Fault-injection hook: flip a byte in the next gossiped (and
+    /// self-tracked) root. Chain state stays intact, so this exercises
+    /// divergence detection and quarantine recovery end to end.
+    pub fn poison_next_gossip(&mut self) {
+        self.poison_next_gossip = true;
+    }
+
+    /// Drop all local chain state ahead of a quarantine re-sync: reopen a
+    /// fresh chain (height 0, empty tables) and clear comparison
+    /// evidence, but keep buffered deliveries — they re-apply once the
+    /// peer's snapshot lands. After this, a state-sync request advertises
+    /// height 0, so the serving peer answers with a full manifest.
+    pub fn wipe_for_resync(&mut self) -> Result<()> {
+        let passed = self.roots.passed;
+        self.chain = open_chain(&self.config)?;
+        self.schedules.clear();
+        self.charged_ns = 0;
+        self.roots.reset_for_resync(passed);
+        Ok(())
     }
 
     /// Crash: lose the delivery buffer and in-memory execution state (the

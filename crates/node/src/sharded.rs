@@ -143,6 +143,10 @@ pub struct ShardedReplicaNode {
     pending: BTreeMap<u64, Arc<ChainBlock>>,
     stats: BlockStats,
     roots: RootTracker,
+    /// Fault-injection hook: corrupt the next gossiped (and self-tracked)
+    /// root without touching shard state. See
+    /// [`ShardedReplicaNode::poison_next_gossip`].
+    poison_next_gossip: bool,
     metrics: ReplicaMetrics,
     shard_metrics: Vec<TxnCounters>,
     planner_metrics: PlannerMetrics,
@@ -187,6 +191,7 @@ impl ShardedReplicaNode {
             pending: BTreeMap::new(),
             stats: BlockStats::default(),
             roots: RootTracker::default(),
+            poison_next_gossip: false,
             metrics: ReplicaMetrics::detached(),
             shard_metrics: (0..config.shards)
                 .map(|_| TxnCounters::detached())
@@ -417,7 +422,11 @@ impl ShardedReplicaNode {
 
         let committed = outcomes.iter().filter(|o| o.is_committed()).count();
         let gossip_root = if id.0.is_multiple_of(self.config.gossip_every.max(1)) {
-            let root = self.sharded_root()?;
+            let mut root = self.sharded_root()?;
+            if self.poison_next_gossip {
+                root.0[0] ^= 0xFF;
+                self.poison_next_gossip = false;
+            }
             self.roots.note_own(id.0, root);
             self.metrics.root_fold_ns.observe(ROOT_FOLD_NS);
             Some(root)
@@ -435,6 +444,44 @@ impl ShardedReplicaNode {
     /// Receive a peer's gossiped sharded state root.
     pub fn on_peer_root(&mut self, height: u64, root: Digest) {
         self.roots.note_peer(height, root);
+    }
+
+    /// Highest gossip height seen from any peer — evidence the cluster
+    /// is ahead of this node.
+    #[must_use]
+    pub fn peer_frontier(&self) -> u64 {
+        self.roots.peer_frontier()
+    }
+
+    /// The lowest gossip height where at least `quorum` root comparisons
+    /// disagreed with this replica's own root, if any — the signal that
+    /// *this* replica has diverged and should quarantine + re-sync.
+    #[must_use]
+    pub fn quarantine_signal(&self, quorum: u32) -> Option<u64> {
+        self.roots.quarantine_signal(quorum)
+    }
+
+    /// Fault-injection hook: flip a byte in the next gossiped (and
+    /// self-tracked) sharded root. Shard state stays intact.
+    pub fn poison_next_gossip(&mut self) {
+        self.poison_next_gossip = true;
+    }
+
+    /// Drop all local shard state ahead of a quarantine re-sync: reopen
+    /// every shard chain fresh (height 0, empty tables), drop the global
+    /// anchor, and clear comparison evidence. Buffered deliveries are
+    /// kept — they drain once `finish_sync` re-anchors the replica. After
+    /// this, a state-sync request advertises height 0 for every shard,
+    /// so the serving peer answers with full manifests.
+    pub fn wipe_for_resync(&mut self) -> Result<()> {
+        let passed = self.height.0;
+        for s in 0..self.shards.len() {
+            self.shards[s] = open_shard_chain(&self.config, s)?;
+        }
+        self.height = BlockId(0);
+        self.anchor = GlobalAnchor::Unknown;
+        self.roots.reset_for_resync(passed);
+        Ok(())
     }
 
     /// Crash: lose the delivery buffer and the in-memory global position

@@ -47,6 +47,64 @@ impl Default for SyncPolicy {
     }
 }
 
+/// Requester-side failure policy: how long to wait for a sync reply, how
+/// the wait grows across attempts, and when to stop trying one cycle.
+///
+/// A request that times out (serving peer down, request or reply dropped
+/// by the network) or is refused (peer alive but not serviceable) is
+/// retried against the *next* candidate peer with an exponentially grown,
+/// jittered wait — classic timeout/backoff/failover, but every quantity
+/// is a pure function of (seed, replica, attempt) so the schedule is
+/// bit-reproducible.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Wait for the first attempt's reply before retrying, in virtual ns.
+    pub base_timeout_ns: u64,
+    /// Upper bound on the exponentially grown wait.
+    pub max_backoff_ns: u64,
+    /// Attempts per sync cycle before the requester gives up and waits
+    /// for the liveness watchdog to start a fresh cycle.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_timeout_ns: 4_000_000, // 4 ms — a LAN round-trip plus serve time
+            max_backoff_ns: 64_000_000, // cap the exponential at 64 ms
+            max_retries: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before declaring attempt `attempt` (0-based) failed:
+    /// `base · 2^attempt`, capped at `max_backoff_ns`, plus a
+    /// deterministic jitter of up to 25% (decorrelates retry storms
+    /// across replicas without a shared RNG). Pure in every argument —
+    /// same `(policy, attempt, seed, salt)` always yields the same wait,
+    /// which is what keeps faulted runs bit-reproducible.
+    #[must_use]
+    pub fn backoff_ns(&self, attempt: u32, seed: u64, salt: u64) -> u64 {
+        let exp = attempt.min(20); // 2^20 · base already dwarfs any cap
+        let grown = self
+            .base_timeout_ns
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_ns.max(self.base_timeout_ns));
+        // splitmix64-style mixing, same family as the net layer's jitter.
+        let mut x = seed
+            ^ 0xA076_1D64_78BD_642F
+            ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        grown + x % (grown / 4).max(1)
+    }
+}
+
 /// A peer's answer to a `SyncRequest { from }`.
 #[derive(Clone, Debug)]
 pub enum SyncResponse {
@@ -329,6 +387,48 @@ mod tests {
             let sealed = r.chain().seal_block(&txns, codec.as_ref());
             r.deliver(Arc::new(sealed)).unwrap();
         }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic() {
+        let p = RetryPolicy::default();
+        for attempt in 0..12 {
+            for salt in [0u64, 3, 7] {
+                assert_eq!(
+                    p.backoff_ns(attempt, 0xDEAD, salt),
+                    p.backoff_ns(attempt, 0xDEAD, salt),
+                    "same inputs must yield the same wait"
+                );
+            }
+        }
+        // Different seeds / salts decorrelate the jitter.
+        assert_ne!(
+            p.backoff_ns(1, 0xDEAD, 2),
+            p.backoff_ns(1, 0xBEEF, 2),
+            "seed must perturb the jitter"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let p = RetryPolicy {
+            base_timeout_ns: 1_000_000,
+            max_backoff_ns: 8_000_000,
+            max_retries: 8,
+        };
+        let wait = |a| p.backoff_ns(a, 42, 0);
+        // Jitter is < 25%, so consecutive doublings still strictly grow.
+        assert!(wait(1) > wait(0), "attempt 1 waits longer than attempt 0");
+        assert!(wait(2) > wait(1));
+        // Bounds: base·2^a ≤ wait < 1.25 · base·2^a (pre-cap)…
+        assert!(wait(0) >= 1_000_000 && wait(0) < 1_250_000);
+        assert!(wait(2) >= 4_000_000 && wait(2) < 5_000_000);
+        // …and the growth saturates at the cap (+ jitter).
+        for a in [3, 10, 31] {
+            assert!(wait(a) >= 8_000_000 && wait(a) < 10_000_000, "capped");
+        }
+        // Overflow safety at absurd attempt counts.
+        let _ = p.backoff_ns(u32::MAX, 42, 0);
     }
 
     #[test]

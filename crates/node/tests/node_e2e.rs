@@ -8,8 +8,8 @@ use harmony_chain::ChainConfig;
 use harmony_core::HarmonyConfig;
 use harmony_crypto::CryptoCost;
 use harmony_node::{
-    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, MempoolConfig, OrderingMode,
-    ReplicaConfig, SyncPolicy,
+    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, FaultSchedule,
+    MempoolConfig, OrderingMode, ReplicaConfig, SyncPolicy,
 };
 use harmony_sim::EngineKind;
 use harmony_storage::StorageConfig;
@@ -62,7 +62,7 @@ fn config(
         },
         workload,
         ordering,
-        crash,
+        faults: crash.map(FaultSchedule::from).unwrap_or_default(),
         mempool: MempoolConfig {
             capacity: 2_048,
             ..MempoolConfig::default()
@@ -70,6 +70,7 @@ fn config(
         open_loop: OpenLoopConfig {
             clients: 8,
             rate_tps: 60_000.0,
+            hot_share: 0.0,
         },
         load_ns: 20_000_000,
         drain_ns: 600_000_000,
@@ -190,6 +191,61 @@ fn early_crash_rejoins_via_manifest_transfer() {
 }
 
 #[test]
+fn rejoin_fails_over_when_the_designated_sync_peer_is_down() {
+    // Replica 2 crashes and rejoins while replica 3 — the first
+    // candidate on its sync failover ring — is itself still down. The
+    // first sync request gets no answer, the timeout fires, and the
+    // retry fails over to the next candidate, which serves the catch-up.
+    // The run must still converge on the no-fault reference roots.
+    let engine = EngineKind::Harmony(HarmonyConfig::default());
+    let mut cfg = config(
+        engine,
+        smallbank(),
+        OrderingMode::Kafka { brokers: 3 },
+        None,
+    );
+    cfg.faults = FaultSchedule::new(vec![
+        harmony_node::FaultEvent::Crash {
+            replica: 2,
+            at_ns: 6_000_000,
+            recover_at_ns: 14_000_000,
+        },
+        // Covers replica 2's whole recovery window, so every request it
+        // sends to replica 3 dies silently.
+        harmony_node::FaultEvent::Crash {
+            replica: 3,
+            at_ns: 5_000_000,
+            recover_at_ns: 60_000_000,
+        },
+    ]);
+    let reference = Cluster::new(config(
+        engine,
+        smallbank(),
+        OrderingMode::Kafka { brokers: 3 },
+        None,
+    ))
+    .run()
+    .unwrap();
+    let report = Cluster::new(cfg).run().unwrap();
+    assert_healthy(&report, "failover rejoin");
+    let rejoined = &report.replicas[2];
+    assert_eq!(rejoined.recoveries, 1, "replica 2 must have recovered");
+    assert!(
+        rejoined.sync_retries >= 1,
+        "the dead first candidate must cost at least one timeout/failover: {rejoined:?}"
+    );
+    assert!(
+        rejoined.sync_blocks > 0,
+        "failover peer must serve catch-up"
+    );
+    // Safety: a faulted run converges on exactly the no-fault state.
+    assert_eq!(
+        report.replicas[0].root, reference.replicas[0].root,
+        "recovered cluster diverged from the no-fault reference"
+    );
+}
+
+#[test]
 fn crash_rejoin_under_hotstuff_ordering() {
     let report = Cluster::new(config(
         EngineKind::Harmony(HarmonyConfig::default()),
@@ -257,6 +313,7 @@ fn tpcc_full_mix_on_the_node_runtime() {
     cfg.open_loop = OpenLoopConfig {
         clients: 6,
         rate_tps: 20_000.0,
+        hot_share: 0.0,
     };
     cfg.load_ns = 10_000_000;
     let report = Cluster::new(cfg).run().unwrap();
@@ -274,6 +331,7 @@ fn tpcc_full_mix_on_the_node_runtime() {
     crash_cfg.open_loop = OpenLoopConfig {
         clients: 6,
         rate_tps: 20_000.0,
+        hot_share: 0.0,
     };
     crash_cfg.load_ns = 10_000_000;
     let report = Cluster::new(crash_cfg).run().unwrap();
@@ -299,6 +357,7 @@ fn backpressure_engages_under_overload() {
     cfg.open_loop = OpenLoopConfig {
         clients: 8,
         rate_tps: 500_000.0,
+        hot_share: 0.0,
     };
     let report = Cluster::new(cfg).run().unwrap();
     assert_healthy(&report, "overload");

@@ -10,8 +10,8 @@ use harmony_core::HarmonyConfig;
 use harmony_crypto::CryptoCost;
 use harmony_metrics::TIMELINE_SCHEMA;
 use harmony_node::{
-    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, MempoolConfig, OrderingMode,
-    ReplicaConfig, ShardTopology, SyncPolicy,
+    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, FaultSchedule,
+    MempoolConfig, OrderingMode, ReplicaConfig, ShardTopology, SyncPolicy,
 };
 use harmony_sim::EngineKind;
 use harmony_storage::StorageConfig;
@@ -51,7 +51,7 @@ fn config(crash: Option<CrashPlan>, stagger: u64) -> ClusterConfig {
         }),
         workload: smallbank(),
         ordering: OrderingMode::Kafka { brokers: 3 },
-        crash,
+        faults: crash.map(FaultSchedule::from).unwrap_or_default(),
         mempool: MempoolConfig {
             capacity: 2_048,
             ..MempoolConfig::default()
@@ -59,6 +59,7 @@ fn config(crash: Option<CrashPlan>, stagger: u64) -> ClusterConfig {
         open_loop: OpenLoopConfig {
             clients: 8,
             rate_tps: 40_000.0,
+            hot_share: 0.0,
         },
         load_ns: LOAD_NS,
         drain_ns: DRAIN_NS,
@@ -129,6 +130,7 @@ fn exposition_covers_the_metric_catalog_and_agrees_with_the_report() {
     assert!(exp.contains("harmony_mempool_rejected_total{cause=\"backpressure\"}"));
     assert!(exp.contains("harmony_mempool_rejected_total{cause=\"duplicate\"}"));
     assert!(exp.contains("harmony_mempool_rejected_total{cause=\"nonce_gap\"}"));
+    assert!(exp.contains("harmony_mempool_rejected_total{cause=\"tenant_quota\"}"));
     assert_eq!(
         metric_value(exp, "harmony_mempool_admitted_total"),
         report.mempool.admitted,
@@ -167,6 +169,12 @@ fn exposition_covers_the_metric_catalog_and_agrees_with_the_report() {
     // State-sync counters exist (zero on a crash-free run) for both paths.
     assert!(exp.contains("harmony_statesync_requests_total{replica=\"0\",path=\"manifest\"}"));
     assert!(exp.contains("harmony_statesync_transfer_bytes_total{replica=\"0\",path=\"range\"}"));
+    // Chaos-plane families are registered (and zero) even on fault-free
+    // runs, so dashboards have a stable schema.
+    assert!(exp.contains("harmony_statesync_retries_total{replica=\"0\"}"));
+    assert!(exp.contains("harmony_statesync_refusals_total{replica=\"0\"}"));
+    assert!(exp.contains("harmony_replica_quarantine_enters_total{replica=\"0\"}"));
+    assert!(exp.contains("harmony_replica_quarantine_exits_total{replica=\"0\"}"));
 
     // Every committed txn the observer saw is in the per-replica counter.
     let committed = metric_value(exp, "harmony_replica_committed_txns_total{replica=\"0\"}");

@@ -16,8 +16,8 @@ use harmony_chain::ChainConfig;
 use harmony_core::HarmonyConfig;
 use harmony_crypto::CryptoCost;
 use harmony_node::{
-    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, MempoolConfig, OrderingMode,
-    ReplicaConfig, ShardTopology, SyncPolicy,
+    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, FaultSchedule,
+    MempoolConfig, OrderingMode, ReplicaConfig, ShardTopology, SyncPolicy,
 };
 use harmony_sim::EngineKind;
 use harmony_storage::StorageConfig;
@@ -68,11 +68,12 @@ fn run_cluster(
             multi_partition_ratio: 0.25,
         }),
         ordering: OrderingMode::Kafka { brokers: 3 },
-        crash,
+        faults: crash.map(FaultSchedule::from).unwrap_or_default(),
         mempool: MempoolConfig::default(),
         open_loop: OpenLoopConfig {
             clients: 6,
             rate_tps: 30_000.0,
+            hot_share: 0.0,
         },
         load_ns: 10_000_000,
         drain_ns: 600_000_000,

@@ -10,8 +10,8 @@ use harmony_chain::ChainConfig;
 use harmony_core::HarmonyConfig;
 use harmony_crypto::CryptoCost;
 use harmony_node::{
-    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, MempoolConfig, OrderingMode,
-    ReplicaConfig, ShardTopology, SyncPolicy,
+    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, FaultSchedule,
+    MempoolConfig, OrderingMode, ReplicaConfig, ShardTopology, SyncPolicy,
 };
 use harmony_sim::EngineKind;
 use harmony_storage::StorageConfig;
@@ -75,7 +75,7 @@ fn config(
         }),
         workload,
         ordering,
-        crash,
+        faults: crash.map(FaultSchedule::from).unwrap_or_default(),
         mempool: MempoolConfig {
             capacity: 2_048,
             ..MempoolConfig::default()
@@ -83,6 +83,7 @@ fn config(
         open_loop: OpenLoopConfig {
             clients: 8,
             rate_tps: 40_000.0,
+            hot_share: 0.0,
         },
         load_ns: 15_000_000,
         drain_ns: 600_000_000,

@@ -19,6 +19,12 @@ pub struct OpenLoopConfig {
     pub clients: u64,
     /// Offered load in transactions per second (aggregate over clients).
     pub rate_tps: f64,
+    /// Fraction of arrivals pinned to client 0 (the "hot" session);
+    /// the remainder is uniform over clients `1..clients`. `0.0` keeps
+    /// the original all-uniform draw — bit-identical to streams built
+    /// before this knob existed. Used by overload scenarios to model an
+    /// aggressive tenant next to well-behaved ones.
+    pub hot_share: f64,
 }
 
 impl Default for OpenLoopConfig {
@@ -26,6 +32,7 @@ impl Default for OpenLoopConfig {
         OpenLoopConfig {
             clients: 16,
             rate_tps: 10_000.0,
+            hot_share: 0.0,
         }
     }
 }
@@ -56,6 +63,14 @@ impl OpenLoopClients {
     pub fn new(config: OpenLoopConfig, seed: u64) -> OpenLoopClients {
         assert!(config.clients > 0, "need at least one client");
         assert!(config.rate_tps > 0.0, "offered load must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.hot_share),
+            "hot client share must be in [0, 1)"
+        );
+        assert!(
+            config.hot_share == 0.0 || config.clients >= 2,
+            "a hot client needs at least one cold peer"
+        );
         OpenLoopClients {
             rng: DetRng::new(seed),
             now_ns: 0,
@@ -78,7 +93,15 @@ impl OpenLoopClients {
         let u = self.rng.gen_f64().max(1e-12);
         let gap = (-u.ln() * self.mean_gap_ns()).max(1.0);
         self.now_ns += gap as u64;
-        let client = self.rng.gen_range(self.config.clients);
+        let client = if self.config.hot_share > 0.0 {
+            if self.rng.gen_f64() < self.config.hot_share {
+                0
+            } else {
+                1 + self.rng.gen_range(self.config.clients - 1)
+            }
+        } else {
+            self.rng.gen_range(self.config.clients)
+        };
         let nonce = self.next_nonce[client as usize];
         self.next_nonce[client as usize] += 1;
         Arrival {
@@ -116,6 +139,7 @@ mod tests {
             OpenLoopConfig {
                 clients: 4,
                 rate_tps,
+                hot_share: 0.0,
             },
             7,
         )
@@ -159,6 +183,33 @@ mod tests {
                 nonces.iter().copied().eq(0..nonces.len() as u64),
                 "client {c} nonces must be 0..n in order: {nonces:?}"
             );
+        }
+    }
+
+    #[test]
+    fn hot_share_skews_toward_client_zero() {
+        let mut s = OpenLoopClients::new(
+            OpenLoopConfig {
+                clients: 5,
+                rate_tps: 50_000.0,
+                hot_share: 0.6,
+            },
+            11,
+        );
+        let arrivals: Vec<Arrival> = (0..4000).map(|_| s.next_arrival()).collect();
+        let hot = arrivals.iter().filter(|a| a.client == 0).count() as f64 / 4000.0;
+        assert!(
+            (hot - 0.6).abs() < 0.05,
+            "hot client should take ~60% of arrivals, got {hot}"
+        );
+        // Cold clients split the rest roughly evenly, nonces stay dense.
+        for c in 1..5u64 {
+            let nonces: Vec<u64> = arrivals
+                .iter()
+                .filter(|a| a.client == c)
+                .map(|a| a.nonce)
+                .collect();
+            assert!(nonces.iter().copied().eq(0..nonces.len() as u64));
         }
     }
 

@@ -44,16 +44,19 @@ fn main() {
         ordering: OrderingMode::Kafka { brokers: 3 },
         // Replica 2 goes down 8 ms in and rejoins at 16 ms: it recovers
         // its local checkpoint, then catches the missed range up from a
-        // peer via the state-sync protocol.
-        crash: Some(CrashPlan {
+        // peer via the state-sync protocol. `CrashPlan` is the one-crash
+        // shorthand; richer scenarios build a `FaultSchedule` directly.
+        faults: CrashPlan {
             replica: 2,
             at_ns: 8_000_000,
             recover_at_ns: 16_000_000,
-        }),
+        }
+        .into(),
         mempool: MempoolConfig::default(),
         open_loop: OpenLoopConfig {
             clients: 8,
             rate_tps: 60_000.0,
+            hot_share: 0.0,
         },
         load_ns: 25_000_000,
         drain_ns: 600_000_000,
@@ -64,6 +67,7 @@ fn main() {
         latency: harmonybc::consensus::net::LatencyModel::lan_1g(),
         metrics_every_ns: 5_000_000,
         seed: 0xDE30,
+        ..ClusterConfig::default()
     };
 
     let report = Cluster::new(config).run().expect("cluster run");
