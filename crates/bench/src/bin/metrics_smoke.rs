@@ -42,6 +42,7 @@ fn main() {
         topology: Some(ShardTopology {
             shards: 2,
             partitions: PARTITIONS,
+            partitioning: None,
             checkpoint_stagger: 0,
         }),
         workload: ClusterWorkload::Smallbank(SmallbankConfig {

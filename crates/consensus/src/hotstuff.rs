@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet};
 
 use harmony_crypto::{CryptoCost, Digest};
 
-use crate::net::{ConsensusReport, DeliveryLog, EventLoop, LatencyModel, NetCtx, SimNode};
+use crate::net::{ConsensusReport, DeliveryLog, EventLoop, LatencyModel, SimNode, Transport};
 
 /// HotStuff configuration.
 #[derive(Clone, Debug)]
@@ -142,7 +142,7 @@ impl HsNode {
         self.config.faulty.contains(&self.id)
     }
 
-    fn propose(&mut self, view: u64, ctx: &mut NetCtx<'_, HsMsg>) {
+    fn propose(&mut self, view: u64, ctx: &mut dyn Transport<HsMsg>) {
         let bytes = self.config.block_bytes();
         self.proposal_born.insert(view, ctx.now());
         // Leader signs the proposal and serializes it to every replica.
@@ -170,7 +170,7 @@ impl HsNode {
         }
     }
 
-    fn on_vote(&mut self, view: u64, ctx: &mut NetCtx<'_, HsMsg>) {
+    fn on_vote(&mut self, view: u64, ctx: &mut dyn Transport<HsMsg>) {
         // Verify the vote share (threshold-signature share verification).
         ctx.charge_cpu(self.config.crypto.verify_ns / 16);
         let votes = self.votes.entry(view).or_insert(0);
@@ -200,7 +200,7 @@ impl HsNode {
 }
 
 impl SimNode<HsMsg> for HsNode {
-    fn on_message(&mut self, _from: usize, msg: HsMsg, ctx: &mut NetCtx<'_, HsMsg>) {
+    fn on_message(&mut self, _from: usize, msg: HsMsg, ctx: &mut dyn Transport<HsMsg>) {
         if self.is_faulty() {
             return;
         }
@@ -247,7 +247,7 @@ impl SimNode<HsMsg> for HsNode {
         }
     }
 
-    fn on_timer(&mut self, id: u64, ctx: &mut NetCtx<'_, HsMsg>) {
+    fn on_timer(&mut self, id: u64, ctx: &mut dyn Transport<HsMsg>) {
         if self.is_faulty() {
             return;
         }

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use harmony_crypto::Digest;
 
-use crate::net::{ConsensusReport, DeliveryLog, EventLoop, LatencyModel, NetCtx, SimNode};
+use crate::net::{ConsensusReport, DeliveryLog, EventLoop, LatencyModel, SimNode, Transport};
 
 /// Kafka orderer configuration.
 #[derive(Clone, Debug)]
@@ -117,7 +117,7 @@ impl KNode {
         }
     }
 
-    fn launch_batch(&mut self, ctx: &mut NetCtx<'_, KMsg>) {
+    fn launch_batch(&mut self, ctx: &mut dyn Transport<KMsg>) {
         let bytes = self.config.block_bytes();
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -138,7 +138,7 @@ impl KNode {
 }
 
 impl SimNode<KMsg> for KNode {
-    fn on_message(&mut self, from: usize, msg: KMsg, ctx: &mut NetCtx<'_, KMsg>) {
+    fn on_message(&mut self, from: usize, msg: KMsg, ctx: &mut dyn Transport<KMsg>) {
         let _ = from;
         match msg {
             KMsg::Replicate { seq, born_at } => {
@@ -176,7 +176,7 @@ impl SimNode<KMsg> for KNode {
         }
     }
 
-    fn on_timer(&mut self, _id: u64, ctx: &mut NetCtx<'_, KMsg>) {
+    fn on_timer(&mut self, _id: u64, ctx: &mut dyn Transport<KMsg>) {
         if self.id == 0 && self.next_seq == 0 {
             while self.in_flight < self.config.window {
                 self.launch_batch(ctx);

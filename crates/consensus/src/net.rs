@@ -502,12 +502,62 @@ impl<M> NetCtx<'_, M> {
     }
 }
 
-/// Node behaviour in the simulation.
+/// The transport seam: everything node logic may ask of the network.
+///
+/// Two implementations exist: [`NetCtx`] — the deterministic
+/// discrete-event simulator, where "time" is virtual nanoseconds and a
+/// send is a scheduled future event — and `harmony-transport`'s TCP
+/// context, where "time" is the wall clock and a send is a frame on a
+/// per-peer socket queue. Node logic ([`SimNode`] implementations) is
+/// written once against this trait and runs unchanged on either, which is
+/// what lets a cluster of OS processes execute the *identical*
+/// replica/ordering/state-sync code path the simulator pins
+/// bit-reproducibly.
+pub trait Transport<M> {
+    /// Current time in nanoseconds (virtual in the simulator, wall-clock
+    /// since the process epoch on a real transport).
+    fn now(&self) -> u64;
+    /// This node's index in the cluster layout.
+    fn me(&self) -> usize;
+    /// Send `msg` of modeled size `bytes` to node `to`.
+    fn send(&mut self, to: usize, msg: M, bytes: u64);
+    /// Schedule a timer on this node after `delay_ns`.
+    fn set_timer(&mut self, delay_ns: u64, id: u64);
+    /// Charge CPU time to this node (serializes its event processing in
+    /// the simulator; a no-op hint on a real transport, where CPU time
+    /// spends itself).
+    fn charge_cpu(&mut self, ns: u64);
+}
+
+impl<M: Clone> Transport<M> for NetCtx<'_, M> {
+    fn now(&self) -> u64 {
+        NetCtx::now(self)
+    }
+
+    fn me(&self) -> usize {
+        NetCtx::me(self)
+    }
+
+    fn send(&mut self, to: usize, msg: M, bytes: u64) {
+        NetCtx::send(self, to, msg, bytes);
+    }
+
+    fn set_timer(&mut self, delay_ns: u64, id: u64) {
+        NetCtx::set_timer(self, delay_ns, id);
+    }
+
+    fn charge_cpu(&mut self, ns: u64) {
+        NetCtx::charge_cpu(self, ns);
+    }
+}
+
+/// Node behaviour in the simulation (and, via the [`Transport`] seam, on
+/// a real network transport).
 pub trait SimNode<M> {
     /// Handle a message.
-    fn on_message(&mut self, from: usize, msg: M, ctx: &mut NetCtx<'_, M>);
+    fn on_message(&mut self, from: usize, msg: M, ctx: &mut dyn Transport<M>);
     /// Handle a timer.
-    fn on_timer(&mut self, id: u64, ctx: &mut NetCtx<'_, M>);
+    fn on_timer(&mut self, id: u64, ctx: &mut dyn Transport<M>);
 }
 
 /// The event loop.
@@ -523,7 +573,7 @@ pub struct EventLoop<M, N: SimNode<M>> {
     send_counts: Vec<u64>,
 }
 
-impl<M, N: SimNode<M>> EventLoop<M, N> {
+impl<M: Clone, N: SimNode<M>> EventLoop<M, N> {
     /// Build an event loop over `nodes`.
     #[must_use]
     pub fn new(nodes: Vec<N>, latency: LatencyModel, seed: u64) -> EventLoop<M, N> {
@@ -661,14 +711,14 @@ mod tests {
     }
 
     impl SimNode<u32> for Echo {
-        fn on_message(&mut self, from: usize, msg: u32, ctx: &mut NetCtx<'_, u32>) {
+        fn on_message(&mut self, from: usize, msg: u32, ctx: &mut dyn Transport<u32>) {
             self.received.push((from, msg));
             ctx.charge_cpu(1_000);
             if msg < 3 {
                 ctx.send(from, msg + 1, 64);
             }
         }
-        fn on_timer(&mut self, _id: u64, ctx: &mut NetCtx<'_, u32>) {
+        fn on_timer(&mut self, _id: u64, ctx: &mut dyn Transport<u32>) {
             ctx.send(1, 0, 64);
         }
     }
@@ -850,13 +900,13 @@ mod tests {
             got: Vec<(u64, u32)>,
         }
         impl SimNode<u32> for Stamp {
-            fn on_message(&mut self, _f: usize, m: u32, ctx: &mut NetCtx<'_, u32>) {
+            fn on_message(&mut self, _f: usize, m: u32, ctx: &mut dyn Transport<u32>) {
                 self.got.push((ctx.now(), m));
                 if m < 5 {
                     ctx.send(1, m + 1, 64);
                 }
             }
-            fn on_timer(&mut self, _id: u64, ctx: &mut NetCtx<'_, u32>) {
+            fn on_timer(&mut self, _id: u64, ctx: &mut dyn Transport<u32>) {
                 ctx.send(1, 0, 64);
             }
         }
@@ -892,11 +942,11 @@ mod tests {
             starts: Vec<u64>,
         }
         impl SimNode<()> for Busy {
-            fn on_message(&mut self, _f: usize, _m: (), ctx: &mut NetCtx<'_, ()>) {
+            fn on_message(&mut self, _f: usize, _m: (), ctx: &mut dyn Transport<()>) {
                 self.starts.push(ctx.now());
                 ctx.charge_cpu(5_000_000);
             }
-            fn on_timer(&mut self, _id: u64, ctx: &mut NetCtx<'_, ()>) {
+            fn on_timer(&mut self, _id: u64, ctx: &mut dyn Transport<()>) {
                 ctx.send(1, (), 10);
                 ctx.send(1, (), 10);
             }

@@ -38,11 +38,11 @@ use std::sync::Arc;
 
 use harmony_chain::ChainBlock;
 use harmony_common::{BlockId, Error, Result};
-use harmony_consensus::net::{DeliveryLog, EventLoop, LatencyModel, NetCtx, SimNode};
+use harmony_consensus::net::{DeliveryLog, EventLoop, LatencyModel, SimNode, Transport};
 use harmony_core::BlockStats;
 use harmony_crypto::{CryptoCost, Digest, KeyPair};
 use harmony_metrics::{doubling_buckets, Counter, Histogram, Registry, Timeline};
-use harmony_shard::PlannerMetrics;
+use harmony_shard::{Partitioning, PlannerMetrics};
 use harmony_sim::RunMetrics;
 use harmony_storage::{IoSnapshot, StorageConfig, StorageEngine};
 use harmony_txn::{encode_contract, Contract, ContractCodec};
@@ -106,6 +106,41 @@ impl ClusterWorkload {
         }
     }
 
+    /// The workload's contract codec, built against a scratch engine (the
+    /// deterministic setup gives every node identical table ids). The
+    /// orderer process of a real-transport cluster uses this to decode
+    /// submitted contracts without hosting a replica.
+    pub fn codec(&self) -> Result<Arc<dyn ContractCodec>> {
+        let engine = Arc::new(StorageEngine::open(&StorageConfig::memory())?);
+        self.setup_node(&engine)
+    }
+
+    /// Tables a sharded deployment should replicate in full on every
+    /// shard: read-only dimension tables, never written after genesis.
+    /// TPC-C's `item` price list is the canonical case — replicating it
+    /// keeps NewOrder's price lookups shard-local, so a warehouse-local
+    /// order needs no cross-shard round at all.
+    #[must_use]
+    pub fn replicated_tables(&self) -> Vec<String> {
+        match self {
+            ClusterWorkload::Tpcc(_) => vec!["item".to_string()],
+            ClusterWorkload::Smallbank(_) | ClusterWorkload::Ycsb(_) => Vec::new(),
+        }
+    }
+
+    /// The partitioning function a sharded deployment of this workload
+    /// should run: entity-prefix for TPC-C (composite keys share their
+    /// warehouse's leading 8 bytes, making declared NewOrder/Payment
+    /// footprints single-shard), whole-row hash for the 8-byte-key
+    /// workloads — where the two are bit-identical anyway.
+    #[must_use]
+    pub fn recommended_partitioning(&self) -> Partitioning {
+        match self {
+            ClusterWorkload::Tpcc(_) => Partitioning::Prefix,
+            ClusterWorkload::Smallbank(_) | ClusterWorkload::Ycsb(_) => Partitioning::Hash,
+        }
+    }
+
     /// A transaction generator for the client bank (set up against a
     /// scratch engine so table ids match the replicas').
     pub fn generator(&self) -> Result<Box<dyn Workload>> {
@@ -153,6 +188,11 @@ pub struct ShardTopology {
     /// decision is shard-count-invariant). Should match the workload's
     /// `partitions` knob.
     pub partitions: u32,
+    /// Partitioning-function override. `None` (the default) uses
+    /// [`ClusterWorkload::recommended_partitioning`] — entity-prefix
+    /// for TPC-C, whole-row hash otherwise. Must be identical on every
+    /// replica of a chain.
+    pub partitioning: Option<Partitioning>,
     /// Per-shard checkpoint-period stagger (see
     /// [`ShardedReplicaConfig::checkpoint_stagger`]).
     pub checkpoint_stagger: u64,
@@ -163,6 +203,7 @@ impl Default for ShardTopology {
         ShardTopology {
             shards: 4,
             partitions: 16,
+            partitioning: None,
             checkpoint_stagger: 0,
         }
     }
@@ -223,6 +264,15 @@ pub struct ClusterConfig {
     pub block_txns: usize,
     /// Batching tick interval.
     pub batch_interval_ns: u64,
+    /// Seal a full block the moment the mempool reaches `block_txns`
+    /// instead of waiting for the next batch tick. Off by default — the
+    /// default discipline's event schedule stays bit-identical to every
+    /// pinned run. Combined with a batch interval longer than the run,
+    /// sealing becomes purely count-driven: the block stream is a pure
+    /// function of the admitted submission sequence, independent of
+    /// arrival pacing — which is how a wall-clock TCP cluster and the
+    /// virtual-time simulator are proven to commit identical state roots.
+    pub eager_seal: bool,
     /// Max unacknowledged blocks in the ordering pipeline.
     pub window: usize,
     /// State-sync serving policy.
@@ -272,6 +322,7 @@ impl Default for ClusterConfig {
             drain_ns: 400_000_000,
             block_txns: 32,
             batch_interval_ns: 500_000,
+            eager_seal: false,
             window: 4,
             sync: SyncPolicy::default(),
             faults: FaultSchedule::default(),
@@ -311,71 +362,127 @@ impl ClusterConfig {
 
 // ── Messages and timers ─────────────────────────────────────────────────
 
+/// The cluster's message enum — everything that crosses a link between
+/// cluster nodes, on the simulator *or* on a real transport.
+///
+/// `harmony-transport` gives every variant a length-prefixed binary wire
+/// form (version byte + per-variant tag), which is why the enum and its
+/// payload types are public: the wire codec lives outside this crate but
+/// must name them.
 #[derive(Clone)]
-enum Msg {
+pub enum Msg {
+    /// Client → orderer: one transaction submission.
     Submit {
+        /// Submitting client session.
         client: u64,
+        /// The client's session nonce.
         nonce: u64,
+        /// Submission timestamp (latency accounting).
         submitted_ns: u64,
+        /// The contract itself (travels encoded on a real wire).
         contract: Arc<dyn Contract>,
     },
     /// Leader → follower broker (Kafka replication).
-    Replicate { seq: u64 },
+    Replicate {
+        /// Block sequence being replicated.
+        seq: u64,
+    },
     /// Follower → leader.
-    Ack { seq: u64 },
+    Ack {
+        /// Acknowledged block sequence.
+        seq: u64,
+    },
     /// Leader → replica voter (HotStuff round `round` of 3).
-    Prepare { seq: u64, round: u8 },
+    Prepare {
+        /// Block sequence under vote.
+        seq: u64,
+        /// Voting round (0..3).
+        round: u8,
+    },
     /// Voter → leader.
-    Vote { seq: u64, round: u8 },
+    Vote {
+        /// Block sequence voted on.
+        seq: u64,
+        /// Voting round the vote belongs to.
+        round: u8,
+    },
     /// Orderer → replica: the sealed block.
     Deliver {
+        /// The sealed, signed block.
         block: Arc<ChainBlock>,
+        /// Seal time (ordering-latency accounting).
         born_ns: u64,
+        /// Mean submission timestamp of the batch (e2e latency).
         mean_submit_ns: u64,
     },
     /// Replica → replica: state root at a gossip height.
-    RootGossip { height: u64, root: Digest },
+    RootGossip {
+        /// Gossip height (block id).
+        height: u64,
+        /// The gossiped state root.
+        root: Digest,
+    },
     /// Lagging replica → peer (flat: chain height; sharded: per-shard
     /// heights). `epoch` tags the requester's sync attempt so stale
     /// replies (late after a timeout-driven failover) are discarded.
-    SyncRequest { from: SyncFrom, epoch: u64 },
+    SyncRequest {
+        /// The requester's position.
+        from: SyncFrom,
+        /// The requester's sync-attempt epoch.
+        epoch: u64,
+    },
     /// Peer → lagging replica.
     SyncReply {
+        /// The served manifest/range payload.
         response: Arc<SyncReplyBody>,
+        /// Echo of the request's epoch.
         epoch: u64,
     },
     /// Peer → lagging replica: explicit serve refusal (the peer is
     /// itself syncing, or shedding serve work under a refusal-fault
     /// window). The requester fails over immediately instead of waiting
     /// out its timeout.
-    SyncRefused { epoch: u64 },
+    SyncRefused {
+        /// Echo of the request's epoch.
+        epoch: u64,
+    },
     /// Orderer → client bank: a retryable admission reject (cause in
     /// [`crate::mempool::AdmitError::cause_label`] terms). Carries the
     /// contract so the client can resubmit after backoff with its
     /// original submission timestamp.
     Reject {
+        /// Rejected client session.
         client: u64,
+        /// Rejected nonce.
         nonce: u64,
+        /// Original submission timestamp.
         submitted_ns: u64,
+        /// The contract, returned for resubmission.
         contract: Arc<dyn Contract>,
     },
 }
 
 /// The requester's position in a sync request.
 #[derive(Clone, Debug)]
-enum SyncFrom {
+pub enum SyncFrom {
+    /// Flat replica: its chain height.
     Flat(u64),
+    /// Sharded replica: per-shard chain heights, in shard order.
     Sharded(Vec<BlockId>),
 }
 
 /// The serving peer's answer, matching the cluster's replica kind.
-enum SyncReplyBody {
+pub enum SyncReplyBody {
+    /// Answer to a flat requester.
     Flat(SyncResponse),
+    /// Answer to a sharded requester.
     Sharded(ShardedSyncResponse),
 }
 
 impl SyncReplyBody {
-    fn transfer_bytes(&self) -> u64 {
+    /// Modeled transfer size in bytes.
+    #[must_use]
+    pub fn transfer_bytes(&self) -> u64 {
         match self {
             SyncReplyBody::Flat(r) => r.transfer_bytes(),
             SyncReplyBody::Sharded(r) => r.transfer_bytes(),
@@ -385,7 +492,8 @@ impl SyncReplyBody {
     /// Bytes attributable to checkpoint-manifest installs. Together with
     /// [`SyncReplyBody::range_bytes`] this partitions `transfer_bytes`
     /// exactly, so per-path accounting never double-counts.
-    fn manifest_bytes(&self) -> u64 {
+    #[must_use]
+    pub fn manifest_bytes(&self) -> u64 {
         match self {
             SyncReplyBody::Flat(r) => r.manifest_bytes(),
             SyncReplyBody::Sharded(r) => r.manifest_bytes(),
@@ -394,14 +502,17 @@ impl SyncReplyBody {
 
     /// Bytes attributable to block-range replay (the remainder of
     /// `transfer_bytes` after manifests).
-    fn range_bytes(&self) -> u64 {
+    #[must_use]
+    pub fn range_bytes(&self) -> u64 {
         match self {
             SyncReplyBody::Flat(r) => r.range_bytes(),
             SyncReplyBody::Sharded(r) => r.range_bytes(),
         }
     }
 
-    fn block_count(&self) -> usize {
+    /// Number of blocks shipped.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
         match self {
             SyncReplyBody::Flat(r) => r.block_count(),
             SyncReplyBody::Sharded(r) => r.block_count(),
@@ -411,8 +522,12 @@ impl SyncReplyBody {
 
 const TIMER_CLIENT: u64 = 1;
 const TIMER_BATCH: u64 = 2;
-const TIMER_CRASH: u64 = 3;
-const TIMER_RECOVER: u64 = 4;
+/// Timer id that crashes a replica when fired (fault schedules seed it;
+/// a real-transport control plane injects it for operator-driven crash).
+pub const TIMER_CRASH: u64 = 3;
+/// Timer id that recovers a crashed replica: local checkpoint recovery,
+/// then state-sync catch-up from a peer.
+pub const TIMER_RECOVER: u64 = 4;
 /// Periodic metrics-timeline snapshot (fires on the orderer, which owns
 /// the shared registry).
 const TIMER_METRICS: u64 = 5;
@@ -437,7 +552,12 @@ const RECOVERY_NS: u64 = 1_000_000;
 
 // ── Client bank ─────────────────────────────────────────────────────────
 
-struct ClientBank {
+/// The open-loop client bank: Poisson arrivals over N sessions with
+/// per-session nonces, plus reject-resubmission with backoff. Public so
+/// [`ClusterNode`] can be public; internals stay private (a real-network
+/// cluster replaces this node with an external driver submitting
+/// [`Msg::Submit`] frames).
+pub struct ClientBank {
     stream: OpenLoopClients,
     generator: Box<dyn Workload>,
     rng: harmony_common::DetRng,
@@ -458,7 +578,7 @@ struct ClientBank {
 }
 
 impl ClientBank {
-    fn fire(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+    fn fire(&mut self, ctx: &mut dyn Transport<Msg>) {
         let Some(arrival) = self.pending.take() else {
             return;
         };
@@ -494,7 +614,7 @@ impl ClientBank {
         nonce: u64,
         submitted_ns: u64,
         contract: Arc<dyn Contract>,
-        ctx: &mut NetCtx<'_, Msg>,
+        ctx: &mut dyn Transport<Msg>,
     ) {
         let Some(policy) = self.retry else {
             return;
@@ -516,7 +636,7 @@ impl ClientBank {
     }
 
     /// Resubmit every transaction whose backoff has elapsed.
-    fn fire_retries(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+    fn fire_retries(&mut self, ctx: &mut dyn Transport<Msg>) {
         while let Some(&Reverse((due, client, nonce))) = self.retry_heap.peek() {
             if due > ctx.now() {
                 break;
@@ -567,7 +687,7 @@ struct MetricsHub {
 }
 
 impl MetricsHub {
-    fn tick(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+    fn tick(&mut self, ctx: &mut dyn Transport<Msg>) {
         self.timeline.record(ctx.now(), &self.registry);
         if ctx.now() + self.every_ns <= self.deadline_ns {
             ctx.set_timer(self.every_ns, TIMER_METRICS);
@@ -575,7 +695,10 @@ impl MetricsHub {
     }
 }
 
-struct Orderer {
+/// The ordering service node: mempool admission, deterministic batching,
+/// sealing, replication/voting, delivery. Public so a real-transport
+/// runtime can host one as an OS process; its internals stay private.
+pub struct Orderer {
     mempool: Mempool,
     hub: MetricsHub,
     keypair: KeyPair,
@@ -589,6 +712,9 @@ struct Orderer {
     block_txns: usize,
     window: usize,
     batch_interval_ns: u64,
+    /// Seal full blocks immediately on admission (see
+    /// [`ClusterConfig::eager_seal`]).
+    eager_seal: bool,
     tx_ns_per_byte: u64,
     timer_armed: bool,
     last_seal_ns: u64,
@@ -607,7 +733,7 @@ impl Orderer {
         }
     }
 
-    fn launch_batches(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+    fn launch_batches(&mut self, ctx: &mut dyn Transport<Msg>) {
         while self.in_flight.len() < self.window && !self.mempool.is_empty() {
             // Batching discipline: seal a full block, or a partial one
             // only after a full batch interval has passed since the last
@@ -674,7 +800,7 @@ impl Orderer {
         }
     }
 
-    fn on_quorum(&mut self, seq: u64, ctx: &mut NetCtx<'_, Msg>) {
+    fn on_quorum(&mut self, seq: u64, ctx: &mut dyn Transport<Msg>) {
         match self.mode {
             OrderingMode::Kafka { .. } => self.commit(seq, ctx),
             OrderingMode::HotStuff => {
@@ -696,7 +822,7 @@ impl Orderer {
         }
     }
 
-    fn commit(&mut self, seq: u64, ctx: &mut NetCtx<'_, Msg>) {
+    fn commit(&mut self, seq: u64, ctx: &mut dyn Transport<Msg>) {
         let Some(entry) = self.in_flight.remove(&seq) else {
             return;
         };
@@ -969,7 +1095,11 @@ impl WrapMetrics {
     }
 }
 
-struct ReplicaWrap {
+/// One replica node (flat or sharded) plus its cluster-side state
+/// machine: up/down/syncing, sync retry/failover/quarantine bookkeeping,
+/// and latency measurement. Public so a real-transport runtime can host
+/// one as an OS process; internals stay private.
+pub struct ReplicaWrap {
     node: NodeKind,
     state: ReplicaState,
     metrics: WrapMetrics,
@@ -1014,7 +1144,7 @@ struct ReplicaWrap {
 }
 
 impl ReplicaWrap {
-    fn on_applied(&mut self, applied: &[Applied], ctx: &mut NetCtx<'_, Msg>) {
+    fn on_applied(&mut self, applied: &[Applied], ctx: &mut dyn Transport<Msg>) {
         for a in applied {
             ctx.charge_cpu(a.cost_ns);
             self.last_apply_ns = self.last_apply_ns.max(ctx.now());
@@ -1050,13 +1180,13 @@ impl ReplicaWrap {
 
     /// Begin (or restart) a catch-up round: fresh attempt budget, next
     /// request to the current candidate.
-    fn request_sync(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+    fn request_sync(&mut self, ctx: &mut dyn Transport<Msg>) {
         self.state = ReplicaState::Syncing;
         self.sync_attempt = 0;
         self.send_sync_request(ctx);
     }
 
-    fn send_sync_request(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+    fn send_sync_request(&mut self, ctx: &mut dyn Transport<Msg>) {
         if self.sync_candidates.is_empty() {
             // Single-replica cluster: nobody to sync from.
             self.state = ReplicaState::Up;
@@ -1085,7 +1215,7 @@ impl ReplicaWrap {
     /// The current sync attempt failed (timeout or explicit refusal):
     /// fail over to the next candidate, or park back Up once the retry
     /// budget is spent (the watchdog re-arms catch-up later).
-    fn sync_setback(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+    fn sync_setback(&mut self, ctx: &mut dyn Transport<Msg>) {
         self.metrics.sync_retries.inc();
         self.sync_attempt += 1;
         if self.sync_attempt > self.retry.max_retries {
@@ -1098,7 +1228,7 @@ impl ReplicaWrap {
 
     /// A quorum of peers disputes our root: wipe back to genesis and
     /// re-bootstrap from a peer's checkpoint manifest.
-    fn enter_quarantine(&mut self, ctx: &mut NetCtx<'_, Msg>) {
+    fn enter_quarantine(&mut self, ctx: &mut dyn Transport<Msg>) {
         self.quarantines += 1;
         self.in_quarantine = true;
         self.metrics.quarantine_enters.inc();
@@ -1118,15 +1248,24 @@ impl ReplicaWrap {
 
 // ── The node enum ───────────────────────────────────────────────────────
 
-enum ClusterNode {
+/// One node of the cluster, in any role. [`Cluster::run`] hosts the whole
+/// vector on the deterministic simulator; a real-transport runtime hosts
+/// exactly one per OS process — built by [`build_node`] with the same
+/// configuration, running the identical [`SimNode`] handlers.
+pub enum ClusterNode {
+    /// The open-loop client bank (index 0; replaced by an external
+    /// driver on a real-network cluster).
     Client(Box<ClientBank>),
+    /// The ordering service (index 1).
     Orderer(Box<Orderer>),
+    /// A Kafka follower broker (pure ack logic, no state).
     Follower,
+    /// A replica, flat or sharded.
     Replica(Box<ReplicaWrap>),
 }
 
 impl SimNode<Msg> for ClusterNode {
-    fn on_message(&mut self, from: usize, msg: Msg, ctx: &mut NetCtx<'_, Msg>) {
+    fn on_message(&mut self, from: usize, msg: Msg, ctx: &mut dyn Transport<Msg>) {
         match self {
             ClusterNode::Client(c) => {
                 if let Msg::Reject {
@@ -1171,6 +1310,9 @@ impl SimNode<Msg> for ClusterNode {
                             }
                         }
                         _ => {}
+                    }
+                    if o.eager_seal && o.mempool.len() >= o.block_txns {
+                        o.launch_batches(ctx);
                     }
                     if !o.timer_armed {
                         ctx.set_timer(o.batch_interval_ns, TIMER_BATCH);
@@ -1319,7 +1461,7 @@ impl SimNode<Msg> for ClusterNode {
         }
     }
 
-    fn on_timer(&mut self, id: u64, ctx: &mut NetCtx<'_, Msg>) {
+    fn on_timer(&mut self, id: u64, ctx: &mut dyn Transport<Msg>) {
         match (self, id) {
             (ClusterNode::Client(c), TIMER_CLIENT) => c.fire(ctx),
             (ClusterNode::Client(c), TIMER_RETRY) => c.fire_retries(ctx),
@@ -1452,6 +1594,460 @@ pub struct ClusterReport {
     pub timeline: String,
 }
 
+// ── Layout and node factory ─────────────────────────────────────────────
+
+/// The deterministic node-index layout of a cluster deployment, shared
+/// by the simulator harness and the real-transport runtime: index 0 is
+/// the client bank, 1 the ordering service, then the Kafka follower
+/// brokers (none under HotStuff), then the replicas.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterLayout {
+    /// Kafka follower broker count (0 under HotStuff).
+    pub followers: usize,
+    /// Replica count.
+    pub replicas: usize,
+}
+
+impl ClusterLayout {
+    /// The layout implied by a configuration.
+    #[must_use]
+    pub fn of(cfg: &ClusterConfig) -> ClusterLayout {
+        ClusterLayout {
+            followers: match cfg.ordering {
+                OrderingMode::Kafka { brokers } => brokers.saturating_sub(1),
+                OrderingMode::HotStuff => 0,
+            },
+            replicas: cfg.replicas,
+        }
+    }
+
+    /// Node index of the client bank.
+    #[must_use]
+    pub const fn client(self) -> usize {
+        0
+    }
+
+    /// Node index of the ordering service.
+    #[must_use]
+    pub const fn orderer(self) -> usize {
+        1
+    }
+
+    /// Node index of the first replica.
+    #[must_use]
+    pub const fn replica_base(self) -> usize {
+        2 + self.followers
+    }
+
+    /// Node index of replica `r` (0-based among replicas).
+    #[must_use]
+    pub const fn replica(self, r: usize) -> usize {
+        self.replica_base() + r
+    }
+
+    /// Total node count (client + orderer + followers + replicas).
+    #[must_use]
+    pub const fn total(self) -> usize {
+        self.replica_base() + self.replicas
+    }
+
+    /// Role name of the node at `index`.
+    #[must_use]
+    pub fn role(self, index: usize) -> &'static str {
+        if index == self.client() {
+            "client"
+        } else if index == self.orderer() {
+            "orderer"
+        } else if index < self.replica_base() {
+            "follower"
+        } else {
+            "replica"
+        }
+    }
+}
+
+/// Human-readable system label (engine × replicas × shards × ordering)
+/// used by reports and metric timelines.
+fn system_label(cfg: &ClusterConfig) -> String {
+    format!(
+        "{}·node×{}{}{}",
+        cfg.replica.engine.name(),
+        cfg.replicas,
+        match cfg.topology {
+            Some(t) => format!("×{}shards", t.shards),
+            None => String::new(),
+        },
+        match cfg.ordering {
+            OrderingMode::Kafka { .. } => "·kafka",
+            OrderingMode::HotStuff => "·hotstuff",
+        }
+    )
+}
+
+/// Build the cluster node living at `index` in the layout of `cfg`,
+/// registering its metric handles in `registry`.
+///
+/// [`Cluster::run`] builds the whole vector through this (one shared
+/// registry, simulator transport); each process of a real-transport
+/// cluster calls it once with a per-process registry and drives the node
+/// over sockets — the identical state machine either way. Construction
+/// is deterministic: the same configuration and index produce the same
+/// node on any host, which is what makes TCP-vs-simulator state-root
+/// equivalence checkable at all.
+pub fn build_node(
+    cfg: &ClusterConfig,
+    registry: &Arc<Registry>,
+    index: usize,
+) -> Result<ClusterNode> {
+    let layout = ClusterLayout::of(cfg);
+    let chaos = !cfg.faults.is_empty();
+    if index == layout.client() {
+        let mut stream = OpenLoopClients::new(cfg.open_loop, cfg.seed ^ 0xA11);
+        let first = stream.next_arrival();
+        let (retries_ctr, retry_drops_ctr) = if cfg.client_retry.is_some() {
+            (
+                registry.counter(
+                    "harmony_client_retries_total",
+                    "Client resubmissions after retryable admission rejects.",
+                ),
+                registry.counter(
+                    "harmony_client_retry_drops_total",
+                    "Transactions abandoned after exhausting the retry budget.",
+                ),
+            )
+        } else {
+            (Counter::detached(), Counter::detached())
+        };
+        return Ok(ClusterNode::Client(Box::new(ClientBank {
+            stream,
+            generator: cfg.workload.generator()?,
+            rng: harmony_common::DetRng::new(cfg.seed ^ 0x7C5),
+            pending: Some(first),
+            load_ns: cfg.load_ns,
+            orderer: layout.orderer(),
+            submitted: 0,
+            retry: cfg.client_retry,
+            retry_seed: cfg.seed ^ 0xBACC_0FF5,
+            attempts: HashMap::new(),
+            retry_heap: BinaryHeap::new(),
+            retry_pending: HashMap::new(),
+            retries: retries_ctr,
+            retry_drops: retry_drops_ctr,
+        })));
+    }
+    if index == layout.orderer() {
+        let chain_cfg = &cfg.replica.chain;
+        let metrics_every_ns = cfg.metrics_every_ns.max(1);
+        return Ok(ClusterNode::Orderer(Box::new(Orderer {
+            mempool: Mempool::with_metrics(
+                cfg.mempool,
+                MempoolMetrics::register(registry, cfg.mempool.tenants),
+            ),
+            hub: MetricsHub {
+                registry: Arc::clone(registry),
+                timeline: Timeline::new(&system_label(cfg), cfg.seed, metrics_every_ns),
+                every_ns: metrics_every_ns,
+                deadline_ns: cfg.load_ns + cfg.drain_ns,
+            },
+            keypair: KeyPair::derive(&chain_cfg.provision, chain_cfg.orderer_id, chain_cfg.crypto),
+            crypto: chain_cfg.crypto,
+            next_id: 1,
+            prev_hash: Digest::ZERO,
+            in_flight: HashMap::new(),
+            mode: cfg.ordering,
+            followers: (0..layout.followers).map(|f| 2 + f).collect(),
+            replicas: (0..cfg.replicas).map(|r| layout.replica(r)).collect(),
+            block_txns: cfg.block_txns.max(1),
+            window: cfg.window.max(1),
+            batch_interval_ns: cfg.batch_interval_ns.max(1),
+            eager_seal: cfg.eager_seal,
+            tx_ns_per_byte: 1,
+            timer_armed: false,
+            last_seal_ns: 0,
+            sealed_blocks: 0,
+            client_retry: cfg.client_retry.is_some(),
+        })));
+    }
+    if index < layout.replica_base() {
+        return Ok(ClusterNode::Follower);
+    }
+    let r = index - layout.replica_base();
+    if r >= cfg.replicas {
+        return Err(Error::InvalidArgument(format!(
+            "node index {index} out of range for a {}-node cluster",
+            layout.total()
+        )));
+    }
+    let node = match cfg.topology {
+        None => {
+            let mut n = ReplicaNode::new(&cfg.replica, |engine| cfg.workload.setup_node(engine))?;
+            n.set_metrics(ReplicaMetrics::register(registry, r));
+            NodeKind::Flat(Box::new(n))
+        }
+        Some(topology) => {
+            let sharded_cfg = ShardedReplicaConfig {
+                chain: cfg.replica.chain.clone(),
+                engine: cfg.replica.engine,
+                workers: cfg.replica.workers,
+                shards: topology.shards.max(1),
+                partitions: topology.partitions,
+                partitioning: topology
+                    .partitioning
+                    .unwrap_or_else(|| cfg.workload.recommended_partitioning()),
+                replicated_tables: cfg.workload.replicated_tables(),
+                checkpoint_stagger: topology.checkpoint_stagger,
+                latency: cfg.latency.clone(),
+                gossip_every: cfg.replica.gossip_every,
+            };
+            let mut n =
+                ShardedReplicaNode::new(&sharded_cfg, |engine| cfg.workload.setup_node(engine))?;
+            let shards = topology.shards.max(1);
+            let id = r.to_string();
+            n.set_metrics(
+                ReplicaMetrics::register(registry, r),
+                (0..shards)
+                    .map(|s| shard_txn_counters(registry, r, s))
+                    .collect(),
+                PlannerMetrics::register(registry, &[("replica", id.as_str())]),
+            );
+            NodeKind::Sharded(Box::new(n))
+        }
+    };
+    let peers: Vec<usize> = (0..cfg.replicas)
+        .filter(|&p| p != r)
+        .map(|p| layout.replica(p))
+        .collect();
+    // Sync candidates: the other replicas, as a ring starting at the
+    // next index. Timeouts and refusals rotate through it, so a down or
+    // overloaded peer just costs one failover hop.
+    let sync_candidates: Vec<usize> = (1..cfg.replicas)
+        .map(|d| layout.replica((r + d) % cfg.replicas))
+        .collect();
+    Ok(ClusterNode::Replica(Box::new(ReplicaWrap {
+        node,
+        state: ReplicaState::Up,
+        metrics: WrapMetrics::register(registry, r),
+        meta: HashMap::new(),
+        peers,
+        sync_policy: cfg.sync,
+        window: cfg.window.max(1),
+        chaos,
+        retry: cfg.sync_retry,
+        retry_seed: cfg.seed ^ 0x5E7B_ACC0 ^ (r as u64) << 40,
+        sync_candidates,
+        sync_pos: 0,
+        sync_epoch: 0,
+        sync_attempt: 0,
+        refusals: cfg.faults.refusal_windows(r),
+        quarantine_quorum: cfg.quarantine_quorum,
+        watchdog_ns: cfg.watchdog_ns.max(1),
+        frontier_slack: cfg.replica.gossip_every.max(1),
+        in_quarantine: false,
+        quarantines: 0,
+        committed_weighted_e2e_ns: 0.0,
+        committed_weighted_order_ns: 0.0,
+        committed_txns: 0,
+        last_apply_ns: 0,
+        recoveries: 0,
+        sync_blocks: 0,
+        sync_manifest_shards: 0,
+        sync_range_shards: 0,
+    })))
+}
+
+// ── Operator-facing inspection ──────────────────────────────────────────
+
+/// A point-in-time health/progress snapshot of one node, served over the
+/// real-transport control plane (`harmonyctl status`). Counters that a
+/// role doesn't have are zero (e.g. `mempool_len` on a replica).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// Role name: `client` / `orderer` / `follower` / `replica`.
+    pub role: String,
+    /// Replica availability: `up` / `down` / `syncing` (non-replica
+    /// roles are always `up`).
+    pub state: String,
+    /// Chain height: highest sealed block on the orderer, highest
+    /// applied block on a replica.
+    pub height: u64,
+    /// Replica report root (hex; sharded fold on sharded replicas).
+    /// Empty on non-replica roles and on crashed replicas.
+    pub root: String,
+    /// Shard-count-invariant logical database digest (hex; empty where
+    /// `root` is).
+    pub logical_root: String,
+    /// Transactions committed by this replica.
+    pub committed_txns: u64,
+    /// Blocks in the replica's verified delivery log.
+    pub delivered: u64,
+    /// Transactions queued in the orderer's mempool.
+    pub mempool_len: u64,
+    /// Blocks the orderer sealed.
+    pub sealed_blocks: u64,
+    /// Transactions the client bank submitted.
+    pub submitted: u64,
+    /// Crash recoveries this replica performed.
+    pub recoveries: u64,
+    /// Blocks this replica obtained via state-sync.
+    pub sync_blocks: u64,
+}
+
+/// A sealed block described for the operator (`harmonyctl block`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Block id (height).
+    pub id: u64,
+    /// Transactions in the block.
+    pub txns: u64,
+    /// Header hash (hex).
+    pub hash: String,
+    /// Previous block's header hash (hex).
+    pub prev_hash: String,
+}
+
+impl ClusterNode {
+    /// Role name of this node.
+    #[must_use]
+    pub fn role(&self) -> &'static str {
+        match self {
+            ClusterNode::Client(_) => "client",
+            ClusterNode::Orderer(_) => "orderer",
+            ClusterNode::Follower => "follower",
+            ClusterNode::Replica(_) => "replica",
+        }
+    }
+
+    /// A point-in-time status snapshot (the control plane serves this).
+    #[must_use]
+    pub fn status(&self) -> NodeStatus {
+        let mut s = NodeStatus {
+            role: self.role().to_string(),
+            state: "up".to_string(),
+            ..NodeStatus::default()
+        };
+        match self {
+            ClusterNode::Client(c) => s.submitted = c.submitted,
+            ClusterNode::Orderer(o) => {
+                s.height = o.next_id.saturating_sub(1);
+                s.mempool_len = o.mempool.len() as u64;
+                s.sealed_blocks = o.sealed_blocks;
+            }
+            ClusterNode::Follower => {}
+            ClusterNode::Replica(w) => {
+                s.state = match w.state {
+                    ReplicaState::Up => "up",
+                    ReplicaState::Down => "down",
+                    ReplicaState::Syncing => "syncing",
+                }
+                .to_string();
+                s.height = w.node.height().0;
+                s.committed_txns = w.committed_txns;
+                s.delivered = w.node.delivery_log().len() as u64;
+                s.recoveries = w.recoveries;
+                s.sync_blocks = w.sync_blocks;
+                if w.state != ReplicaState::Down {
+                    if let Ok(root) = w.node.report_root() {
+                        s.root = root.to_hex();
+                    }
+                    if let Ok(root) = w.node.logical_root() {
+                        s.logical_root = root.to_hex();
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Describe one sealed block held by this replica: chain of shard
+    /// `shard` (ignored on flat replicas), block id `seq`. `None` when
+    /// this node hosts no such block — non-replica roles, a crashed
+    /// replica, an out-of-range shard, or a height not (or no longer)
+    /// in the chain.
+    #[must_use]
+    pub fn block_summary(&self, shard: usize, seq: u64) -> Option<BlockSummary> {
+        let ClusterNode::Replica(w) = self else {
+            return None;
+        };
+        if w.state == ReplicaState::Down {
+            return None;
+        }
+        let chain = match &w.node {
+            NodeKind::Flat(n) => n.chain(),
+            NodeKind::Sharded(n) => {
+                if shard >= n.shards() {
+                    return None;
+                }
+                n.shard_chain(shard)
+            }
+        };
+        let block = chain
+            .blocks_after(BlockId(seq.saturating_sub(1)))
+            .ok()?
+            .into_iter()
+            .find(|b| b.header.id.0 == seq)?;
+        Some(BlockSummary {
+            id: seq,
+            txns: block.txns.len() as u64,
+            hash: block.header.hash().to_hex(),
+            prev_hash: block.header.prev_hash.to_hex(),
+        })
+    }
+}
+
+// ── Deterministic submission replay ─────────────────────────────────────
+
+/// One entry of the client bank's deterministic submission stream.
+pub struct Submission {
+    /// Submitting client session.
+    pub client: u64,
+    /// The session's nonce for this submission.
+    pub nonce: u64,
+    /// Arrival instant on the simulator's virtual clock.
+    pub at_ns: u64,
+    /// The generated contract.
+    pub contract: Arc<dyn Contract>,
+}
+
+/// Replay the client bank's deterministic generation outside the
+/// simulator: the first `n` submissions (arrival order, contracts drawn
+/// exactly as [`ClientBank`] draws them). A real-transport driver
+/// (`harmonyctl submit`) sends precisely this stream, which is what lets
+/// a TCP run be compared root-for-root against a simulator run of the
+/// same configuration.
+pub fn submission_trace(cfg: &ClusterConfig, n: usize) -> Result<Vec<Submission>> {
+    let mut stream = OpenLoopClients::new(cfg.open_loop, cfg.seed ^ 0xA11);
+    let generator = cfg.workload.generator()?;
+    let mut rng = harmony_common::DetRng::new(cfg.seed ^ 0x7C5);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let arrival = stream.next_arrival();
+        let contract = generator.next_txn(&mut rng);
+        out.push(Submission {
+            client: arrival.client,
+            nonce: arrival.nonce,
+            at_ns: arrival.at_ns,
+            contract,
+        });
+    }
+    Ok(out)
+}
+
+/// The virtual instant of the `n`-th arrival of the configured open-loop
+/// stream (1-based) — the `load_ns` that makes a simulator run submit
+/// exactly `n` transactions. Arrival times are strictly increasing, so a
+/// run with this `load_ns` fires arrivals 1..=n and no more.
+#[must_use]
+pub fn load_ns_for_txns(open_loop: OpenLoopConfig, seed: u64, n: usize) -> u64 {
+    let mut stream = OpenLoopClients::new(open_loop, seed ^ 0xA11);
+    let mut at = 0;
+    for _ in 0..n {
+        at = stream.next_arrival().at_ns;
+    }
+    at
+}
+
+// ── The harness ─────────────────────────────────────────────────────────
+
 /// The runnable cluster.
 pub struct Cluster {
     config: ClusterConfig,
@@ -1471,178 +2067,28 @@ impl Cluster {
         // Chaos machinery (watchdog, sync timeouts, net faults) is armed
         // only when faults are scheduled.
         let chaos = !cfg.faults.is_empty();
-        let followers = match cfg.ordering {
-            OrderingMode::Kafka { brokers } => brokers.saturating_sub(1),
-            OrderingMode::HotStuff => 0,
-        };
-        let orderer_idx = 1usize;
-        let replica_base = 2 + followers;
-        let replica_idx: Vec<usize> = (0..cfg.replicas).map(|r| replica_base + r).collect();
+        let layout = ClusterLayout::of(cfg);
+        let orderer_idx = layout.orderer();
+        let replica_idx: Vec<usize> = (0..cfg.replicas).map(|r| layout.replica(r)).collect();
         // The observer (run metrics, liveness reference) is never
         // health-faulted; validate() guarantees one exists.
         let observer = cfg
             .faults
             .healthy_replica(cfg.replicas)
             .expect("validated schedule leaves an observer");
-        let system = format!(
-            "{}·node×{}{}{}",
-            cfg.replica.engine.name(),
-            cfg.replicas,
-            match cfg.topology {
-                Some(t) => format!("×{}shards", t.shards),
-                None => String::new(),
-            },
-            match cfg.ordering {
-                OrderingMode::Kafka { .. } => "·kafka",
-                OrderingMode::HotStuff => "·hotstuff",
-            }
-        );
+        let system = system_label(cfg);
         // One registry for the whole cluster; every node holds interned
         // handles into it, the orderer snapshots it on the metrics timer.
         let registry = Arc::new(Registry::new());
         let deadline_ns = cfg.load_ns + cfg.drain_ns;
         let metrics_every_ns = cfg.metrics_every_ns.max(1);
 
-        let mut nodes: Vec<ClusterNode> = Vec::with_capacity(replica_base + cfg.replicas);
-        let mut stream = OpenLoopClients::new(cfg.open_loop, cfg.seed ^ 0xA11);
-        let first = stream.next_arrival();
-        let (retries_ctr, retry_drops_ctr) = if cfg.client_retry.is_some() {
-            (
-                registry.counter(
-                    "harmony_client_retries_total",
-                    "Client resubmissions after retryable admission rejects.",
-                ),
-                registry.counter(
-                    "harmony_client_retry_drops_total",
-                    "Transactions abandoned after exhausting the retry budget.",
-                ),
-            )
-        } else {
-            (Counter::detached(), Counter::detached())
-        };
-        nodes.push(ClusterNode::Client(Box::new(ClientBank {
-            stream,
-            generator: cfg.workload.generator()?,
-            rng: harmony_common::DetRng::new(cfg.seed ^ 0x7C5),
-            pending: Some(first),
-            load_ns: cfg.load_ns,
-            orderer: orderer_idx,
-            submitted: 0,
-            retry: cfg.client_retry,
-            retry_seed: cfg.seed ^ 0xBACC_0FF5,
-            attempts: HashMap::new(),
-            retry_heap: BinaryHeap::new(),
-            retry_pending: HashMap::new(),
-            retries: retries_ctr,
-            retry_drops: retry_drops_ctr,
-        })));
-        let chain_cfg = &cfg.replica.chain;
-        nodes.push(ClusterNode::Orderer(Box::new(Orderer {
-            mempool: Mempool::with_metrics(
-                cfg.mempool,
-                MempoolMetrics::register(&registry, cfg.mempool.tenants),
-            ),
-            hub: MetricsHub {
-                registry: Arc::clone(&registry),
-                timeline: Timeline::new(&system, cfg.seed, metrics_every_ns),
-                every_ns: metrics_every_ns,
-                deadline_ns,
-            },
-            keypair: KeyPair::derive(&chain_cfg.provision, chain_cfg.orderer_id, chain_cfg.crypto),
-            crypto: chain_cfg.crypto,
-            next_id: 1,
-            prev_hash: Digest::ZERO,
-            in_flight: HashMap::new(),
-            mode: cfg.ordering,
-            followers: (0..followers).map(|f| 2 + f).collect(),
-            replicas: replica_idx.clone(),
-            block_txns: cfg.block_txns.max(1),
-            window: cfg.window.max(1),
-            batch_interval_ns: cfg.batch_interval_ns.max(1),
-            tx_ns_per_byte: 1,
-            timer_armed: false,
-            last_seal_ns: 0,
-            sealed_blocks: 0,
-            client_retry: cfg.client_retry.is_some(),
-        })));
-        for _ in 0..followers {
-            nodes.push(ClusterNode::Follower);
-        }
-        for r in 0..cfg.replicas {
-            let node = match cfg.topology {
-                None => {
-                    let mut n =
-                        ReplicaNode::new(&cfg.replica, |engine| cfg.workload.setup_node(engine))?;
-                    n.set_metrics(ReplicaMetrics::register(&registry, r));
-                    NodeKind::Flat(Box::new(n))
-                }
-                Some(topology) => {
-                    let sharded_cfg = ShardedReplicaConfig {
-                        chain: cfg.replica.chain.clone(),
-                        engine: cfg.replica.engine,
-                        workers: cfg.replica.workers,
-                        shards: topology.shards.max(1),
-                        partitions: topology.partitions,
-                        checkpoint_stagger: topology.checkpoint_stagger,
-                        latency: cfg.latency.clone(),
-                        gossip_every: cfg.replica.gossip_every,
-                    };
-                    let mut n = ShardedReplicaNode::new(&sharded_cfg, |engine| {
-                        cfg.workload.setup_node(engine)
-                    })?;
-                    let shards = topology.shards.max(1);
-                    let id = r.to_string();
-                    n.set_metrics(
-                        ReplicaMetrics::register(&registry, r),
-                        (0..shards)
-                            .map(|s| shard_txn_counters(&registry, r, s))
-                            .collect(),
-                        PlannerMetrics::register(&registry, &[("replica", id.as_str())]),
-                    );
-                    NodeKind::Sharded(Box::new(n))
-                }
-            };
-            let peers: Vec<usize> = replica_idx
-                .iter()
-                .copied()
-                .filter(|&p| p != replica_idx[r])
-                .collect();
-            // Sync candidates: the other replicas, as a ring starting at
-            // the next index. Timeouts and refusals rotate through it, so
-            // a down or overloaded peer just costs one failover hop.
-            let sync_candidates: Vec<usize> = (1..cfg.replicas)
-                .map(|d| replica_idx[(r + d) % cfg.replicas])
-                .collect();
-            nodes.push(ClusterNode::Replica(Box::new(ReplicaWrap {
-                node,
-                state: ReplicaState::Up,
-                metrics: WrapMetrics::register(&registry, r),
-                meta: HashMap::new(),
-                peers,
-                sync_policy: cfg.sync,
-                window: cfg.window.max(1),
-                chaos,
-                retry: cfg.sync_retry,
-                retry_seed: cfg.seed ^ 0x5E7B_ACC0 ^ (r as u64) << 40,
-                sync_candidates,
-                sync_pos: 0,
-                sync_epoch: 0,
-                sync_attempt: 0,
-                refusals: cfg.faults.refusal_windows(r),
-                quarantine_quorum: cfg.quarantine_quorum,
-                watchdog_ns: cfg.watchdog_ns.max(1),
-                frontier_slack: cfg.replica.gossip_every.max(1),
-                in_quarantine: false,
-                quarantines: 0,
-                committed_weighted_e2e_ns: 0.0,
-                committed_weighted_order_ns: 0.0,
-                committed_txns: 0,
-                last_apply_ns: 0,
-                recoveries: 0,
-                sync_blocks: 0,
-                sync_manifest_shards: 0,
-                sync_range_shards: 0,
-            })));
+        // Every node comes from the same factory a real-transport
+        // process uses — index order keeps registry interning (and so
+        // the pinned timelines) identical to the pre-factory harness.
+        let mut nodes: Vec<ClusterNode> = Vec::with_capacity(layout.total());
+        for index in 0..layout.total() {
+            nodes.push(build_node(cfg, &registry, index)?);
         }
 
         let mut el = EventLoop::new(nodes, cfg.latency.clone(), cfg.seed);

@@ -39,8 +39,10 @@ pub mod sharded;
 pub mod statesync;
 
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterReport, ClusterWorkload, CrashPlan, OrderingMode,
-    ReplicaSummary, ShardTopology,
+    build_node, load_ns_for_txns, submission_trace, BlockSummary, Cluster, ClusterConfig,
+    ClusterLayout, ClusterNode, ClusterReport, ClusterWorkload, CrashPlan, Msg, NodeStatus,
+    OrderingMode, ReplicaSummary, ShardTopology, Submission, SyncFrom, SyncReplyBody, TIMER_CRASH,
+    TIMER_RECOVER,
 };
 pub use fault::{FaultEvent, FaultSchedule};
 pub use mempool::{AdmitError, Mempool, MempoolConfig, MempoolMetrics, MempoolStats, PendingTxn};

@@ -42,7 +42,7 @@ use harmony_core::par::run_indexed;
 use harmony_core::BlockStats;
 use harmony_crypto::{Digest, Verifier};
 use harmony_shard::{
-    logical_state_root, plan_block, prune_to_owned, FragmentCodec, HashPartitioner, PlannerMetrics,
+    logical_state_root, plan_block, prune_to_owned, FragmentCodec, Partitioning, PlannerMetrics,
     ShardRouter,
 };
 use harmony_sim::{makespan, schedule_block, EngineKind};
@@ -69,6 +69,18 @@ pub struct ShardedReplicaConfig {
     /// classification — and hence every commit decision — is
     /// shard-count-invariant).
     pub partitions: u32,
+    /// Partitioning function mapping key bytes to logical partitions.
+    /// Must be identical on every replica of a chain. `Prefix` is the
+    /// right choice for composite-key workloads (TPC-C): it co-locates
+    /// every key of a warehouse, which is what makes declared
+    /// NewOrder/Payment footprints single-shard.
+    pub partitioning: Partitioning,
+    /// Names of tables hosted in full on every shard (read-only
+    /// dimension tables, e.g. TPC-C `item`): genesis pruning skips
+    /// them, and their keys never force a transaction cross-shard.
+    /// Names are resolved against the catalog the workload `setup`
+    /// creates; an unknown name is a configuration error.
+    pub replicated_tables: Vec<String>,
     /// Shard `s` checkpoints every `chain.checkpoint_every + s * stagger`
     /// blocks. A non-zero stagger spreads checkpoint I/O bursts across
     /// co-hosted shards — and means a crash can strand shards at
@@ -90,6 +102,8 @@ impl Default for ShardedReplicaConfig {
             workers: 4,
             shards: 2,
             partitions: 16,
+            partitioning: Partitioning::Hash,
+            replicated_tables: Vec::new(),
             checkpoint_stagger: 0,
             latency: LatencyModel::lan_1g(),
             gossip_every: 5,
@@ -119,6 +133,30 @@ fn open_shard_chain(config: &ShardedReplicaConfig, shard: usize) -> Result<OeCha
     OeChain::open_with_factory(
         config.shard_chain_config(shard),
         Arc::new(move |store, next, _summary| kind.build_sharded_at(store, workers, next)),
+    )
+}
+
+/// Build the shard router from the deployment's partitioning knob and
+/// replicated-table names, resolved against the catalog `setup` created
+/// on `engine`.
+fn build_router(config: &ShardedReplicaConfig, engine: &Arc<StorageEngine>) -> Result<ShardRouter> {
+    let catalog = engine.list_tables();
+    let mut replicated = Vec::with_capacity(config.replicated_tables.len());
+    for name in &config.replicated_tables {
+        let id = catalog
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+            .ok_or_else(|| {
+                Error::InvalidArgument(format!(
+                    "replicated table {name:?} is not in the workload's catalog"
+                ))
+            })?;
+        replicated.push(id);
+    }
+    Ok(
+        ShardRouter::new(config.partitioning.build(config.partitions), config.shards)
+            .with_replicated(replicated),
     )
 }
 
@@ -163,18 +201,24 @@ impl ShardedReplicaNode {
         mut setup: impl FnMut(&Arc<StorageEngine>) -> Result<Arc<dyn ContractCodec>>,
     ) -> Result<ShardedReplicaNode> {
         assert!(config.shards > 0, "need at least one shard");
-        let router = ShardRouter::new(
-            Arc::new(HashPartitioner::new(config.partitions)),
-            config.shards,
-        );
         let mut shards = Vec::with_capacity(config.shards);
         let mut workload_codec = None;
+        let mut router: Option<ShardRouter> = None;
         for s in 0..config.shards {
             let chain = open_shard_chain(config, s)?;
             workload_codec = Some(setup(chain.engine())?);
-            prune_to_owned(chain.engine(), &router, s)?;
+            // The router needs the catalog `setup` creates (to resolve
+            // replicated table names), so it is built after the first
+            // shard's genesis load; table ids are identical on every
+            // shard because creation order is identical.
+            let r = match &router {
+                Some(r) => r,
+                None => router.insert(build_router(config, chain.engine())?),
+            };
+            prune_to_owned(chain.engine(), r, s)?;
             shards.push(chain);
         }
+        let router = router.expect("at least one shard");
         let codec: Arc<dyn ContractCodec> = Arc::new(MultiCodec::new(vec![
             Arc::new(FragmentCodec),
             workload_codec.expect("at least one shard"),
@@ -613,6 +657,8 @@ mod tests {
             workers: 2,
             shards,
             partitions: 8,
+            partitioning: Partitioning::default(),
+            replicated_tables: Vec::new(),
             checkpoint_stagger: 0,
             latency: LatencyModel::lan_1g(),
             gossip_every: 2,

@@ -47,6 +47,7 @@ fn config(crash: Option<CrashPlan>, stagger: u64) -> ClusterConfig {
         topology: Some(ShardTopology {
             shards: 4,
             partitions: PARTITIONS,
+            partitioning: None,
             checkpoint_stagger: stagger,
         }),
         workload: smallbank(),

@@ -59,6 +59,7 @@ fn run_cluster(
         topology: Some(ShardTopology {
             shards,
             partitions: PARTITIONS,
+            partitioning: None,
             checkpoint_stagger: stagger,
         }),
         workload: ClusterWorkload::Smallbank(SmallbankConfig {

@@ -71,6 +71,7 @@ fn config(
         topology: Some(ShardTopology {
             shards,
             partitions: PARTITIONS,
+            partitioning: None,
             checkpoint_stagger: 0,
         }),
         workload,
@@ -179,6 +180,7 @@ fn crash_rejoin_mixes_manifest_and_range_paths_all_engines() {
         cfg.topology = Some(ShardTopology {
             shards: 4,
             partitions: PARTITIONS,
+            partitioning: None,
             checkpoint_stagger: 1_000,
         });
         let report = Cluster::new(cfg).run().unwrap();
@@ -217,6 +219,7 @@ fn crash_rejoin_under_hotstuff_ordering() {
     cfg.topology = Some(ShardTopology {
         shards: 4,
         partitions: PARTITIONS,
+        partitioning: None,
         checkpoint_stagger: 1_000,
     });
     let report = Cluster::new(cfg).run().unwrap();
@@ -278,4 +281,74 @@ fn logical_root_is_shard_count_invariant() {
         one.replicas[0].root, four.replicas[0].root,
         "physical fold commits to the shard layout"
     );
+}
+
+#[test]
+fn tpcc_declared_footprints_route_single_shard() {
+    // TPC-C under the recommended topology — entity-prefix partitioning
+    // plus a replicated `item` table — must (a) actually classify a
+    // healthy share of NewOrder/Payment single-partition (the declared-
+    // footprint payoff the ROADMAP calls the headline TPC-C speedup),
+    // and (b) keep the logical database shard-count-invariant with the
+    // replicated table in play.
+    use harmony_workloads::TpccConfig;
+    let run = |shards: usize| {
+        let mut cfg = config(
+            EngineKind::Harmony(HarmonyConfig::default()),
+            ClusterWorkload::Tpcc(TpccConfig {
+                warehouses: 4,
+                scale: 0.01,
+                ..TpccConfig::default()
+            }),
+            OrderingMode::Kafka { brokers: 3 },
+            None,
+            shards,
+        );
+        // TPC-C transactions are heavier; a lighter offered load keeps
+        // the smoke quick while still sealing plenty of blocks.
+        cfg.open_loop = OpenLoopConfig {
+            clients: 6,
+            rate_tps: 20_000.0,
+            hot_share: 0.0,
+        };
+        cfg.load_ns = 10_000_000;
+        Cluster::new(cfg).run().unwrap()
+    };
+    let four = run(4);
+    assert_healthy(&four, "tpcc 4 shards");
+    let single = metric_value(
+        &four.exposition,
+        "harmony_xshard_single_txns_total{replica=\"0\"}",
+    );
+    let cross = metric_value(
+        &four.exposition,
+        "harmony_xshard_cross_txns_total{replica=\"0\"}",
+    );
+    assert!(
+        single > 0,
+        "declared footprints never routed single-shard (single={single} cross={cross})"
+    );
+    assert!(
+        single > cross,
+        "warehouse-local NewOrder/Payment dominate the mix, so single-shard \
+         routing must dominate too (single={single} cross={cross})"
+    );
+    let one = run(1);
+    assert_healthy(&one, "tpcc 1 shard");
+    assert_eq!(
+        one.replicas[0].logical_root, four.replicas[0].logical_root,
+        "replicated item table must not break shard-count invariance"
+    );
+}
+
+/// Value of the first exposition sample whose name+labels match exactly.
+fn metric_value(exposition: &str, name_and_labels: &str) -> u64 {
+    let line = exposition
+        .lines()
+        .find(|l| {
+            l.strip_prefix(name_and_labels)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .unwrap_or_else(|| panic!("no sample `{name_and_labels}` in exposition"));
+    line.rsplit(' ').next().unwrap().parse().unwrap()
 }

@@ -346,8 +346,15 @@ impl ShardGroup {
 /// shard's engine). One definition serves both shard hosts: the
 /// single-process [`ShardGroup`] and `harmony-node`'s sharded replica,
 /// so their genesis partitions can never drift apart.
+///
+/// Tables the router marks replicated keep their full contents on every
+/// shard (read-only dimension tables — see
+/// [`ShardRouter::with_replicated`]).
 pub fn prune_to_owned(engine: &StorageEngine, router: &ShardRouter, shard: usize) -> Result<()> {
     for (_, table) in engine.list_tables() {
+        if router.is_replicated(table) {
+            continue;
+        }
         let mut foreign: Vec<Vec<u8>> = Vec::new();
         engine.scan(table, b"", None, |k, _| {
             if router.shard_of_key(&Key::new(table, k.to_vec())) != shard {
@@ -514,6 +521,97 @@ mod tests {
             .find(|&i| g.router().partition_of(&key(i)) != g.router().partition_of(&key(a)))
             .expect("hash spreads");
         (a, b)
+    }
+
+    const DIM: TableId = TableId(1);
+
+    /// Group whose router replicates dimension table [`DIM`] ("prices"):
+    /// the fact table `t` is partitioned as usual, the dimension is
+    /// hosted in full everywhere.
+    fn group_with_dim(shards: usize, keys: u64, dim_rows: u64) -> ShardGroup {
+        let router =
+            ShardRouter::new(Arc::new(HashPartitioner::new(8)), shards).with_replicated(vec![DIM]);
+        let config = ShardGroupConfig::in_memory();
+        let mut g = ShardGroup::new(router, &config, |store| {
+            Arc::new(HarmonyEngine::new(
+                store,
+                HarmonyConfig {
+                    inter_block_parallelism: false,
+                    workers: 2,
+                    ..HarmonyConfig::default()
+                },
+            ))
+        })
+        .unwrap();
+        g.setup_with(|engine| {
+            let t = engine.create_table("t")?;
+            assert_eq!(t, TABLE);
+            let dim = engine.create_table("prices")?;
+            assert_eq!(dim, DIM);
+            for i in 0..keys {
+                engine.put(t, &i.to_be_bytes(), &100i64.to_le_bytes())?;
+            }
+            for i in 0..dim_rows {
+                engine.put(dim, &i.to_be_bytes(), &(7i64 * i as i64).to_le_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        g
+    }
+
+    /// Read a dimension row, then add its value to a fact row — declares
+    /// both keys, so routing sees one real partition plus a replicated
+    /// read.
+    fn dim_lookup_txn(dim_id: u64, write: u64) -> Arc<dyn Contract> {
+        Arc::new(
+            FnContract::new("dim-add", move |ctx: &mut TxnCtx<'_>| {
+                let v = ctx
+                    .read(&Key::from_u64(DIM, dim_id))
+                    .map_err(|e| UserAbort(e.to_string()))?
+                    .ok_or_else(|| UserAbort("missing dim row".into()))?;
+                let delta = i64::from_le_bytes(v.as_ref().try_into().expect("8 bytes"));
+                ctx.add_i64(key(write), 0, delta);
+                Ok(())
+            })
+            .with_footprint(vec![Key::from_u64(DIM, dim_id), key(write)]),
+        )
+    }
+
+    #[test]
+    fn replicated_dimension_table_stays_whole_on_every_shard() {
+        let g = group_with_dim(4, 64, 16);
+        let mut fact_total = 0;
+        for s in 0..4 {
+            assert_eq!(
+                g.engine(s).table_len(DIM).unwrap(),
+                16,
+                "shard {s} must host the full dimension table"
+            );
+            fact_total += g.engine(s).table_len(TABLE).unwrap();
+        }
+        assert_eq!(fact_total, 64, "fact table still partitioned exactly once");
+    }
+
+    #[test]
+    fn replicated_reads_keep_txns_single_shard_and_logical_root_invariant() {
+        let block =
+            || -> Vec<Arc<dyn Contract>> { (0..16).map(|i| dim_lookup_txn(i % 16, i)).collect() };
+        let mut one = group_with_dim(1, 64, 16);
+        let mut four = group_with_dim(4, 64, 16);
+        let r1 = one.execute_block(block()).unwrap();
+        let r4 = four.execute_block(block()).unwrap();
+        // Dimension reads are placement-invisible: no txn goes cross.
+        assert_eq!(
+            r4.cross_txns, 0,
+            "replicated reads must not force cross-shard"
+        );
+        assert_eq!(r1.stats.committed, r4.stats.committed);
+        assert_eq!(
+            one.logical_state_root().unwrap(),
+            four.logical_state_root().unwrap(),
+            "replicated tables must not break shard-count invariance"
+        );
     }
 
     #[test]

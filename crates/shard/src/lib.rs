@@ -55,6 +55,9 @@ pub use group::{
     ShardGroupConfig, ShardedRoot,
 };
 pub use metrics::PlannerMetrics;
-pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use partition::{
+    HashPartitioner, Partitioner, Partitioning, PrefixPartitioner, RangePartitioner,
+    ENTITY_PREFIX_BYTES,
+};
 pub use plan::{plan_block, BlockPlan, FragmentCodec, FragmentContract, Slot, FRAGMENT_NAME};
 pub use router::{Placement, ShardRouter};

@@ -12,6 +12,8 @@
 //! table: an entity keyed identically across tables (e.g. a Smallbank
 //! customer's `checking` and `savings` rows) co-locates on one partition.
 
+use std::sync::Arc;
+
 use harmony_common::hash::fnv1a64;
 use harmony_txn::Key;
 
@@ -55,6 +57,87 @@ impl Partitioner for HashPartitioner {
 
     fn partition_of(&self, key: &Key) -> u32 {
         (fnv1a64(key.row()) % u64::from(self.partitions)) as u32
+    }
+}
+
+/// Bytes of the row prefix [`PrefixPartitioner`] hashes: one big-endian
+/// `u64` entity id.
+pub const ENTITY_PREFIX_BYTES: usize = 8;
+
+/// Entity-prefix partitioner: hashes only the first
+/// [`ENTITY_PREFIX_BYTES`] bytes of the row (the whole row when
+/// shorter), so every key sharing an 8-byte entity prefix lands on one
+/// partition.
+///
+/// This is the partitioner for workloads whose composite keys embed a
+/// leading owning-entity id — TPC-C, where district/customer/stock/
+/// orders/order-line/history keys all start with the big-endian
+/// warehouse id. Under it, a contract whose whole footprint hangs off
+/// one warehouse is single-partition even when some of its keys (the
+/// order id handed out by the district row at execution time) cannot be
+/// named in advance: any key that *will* share a declared key's prefix
+/// is guaranteed the same placement.
+///
+/// For keys of exactly 8 bytes this is bit-identical to
+/// [`HashPartitioner`] — `Key::from_u64` workloads (Smallbank, YCSB)
+/// place identically under either, so switching a deployment's
+/// [`Partitioning`] never moves their rows.
+#[derive(Clone, Debug)]
+pub struct PrefixPartitioner {
+    partitions: u32,
+}
+
+impl PrefixPartitioner {
+    /// Build with `partitions` logical partitions.
+    ///
+    /// # Panics
+    /// Panics if `partitions == 0`.
+    #[must_use]
+    pub fn new(partitions: u32) -> PrefixPartitioner {
+        assert!(partitions > 0, "need at least one partition");
+        PrefixPartitioner { partitions }
+    }
+}
+
+impl Partitioner for PrefixPartitioner {
+    fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    fn partition_of(&self, key: &Key) -> u32 {
+        let row = key.row();
+        let prefix = &row[..row.len().min(ENTITY_PREFIX_BYTES)];
+        (fnv1a64(prefix) % u64::from(self.partitions)) as u32
+    }
+}
+
+/// Deployment knob selecting the partitioning function of a sharded
+/// replica — a pure function of the key bytes, so it must be identical
+/// on every replica of a chain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Partitioning {
+    /// [`HashPartitioner`] over the whole row: best spread, right for
+    /// single-segment keys (Smallbank, YCSB).
+    #[default]
+    Hash,
+    /// [`PrefixPartitioner`] over the leading 8 row bytes: co-locates
+    /// composite keys with their owning entity (TPC-C warehouses),
+    /// which is what lets warehouse-local NewOrder/Payment run
+    /// single-shard.
+    Prefix,
+}
+
+impl Partitioning {
+    /// Instantiate the partitioner for `partitions` logical partitions.
+    ///
+    /// # Panics
+    /// Panics if `partitions == 0`.
+    #[must_use]
+    pub fn build(self, partitions: u32) -> Arc<dyn Partitioner> {
+        match self {
+            Partitioning::Hash => Arc::new(HashPartitioner::new(partitions)),
+            Partitioning::Prefix => Arc::new(PrefixPartitioner::new(partitions)),
+        }
     }
 }
 
@@ -156,6 +239,57 @@ mod tests {
             counts[p.partition_of(&key(id)) as usize] += 1;
         }
         assert!(counts.iter().all(|&c| c > 150), "{counts:?}");
+    }
+
+    #[test]
+    fn prefix_partitioner_matches_hash_on_u64_keys() {
+        // Smallbank/YCSB keys are exactly 8 bytes, so a deployment may
+        // switch Hash ↔ Prefix without moving any of their rows.
+        let h = HashPartitioner::new(16);
+        let p = PrefixPartitioner::new(16);
+        for id in 0..500u64 {
+            assert_eq!(h.partition_of(&key(id)), p.partition_of(&key(id)));
+        }
+    }
+
+    #[test]
+    fn prefix_partitioner_colocates_composite_keys_with_their_entity() {
+        // TPC-C-style composite keys: warehouse id, then district /
+        // customer / order suffixes of various lengths.
+        let p = PrefixPartitioner::new(16);
+        for w in 0..50u64 {
+            let entity = p.partition_of(&key(w));
+            for suffix_len in 1..16usize {
+                let mut row = w.to_be_bytes().to_vec();
+                row.extend(std::iter::repeat_n(0xAB, suffix_len));
+                assert_eq!(
+                    p.partition_of(&Key::new(TableId(3), row)),
+                    entity,
+                    "suffix of {suffix_len} bytes moved warehouse {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_partitioner_hashes_short_rows_whole() {
+        let p = PrefixPartitioner::new(16);
+        let short = Key::new(TableId(0), vec![1, 2, 3, 4]);
+        assert!(p.partition_of(&short) < 16);
+        // Stable: same 4-byte row, same partition, regardless of table.
+        assert_eq!(
+            p.partition_of(&short),
+            p.partition_of(&Key::new(TableId(9), vec![1, 2, 3, 4]))
+        );
+    }
+
+    #[test]
+    fn partitioning_knob_builds_both_kinds() {
+        let h = Partitioning::Hash.build(8);
+        let p = Partitioning::Prefix.build(8);
+        assert_eq!(h.partitions(), 8);
+        assert_eq!(p.partitions(), 8);
+        assert_eq!(Partitioning::default(), Partitioning::Hash);
     }
 
     #[test]

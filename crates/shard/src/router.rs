@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use harmony_common::ids::TableId;
 use harmony_txn::{Contract, Key};
 
 use crate::partition::Partitioner;
@@ -37,6 +38,10 @@ pub enum Placement {
 pub struct ShardRouter {
     partitioner: Arc<dyn Partitioner>,
     shards: usize,
+    /// Tables whose rows every shard keeps in full (read-only dimension
+    /// tables, e.g. TPC-C `item`). Their keys are invisible to
+    /// classification and exempt from genesis pruning.
+    replicated: Vec<TableId>,
 }
 
 impl ShardRouter {
@@ -51,7 +56,32 @@ impl ShardRouter {
         ShardRouter {
             partitioner,
             shards,
+            replicated: Vec::new(),
         }
+    }
+
+    /// Mark `tables` as **replicated**: every shard hosts their full
+    /// contents (genesis pruning skips them), and their keys are ignored
+    /// when classifying a transaction's declared footprint — a read of a
+    /// replicated row is satisfiable on whichever shard the transaction
+    /// runs.
+    ///
+    /// Replicated tables must be written only at genesis (`setup`): a
+    /// post-genesis write would update one shard's copy and silently
+    /// diverge the others. TPC-C's `item` price list is the canonical
+    /// case.
+    #[must_use]
+    pub fn with_replicated(mut self, mut tables: Vec<TableId>) -> ShardRouter {
+        tables.sort_unstable();
+        tables.dedup();
+        self.replicated = tables;
+        self
+    }
+
+    /// Whether `table` is hosted in full on every shard.
+    #[must_use]
+    pub fn is_replicated(&self, table: TableId) -> bool {
+        self.replicated.binary_search(&table).is_ok()
     }
 
     /// Number of physical shards.
@@ -84,7 +114,9 @@ impl ShardRouter {
         self.shard_of_partition(self.partition_of(key))
     }
 
-    /// Classify a transaction from its declared footprint.
+    /// Classify a transaction from its declared footprint. Keys in
+    /// replicated tables are skipped: every shard can serve them, so
+    /// they never force a transaction cross-shard.
     #[must_use]
     pub fn classify(&self, txn: &dyn Contract) -> Placement {
         let Some(keys) = txn.declared_keys() else {
@@ -92,6 +124,9 @@ impl ShardRouter {
         };
         let mut single: Option<u32> = None;
         for key in keys {
+            if self.is_replicated(key.table()) {
+                continue;
+            }
             let p = self.partition_of(key);
             match single {
                 None => single = Some(p),
@@ -168,6 +203,45 @@ mod tests {
         let r = router(4, 2);
         let txn = FnContract::new("opaque", |_: &mut TxnCtx<'_>| Ok(()));
         assert_eq!(r.classify(&txn), Placement::MultiPartition);
+    }
+
+    #[test]
+    fn replicated_table_keys_never_force_cross_shard() {
+        let r = router(8, 4).with_replicated(vec![TableId(7)]);
+        let local = Key::from_u64(TableId(0), 42);
+        let p = r.partition_of(&local);
+        // A read of a replicated dimension row (any partition) plus one
+        // partition's worth of real keys: still single-partition.
+        let dim = (0..100u64)
+            .map(|i| Key::from_u64(TableId(7), i))
+            .find(|k| r.partition_of(k) != p)
+            .expect("hash spreads");
+        let txn = txn_with_keys(vec![local.clone(), dim]);
+        assert_eq!(
+            r.classify(&txn),
+            Placement::Single {
+                shard: r.shard_of_partition(p),
+                partition: p
+            }
+        );
+        assert!(r.is_replicated(TableId(7)));
+        assert!(!r.is_replicated(TableId(0)));
+    }
+
+    #[test]
+    fn replicated_only_footprint_runs_on_partition_zero() {
+        // Degenerate but legal: a read-only txn touching nothing but
+        // replicated tables can run anywhere; it pins to partition 0 so
+        // every replica places it identically.
+        let r = router(8, 4).with_replicated(vec![TableId(7)]);
+        let txn = txn_with_keys(vec![Key::from_u64(TableId(7), 3)]);
+        assert_eq!(
+            r.classify(&txn),
+            Placement::Single {
+                shard: 0,
+                partition: 0
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Real-network transport for the HarmonyBC cluster.
+//!
+//! Everything below the consensus/replica logic that the deterministic
+//! simulator abstracts away, made real:
+//!
+//! * [`wire`] — a self-describing, length-prefixed binary codec for
+//!   the cluster message enum and the operator control plane, built on
+//!   the workspace's existing contract/block/snapshot serialization.
+//! * [`tcp`] — [`tcp::NodeRuntime`]: one OS process hosting one
+//!   cluster node (client bank, orderer, follower, or replica) behind
+//!   the consensus [`harmony_consensus::net::Transport`] seam, with
+//!   wall-clock timers, per-peer reconnecting writers, and a
+//!   control-plane request/reply loop.
+//! * [`http`] — a tiny per-node observability endpoint (`/metrics` in
+//!   Prometheus text format, `/timeline` JSON, `/healthz`).
+//! * [`ctl`] — the operator clients `harmonyctl` drives:
+//!   [`ctl::CtlClient`] (status, block inspection, crash/recover,
+//!   metrics, shutdown) and [`ctl::SubmitClient`] (stream workload
+//!   transactions to the orderer from the cluster's client slot).
+//!
+//! The load-bearing property: a process cluster runs the *identical*
+//! node code path the simulator runs, so for a deterministic workload
+//! (single client session, count-driven sealing) the committed state
+//! roots over real sockets must equal the simulator's bit-for-bit.
+
+pub mod ctl;
+pub mod http;
+pub mod tcp;
+pub mod wire;
+
+pub use ctl::{CtlClient, SubmitClient};
+pub use http::http_get;
+pub use tcp::{NodeRuntime, NodeRuntimeConfig};
+pub use wire::{
+    decode_ctl, encode_ctl, frame_tag, is_ctl_tag, read_frame, write_frame, CtlMsg, WireCodec,
+    MAX_FRAME_BYTES, WIRE_VERSION,
+};

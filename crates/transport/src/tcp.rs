@@ -1,0 +1,617 @@
+//! The socket/thread node runtime: one OS process hosting one
+//! [`ClusterNode`] behind the [`Transport`] seam.
+//!
+//! Layout of a running process:
+//!
+//! * **Event-loop thread** — owns the node and a wall-clock timer heap;
+//!   the *identical* `on_message`/`on_timer` handlers the deterministic
+//!   simulator drives, fed from an mpsc channel and a
+//!   `recv_timeout`-based timer wheel. Also takes wall-clock metric
+//!   timeline snapshots and answers control-plane requests.
+//! * **Listener + per-connection reader threads** — accept loop; each
+//!   reader decodes length-prefixed frames and forwards them. A peer
+//!   connection introduces itself with a `Hello{index}` handshake
+//!   frame; control connections skip the handshake and speak
+//!   request/reply.
+//! * **Per-peer writer threads** — one bounded outbound queue per
+//!   configured peer. `try_send` backpressure: when a peer can't drain
+//!   its queue, frames are dropped and counted rather than stalling the
+//!   event loop. Writers (re)connect lazily with [`RetryPolicy`]
+//!   exponential backoff, so process start order doesn't matter and a
+//!   restarted peer is re-reached automatically.
+//!
+//! Peers without a configured address (the client slot, where
+//! `harmonyctl` lives) are reached over whatever inbound connection
+//! last introduced itself with that index — which is how admission
+//! rejects find their way back to an external driver.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use harmony_common::{Error, Result};
+use harmony_consensus::net::{SimNode, Transport};
+use harmony_metrics::{Counter, Registry, Timeline};
+use harmony_node::cluster::Msg;
+use harmony_node::{build_node, ClusterConfig, ClusterLayout, ClusterNode, RetryPolicy};
+use parking_lot::Mutex;
+
+use crate::http::spawn_http;
+use crate::wire::{
+    decode_ctl, encode_ctl, frame_tag, is_ctl_tag, read_frame, write_frame, CtlMsg, WireCodec,
+};
+
+/// Configuration of one OS-process node.
+#[derive(Clone, Debug)]
+pub struct NodeRuntimeConfig {
+    /// The cluster configuration — the *same* value every process (and
+    /// any simulator reference run) must use.
+    pub cluster: ClusterConfig,
+    /// This process's node index in the [`ClusterLayout`].
+    pub index: usize,
+    /// Listen address per node index (`None` for slots without a
+    /// listener, e.g. the client slot an external driver occupies).
+    /// Must hold `Some` at `index`.
+    pub peers: Vec<Option<SocketAddr>>,
+    /// Address for the HTTP observability endpoint (`/metrics`,
+    /// `/timeline`, `/healthz`); `None` disables it.
+    pub http: Option<SocketAddr>,
+}
+
+enum Event {
+    /// A cluster message from peer `from`.
+    Peer { from: usize, body: Vec<u8> },
+    /// A control request; the reply goes back down `stream`.
+    Ctl { stream: TcpStream, body: Vec<u8> },
+}
+
+/// Outbound connectivity: bounded queues to configured peers, direct
+/// streams to peers that introduced themselves inbound.
+struct PeerTable {
+    outbound: Vec<Option<SyncSender<Vec<u8>>>>,
+    dynamic: Mutex<HashMap<usize, TcpStream>>,
+    dropped: Counter,
+}
+
+impl PeerTable {
+    fn send(&self, to: usize, frame: Vec<u8>) {
+        if let Some(Some(tx)) = self.outbound.get(to) {
+            match tx.try_send(frame) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => self.dropped.inc(),
+            }
+            return;
+        }
+        let mut dynamic = self.dynamic.lock();
+        match dynamic.get_mut(&to) {
+            Some(stream) => {
+                if stream.write_all(&frame).is_err() {
+                    dynamic.remove(&to);
+                    self.dropped.inc();
+                }
+            }
+            None => self.dropped.inc(),
+        }
+    }
+}
+
+/// State shared across the runtime's threads.
+struct Shared {
+    shutdown: Arc<AtomicBool>,
+    /// Accepted inbound streams, kept so shutdown can unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+    peers: PeerTable,
+    listen_addr: SocketAddr,
+}
+
+/// Transport metric handles (interned once, cloned into threads).
+#[derive(Clone)]
+struct NetMetrics {
+    frames_in: Counter,
+    bytes_in: Counter,
+    frames_out: Counter,
+    bytes_out: Counter,
+    reconnects: Counter,
+    decode_errors: Counter,
+}
+
+impl NetMetrics {
+    fn register(registry: &Registry) -> NetMetrics {
+        NetMetrics {
+            frames_in: registry.counter_with(
+                "harmony_transport_frames_total",
+                "Wire frames moved, by direction.",
+                &[("dir", "in")],
+            ),
+            bytes_in: registry.counter_with(
+                "harmony_transport_bytes_total",
+                "Wire bytes moved, by direction.",
+                &[("dir", "in")],
+            ),
+            frames_out: registry.counter_with(
+                "harmony_transport_frames_total",
+                "Wire frames moved, by direction.",
+                &[("dir", "out")],
+            ),
+            bytes_out: registry.counter_with(
+                "harmony_transport_bytes_total",
+                "Wire bytes moved, by direction.",
+                &[("dir", "out")],
+            ),
+            reconnects: registry.counter(
+                "harmony_transport_reconnects_total",
+                "Outbound peer connections (re)established.",
+            ),
+            decode_errors: registry.counter(
+                "harmony_transport_decode_errors_total",
+                "Inbound frames rejected by the wire codec.",
+            ),
+        }
+    }
+}
+
+/// The wall-clock [`Transport`] impl handed to the node's handlers.
+struct TcpCtx<'a> {
+    me: usize,
+    now_ns: u64,
+    peers: &'a PeerTable,
+    codec: &'a WireCodec,
+    metrics: &'a NetMetrics,
+    /// Timers armed during this dispatch: `(due_ns, id)`.
+    new_timers: Vec<(u64, u64)>,
+}
+
+impl Transport<Msg> for TcpCtx<'_> {
+    fn now(&self) -> u64 {
+        self.now_ns
+    }
+
+    fn me(&self) -> usize {
+        self.me
+    }
+
+    fn send(&mut self, to: usize, msg: Msg, _bytes: u64) {
+        let frame = self.codec.encode_msg(&msg);
+        self.metrics.frames_out.inc();
+        self.metrics.bytes_out.add(frame.len() as u64);
+        self.peers.send(to, frame);
+    }
+
+    fn set_timer(&mut self, delay_ns: u64, id: u64) {
+        self.new_timers
+            .push((self.now_ns.saturating_add(delay_ns), id));
+    }
+
+    fn charge_cpu(&mut self, _ns: u64) {
+        // Real CPU time is spent for real here.
+    }
+}
+
+/// A running OS-process node. Dropping the handle does **not** stop the
+/// runtime; use [`NodeRuntime::stop`] or a control-plane `Shutdown`.
+pub struct NodeRuntime {
+    event_loop: JoinHandle<()>,
+    shared: Arc<Shared>,
+    http_addr: Option<SocketAddr>,
+}
+
+impl NodeRuntime {
+    /// Bind the listener, spawn the runtime's threads, and start the
+    /// node at `cfg.index` built by the same [`build_node`] factory the
+    /// simulator uses.
+    ///
+    /// # Errors
+    /// Configuration errors (bad index, missing listen address), node
+    /// construction failures, and socket bind errors.
+    pub fn start(cfg: NodeRuntimeConfig) -> Result<NodeRuntime> {
+        let layout = ClusterLayout::of(&cfg.cluster);
+        if cfg.index >= layout.total() || cfg.peers.len() != layout.total() {
+            return Err(Error::InvalidArgument(format!(
+                "runtime index {} / peer table {} vs layout of {} nodes",
+                cfg.index,
+                cfg.peers.len(),
+                layout.total()
+            )));
+        }
+        let listen = cfg.peers[cfg.index]
+            .ok_or_else(|| Error::InvalidArgument("no listen address for this node".into()))?;
+        let registry = Arc::new(Registry::new());
+        let node = build_node(&cfg.cluster, &registry, cfg.index)?;
+        let codec = WireCodec::new(cfg.cluster.workload.codec()?);
+        let metrics = NetMetrics::register(&registry);
+        let listener = TcpListener::bind(listen).map_err(Error::Io)?;
+        let listen_addr = listener.local_addr().map_err(Error::Io)?;
+
+        // Outbound writer per configured peer (lazy connect + reconnect).
+        let mut outbound: Vec<Option<SyncSender<Vec<u8>>>> = Vec::new();
+        let mut writer_specs = Vec::new();
+        for (to, addr) in cfg.peers.iter().enumerate() {
+            match addr {
+                Some(addr) if to != cfg.index => {
+                    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(1024);
+                    outbound.push(Some(tx));
+                    writer_specs.push((to, *addr, rx));
+                }
+                _ => outbound.push(None),
+            }
+        }
+        let shared = Arc::new(Shared {
+            shutdown: Arc::new(AtomicBool::new(false)),
+            conns: Mutex::new(Vec::new()),
+            peers: PeerTable {
+                outbound,
+                dynamic: Mutex::new(HashMap::new()),
+                dropped: registry.counter(
+                    "harmony_transport_dropped_frames_total",
+                    "Outbound frames dropped by queue backpressure or dead peers.",
+                ),
+            },
+            listen_addr,
+        });
+        for (to, addr, rx) in writer_specs {
+            spawn_writer(
+                cfg.index,
+                to,
+                addr,
+                rx,
+                cfg.cluster.sync_retry,
+                cfg.cluster.seed,
+                metrics.reconnects.clone(),
+                Arc::clone(&shared),
+            );
+        }
+
+        let timeline = Arc::new(Mutex::new(Timeline::new(
+            &format!("tcp·node{}", cfg.index),
+            cfg.cluster.seed,
+            cfg.cluster.metrics_every_ns.max(1),
+        )));
+        let http_addr = match cfg.http {
+            Some(addr) => Some(spawn_http(
+                addr,
+                Arc::clone(&registry),
+                Arc::clone(&timeline),
+                Arc::clone(&shared.shutdown),
+            )?),
+            None => None,
+        };
+
+        let (events_tx, events_rx) = mpsc::sync_channel::<Event>(4096);
+        spawn_listener(listener, events_tx, metrics.clone(), Arc::clone(&shared));
+
+        let loop_shared = Arc::clone(&shared);
+        let every_ns = cfg.cluster.metrics_every_ns.max(1);
+        let event_loop = thread::Builder::new()
+            .name(format!("harmony-node-{}", cfg.index))
+            .spawn(move || {
+                run_event_loop(
+                    node,
+                    cfg.index,
+                    codec,
+                    events_rx,
+                    loop_shared,
+                    registry,
+                    timeline,
+                    every_ns,
+                    metrics,
+                );
+            })
+            .map_err(Error::Io)?;
+
+        Ok(NodeRuntime {
+            event_loop,
+            shared,
+            http_addr,
+        })
+    }
+
+    /// The bound listen address (useful with port-0 configs).
+    #[must_use]
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.shared.listen_addr
+    }
+
+    /// The bound HTTP endpoint address, if one was configured.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// Ask the event loop to exit (same as a control-plane `Shutdown`).
+    pub fn stop(&self) {
+        if let Ok(mut stream) = TcpStream::connect(self.shared.listen_addr) {
+            let _ = write_frame(&mut stream, &encode_ctl(&CtlMsg::Shutdown));
+            let mut s = stream;
+            let _ = read_frame(&mut s);
+        }
+    }
+
+    /// Block until the event loop exits (control-plane `Shutdown` or
+    /// [`NodeRuntime::stop`]).
+    pub fn join(self) {
+        let _ = self.event_loop.join();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_event_loop(
+    mut node: ClusterNode,
+    me: usize,
+    codec: WireCodec,
+    events: Receiver<Event>,
+    shared: Arc<Shared>,
+    registry: Arc<Registry>,
+    timeline: Arc<Mutex<Timeline>>,
+    snapshot_every_ns: u64,
+    metrics: NetMetrics,
+) {
+    let epoch = Instant::now();
+    let now_ns = || u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut next_snapshot = snapshot_every_ns;
+
+    let drive = |node: &mut ClusterNode,
+                 timers: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                 f: &mut dyn FnMut(&mut ClusterNode, &mut TcpCtx<'_>)| {
+        let mut ctx = TcpCtx {
+            me,
+            now_ns: now_ns(),
+            peers: &shared.peers,
+            codec: &codec,
+            metrics: &metrics,
+            new_timers: Vec::new(),
+        };
+        f(node, &mut ctx);
+        for (due, id) in ctx.new_timers {
+            timers.push(Reverse((due, id)));
+        }
+    };
+
+    loop {
+        // Fire every due timer.
+        loop {
+            let now = now_ns();
+            match timers.peek() {
+                Some(&Reverse((due, id))) if due <= now => {
+                    timers.pop();
+                    drive(&mut node, &mut timers, &mut |n, ctx| n.on_timer(id, ctx));
+                }
+                _ => break,
+            }
+        }
+        // Wall-clock timeline snapshot.
+        let now = now_ns();
+        if now >= next_snapshot {
+            timeline.lock().record(now, &registry);
+            while next_snapshot <= now {
+                next_snapshot += snapshot_every_ns;
+            }
+        }
+        // Sleep until the next deadline (or a short poll tick).
+        let deadline = timers
+            .peek()
+            .map_or(next_snapshot, |&Reverse((due, _))| due.min(next_snapshot));
+        let wait_ns = deadline.saturating_sub(now_ns()).clamp(1, 100_000_000);
+        match events.recv_timeout(Duration::from_nanos(wait_ns)) {
+            Ok(Event::Peer { from, body }) => match codec.decode_msg(&body) {
+                Ok(msg) => {
+                    drive(&mut node, &mut timers, &mut |n, ctx| {
+                        n.on_message(from, msg.clone(), ctx);
+                    });
+                }
+                Err(_) => metrics.decode_errors.inc(),
+            },
+            Ok(Event::Ctl { mut stream, body }) => {
+                let mut stop = false;
+                let reply = match decode_ctl(&body) {
+                    Ok(CtlMsg::StatusReq) => CtlMsg::StatusReply(node.status()),
+                    Ok(CtlMsg::BlockReq { shard, seq }) => {
+                        CtlMsg::BlockReply(node.block_summary(shard as usize, seq))
+                    }
+                    Ok(CtlMsg::Crash) => {
+                        drive(&mut node, &mut timers, &mut |n, ctx| {
+                            n.on_timer(harmony_node::TIMER_CRASH, ctx);
+                        });
+                        CtlMsg::Ok
+                    }
+                    Ok(CtlMsg::Recover) => {
+                        drive(&mut node, &mut timers, &mut |n, ctx| {
+                            n.on_timer(harmony_node::TIMER_RECOVER, ctx);
+                        });
+                        CtlMsg::Ok
+                    }
+                    Ok(CtlMsg::MetricsReq) => CtlMsg::Text(registry.render_prometheus()),
+                    Ok(CtlMsg::Shutdown) => {
+                        stop = true;
+                        CtlMsg::Ok
+                    }
+                    Ok(other) => CtlMsg::Err(format!("unexpected control request: {other:?}")),
+                    Err(e) => CtlMsg::Err(format!("bad control frame: {e}")),
+                };
+                let _ = write_frame(&mut stream, &encode_ctl(&reply));
+                if stop {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Shutdown: flip the flag, then unblock every blocked thread.
+    shared.shutdown.store(true, Ordering::SeqCst);
+    for tx in shared.peers.outbound.iter().flatten() {
+        let _ = tx.try_send(Vec::new()); // writer sentinel
+    }
+    for stream in shared.conns.lock().iter() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    // One last self-connect pops the listener out of accept().
+    let _ = TcpStream::connect(shared.listen_addr);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_writer(
+    me: usize,
+    to: usize,
+    addr: SocketAddr,
+    rx: Receiver<Vec<u8>>,
+    retry: RetryPolicy,
+    seed: u64,
+    reconnects: Counter,
+    shared: Arc<Shared>,
+) {
+    let _ = thread::Builder::new()
+        .name(format!("harmony-writer-{me}-{to}"))
+        .spawn(move || {
+            let mut attempt: u32 = 0;
+            let mut pending: Option<Vec<u8>> = None;
+            'reconnect: loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut stream = match TcpStream::connect(addr) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Exponential backoff with deterministic jitter —
+                        // the PR 8 retry policy, reused on real sockets.
+                        let wait =
+                            retry.backoff_ns(attempt.min(retry.max_retries), seed, to as u64);
+                        attempt = attempt.saturating_add(1);
+                        thread::sleep(Duration::from_nanos(wait));
+                        continue;
+                    }
+                };
+                attempt = 0;
+                reconnects.inc();
+                let _ = stream.set_nodelay(true);
+                let hello = encode_ctl(&CtlMsg::Hello {
+                    index: u32::try_from(me).unwrap_or(u32::MAX),
+                });
+                if write_frame(&mut stream, &hello).is_err() {
+                    continue 'reconnect;
+                }
+                // Re-send a frame that failed mid-write on the previous
+                // connection before draining the queue.
+                if let Some(frame) = pending.take() {
+                    if write_frame(&mut stream, &frame).is_err() {
+                        pending = Some(frame);
+                        continue 'reconnect;
+                    }
+                }
+                loop {
+                    match rx.recv() {
+                        Ok(frame) if frame.is_empty() => return, // sentinel
+                        Ok(frame) => {
+                            if write_frame(&mut stream, &frame).is_err() {
+                                pending = Some(frame);
+                                continue 'reconnect;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                }
+            }
+        });
+}
+
+fn spawn_listener(
+    listener: TcpListener,
+    events: SyncSender<Event>,
+    metrics: NetMetrics,
+    shared: Arc<Shared>,
+) {
+    let _ = thread::Builder::new()
+        .name("harmony-listener".into())
+        .spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        shared.conns.lock().push(clone);
+                    }
+                    spawn_reader(stream, events.clone(), metrics.clone(), Arc::clone(&shared));
+                }
+                Err(_) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            }
+        });
+}
+
+/// One inbound connection: route `Hello`-introduced peer frames to the
+/// event loop with their sender index, control frames with a reply
+/// handle, and drop anything from a peer that never introduced itself.
+fn spawn_reader(
+    stream: TcpStream,
+    events: SyncSender<Event>,
+    metrics: NetMetrics,
+    shared: Arc<Shared>,
+) {
+    let _ = thread::Builder::new()
+        .name("harmony-reader".into())
+        .spawn(move || {
+            let mut reading = match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            };
+            let mut from: Option<usize> = None;
+            while let Ok(Some(body)) = read_frame(&mut reading) {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                metrics.frames_in.inc();
+                metrics.bytes_in.add(body.len() as u64 + 4);
+                let Some(tag) = frame_tag(&body) else {
+                    metrics.decode_errors.inc();
+                    continue;
+                };
+                if is_ctl_tag(tag) {
+                    if let Ok(CtlMsg::Hello { index }) = decode_ctl(&body) {
+                        let index = index as usize;
+                        from = Some(index);
+                        // Peers without a configured address become
+                        // reachable over this connection (e.g. replies
+                        // to the external client driver).
+                        if matches!(shared.peers.outbound.get(index), None | Some(None)) {
+                            if let Ok(back) = stream.try_clone() {
+                                shared.peers.dynamic.lock().insert(index, back);
+                            }
+                        }
+                        continue;
+                    }
+                    let Ok(reply_stream) = stream.try_clone() else {
+                        return;
+                    };
+                    if events
+                        .send(Event::Ctl {
+                            stream: reply_stream,
+                            body,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    continue;
+                }
+                let Some(from) = from else {
+                    metrics.decode_errors.inc();
+                    continue;
+                };
+                if events.send(Event::Peer { from, body }).is_err() {
+                    return;
+                }
+            }
+        });
+}

@@ -30,6 +30,7 @@ pub use harmony_node as node;
 pub use harmony_shard as shard;
 pub use harmony_sim as sim;
 pub use harmony_storage as storage;
+pub use harmony_transport as transport;
 pub use harmony_txn as txn;
 pub use harmony_workloads as workloads;
 
