@@ -152,6 +152,61 @@ fn fig25_json_matches_schema_when_present() {
     );
 }
 
+/// Schema check for the reshard-smoke artifact `reshard_smoke.json`
+/// (written by the `reshard_smoke` binary earlier in the CI job). Skips
+/// when not generated locally.
+#[test]
+fn reshard_smoke_json_matches_schema_when_present() {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS-results/reshard_smoke.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!("reshard_smoke.json not generated; skipping schema check");
+        return;
+    };
+    check_balanced(&text);
+    assert!(
+        text.contains("\"schema\": \"harmonybc-reshard/v1\""),
+        "schema tag"
+    );
+    // Every engine's elastic 1→2→4 run matched the fixed-count
+    // reference, on the folded root and on per-table heads.
+    assert!(
+        !text.contains("\"logical_identical\": false")
+            && !text.contains("\"heads_identical\": false"),
+        "an elastic run diverged from its fixed-count reference"
+    );
+    let mut engines = 0;
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"engine\":") {
+        let entry = from + at;
+        assert!(
+            number_after(&text, entry, "committed") > 0.0,
+            "engine point committed nothing"
+        );
+        assert!(
+            number_after(&text, entry, "sealed_blocks") > 0.0,
+            "engine point sealed nothing"
+        );
+        engines += 1;
+        from = entry + "\"engine\":".len();
+    }
+    assert!(engines >= 5, "expected all five engines, found {engines}");
+    // The crash leg rejoined across the topology boundary bit-identically.
+    assert!(
+        text.contains("\"roots_identical\": true"),
+        "crash leg must report identical roots"
+    );
+    let crash_at = text.find("\"crash\"").expect("crash leg object");
+    assert!(
+        number_after(&text, crash_at, "recoveries") >= 1.0,
+        "no recovery recorded"
+    );
+    assert!(
+        number_after(&text, crash_at, "hosted_shards") == 4.0,
+        "victim rejoined on a stale layout"
+    );
+}
+
 /// Schema check for the metrics-smoke timeline artifact
 /// `metrics_timeline.json` (written by the `metrics_smoke` binary
 /// earlier in the CI job). Skips when not generated locally.

@@ -238,7 +238,11 @@ impl ClusterSpec {
         let cfg = opts.cluster_config()?;
         let layout = ClusterLayout::of(&cfg);
         // Hold all listeners until every port is drawn so the OS can't
-        // hand the same ephemeral port out twice.
+        // hand the same ephemeral port out twice. Releasing them before
+        // the node processes bind leaves an unavoidable handoff window
+        // (the spec is a file, not a transferable socket); the node
+        // runtime closes it by binding with bounded retry, so a port
+        // still in TIME_WAIT or briefly squatted doesn't kill a spawn.
         let mut held = Vec::new();
         let mut addrs = vec![None];
         let mut https = vec![None];

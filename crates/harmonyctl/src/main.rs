@@ -8,6 +8,7 @@
 //! harmonyctl block   --dir /tmp/hbc --node 2 --seq 3 # inspect a committed block
 //! harmonyctl crash   --dir /tmp/hbc --node 3         # fault injection
 //! harmonyctl recover --dir /tmp/hbc --node 3         # rejoin via real-socket state sync
+//! harmonyctl reshard --dir /tmp/hbc --shards 4       # live shard split/merge at the next block
 //! harmonyctl metrics --dir /tmp/hbc --node 2         # live Prometheus scrape over HTTP
 //! harmonyctl simroot --dir /tmp/hbc                  # simulator reference root for this spec
 //! harmonyctl stop    --dir /tmp/hbc                  # shut every process down
@@ -33,7 +34,7 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: harmonyctl <spawn|node|submit|status|block|crash|recover|metrics|timeline|simroot|stop> --dir DIR [options]";
+const USAGE: &str = "usage: harmonyctl <spawn|node|submit|status|block|crash|recover|reshard|metrics|timeline|simroot|stop> --dir DIR [options]";
 
 fn run(args: &[String]) -> Result<()> {
     let Some((cmd, rest)) = args.split_first() else {
@@ -48,6 +49,7 @@ fn run(args: &[String]) -> Result<()> {
         "block" => block(&flags),
         "crash" => toggle(&flags, true),
         "recover" => toggle(&flags, false),
+        "reshard" => reshard(&flags),
         "metrics" => scrape(&flags, "/metrics"),
         "timeline" => scrape(&flags, "/timeline"),
         "simroot" => simroot(&flags),
@@ -280,6 +282,24 @@ fn toggle(flags: &Flags, crash: bool) -> Result<()> {
         client.recover()?;
         println!("node {index} recovering");
     }
+    Ok(())
+}
+
+/// Ask the orderer to change the cluster's shard count: it seals a
+/// topology-change marker block and every replica splits/merges its
+/// shards at that epoch boundary, mid-workload, without restarting.
+fn reshard(flags: &Flags) -> Result<()> {
+    let spec = ClusterSpec::load(&flags.dir()?)?;
+    let new_shards: u32 = flags.require("shards")?;
+    if spec.opts.shards == 0 {
+        return Err(Error::InvalidArgument(
+            "this cluster runs flat replicas; reshard needs a sharded spec (--shards > 0 at spawn)"
+                .into(),
+        ));
+    }
+    let mut client = CtlClient::connect(spec.orderer_addr()?)?;
+    client.reshard(new_shards)?;
+    println!("reshard to {new_shards} shards scheduled at the orderer");
     Ok(())
 }
 

@@ -42,7 +42,7 @@ use harmony_consensus::net::{DeliveryLog, EventLoop, LatencyModel, SimNode, Tran
 use harmony_core::BlockStats;
 use harmony_crypto::{CryptoCost, Digest, KeyPair};
 use harmony_metrics::{doubling_buckets, Counter, Histogram, Registry, Timeline};
-use harmony_shard::{Partitioning, PlannerMetrics};
+use harmony_shard::{Partitioning, PlannerMetrics, ReshardMarker};
 use harmony_sim::RunMetrics;
 use harmony_storage::{IoSnapshot, StorageConfig, StorageEngine};
 use harmony_txn::{encode_contract, Contract, ContractCodec};
@@ -51,7 +51,7 @@ use harmony_workloads::{
     TpccConfig, Workload, Ycsb, YcsbCodec, YcsbConfig,
 };
 
-use crate::fault::{FaultEvent, FaultSchedule};
+use crate::fault::{FaultEvent, FaultSchedule, ReshardSchedule};
 use crate::mempool::{Mempool, MempoolConfig, MempoolMetrics, MempoolStats};
 use crate::metrics::{shard_txn_counters, ReplicaMetrics, ROOT_FOLD_NS};
 use crate::replica::{Applied, ReplicaConfig, ReplicaNode};
@@ -282,6 +282,11 @@ pub struct ClusterConfig {
     /// armed, so the event schedule is bit-identical to a build without
     /// the chaos plane.
     pub faults: FaultSchedule,
+    /// Scheduled topology changes (live shard split/merge). Empty =
+    /// static topology: the orderer never consults the queue and the
+    /// sealed stream is bit-identical to a build without elastic
+    /// resharding. Requires a sharded `topology`.
+    pub reshards: ReshardSchedule,
     /// State-sync timeout/retry/backoff/failover policy (active on
     /// fault runs only).
     pub sync_retry: RetryPolicy,
@@ -326,6 +331,7 @@ impl Default for ClusterConfig {
             window: 4,
             sync: SyncPolicy::default(),
             faults: FaultSchedule::default(),
+            reshards: ReshardSchedule::default(),
             sync_retry: RetryPolicy::default(),
             client_retry: None,
             quarantine_quorum: 2,
@@ -355,6 +361,14 @@ impl ClusterConfig {
             return Err(Error::InvalidArgument(
                 "watchdog period must be non-zero".into(),
             ));
+        }
+        if !self.reshards.is_empty() {
+            let Some(topology) = self.topology else {
+                return Err(Error::InvalidArgument(
+                    "reshard schedule requires a sharded topology".into(),
+                ));
+            };
+            self.reshards.validate(topology.partitions as usize)?;
         }
         self.faults.validate(self.replicas)
     }
@@ -445,6 +459,16 @@ pub enum Msg {
     SyncRefused {
         /// Echo of the request's epoch.
         epoch: u64,
+    },
+    /// Operator/control plane → orderer: change the cluster's shard
+    /// count. The orderer seals a topology-change marker block at the
+    /// next sealable height; replicas apply it as an epoch boundary
+    /// (drain, state handover, router swap). Ignored on flat clusters
+    /// and when `new_shards` is out of range — flat replicas cannot
+    /// apply a marker.
+    Reshard {
+        /// Requested shard count.
+        new_shards: u32,
     },
     /// Orderer → client bank: a retryable admission reject (cause in
     /// [`crate::mempool::AdmitError::cause_label`] terms). Carries the
@@ -721,6 +745,16 @@ pub struct Orderer {
     sealed_blocks: u64,
     /// Bounce retryable admission rejects back to the client bank.
     client_retry: bool,
+    /// Pending topology changes as `(height, new_shards)`, ascending by
+    /// height; the front entry seals as a marker block the moment the
+    /// stream reaches (or has passed) its height.
+    reshard_queue: Vec<(u64, u32)>,
+    /// Topology-change epochs sealed so far (stamped into each marker).
+    reshard_epoch: u64,
+    /// Shard-count ceiling for operator-driven reshards: the logical
+    /// partition count on sharded clusters, 0 on flat ones (where any
+    /// reshard request is refused).
+    reshard_max: u32,
 }
 
 impl Orderer {
@@ -734,7 +768,19 @@ impl Orderer {
     }
 
     fn launch_batches(&mut self, ctx: &mut dyn Transport<Msg>) {
-        while self.in_flight.len() < self.window && !self.mempool.is_empty() {
+        loop {
+            if self.in_flight.len() >= self.window {
+                break;
+            }
+            // A scheduled topology change owns its block id: seal the
+            // marker the moment the stream reaches it, ahead of any
+            // workload batch.
+            if self.seal_due_reshard(ctx) {
+                continue;
+            }
+            if self.mempool.is_empty() {
+                break;
+            }
             // Batching discipline: seal a full block, or a partial one
             // only after a full batch interval has passed since the last
             // seal — otherwise a fast ack loop would seal slivers.
@@ -743,7 +789,6 @@ impl Orderer {
             if !full && !ripe {
                 break;
             }
-            self.last_seal_ns = ctx.now();
             let batch = self.mempool.next_batch(self.block_txns);
             let mean_submit_ns =
                 batch.iter().map(|t| t.submitted_ns).sum::<u64>() / batch.len() as u64;
@@ -751,53 +796,102 @@ impl Orderer {
                 .iter()
                 .map(|t| encode_contract(t.contract.as_ref()))
                 .collect();
-            let sealed = Arc::new(ChainBlock::seal(
-                BlockId(self.next_id),
-                self.prev_hash,
-                encoded,
-                &self.keypair,
-            ));
-            ctx.charge_cpu(self.crypto.hash_ns + self.crypto.sign_ns);
-            self.next_id += 1;
-            self.prev_hash = sealed.header.hash();
-            self.sealed_blocks += 1;
-            let seq = sealed.header.id.0;
-            let bytes = sealed.encode().len() as u64;
-            self.in_flight.insert(
-                seq,
-                InFlight {
-                    block: sealed,
-                    bytes,
-                    born_ns: ctx.now(),
-                    mean_submit_ns,
-                    acks: 1,
-                    round: 0,
-                },
-            );
-            match self.mode {
-                OrderingMode::Kafka { .. } => {
-                    if self.followers.is_empty() {
-                        self.commit(seq, ctx);
-                    } else {
-                        for &f in &self.followers.clone() {
-                            ctx.charge_cpu(bytes * self.tx_ns_per_byte);
-                            ctx.send(f, Msg::Replicate { seq }, bytes);
-                        }
-                    }
-                }
-                OrderingMode::HotStuff => {
-                    ctx.charge_cpu(self.crypto.sign_ns);
-                    for &r in &self.replicas.clone() {
-                        ctx.charge_cpu(bytes * self.tx_ns_per_byte);
-                        ctx.send(r, Msg::Prepare { seq, round: 0 }, bytes);
-                    }
-                }
-            }
+            self.seal_block(encoded, mean_submit_ns, ctx);
         }
         if !self.mempool.is_empty() && !self.timer_armed {
             ctx.set_timer(self.batch_interval_ns, TIMER_BATCH);
             self.timer_armed = true;
         }
+    }
+
+    /// Seal one block over the given payloads and push it into the
+    /// replication/voting pipeline — the single seal path shared by
+    /// workload batches and topology-change markers, so markers flow
+    /// through the identical in-flight/commit machinery on the
+    /// simulator and a real transport.
+    fn seal_block(
+        &mut self,
+        encoded: Vec<Vec<u8>>,
+        mean_submit_ns: u64,
+        ctx: &mut dyn Transport<Msg>,
+    ) {
+        self.last_seal_ns = ctx.now();
+        let sealed = Arc::new(ChainBlock::seal(
+            BlockId(self.next_id),
+            self.prev_hash,
+            encoded,
+            &self.keypair,
+        ));
+        ctx.charge_cpu(self.crypto.hash_ns + self.crypto.sign_ns);
+        self.next_id += 1;
+        self.prev_hash = sealed.header.hash();
+        self.sealed_blocks += 1;
+        let seq = sealed.header.id.0;
+        let bytes = sealed.encode().len() as u64;
+        self.in_flight.insert(
+            seq,
+            InFlight {
+                block: sealed,
+                bytes,
+                born_ns: ctx.now(),
+                mean_submit_ns,
+                acks: 1,
+                round: 0,
+            },
+        );
+        match self.mode {
+            OrderingMode::Kafka { .. } => {
+                if self.followers.is_empty() {
+                    self.commit(seq, ctx);
+                } else {
+                    for &f in &self.followers.clone() {
+                        ctx.charge_cpu(bytes * self.tx_ns_per_byte);
+                        ctx.send(f, Msg::Replicate { seq }, bytes);
+                    }
+                }
+            }
+            OrderingMode::HotStuff => {
+                ctx.charge_cpu(self.crypto.sign_ns);
+                for &r in &self.replicas.clone() {
+                    ctx.charge_cpu(bytes * self.tx_ns_per_byte);
+                    ctx.send(r, Msg::Prepare { seq, round: 0 }, bytes);
+                }
+            }
+        }
+    }
+
+    /// Seal the front of the reshard queue as a marker block if the
+    /// stream has reached its height. Returns whether a marker sealed.
+    fn seal_due_reshard(&mut self, ctx: &mut dyn Transport<Msg>) -> bool {
+        match self.reshard_queue.first() {
+            Some(&(height, _)) if height <= self.next_id => {}
+            _ => return false,
+        }
+        let (_, new_shards) = self.reshard_queue.remove(0);
+        self.reshard_epoch += 1;
+        let marker = ReshardMarker {
+            new_shards,
+            epoch: self.reshard_epoch,
+        };
+        // A marker carries no client transactions: its "mean submit
+        // time" is its seal time, and it commits zero txns, so latency
+        // accounting never sees it.
+        self.seal_block(vec![marker.encode()], ctx.now(), ctx);
+        true
+    }
+
+    /// Operator-driven topology change ([`Msg::Reshard`]): queue a
+    /// marker at the next sealable height after anything already
+    /// scheduled, then try to seal immediately. Refused (silently
+    /// dropped) on flat clusters and for out-of-range shard counts.
+    fn schedule_reshard(&mut self, new_shards: u32, ctx: &mut dyn Transport<Msg>) {
+        if new_shards == 0 || new_shards > self.reshard_max {
+            return;
+        }
+        let after = self.reshard_queue.last().map_or(0, |&(h, _)| h);
+        let height = self.next_id.max(after + 1);
+        self.reshard_queue.push((height, new_shards));
+        self.launch_batches(ctx);
     }
 
     fn on_quorum(&mut self, seq: u64, ctx: &mut dyn Transport<Msg>) {
@@ -892,6 +986,35 @@ impl NodeKind {
         match self {
             NodeKind::Flat(n) => n.state_root(),
             NodeKind::Sharded(n) => n.logical_state_root(),
+        }
+    }
+
+    /// Per-table digests of the logical database — the table-granular
+    /// decomposition of [`NodeKind::logical_root`], shard-count-invariant
+    /// on sharded replicas.
+    fn logical_table_heads(&self) -> Result<Vec<(String, Digest)>> {
+        match self {
+            NodeKind::Flat(n) => {
+                harmony_shard::logical_table_heads(std::iter::once(n.chain().engine()))
+            }
+            NodeKind::Sharded(n) => n.logical_table_heads(),
+        }
+    }
+
+    /// Shard chains this replica currently hosts (1 on flat replicas).
+    fn hosted_shards(&self) -> usize {
+        match self {
+            NodeKind::Flat(_) => 1,
+            NodeKind::Sharded(n) => n.shards(),
+        }
+    }
+
+    /// Topology epoch: reshard markers applied so far (0 on flat replicas
+    /// and on sharded runs with a static topology).
+    fn reshard_epoch(&self) -> u64 {
+        match self {
+            NodeKind::Flat(_) => 0,
+            NodeKind::Sharded(n) => n.epoch(),
         }
     }
 
@@ -1035,6 +1158,11 @@ struct WrapMetrics {
     quarantine_enters: Counter,
     /// Quarantines resolved by a completed from-scratch re-sync.
     quarantine_exits: Counter,
+    /// Node-local operations (delivery, sync serve/apply, recovery,
+    /// wipe) that failed and were handled gracefully — dropped, refused,
+    /// or healed via the sync path — where the pre-sweep harness would
+    /// have panicked the whole process.
+    node_errors: Counter,
 }
 
 impl WrapMetrics {
@@ -1089,6 +1217,11 @@ impl WrapMetrics {
             quarantine_exits: registry.counter_with(
                 "harmony_replica_quarantine_exits_total",
                 "Quarantines resolved by a completed re-sync.",
+                &base,
+            ),
+            node_errors: registry.counter_with(
+                "harmony_replica_node_errors_total",
+                "Node-local operations that failed and were handled gracefully.",
                 &base,
             ),
         }
@@ -1232,7 +1365,11 @@ impl ReplicaWrap {
         self.quarantines += 1;
         self.in_quarantine = true;
         self.metrics.quarantine_enters.inc();
-        self.node.wipe_for_resync().expect("quarantine wipe");
+        if self.node.wipe_for_resync().is_err() {
+            // Wipe failure leaves the old state in place; the
+            // from-scratch re-sync below still heals it forward.
+            self.metrics.node_errors.inc();
+        }
         self.request_sync(ctx);
     }
 
@@ -1338,6 +1475,9 @@ impl SimNode<Msg> for ClusterNode {
                         }
                     }
                 }
+                Msg::Reshard { new_shards } => {
+                    o.schedule_reshard(new_shards, ctx);
+                }
                 _ => {}
             },
             ClusterNode::Replica(r) => match msg {
@@ -1355,7 +1495,20 @@ impl SimNode<Msg> for ClusterNode {
                         return;
                     }
                     r.meta.insert(block.header.id.0, (born_ns, mean_submit_ns));
-                    let applied = r.node.deliver(block).expect("delivery");
+                    let applied = match r.node.deliver(block) {
+                        Ok(applied) => applied,
+                        Err(_) => {
+                            // A block that fails to apply (malformed,
+                            // hostile, or landing on diverged local
+                            // state) must not take the replica process
+                            // down: drop it and heal any gap via sync.
+                            r.metrics.node_errors.inc();
+                            if r.state == ReplicaState::Up {
+                                r.request_sync(ctx);
+                            }
+                            return;
+                        }
+                    };
                     r.on_applied(&applied, ctx);
                     // A persistent gap (beyond ordinary jitter reordering)
                     // means deliveries were missed: self-heal via sync.
@@ -1389,16 +1542,29 @@ impl SimNode<Msg> for ClusterNode {
                         ctx.send(from, Msg::SyncRefused { epoch }, 32);
                         return;
                     }
-                    let response = match (&r.node, origin) {
-                        (NodeKind::Flat(peer), SyncFrom::Flat(height)) => SyncReplyBody::Flat(
-                            serve_sync(peer, BlockId(height), r.sync_policy).expect("serve"),
-                        ),
-                        (NodeKind::Sharded(peer), SyncFrom::Sharded(heights)) => {
-                            SyncReplyBody::Sharded(
-                                serve_sharded_sync(peer, &heights, r.sync_policy).expect("serve"),
-                            )
+                    let served = match (&r.node, origin) {
+                        (NodeKind::Flat(peer), SyncFrom::Flat(height)) => {
+                            serve_sync(peer, BlockId(height), r.sync_policy)
+                                .map(SyncReplyBody::Flat)
                         }
-                        _ => unreachable!("homogeneous cluster topology"),
+                        (NodeKind::Sharded(peer), SyncFrom::Sharded(heights)) => {
+                            serve_sharded_sync(peer, &heights, r.sync_policy)
+                                .map(SyncReplyBody::Sharded)
+                        }
+                        // A request of the wrong kind (misconfigured or
+                        // hostile peer): refuse it rather than assert
+                        // topology homogeneity on network input.
+                        _ => Err(Error::InvalidArgument(
+                            "sync request kind does not match this replica".into(),
+                        )),
+                    };
+                    let response = match served {
+                        Ok(response) => response,
+                        Err(_) => {
+                            r.metrics.node_errors.inc();
+                            ctx.send(from, Msg::SyncRefused { epoch }, 32);
+                            return;
+                        }
                     };
                     ctx.charge_cpu(SYNC_SERVE_NS_PER_BLOCK * response.block_count() as u64);
                     let bytes = response.transfer_bytes();
@@ -1429,18 +1595,45 @@ impl SimNode<Msg> for ClusterNode {
                             // One flat response is one part; which path it
                             // took is visible from its byte split.
                             let path = usize::from(resp.manifest_bytes() == 0);
-                            r.metrics.sync_requests[path].inc();
-                            apply_sync(node, resp).expect("catch-up")
+                            match apply_sync(node, resp) {
+                                Ok(applied) => {
+                                    r.metrics.sync_requests[path].inc();
+                                    applied
+                                }
+                                Err(_) => {
+                                    // A corrupt or inapplicable reply is a
+                                    // failed attempt: fail over to the
+                                    // next candidate peer.
+                                    r.metrics.node_errors.inc();
+                                    r.sync_setback(ctx);
+                                    return;
+                                }
+                            }
                         }
                         (NodeKind::Sharded(node), SyncReplyBody::Sharded(resp)) => {
-                            let applied = apply_sharded_sync(node, resp).expect("catch-up");
-                            r.sync_manifest_shards += applied.manifest_shards;
-                            r.sync_range_shards += applied.range_shards;
-                            r.metrics.sync_requests[0].add(applied.manifest_shards);
-                            r.metrics.sync_requests[1].add(applied.range_shards);
-                            applied.blocks
+                            match apply_sharded_sync(node, resp) {
+                                Ok(applied) => {
+                                    r.sync_manifest_shards += applied.manifest_shards;
+                                    r.sync_range_shards += applied.range_shards;
+                                    r.metrics.sync_requests[0].add(applied.manifest_shards);
+                                    r.metrics.sync_requests[1].add(applied.range_shards);
+                                    applied.blocks
+                                }
+                                Err(_) => {
+                                    r.metrics.node_errors.inc();
+                                    r.sync_setback(ctx);
+                                    return;
+                                }
+                            }
                         }
-                        _ => unreachable!("homogeneous cluster topology"),
+                        // A reply of the wrong kind cannot be applied:
+                        // treat it like a failed attempt and fail over
+                        // instead of asserting on network input.
+                        _ => {
+                            r.metrics.node_errors.inc();
+                            r.sync_setback(ctx);
+                            return;
+                        }
                     };
                     // Satellite fix: transfer bytes split exactly by path
                     // instead of one aggregate counter for both.
@@ -1476,7 +1669,14 @@ impl SimNode<Msg> for ClusterNode {
             }
             (ClusterNode::Replica(r), TIMER_RECOVER) => {
                 ctx.charge_cpu(RECOVERY_NS);
-                r.node.recover_local().expect("local recovery");
+                if r.node.recover_local().is_err() {
+                    // A corrupt checkpoint/log cannot block rejoin: wipe
+                    // and let the from-scratch sync rebuild everything.
+                    r.metrics.node_errors.inc();
+                    if r.node.wipe_for_resync().is_err() {
+                        r.metrics.node_errors.inc();
+                    }
+                }
                 r.recoveries += 1;
                 r.request_sync(ctx);
             }
@@ -1556,6 +1756,16 @@ pub struct ReplicaSummary {
     /// `sync_manifest_bytes + sync_range_bytes` is the exact total
     /// transfer — the two paths partition it.
     pub sync_range_bytes: u64,
+    /// Per-table digests of the logical database — the table-granular
+    /// decomposition of `logical_root`. Shard-count-invariant, so
+    /// resharding equivalence tests compare these lists and a divergence
+    /// names the table that drifted.
+    pub table_heads: Vec<(String, Digest)>,
+    /// Topology-change (reshard) markers this replica applied.
+    pub reshards: u64,
+    /// Shard chains the replica hosts at the end of the run (1 on flat
+    /// replicas; the last reshard marker's count on elastic runs).
+    pub hosted_shards: usize,
 }
 
 /// End-of-run report.
@@ -1766,6 +1976,14 @@ pub fn build_node(
             last_seal_ns: 0,
             sealed_blocks: 0,
             client_retry: cfg.client_retry.is_some(),
+            reshard_queue: cfg
+                .reshards
+                .events
+                .iter()
+                .map(|e| (e.height, e.new_shards))
+                .collect(),
+            reshard_epoch: 0,
+            reshard_max: cfg.topology.map_or(0, |t| t.partitions),
         })));
     }
     if index < layout.replica_base() {
@@ -2163,6 +2381,9 @@ impl Cluster {
                 sync_range_shards: w.sync_range_shards,
                 sync_manifest_bytes: w.metrics.sync_bytes[0].get(),
                 sync_range_bytes: w.metrics.sync_bytes[1].get(),
+                table_heads: w.node.logical_table_heads()?,
+                reshards: w.node.reshard_epoch(),
+                hosted_shards: w.node.hosted_shards(),
             });
         }
         let consistent = replicas

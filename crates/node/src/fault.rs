@@ -396,9 +396,122 @@ impl FaultSchedule {
     }
 }
 
+/// One scheduled topology change: when the ordering service is about to
+/// seal block `height`, it instead seals a reshard marker block carrying
+/// `new_shards`, and the workload block that would have landed there is
+/// pushed one height later. Heights are **block ids**, not times, so a
+/// schedule means the same thing under the simulator and the TCP
+/// runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReshardAt {
+    /// Block height at which the marker is sealed (must be ≥ 1; height
+    /// 0 is the genesis anchor).
+    pub height: u64,
+    /// Shard count in force from this marker on.
+    pub new_shards: u32,
+}
+
+/// A validated, height-ordered list of topology changes for one cluster
+/// run. Like [`FaultSchedule`], an empty schedule arms nothing: runs
+/// without reshard events are bit-identical to a build without the
+/// feature.
+#[derive(Clone, Debug, Default)]
+pub struct ReshardSchedule {
+    /// The scheduled topology changes.
+    pub events: Vec<ReshardAt>,
+}
+
+impl ReshardSchedule {
+    /// A schedule over the given events.
+    #[must_use]
+    pub fn new(events: Vec<ReshardAt>) -> ReshardSchedule {
+        ReshardSchedule { events }
+    }
+
+    /// Whether no topology changes are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Check the schedule: heights positive and strictly increasing (two
+    /// markers cannot share a block id), shard counts positive and at
+    /// most `max_shards` (the logical partition count — a shard cannot
+    /// host less than one partition).
+    pub fn validate(&self, max_shards: usize) -> Result<()> {
+        let bad = |msg: String| Err(Error::InvalidArgument(msg));
+        let mut prev = 0u64;
+        for ev in &self.events {
+            if ev.height == 0 {
+                return bad("reshard at height 0 (genesis)".to_string());
+            }
+            if ev.height <= prev {
+                return bad(format!(
+                    "reshard heights must be strictly increasing ({} after {prev})",
+                    ev.height
+                ));
+            }
+            prev = ev.height;
+            if ev.new_shards == 0 {
+                return bad(format!("reshard at height {} to zero shards", ev.height));
+            }
+            if ev.new_shards as usize > max_shards {
+                return bad(format!(
+                    "reshard at height {} to {} shards exceeds the {max_shards} logical partitions",
+                    ev.height, ev.new_shards
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reshard_schedule_validation() {
+        ReshardSchedule::default().validate(16).unwrap();
+        let ok = ReshardSchedule::new(vec![
+            ReshardAt {
+                height: 3,
+                new_shards: 2,
+            },
+            ReshardAt {
+                height: 7,
+                new_shards: 4,
+            },
+        ]);
+        ok.validate(16).unwrap();
+        let v = |events: Vec<ReshardAt>| ReshardSchedule::new(events).validate(16);
+        assert!(v(vec![ReshardAt {
+            height: 0,
+            new_shards: 2
+        }])
+        .is_err());
+        assert!(v(vec![ReshardAt {
+            height: 3,
+            new_shards: 0
+        }])
+        .is_err());
+        assert!(v(vec![ReshardAt {
+            height: 3,
+            new_shards: 17
+        }])
+        .is_err());
+        assert!(v(vec![
+            ReshardAt {
+                height: 5,
+                new_shards: 2
+            },
+            ReshardAt {
+                height: 5,
+                new_shards: 4
+            },
+        ])
+        .is_err());
+    }
 
     #[test]
     fn empty_schedule_is_valid_and_lowers_to_nothing() {

@@ -44,7 +44,7 @@ pub use cluster::{
     OrderingMode, ReplicaSummary, ShardTopology, Submission, SyncFrom, SyncReplyBody, TIMER_CRASH,
     TIMER_RECOVER,
 };
-pub use fault::{FaultEvent, FaultSchedule};
+pub use fault::{FaultEvent, FaultSchedule, ReshardAt, ReshardSchedule};
 pub use mempool::{AdmitError, Mempool, MempoolConfig, MempoolMetrics, MempoolStats, PendingTxn};
 pub use metrics::{shard_txn_counters, ReplicaMetrics, TxnCounters, ROOT_FOLD_NS};
 pub use replica::{Applied, ReplicaConfig, ReplicaNode};

@@ -87,6 +87,12 @@ pub struct ReplicaMetrics {
     /// `harmony_replica_root_peer_buffer_hwm{replica}` — high-water mark
     /// of the root tracker's ahead-of-us peer buffer.
     pub root_peer_hwm: Gauge,
+    /// `harmony_replica_reshards_total{replica}` — topology-change
+    /// (reshard) blocks applied by this replica.
+    pub reshards: Counter,
+    /// `harmony_replica_hosted_shards{replica}` — shard count currently
+    /// hosted (changes at reshard epoch boundaries; 0 on flat replicas).
+    pub hosted_shards: Gauge,
 }
 
 impl ReplicaMetrics {
@@ -126,6 +132,16 @@ impl ReplicaMetrics {
                 "High-water mark of the root tracker's buffered peer-root heights.",
                 &labels,
             ),
+            reshards: registry.counter_with(
+                "harmony_replica_reshards_total",
+                "Topology-change (reshard) blocks applied by this replica.",
+                &labels,
+            ),
+            hosted_shards: registry.gauge_with(
+                "harmony_replica_hosted_shards",
+                "Shard count currently hosted by this replica.",
+                &labels,
+            ),
         }
     }
 
@@ -138,6 +154,8 @@ impl ReplicaMetrics {
             root_fold_ns: Histogram::detached(&doubling_buckets(10_000, 8)),
             root_own_hwm: Gauge::detached(),
             root_peer_hwm: Gauge::detached(),
+            reshards: Counter::detached(),
+            hosted_shards: Gauge::detached(),
         }
     }
 }

@@ -35,19 +35,20 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use harmony_chain::sync::{StateSnapshot, TableDump};
 use harmony_chain::{sharded_state_root, state_root, ChainBlock, ChainConfig, OeChain};
 use harmony_common::{BlockId, Error, Result};
 use harmony_consensus::net::{DeliveryLog, LatencyModel};
 use harmony_core::par::run_indexed;
 use harmony_core::BlockStats;
-use harmony_crypto::{Digest, Verifier};
+use harmony_crypto::{sha256, Digest, Verifier};
 use harmony_shard::{
     logical_state_root, plan_block, prune_to_owned, FragmentCodec, Partitioning, PlannerMetrics,
-    ShardRouter,
+    ReshardMarker, ShardRouter,
 };
 use harmony_sim::{makespan, schedule_block, EngineKind};
 use harmony_storage::StorageEngine;
-use harmony_txn::{ContractCodec, MultiCodec};
+use harmony_txn::{ContractCodec, Key, MultiCodec};
 
 use crate::metrics::{ReplicaMetrics, TxnCounters, ROOT_FOLD_NS};
 use crate::replica::{Applied, RootTracker};
@@ -176,6 +177,9 @@ pub struct ShardedReplicaNode {
     codec: Arc<dyn ContractCodec>,
     verifier: Verifier,
     height: BlockId,
+    /// Topology epoch: 0 for the genesis layout, bumped by every applied
+    /// reshard marker.
+    epoch: u64,
     anchor: GlobalAnchor,
     delivery_log: DeliveryLog,
     pending: BTreeMap<u64, Arc<ChainBlock>>,
@@ -230,6 +234,7 @@ impl ShardedReplicaNode {
             codec,
             verifier: Verifier::new(&config.chain.provision, config.chain.crypto),
             height: BlockId(0),
+            epoch: 0,
             anchor: GlobalAnchor::Known(Digest::ZERO),
             delivery_log: DeliveryLog::default(),
             pending: BTreeMap::new(),
@@ -261,6 +266,7 @@ impl ShardedReplicaNode {
         );
         self.roots
             .set_metrics(metrics.root_own_hwm.clone(), metrics.root_peer_hwm.clone());
+        metrics.hosted_shards.set(self.shards.len() as i64);
         self.metrics = metrics;
         self.shard_metrics = per_shard;
         self.planner_metrics = planner;
@@ -367,6 +373,14 @@ impl ShardedReplicaNode {
         logical_state_root(self.shards.iter().map(OeChain::engine))
     }
 
+    /// Per-table digests of the logical database — the table-granular
+    /// decomposition of [`Self::logical_state_root`], equally
+    /// shard-count-invariant. The resharding equivalence tests compare
+    /// these so a divergence names the table that drifted.
+    pub fn logical_table_heads(&self) -> Result<Vec<(String, Digest)>> {
+        harmony_shard::logical_table_heads(self.shards.iter().map(OeChain::engine))
+    }
+
     /// Receive one globally ordered sealed block. Buffers it if it is
     /// ahead of the next height, then applies every consecutively
     /// available block. Returns the blocks applied by this call.
@@ -406,6 +420,15 @@ impl ShardedReplicaNode {
             ));
         };
         block.verify(prev, &self.verifier)?;
+
+        // A topology-change block carries a single reshard marker instead
+        // of transactions; it must be recognized before contract decoding
+        // (the marker is not a contract payload).
+        if block.txns.len() == 1 {
+            if let Some(marker) = ReshardMarker::decode(&block.txns[0]) {
+                return self.apply_reshard(block, marker);
+            }
+        }
 
         // Decode the global payloads, plan the block across shards, then
         // seal + apply one sub-block per shard through its own chain (the
@@ -483,6 +506,150 @@ impl ShardedReplicaNode {
             cost_ns,
             gossip_root,
         })
+    }
+
+    /// Apply a topology-change block: re-host the logical database on
+    /// `marker.new_shards` shards, atomically, at this block's height.
+    ///
+    /// Because `apply` is strictly sequential in block order, every
+    /// in-flight sub-block is already drained when the marker lands. The
+    /// handover reuses the state-sync primitives end to end: each old
+    /// shard exports its checkpoint manifest ([`OeChain::export_snapshot`]
+    /// — the same manifest `serve_sharded_sync` ships), a split serves
+    /// each new shard its partition slice of those manifests, a merge
+    /// first re-verifies the folded sub-block logs (verified range
+    /// replay, [`OeChain::verify_chain`]) and then folds their slices,
+    /// and each new shard chain comes up via
+    /// [`OeChain::install_snapshot`]. The router swap
+    /// ([`ShardRouter::resharded`]) is the epoch boundary: partition→key
+    /// classification is untouched, so every commit/abort decision stays
+    /// shard-count-invariant and the logical state root is bit-identical
+    /// to a fixed-count run.
+    fn apply_reshard(&mut self, block: &ChainBlock, marker: ReshardMarker) -> Result<Applied> {
+        let id = block.header.id;
+        let hash = block.header.hash();
+        let new_count = marker.new_shards as usize;
+        if new_count == 0 {
+            return Err(Error::InvalidArgument(
+                "reshard marker with zero shards".into(),
+            ));
+        }
+        if new_count > self.config.partitions as usize {
+            return Err(Error::InvalidArgument(format!(
+                "reshard to {new_count} shards exceeds the {} logical partitions",
+                self.config.partitions
+            )));
+        }
+        let old_count = self.shards.len();
+        if new_count < old_count {
+            // Merge direction: the surviving shards absorb foreign rows,
+            // so the logs being folded are re-verified first (hash
+            // linkage + deterministic replay of each sub-block log).
+            for chain in &self.shards {
+                chain.verify_chain()?;
+            }
+        }
+        let exports = self
+            .shards
+            .iter()
+            .map(OeChain::export_snapshot)
+            .collect::<Result<Vec<_>>>()?;
+        let new_router = self.router.resharded(new_count);
+        // Catalog order is identical on every shard (creation order is
+        // identical), so table ids resolve against shard 0.
+        let catalog = self.shards[0].engine().list_tables();
+
+        let mut new_shards = Vec::with_capacity(new_count);
+        for s in 0..new_count {
+            let snapshot = slice_manifest(
+                &exports,
+                &catalog,
+                &new_router,
+                s,
+                id,
+                reshard_shard_anchor(&hash, marker.epoch, marker.new_shards, s),
+            );
+            let mut chain = open_shard_chain(&self.config, s)?;
+            chain.install_snapshot(&snapshot)?;
+            new_shards.push(chain);
+        }
+
+        self.shards = new_shards;
+        self.router = new_router;
+        self.config.shards = new_count;
+        self.epoch = marker.epoch;
+        self.shard_metrics
+            .resize_with(new_count, TxnCounters::detached);
+        self.height = id;
+        self.anchor = GlobalAnchor::Known(hash);
+        self.delivery_log.observe(id.0, hash);
+        self.metrics.reshards.inc();
+        self.metrics.hosted_shards.set(new_count as i64);
+
+        // The handover is charged like a sync serve/install round over
+        // every shard manifest that moved.
+        let cost_ns = RESHARD_HANDOVER_NS.saturating_mul((old_count + new_count) as u64);
+        self.metrics.block_cost_ns.observe(cost_ns);
+        let gossip_root = if id.0.is_multiple_of(self.config.gossip_every.max(1)) {
+            let mut root = self.sharded_root()?;
+            if self.poison_next_gossip {
+                root.0[0] ^= 0xFF;
+                self.poison_next_gossip = false;
+            }
+            self.roots.note_own(id.0, root);
+            self.metrics.root_fold_ns.observe(ROOT_FOLD_NS);
+            Some(root)
+        } else {
+            None
+        };
+        Ok(Applied {
+            block: id,
+            committed: 0,
+            cost_ns,
+            gossip_root,
+        })
+    }
+
+    /// Current topology epoch (0 until the first reshard marker applies).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Adopt a sync peer's topology epoch. A replica that crashed across
+    /// one or more reshard boundaries never replays those markers (the
+    /// manifest path skips them), so the sync reply carries the
+    /// authoritative epoch. Monotonic: a stale reply from a peer we
+    /// raced past can never rewind the local epoch.
+    pub fn adopt_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Adopt a serving peer's shard count ahead of applying its sync
+    /// response — the requester sits on the far side of a reshard
+    /// boundary (it crashed or partitioned across the epoch swap), so its
+    /// local layout is obsolete. Like [`Self::wipe_for_resync`], but onto
+    /// `new_count` fresh shard chains with a recounted router; the
+    /// response's full manifests then rebuild every shard.
+    pub fn reshape_for_sync(&mut self, new_count: usize) -> Result<()> {
+        if new_count == 0 {
+            return Err(Error::InvalidArgument(
+                "cannot reshape to zero shards".into(),
+            ));
+        }
+        let passed = self.height.0;
+        self.router = self.router.resharded(new_count);
+        self.config.shards = new_count;
+        self.shards = (0..new_count)
+            .map(|s| open_shard_chain(&self.config, s))
+            .collect::<Result<Vec<_>>>()?;
+        self.shard_metrics
+            .resize_with(new_count, TxnCounters::detached);
+        self.metrics.hosted_shards.set(new_count as i64);
+        self.height = BlockId(0);
+        self.anchor = GlobalAnchor::Unknown;
+        self.roots.reset_for_resync(passed);
+        Ok(())
     }
 
     /// Receive a peer's gossiped sharded state root.
@@ -637,6 +804,92 @@ impl ShardedReplicaNode {
             GlobalAnchor::Known(h) => Some(*h),
             GlobalAnchor::Unknown => None,
         }
+    }
+}
+
+/// Virtual nanoseconds charged per shard manifest moved by a reshard
+/// handover (export + slice + install, same order of magnitude as a sync
+/// serve/replay round).
+const RESHARD_HANDOVER_NS: u64 = 250_000;
+
+/// Deterministic sub-chain continuation hash for new shard `shard` after
+/// a reshard at the global block with hash `global`. Every replica
+/// derives the same value, so the resharded sub-chains stay hash-chain
+/// compatible across replicas (range sync keeps working past the epoch
+/// boundary).
+fn reshard_shard_anchor(global: &Digest, epoch: u64, new_shards: u32, shard: usize) -> Digest {
+    let mut buf = Vec::with_capacity(4 + 32 + 8 + 4 + 8);
+    buf.extend_from_slice(b"HRS@");
+    buf.extend_from_slice(&global.0);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&new_shards.to_le_bytes());
+    buf.extend_from_slice(&(shard as u64).to_le_bytes());
+    sha256(&buf)
+}
+
+/// Slice the old shards' exported checkpoint manifests down to the
+/// partition set new shard `shard` owns under `router` — the reshard
+/// handover's per-shard manifest. Tables the router replicates are
+/// carried in full (every old shard holds an identical copy; shard 0's
+/// is taken). Partitioned tables take the union of every old shard's
+/// owned rows, re-merged in key order; the recovery sidecar (undo
+/// images) is sliced by the same ownership rule so the installed shard
+/// recovers and re-simulates exactly like a shard that always existed.
+fn slice_manifest(
+    exports: &[StateSnapshot],
+    catalog: &[(String, harmony_common::ids::TableId)],
+    router: &ShardRouter,
+    shard: usize,
+    height: BlockId,
+    last_hash: Digest,
+) -> StateSnapshot {
+    let mut tables = Vec::with_capacity(catalog.len());
+    for (ti, (name, table)) in catalog.iter().enumerate() {
+        let rows = if router.is_replicated(*table) {
+            exports[0].tables[ti].rows.clone()
+        } else {
+            let mut rows: Vec<(Vec<u8>, Vec<u8>)> = exports
+                .iter()
+                .flat_map(|e| e.tables[ti].rows.iter())
+                .filter(|(k, _)| router.shard_of_key(&Key::new(*table, k.clone())) == shard)
+                .cloned()
+                .collect();
+            // Old shards hold disjoint partitions; a simple re-sort
+            // restores global key order.
+            rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            rows
+        };
+        tables.push(TableDump {
+            name: name.clone(),
+            rows,
+        });
+    }
+    // Merge the undo sidecars block-by-block under the same ownership
+    // rule (replicated-table images ride to every shard).
+    let mut undo: BTreeMap<u64, Vec<_>> = BTreeMap::new();
+    for (ei, export) in exports.iter().enumerate() {
+        for (block, entries) in &export.undo {
+            let own = undo.entry(block.0).or_default();
+            for entry in entries {
+                // Replicated-table images are identical on every old
+                // shard — take shard 0's copy once.
+                let keep = if router.is_replicated(entry.0.table()) {
+                    ei == 0
+                } else {
+                    router.shard_of_key(&entry.0) == shard
+                };
+                if keep {
+                    own.push(entry.clone());
+                }
+            }
+        }
+    }
+    StateSnapshot {
+        height,
+        last_hash,
+        tables,
+        undo: undo.into_iter().map(|(b, e)| (BlockId(b), e)).collect(),
+        summary: None,
     }
 }
 

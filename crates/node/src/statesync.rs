@@ -142,10 +142,13 @@ impl SyncResponse {
 
     /// Bytes of this response that are replayable-block payload (plus
     /// the response header on the range path). Complement of
-    /// [`Self::manifest_bytes`].
+    /// [`Self::manifest_bytes`]. Saturating: a malformed or
+    /// future-version reply whose manifest share exceeds its total must
+    /// read as zero range bytes, not underflow (this feeds metrics, and
+    /// a hostile peer must never panic a node).
     #[must_use]
     pub fn range_bytes(&self) -> u64 {
-        self.transfer_bytes() - self.manifest_bytes()
+        self.transfer_bytes().saturating_sub(self.manifest_bytes())
     }
 
     /// Number of blocks shipped.
@@ -207,6 +210,12 @@ pub struct ShardedSyncResponse {
     pub height: BlockId,
     /// Hash of the global block at `height` (the requester's new anchor).
     pub global_hash: Digest,
+    /// The peer's topology epoch at `height`. A requester that crashed
+    /// across one or more reshard boundaries misses those markers
+    /// entirely (the manifest path never replays them), so the reply
+    /// carries the authoritative epoch and the requester adopts it —
+    /// monotonically, in case it raced past a stale reply.
+    pub epoch: u64,
     /// One part per shard, in shard order.
     pub parts: Vec<SyncResponse>,
 }
@@ -233,9 +242,11 @@ impl ShardedSyncResponse {
 
     /// Block-replay bytes summed over every part, plus the top-level
     /// anchor header. Complement of [`Self::manifest_bytes`].
+    /// Saturating, like [`SyncResponse::range_bytes`]: corrupted replies
+    /// must never underflow the accounting.
     #[must_use]
     pub fn range_bytes(&self) -> u64 {
-        self.transfer_bytes() - self.manifest_bytes()
+        self.transfer_bytes().saturating_sub(self.manifest_bytes())
     }
 
     /// Number of sub-blocks shipped across all parts.
@@ -272,22 +283,25 @@ pub fn serve_sharded_sync(
     from: &[BlockId],
     policy: SyncPolicy,
 ) -> Result<ShardedSyncResponse> {
-    if from.len() != peer.shards() {
-        return Err(Error::InvalidArgument(format!(
-            "sync request for {} shards against a {}-shard peer",
-            from.len(),
-            peer.shards()
-        )));
-    }
     let global_hash = peer.global_hash().ok_or_else(|| {
         Error::InvalidArgument("sync peer has no global anchor (still recovering?)".into())
     })?;
+    // A shard-count mismatch means the requester sits on the far side of
+    // a topology-change (reshard) boundary: its per-shard heights are
+    // meaningless under this peer's layout, so every current shard is
+    // served from scratch (full manifest). The reply's part count tells
+    // the requester the layout it must reshape into.
+    let crossed_epoch = from.len() != peer.shards();
     let parts = (0..peer.shards())
-        .map(|s| serve_chain(peer.shard_chain(s), from[s], policy))
+        .map(|s| {
+            let at = if crossed_epoch { BlockId(0) } else { from[s] };
+            serve_chain(peer.shard_chain(s), at, policy)
+        })
         .collect::<Result<Vec<_>>>()?;
     Ok(ShardedSyncResponse {
         height: peer.height(),
         global_hash,
+        epoch: peer.epoch(),
         parts,
     })
 }
@@ -312,11 +326,17 @@ pub fn apply_sharded_sync(
     response: &ShardedSyncResponse,
 ) -> Result<ShardedSyncApplied> {
     if response.parts.len() != replica.shards() {
-        return Err(Error::InvalidArgument(format!(
-            "sync response for {} shards against a {}-shard replica",
-            response.parts.len(),
-            replica.shards()
-        )));
+        // The serving peer is on the other side of a reshard boundary:
+        // adopt its layout (fresh chains, recounted router) and take the
+        // full-manifest parts it served. A reply that claims a different
+        // count but still ships ranges is malformed and fails below with
+        // a typed error — never a panic.
+        if response.parts.is_empty() {
+            return Err(Error::InvalidArgument(
+                "sharded sync response with zero parts".into(),
+            ));
+        }
+        replica.reshape_for_sync(response.parts.len())?;
     }
     let mut applied = ShardedSyncApplied::default();
     for (s, part) in response.parts.iter().enumerate() {
@@ -332,6 +352,7 @@ pub fn apply_sharded_sync(
             }
         }
     }
+    replica.adopt_epoch(response.epoch);
     let drained = replica.finish_sync(response.height, response.global_hash)?;
     applied.blocks += drained.len() as u64;
     Ok(applied)
@@ -468,6 +489,47 @@ mod tests {
         assert_eq!(
             snap.manifest_bytes() + snap.range_bytes(),
             snap.transfer_bytes()
+        );
+    }
+
+    #[test]
+    fn range_bytes_saturates_on_corrupted_reply() {
+        // A corrupted (or future-version) reply can degenerate to a frame
+        // that is all manifest: the range share must read zero, never
+        // underflow — and the exact-partition invariant
+        // `manifest_bytes + range_bytes == transfer_bytes` must hold on
+        // every reply a node can decode, well-formed or not.
+        let hollow = StateSnapshot {
+            height: BlockId(0),
+            last_hash: Digest::ZERO,
+            tables: Vec::new(),
+            undo: Vec::new(),
+            summary: None,
+        };
+        let corrupted = SyncResponse::Snapshot(Box::new(hollow.clone()), Vec::new());
+        assert_eq!(corrupted.range_bytes(), 0, "all-manifest frame");
+        assert_eq!(
+            corrupted.manifest_bytes() + corrupted.range_bytes(),
+            corrupted.transfer_bytes()
+        );
+        // Same invariant on the sharded envelope, with a part mix a
+        // hostile peer could ship (hollow manifests and an empty range).
+        let sharded = ShardedSyncResponse {
+            height: BlockId(7),
+            global_hash: Digest::ZERO,
+            epoch: 0,
+            parts: vec![
+                SyncResponse::Snapshot(Box::new(hollow), Vec::new()),
+                SyncResponse::Range(Vec::new()),
+            ],
+        };
+        assert_eq!(
+            sharded.manifest_bytes() + sharded.range_bytes(),
+            sharded.transfer_bytes()
+        );
+        assert!(
+            sharded.range_bytes() >= 64,
+            "anchor header rides the range share"
         );
     }
 

@@ -379,6 +379,17 @@ pub fn prune_to_owned(engine: &StorageEngine, router: &ShardRouter, shard: usize
 pub fn logical_state_root<'a>(
     engines: impl IntoIterator<Item = &'a Arc<StorageEngine>>,
 ) -> Result<Digest> {
+    Ok(fold_table_roots(&logical_table_heads(engines)?))
+}
+
+/// Per-table digests of the logical database hosted by a set of shard
+/// engines — the table-granular decomposition of [`logical_state_root`].
+/// Shard-count-invariant for the same reason the folded root is; the
+/// elastic-resharding equivalence tests compare these head lists so a
+/// divergence names the table that drifted instead of one opaque root.
+pub fn logical_table_heads<'a>(
+    engines: impl IntoIterator<Item = &'a Arc<StorageEngine>>,
+) -> Result<Vec<(String, Digest)>> {
     let engines: Vec<&Arc<StorageEngine>> = engines.into_iter().collect();
     assert!(!engines.is_empty(), "need at least one shard engine");
     let mut heads: Vec<(String, Digest)> = Vec::new();
@@ -396,7 +407,7 @@ pub fn logical_state_root<'a>(
         }
         heads.push((name, merged.root()));
     }
-    Ok(fold_table_roots(&heads))
+    Ok(heads)
 }
 
 /// The deterministic cross-shard commit decision (a pure function).

@@ -51,8 +51,8 @@ pub mod router;
 
 pub use engines::ShardEngine;
 pub use group::{
-    decide_cross, logical_state_root, prune_to_owned, ShardBlockResult, ShardGroup,
-    ShardGroupConfig, ShardedRoot,
+    decide_cross, logical_state_root, logical_table_heads, prune_to_owned, ShardBlockResult,
+    ShardGroup, ShardGroupConfig, ShardedRoot,
 };
 pub use metrics::PlannerMetrics;
 pub use partition::{
@@ -60,4 +60,4 @@ pub use partition::{
     ENTITY_PREFIX_BYTES,
 };
 pub use plan::{plan_block, BlockPlan, FragmentCodec, FragmentContract, Slot, FRAGMENT_NAME};
-pub use router::{Placement, ShardRouter};
+pub use router::{Placement, ReshardMarker, ShardRouter};

@@ -95,6 +95,15 @@ pub fn plan_block(
 ) -> BlockPlan {
     let shards = stores.len();
     let n = txns.len();
+    // A live reshard swaps the router and rebuilds the per-shard stores
+    // together at the epoch boundary; a host mixing the new router with a
+    // stale store set would route sub-blocks into the wrong layout (or
+    // straight out of bounds). Fail loudly at the seam instead.
+    assert_eq!(
+        router.shards(),
+        shards,
+        "router layout must match the store set — topology handover swaps them atomically"
+    );
 
     // ── 1. Route ───────────────────────────────────────────────────────
     let placements: Vec<Placement> = txns.iter().map(|t| router.classify(t.as_ref())).collect();

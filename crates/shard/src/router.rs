@@ -108,6 +108,26 @@ impl ShardRouter {
         partition as usize % self.shards
     }
 
+    /// The same logical database re-hosted on `new_shards` physical
+    /// shards: identical partitioner, identical replicated set, new
+    /// partition→shard placement. This is the atomic router swap a
+    /// topology-change (reshard) block performs at its epoch boundary —
+    /// classification is untouched, so every commit/abort decision made
+    /// under the old epoch is also the decision the new epoch would have
+    /// made.
+    ///
+    /// # Panics
+    /// Panics if `new_shards == 0`.
+    #[must_use]
+    pub fn resharded(&self, new_shards: usize) -> ShardRouter {
+        assert!(new_shards > 0, "need at least one shard");
+        ShardRouter {
+            partitioner: Arc::clone(&self.partitioner),
+            shards: new_shards,
+            replicated: self.replicated.clone(),
+        }
+    }
+
     /// Hosting shard of `key`.
     #[must_use]
     pub fn shard_of_key(&self, key: &Key) -> usize {
@@ -140,6 +160,66 @@ impl ShardRouter {
             shard: self.shard_of_partition(partition),
             partition,
         }
+    }
+}
+
+/// Magic prefix identifying a reshard marker payload inside an ordered
+/// block. Chosen to collide with no contract codec: every workload codec
+/// tags its payloads with a short discriminant, none of which starts with
+/// this four-byte sequence.
+const RESHARD_MAGIC: &[u8; 4] = b"HRSH";
+
+/// Marker encoding version (for forward compatibility of the ordered
+/// stream itself, independent of the transport wire version).
+const RESHARD_VERSION: u8 = 1;
+
+/// The payload of a **topology-change block**: the orderer seals a block
+/// whose single transaction is this marker, and every sharded replica —
+/// on delivering it at the same height — drains its in-flight sub-blocks,
+/// re-partitions its state onto `new_shards` shards, swaps its
+/// [`ShardRouter`] via [`ShardRouter::resharded`], and resumes. Because
+/// the marker rides the ordered, hash-chained stream, the reshard point
+/// is replicated exactly like any transaction: all replicas switch at the
+/// same height or not at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReshardMarker {
+    /// Physical shard count after the epoch boundary.
+    pub new_shards: u32,
+    /// Monotonic topology epoch (0 = genesis layout; each sealed marker
+    /// increments it).
+    pub epoch: u64,
+}
+
+impl ReshardMarker {
+    /// Exact encoded length: magic + version + new_shards + epoch.
+    pub const ENCODED_LEN: usize = 4 + 1 + 4 + 8;
+
+    /// Serialize for sealing into an ordered block.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        out.extend_from_slice(RESHARD_MAGIC);
+        out.push(RESHARD_VERSION);
+        out.extend_from_slice(&self.new_shards.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out
+    }
+
+    /// Parse a block payload as a reshard marker. Returns `None` for
+    /// anything that is not a well-formed marker (ordinary transaction
+    /// payloads, short frames, unknown marker versions), so this doubles
+    /// as the detection predicate replicas run before contract decoding.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<ReshardMarker> {
+        if bytes.len() != Self::ENCODED_LEN || &bytes[..4] != RESHARD_MAGIC {
+            return None;
+        }
+        if bytes[4] != RESHARD_VERSION {
+            return None;
+        }
+        let new_shards = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
+        let epoch = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+        Some(ReshardMarker { new_shards, epoch })
     }
 }
 
@@ -250,5 +330,95 @@ mod tests {
         for id in 0..50 {
             assert_eq!(r.shard_of_key(&Key::from_u64(TableId(0), id)), 0);
         }
+    }
+
+    #[test]
+    fn with_replicated_dedups_and_sorts() {
+        let r = router(8, 2).with_replicated(vec![TableId(5), TableId(3), TableId(5), TableId(3)]);
+        assert!(r.is_replicated(TableId(3)));
+        assert!(r.is_replicated(TableId(5)));
+        assert!(!r.is_replicated(TableId(4)));
+        // Duplicates collapse: classification of a replicated-only txn is
+        // unaffected by how often the operator listed the table.
+        let txn = txn_with_keys(vec![Key::from_u64(TableId(5), 1)]);
+        assert_eq!(
+            r.classify(&txn),
+            Placement::Single {
+                shard: 0,
+                partition: 0
+            }
+        );
+    }
+
+    #[test]
+    fn with_replicated_empty_list_replicates_nothing() {
+        let r = router(8, 2).with_replicated(Vec::new());
+        for t in 0..8 {
+            assert!(!r.is_replicated(TableId(t)));
+        }
+        // No table is exempt: a two-partition footprint is cross-shard.
+        let a = Key::from_u64(TableId(0), 1);
+        let b = (0..100u64)
+            .map(|i| Key::from_u64(TableId(0), i))
+            .find(|k| r.partition_of(k) != r.partition_of(&a))
+            .expect("hash spreads");
+        assert_eq!(
+            r.classify(&txn_with_keys(vec![a, b])),
+            Placement::MultiPartition
+        );
+    }
+
+    #[test]
+    fn resharded_preserves_partitions_and_replicated_set() {
+        let r = router(16, 2).with_replicated(vec![TableId(9)]);
+        let r4 = r.resharded(4);
+        assert_eq!(r4.shards(), 4);
+        assert_eq!(r4.partitions(), 16);
+        assert!(r4.is_replicated(TableId(9)));
+        // partition_of is epoch-invariant: the swap only moves hosting.
+        for id in 0..64u64 {
+            let k = Key::from_u64(TableId(0), id);
+            assert_eq!(r.partition_of(&k), r4.partition_of(&k));
+            assert_eq!(r4.shard_of_key(&k), r4.partition_of(&k) as usize % 4);
+        }
+        // Replicated keys stay invisible to classification after the swap.
+        let txn = txn_with_keys(vec![Key::from_u64(TableId(9), 7)]);
+        assert_eq!(
+            r4.classify(&txn),
+            Placement::Single {
+                shard: 0,
+                partition: 0
+            }
+        );
+        // Merging back down restores the original placement function.
+        let r2 = r4.resharded(2);
+        for id in 0..64u64 {
+            let k = Key::from_u64(TableId(0), id);
+            assert_eq!(r2.shard_of_key(&k), r.shard_of_key(&k));
+        }
+    }
+
+    #[test]
+    fn reshard_marker_roundtrip_and_rejection() {
+        let m = ReshardMarker {
+            new_shards: 4,
+            epoch: 3,
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), ReshardMarker::ENCODED_LEN);
+        assert_eq!(ReshardMarker::decode(&bytes), Some(m));
+        // Not markers: short frames, wrong magic, unknown version,
+        // trailing garbage.
+        assert_eq!(ReshardMarker::decode(b"HRSH"), None);
+        assert_eq!(ReshardMarker::decode(&[]), None);
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert_eq!(ReshardMarker::decode(&wrong_magic), None);
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert_eq!(ReshardMarker::decode(&wrong_version), None);
+        let mut long = bytes;
+        long.push(0);
+        assert_eq!(ReshardMarker::decode(&long), None);
     }
 }

@@ -98,6 +98,23 @@ impl CtlClient {
         }
     }
 
+    /// Ask the orderer to change the cluster's shard count: it seals a
+    /// topology-change marker block at the next sealable height and
+    /// every replica splits/merges its shards at that epoch boundary.
+    /// Must target the orderer's control port; out-of-range counts
+    /// (zero, above the partition count, or any count on a flat
+    /// cluster) are dropped by the orderer.
+    ///
+    /// # Errors
+    /// Transport errors, an `Err` reply (non-orderer target), or an
+    /// unexpected reply kind.
+    pub fn reshard(&mut self, new_shards: u32) -> Result<()> {
+        match self.request(&CtlMsg::Reshard { new_shards })? {
+            CtlMsg::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
     /// Scrape the node's live metrics in Prometheus text format over
     /// the control port (the HTTP endpoint serves the same text).
     ///

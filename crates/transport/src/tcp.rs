@@ -27,7 +27,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -225,7 +225,7 @@ impl NodeRuntime {
         let node = build_node(&cfg.cluster, &registry, cfg.index)?;
         let codec = WireCodec::new(cfg.cluster.workload.codec()?);
         let metrics = NetMetrics::register(&registry);
-        let listener = TcpListener::bind(listen).map_err(Error::Io)?;
+        let listener = bind_with_retry(listen, cfg.cluster.sync_retry, cfg.cluster.seed)?;
         let listen_addr = listener.local_addr().map_err(Error::Io)?;
 
         // Outbound writer per configured peer (lazy connect + reconnect).
@@ -339,6 +339,33 @@ impl NodeRuntime {
     }
 }
 
+/// Bind the node's listener, retrying with the cluster's deterministic
+/// backoff policy while the address is still in use.
+///
+/// `harmonyctl spawn` allocates ports by bind-and-release, so the
+/// spawned process can race the allocator's socket still closing (or a
+/// predecessor process still unwinding) — the classic bind TOCTOU. A
+/// bounded retry with the same jittered backoff the writer threads use
+/// closes that window without hanging forever on a genuinely taken
+/// port; any error other than `AddrInUse` still fails immediately.
+fn bind_with_retry(addr: SocketAddr, retry: RetryPolicy, seed: u64) -> Result<TcpListener> {
+    let mut attempt: u32 = 0;
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse && attempt < retry.max_retries => {
+                thread::sleep(Duration::from_nanos(retry.backoff_ns(
+                    attempt,
+                    seed,
+                    u64::from(addr.port()),
+                )));
+                attempt += 1;
+            }
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_event_loop(
     mut node: ClusterNode,
@@ -425,6 +452,16 @@ fn run_event_loop(
                             n.on_timer(harmony_node::TIMER_RECOVER, ctx);
                         });
                         CtlMsg::Ok
+                    }
+                    Ok(CtlMsg::Reshard { new_shards }) => {
+                        if node.role() == "orderer" {
+                            drive(&mut node, &mut timers, &mut |n, ctx| {
+                                n.on_message(me, Msg::Reshard { new_shards }, ctx);
+                            });
+                            CtlMsg::Ok
+                        } else {
+                            CtlMsg::Err("reshard must target the orderer".into())
+                        }
                     }
                     Ok(CtlMsg::MetricsReq) => CtlMsg::Text(registry.render_prometheus()),
                     Ok(CtlMsg::Shutdown) => {

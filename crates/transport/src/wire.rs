@@ -25,8 +25,14 @@ use harmony_node::cluster::{Msg, SyncFrom, SyncReplyBody};
 use harmony_node::{BlockSummary, NodeStatus, ShardedSyncResponse, SyncResponse};
 use harmony_txn::{encode_contract, ContractCodec};
 
-/// Wire-format version carried in every frame body.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire-format version carried in every frame body. Version 2 added the
+/// topology-change (reshard) tags; frames are still emitted and accepted
+/// down to [`MIN_WIRE_VERSION`], with the new tags rejected on old
+/// versions, so a v1 peer interoperates until it sees a reshard.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest wire version this build still accepts.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Upper bound on a frame body; longer length prefixes are rejected
 /// before any allocation, so a garbage prefix can't balloon memory.
@@ -44,6 +50,8 @@ const TAG_SYNC_REQUEST: u8 = 7;
 const TAG_SYNC_REPLY: u8 = 8;
 const TAG_SYNC_REFUSED: u8 = 9;
 const TAG_REJECT: u8 = 10;
+/// Topology change (wire v2+): a v1 frame carrying this tag is rejected.
+const TAG_RESHARD: u8 = 11;
 
 // Control-plane tags (0x80..).
 const TAG_CTL_STATUS_REQ: u8 = 0x80;
@@ -53,6 +61,7 @@ const TAG_CTL_BLOCK_REPLY: u8 = 0x83;
 const TAG_CTL_CRASH: u8 = 0x84;
 const TAG_CTL_OK: u8 = 0x85;
 const TAG_CTL_RECOVER: u8 = 0x86;
+const TAG_CTL_RESHARD: u8 = 0x87;
 const TAG_CTL_METRICS_REQ: u8 = 0x88;
 const TAG_CTL_TEXT: u8 = 0x89;
 const TAG_CTL_SHUTDOWN: u8 = 0x8A;
@@ -66,7 +75,7 @@ const TAG_HELLO: u8 = 0xFE;
 /// control plane before full decoding).
 #[must_use]
 pub fn frame_tag(body: &[u8]) -> Option<u8> {
-    (body.len() >= 2 && body[0] == WIRE_VERSION).then(|| body[1])
+    (body.len() >= 2 && (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&body[0])).then(|| body[1])
 }
 
 /// Whether a frame tag belongs to the control plane (including the
@@ -100,15 +109,17 @@ fn frame(w: Writer) -> Vec<u8> {
     out
 }
 
-/// Open a frame body: check the version byte and return `(tag, reader)`.
-fn open_body(body: &[u8]) -> Result<(u8, Reader<'_>)> {
+/// Open a frame body: check the version byte and return
+/// `(version, tag, reader)`. Tags introduced after a version are gated
+/// by the caller against the frame's declared version.
+fn open_body(body: &[u8]) -> Result<(u8, u8, Reader<'_>)> {
     let mut r = Reader::new(body);
     let version = r.get_u8().map_err(|_| corrupt("empty frame"))?;
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(corrupt(&format!("unknown wire version {version}")));
     }
     let tag = r.get_u8().map_err(|_| corrupt("missing tag"))?;
-    Ok((tag, r))
+    Ok((version, tag, r))
 }
 
 fn put_digest(w: &mut Writer, d: &Digest) {
@@ -267,6 +278,9 @@ impl WireCodec {
                         w.put_u8(1);
                         w.put_u64(resp.height.0);
                         put_digest(&mut w, &resp.global_hash);
+                        // v2 field: the peer's topology epoch (v1 peers
+                        // decode it as absent and default to 0).
+                        w.put_u64(resp.epoch);
                         w.put_u32(u32::try_from(resp.parts.len()).expect("part count"));
                         for part in &resp.parts {
                             put_sync_response(&mut w, part);
@@ -294,6 +308,11 @@ impl WireCodec {
                 w.put_bytes(&bytes);
                 w
             }
+            Msg::Reshard { new_shards } => {
+                let mut w = body_writer(TAG_RESHARD, 4);
+                w.put_u32(*new_shards);
+                w
+            }
         };
         frame(w)
     }
@@ -304,7 +323,7 @@ impl WireCodec {
     /// [`Error::Corruption`] on truncation, an unknown version or tag,
     /// or a payload the inner codecs reject — never a panic.
     pub fn decode_msg(&self, body: &[u8]) -> Result<Msg> {
-        let (tag, mut r) = open_body(body)?;
+        let (version, tag, mut r) = open_body(body)?;
         let msg = match tag {
             TAG_SUBMIT | TAG_REJECT => {
                 let client = r.get_u64()?;
@@ -374,6 +393,9 @@ impl WireCodec {
                     1 => {
                         let height = BlockId(r.get_u64()?);
                         let global_hash = get_digest(&mut r)?;
+                        // A v1 peer predates elastic resharding and is
+                        // necessarily at topology epoch 0.
+                        let topology_epoch = if version >= 2 { r.get_u64()? } else { 0 };
                         let n = r.get_u32()?;
                         let mut parts = Vec::new();
                         for _ in 0..n {
@@ -382,6 +404,7 @@ impl WireCodec {
                         SyncReplyBody::Sharded(ShardedSyncResponse {
                             height,
                             global_hash,
+                            epoch: topology_epoch,
                             parts,
                         })
                     }
@@ -395,6 +418,16 @@ impl WireCodec {
             TAG_SYNC_REFUSED => Msg::SyncRefused {
                 epoch: r.get_u64()?,
             },
+            TAG_RESHARD => {
+                // Version gate: a v1 build never defined this tag, so a
+                // v1 frame claiming it is garbage, not a new feature.
+                if version < 2 {
+                    return Err(corrupt("reshard message requires wire version 2"));
+                }
+                Msg::Reshard {
+                    new_shards: r.get_u32()?,
+                }
+            }
             t => return Err(corrupt(&format!("unknown message tag {t:#x}"))),
         };
         if r.remaining() != 0 {
@@ -433,6 +466,13 @@ pub enum CtlMsg {
     /// Recover the hosted replica: local checkpoint recovery, then
     /// state-sync catch-up over the real sockets.
     Recover,
+    /// Ask the orderer to change the cluster's shard count: it seals a
+    /// topology-change marker at the next sealable height and every
+    /// replica splits/merges its shards at that epoch boundary.
+    Reshard {
+        /// Requested shard count.
+        new_shards: u32,
+    },
     /// Ask for the node's Prometheus exposition.
     MetricsReq,
     /// A text payload (exposition, timeline).
@@ -493,6 +533,11 @@ pub fn encode_ctl(msg: &CtlMsg) -> Vec<u8> {
         }
         CtlMsg::Crash => body_writer(TAG_CTL_CRASH, 0),
         CtlMsg::Recover => body_writer(TAG_CTL_RECOVER, 0),
+        CtlMsg::Reshard { new_shards } => {
+            let mut w = body_writer(TAG_CTL_RESHARD, 4);
+            w.put_u32(*new_shards);
+            w
+        }
         CtlMsg::MetricsReq => body_writer(TAG_CTL_METRICS_REQ, 0),
         CtlMsg::Text(text) => {
             let mut w = body_writer(TAG_CTL_TEXT, text.len() + 4);
@@ -515,7 +560,7 @@ pub fn encode_ctl(msg: &CtlMsg) -> Vec<u8> {
 /// # Errors
 /// [`Error::Corruption`] on truncation or an unknown version/tag.
 pub fn decode_ctl(body: &[u8]) -> Result<CtlMsg> {
-    let (tag, mut r) = open_body(body)?;
+    let (version, tag, mut r) = open_body(body)?;
     let msg = match tag {
         TAG_HELLO => CtlMsg::Hello {
             index: r.get_u32()?,
@@ -551,6 +596,14 @@ pub fn decode_ctl(body: &[u8]) -> Result<CtlMsg> {
         }),
         TAG_CTL_CRASH => CtlMsg::Crash,
         TAG_CTL_RECOVER => CtlMsg::Recover,
+        TAG_CTL_RESHARD => {
+            if version < 2 {
+                return Err(corrupt("reshard control message requires wire version 2"));
+            }
+            CtlMsg::Reshard {
+                new_shards: r.get_u32()?,
+            }
+        }
         TAG_CTL_METRICS_REQ => CtlMsg::MetricsReq,
         TAG_CTL_TEXT => CtlMsg::Text(r.get_str()?),
         TAG_CTL_SHUTDOWN => CtlMsg::Shutdown,

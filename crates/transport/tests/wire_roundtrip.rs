@@ -153,6 +153,7 @@ fn every_msg_variant_roundtrips_bit_identically() {
                 response: Arc::new(SyncReplyBody::Sharded(ShardedSyncResponse {
                     height: BlockId(6),
                     global_hash: digest(0x66),
+                    epoch: 2,
                     parts: vec![
                         SyncResponse::Range(vec![block(6, txns.clone(), 15)]),
                         SyncResponse::Snapshot(Box::new(snapshot(6, 0)), Vec::new()),
@@ -161,6 +162,10 @@ fn every_msg_variant_roundtrips_bit_identically() {
                 epoch: 5,
             },
             Msg::SyncRefused { epoch: u64::MAX },
+            Msg::Reshard { new_shards: 4 },
+            Msg::Reshard {
+                new_shards: u32::MAX,
+            },
         ];
         for msg in contract_msgs.chain(structural) {
             let frame = fx.codec.encode_msg(&msg);
@@ -204,6 +209,7 @@ fn every_ctl_msg_roundtrips() {
         })),
         CtlMsg::Crash,
         CtlMsg::Recover,
+        CtlMsg::Reshard { new_shards: 2 },
         CtlMsg::MetricsReq,
         CtlMsg::Text("# HELP harmony…\n".into()),
         CtlMsg::Shutdown,
@@ -266,6 +272,81 @@ fn oversized_length_prefix_is_refused() {
     // Clean EOF at a frame boundary is None, not an error.
     let mut empty: &[u8] = &[];
     assert!(matches!(read_frame(&mut empty), Ok(None)));
+}
+
+/// The reshard tags are wire-version-2 additions: the same bytes with
+/// the version byte rewritten to 1 must be refused (a v1 peer never
+/// emits them, so their appearance on a v1 frame is corruption), while
+/// every pre-existing tag still decodes as v1.
+#[test]
+fn reshard_tags_are_rejected_on_version_1_frames() {
+    let fx = &fixtures()[0];
+    let frame = fx.codec.encode_msg(&Msg::Reshard { new_shards: 4 });
+    let mut body = frame[4..].to_vec();
+    assert!(fx.codec.decode_msg(&body).is_ok(), "v2 frame decodes");
+    body[0] = 1;
+    let Err(err) = fx.codec.decode_msg(&body) else {
+        panic!("v1 reshard frame decoded");
+    };
+    assert!(
+        err.to_string().contains("wire version 2"),
+        "wrong error: {err}"
+    );
+
+    let ctl = encode_ctl(&CtlMsg::Reshard { new_shards: 2 });
+    let mut body = ctl[4..].to_vec();
+    assert!(decode_ctl(&body).is_ok());
+    body[0] = 1;
+    let err = decode_ctl(&body).unwrap_err();
+    assert!(
+        err.to_string().contains("wire version 2"),
+        "wrong error: {err}"
+    );
+
+    // A v1 tag on a v1 frame still decodes: version bumps are additive.
+    let frame = fx.codec.encode_msg(&Msg::Ack { seq: 9 });
+    let mut body = frame[4..].to_vec();
+    body[0] = 1;
+    assert!(fx.codec.decode_msg(&body).is_ok(), "v1 compat broken");
+}
+
+/// A v1 sharded sync reply has no topology-epoch field; decoding one
+/// must succeed and default the epoch to 0 (a v1 peer necessarily
+/// predates elastic resharding).
+#[test]
+fn v1_sharded_sync_reply_defaults_topology_epoch_to_zero() {
+    let fx = &fixtures()[0];
+    let msg = Msg::SyncReply {
+        response: Arc::new(SyncReplyBody::Sharded(ShardedSyncResponse {
+            height: BlockId(6),
+            global_hash: digest(0x66),
+            epoch: 0,
+            parts: vec![SyncResponse::Range(Vec::new())],
+        })),
+        epoch: 5,
+    };
+    let frame = fx.codec.encode_msg(&msg);
+    let mut body = frame[4..].to_vec();
+    // Body layout: version, tag, sync-epoch u64, kind u8, height u64,
+    // 32-byte digest, then the v2 topology-epoch u64. Strip it and mark
+    // the frame v1.
+    const EPOCH_AT: usize = 2 + 8 + 1 + 8 + 32;
+    body.drain(EPOCH_AT..EPOCH_AT + 8);
+    body[0] = 1;
+    match fx.codec.decode_msg(&body).expect("v1 reply decodes") {
+        Msg::SyncReply { response, epoch } => {
+            assert_eq!(epoch, 5);
+            match response.as_ref() {
+                SyncReplyBody::Sharded(resp) => {
+                    assert_eq!(resp.epoch, 0, "v1 peers are at topology epoch 0");
+                    assert_eq!(resp.height, BlockId(6));
+                    assert_eq!(resp.parts.len(), 1);
+                }
+                SyncReplyBody::Flat(_) => panic!("wrong reply body: flat"),
+            }
+        }
+        _ => panic!("wrong message kind"),
+    }
 }
 
 proptest! {
